@@ -1,0 +1,67 @@
+// ABL-1 — Ablation of Step 2.2's survival threshold n/(4 c_t).
+//
+// The paper picks half the expected vote count (divisor 4). A stricter
+// threshold (divisor 2) drops the good object too often (more failed
+// attempts); a laxer one (divisor 8+) lets the adversary keep more bad
+// candidates alive per vote. The bench measures the cost of each choice
+// under the split-vote adversary.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace acp;
+  using namespace acp::bench;
+
+  const std::size_t n = 1024;
+  const double alpha = 0.25;
+  const std::size_t trials = trials_from_env(20);
+
+  print_header("ABL-1 (survival threshold divisor)",
+               "DISTILL cost vs survival divisor d (threshold n/(d c_t)); "
+               "m = n = 1024, alpha = 0.25, split-vote adversary");
+
+  Table table({"divisor", "mean_probes", "max_probes", "rounds",
+               "restart_frac"});
+
+  for (double divisor : {1.1, 1.5, 2.0, 4.0, 8.0, 16.0}) {
+    TrialPlan plan;
+    plan.trials = trials;
+    plan.base_seed = static_cast<std::uint64_t>(divisor * 10);
+    plan.threads = 1;
+    const auto summaries = run_trials_multi(
+        plan, 4, [&](std::uint64_t seed) {
+          Rng rng(seed);
+          const World world = make_simple_world(n, 1, rng);
+          const Population population = Population::with_random_honest(
+              n, static_cast<std::size_t>(alpha * static_cast<double>(n)), rng);
+          DistillParams params;
+          params.alpha = alpha;
+          params.survival_divisor = divisor;
+          DistillProtocol protocol(params);
+          SplitVoteAdversary adversary(protocol);
+          const RunResult result =
+              SyncEngine::run(world, population, protocol, adversary,
+                              {.max_rounds = 500000, .seed = seed ^ 0xfeed});
+          return std::vector<double>{
+              result.mean_honest_probes(),
+              static_cast<double>(result.max_honest_probes()),
+              static_cast<double>(result.rounds_executed),
+              protocol.attempts_started() > 1 ? 1.0 : 0.0};
+        });
+    table.add_row({Table::cell(divisor, 1),
+                   Table::cell(summaries[0].mean()),
+                   Table::cell(summaries[1].mean()),
+                   Table::cell(summaries[2].mean()),
+                   Table::cell(summaries[3].mean(), 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nshape check: a strict threshold (divisor near 1) drops "
+               "the good object and restarts attempts; lax thresholds let "
+               "the adversary keep more decoys per vote. The paper's "
+               "divisor 4 avoids restarts at modest cost — and because the "
+               "split-vote adversary re-prices its votes to the threshold, "
+               "mean cost is otherwise flat across divisors.\n";
+  return 0;
+}

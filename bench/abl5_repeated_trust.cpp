@@ -1,0 +1,104 @@
+// ABL-5 — Trust in its natural habitat: repeated search.
+//
+// ABL-4 shows local trust barely helps one-shot search. But eBay is not
+// one-shot: the same population searches again and again (new listings,
+// same identities — the paper's prior work is literally "collaboration of
+// untrusting peers with CHANGING INTERESTS"). Here the population runs a
+// sequence of independent searches — fresh world each epoch, same players,
+// same Byzantine identities — carrying the learned trust tables across
+// epochs. The Welch t-test says whether the cumulative advantage is real.
+#include <iostream>
+
+#include "acp/stats/significance.hpp"
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace acp;
+
+/// Mean probes per epoch across `epochs` consecutive searches, carrying
+/// trust tables forward iff `carry`.
+std::vector<double> run_epochs(std::size_t n, double alpha,
+                               std::size_t epochs, bool trust, bool carry,
+                               std::uint64_t seed) {
+  std::vector<double> per_epoch;
+  std::vector<std::vector<int>> carried;
+  Rng scenario_rng(seed);
+  const Population population = Population::with_random_honest(
+      n, static_cast<std::size_t>(alpha * static_cast<double>(n)), scenario_rng);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const World world = make_simple_world(n, 1, scenario_rng);
+    DistillParams params;
+    params.alpha = alpha;
+    params.trust_weighted_advice = trust;
+    DistillProtocol protocol(params);
+    if (trust && carry && !carried.empty()) {
+      protocol.import_trust_table(std::move(carried));
+    }
+    EagerVoteAdversary adversary;
+    const RunResult result = SyncEngine::run(
+        world, population, protocol, adversary,
+        {.max_rounds = 300000, .seed = seed * 131 + epoch});
+    per_epoch.push_back(result.mean_honest_probes());
+    if (trust && carry) carried = protocol.trust_table();
+  }
+  return per_epoch;
+}
+
+}  // namespace
+
+int main() {
+  using namespace acp::bench;
+
+  const std::size_t n = 512;
+  const double alpha = 0.25;
+  const std::size_t epochs = 8;
+  const std::size_t trials = trials_from_env(10);
+
+  print_header("ABL-5 (trust across repeated searches)",
+               "mean probes per epoch over 8 consecutive searches; "
+               "m = n = 512, alpha = 0.25, eager-flood adversary, fixed "
+               "Byzantine identities");
+
+  // Collect per-epoch means across trials for three arms.
+  std::vector<std::vector<double>> uniform(epochs), oneshot(epochs),
+      carried(epochs);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto u = run_epochs(n, alpha, epochs, false, false, 40 + t);
+    const auto o = run_epochs(n, alpha, epochs, true, false, 40 + t);
+    const auto c = run_epochs(n, alpha, epochs, true, true, 40 + t);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      uniform[e].push_back(u[e]);
+      oneshot[e].push_back(o[e]);
+      carried[e].push_back(c[e]);
+    }
+  }
+
+  acp::Table table({"epoch", "uniform", "trust_oneshot", "trust_carried",
+                    "carried_vs_uniform"});
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto su = acp::Summary::from_samples(uniform[e]);
+    const auto so = acp::Summary::from_samples(oneshot[e]);
+    const auto sc = acp::Summary::from_samples(carried[e]);
+    const auto welch = acp::welch_t_test(sc, su);
+    std::string verdict = "n.s.";
+    if (welch.significant_1pct) {
+      verdict = welch.t < 0 ? "better **" : "worse **";
+    } else if (welch.significant_5pct) {
+      verdict = welch.t < 0 ? "better *" : "worse *";
+    }
+    table.add_row({acp::Table::cell(e), acp::Table::cell(su.mean()),
+                   acp::Table::cell(so.mean()), acp::Table::cell(sc.mean()),
+                   verdict});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nshape check: epoch 0 matches ABL-4 (one-shot trust is a "
+               "modest win at this alpha). With carried tables the win "
+               "compounds: by the later epochs the population has mapped "
+               "the Byzantine identities and the advantage over uniform "
+               "advice is large and statistically significant (* p<0.05, "
+               "** p<0.01, Welch). Trust IS useful in this model — across "
+               "searches, not within one.\n";
+  return 0;
+}

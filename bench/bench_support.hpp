@@ -1,0 +1,143 @@
+// Shared infrastructure for the experiment benches.
+//
+// Every bench regenerates one table/figure from DESIGN.md's experiment
+// index: it sweeps the parameter its claim quantifies over, runs repeated
+// seeded trials per point, and prints measured values next to the theory
+// curve. Trials can be scaled with the ACP_BENCH_TRIALS environment
+// variable (default per bench); all output is deterministic for a fixed
+// trial count.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/core/theory.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/sim/runner.hpp"
+#include "acp/stats/summary.hpp"
+#include "acp/stats/table.hpp"
+#include "acp/world/builders.hpp"
+
+namespace acp::bench {
+
+/// Trial count from ACP_BENCH_TRIALS, else the bench's default.
+inline std::size_t trials_from_env(std::size_t default_trials) {
+  if (const char* env = std::getenv("ACP_BENCH_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return default_trials;
+}
+
+/// One experiment point: a world/population shape plus run limits.
+struct PointConfig {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t good = 1;
+  double alpha = 0.5;
+  Round max_rounds = 500000;
+};
+
+/// A protocol under test, constructed fresh per trial.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>()>;
+/// An adversary constructed fresh per trial; receives the trial's protocol
+/// so observer strategies (split-vote) can attach.
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(Protocol&)>;
+
+inline AdversaryFactory silent_adversary() {
+  return [](Protocol&) { return std::make_unique<SilentAdversary>(); };
+}
+
+/// Metrics captured per trial, in run_point()'s summary order.
+enum Metric : std::size_t {
+  kMeanProbes = 0,
+  kMaxProbes = 1,
+  kRounds = 2,
+  kMeanCost = 3,
+  kSuccess = 4,
+  kNumMetrics = 5,
+};
+
+/// Run `trials` seeded trials of one experiment point; returns one Summary
+/// per Metric.
+inline std::vector<Summary> run_point(const PointConfig& config,
+                                      const ProtocolFactory& make_protocol,
+                                      const AdversaryFactory& make_adversary,
+                                      std::size_t trials,
+                                      std::uint64_t base_seed) {
+  TrialPlan plan;
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.threads = 1;  // determinism independent of host concurrency
+  return run_trials_multi(
+      plan, kNumMetrics, [&](std::uint64_t seed) {
+        Rng rng(seed);
+        const World world = make_simple_world(config.m, config.good, rng);
+        const auto honest = static_cast<std::size_t>(
+            config.alpha * static_cast<double>(config.n));
+        const Population population =
+            Population::with_random_honest(config.n, honest, rng);
+        auto protocol = make_protocol();
+        auto adversary = make_adversary(*protocol);
+        const RunResult result = SyncEngine::run(
+            world, population, *protocol, *adversary,
+            {.max_rounds = config.max_rounds, .seed = seed ^ 0x9e3779b9});
+        return std::vector<double>{
+            result.mean_honest_probes(),
+            static_cast<double>(result.max_honest_probes()),
+            static_cast<double>(result.rounds_executed),
+            result.mean_honest_cost(),
+            result.honest_success_fraction(),
+        };
+      });
+}
+
+/// Worst (maximum) mean-probe cost over the adversary strategy library —
+/// the bench approximation of "for any adaptive Byzantine adversary".
+inline double worst_case_mean_probes(const PointConfig& config,
+                                     const std::function<DistillParams()>&
+                                         make_params,
+                                     std::size_t trials,
+                                     std::uint64_t base_seed) {
+  const auto distill_factory = [&]() -> std::unique_ptr<Protocol> {
+    return std::make_unique<DistillProtocol>(make_params());
+  };
+  double worst = 0.0;
+  const std::vector<std::pair<std::string, AdversaryFactory>> strategies = {
+      {"silent", silent_adversary()},
+      {"eager",
+       [](Protocol&) { return std::make_unique<EagerVoteAdversary>(); }},
+      {"collude",
+       [](Protocol&) { return std::make_unique<CollusionAdversary>(4); }},
+      {"splitvote",
+       [](Protocol& p) {
+         return std::make_unique<SplitVoteAdversary>(
+             dynamic_cast<DistillProtocol&>(p));
+       }},
+  };
+  for (const auto& [name, factory] : strategies) {
+    const auto summaries =
+        run_point(config, distill_factory, factory, trials, base_seed);
+    worst = std::max(worst, summaries[kMeanProbes].mean());
+  }
+  return worst;
+}
+
+/// Standard bench banner.
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << id << "\n"
+            << claim << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+}  // namespace acp::bench

@@ -1,0 +1,69 @@
+// FIG-1 — The headline comparison (Theorem 4 vs. prior work, §1.2):
+// individual cost vs. n at alpha = 0.9, m = n, one good object.
+//
+// Expected shape: DISTILL stays near-constant; the EC'04 baseline under
+// round robin grows like log n; the trivial no-billboard algorithm pays
+// ~1/beta = n and is off the chart.
+#include <iostream>
+
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "bench_support.hpp"
+
+int main() {
+  using namespace acp;
+  using namespace acp::bench;
+
+  const double alpha = 0.9;
+  const std::size_t trials = trials_from_env(25);
+
+  print_header("FIG-1 (Theorem 4 vs prior work)",
+               "individual cost vs n; m = n, one good object, alpha = 0.9; "
+               "DISTILL cost is worst over the adversary library");
+
+  Table table({"n", "distill_worst", "distill_silent", "collab_ec04",
+               "theory_distill", "theory_collab", "trivial=1/beta"});
+
+  for (std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    PointConfig config;
+    config.n = n;
+    config.m = n;
+    config.good = 1;
+    config.alpha = alpha;
+
+    const auto params = [&] {
+      DistillParams p;
+      p.alpha = alpha;
+      return p;
+    };
+    const double distill_worst =
+        worst_case_mean_probes(config, params, trials, /*base_seed=*/n);
+
+    const auto distill_silent =
+        run_point(config,
+                  [&] { return std::make_unique<DistillProtocol>(params()); },
+                  silent_adversary(), trials, n)[kMeanProbes]
+            .mean();
+
+    const auto collab =
+        run_point(config,
+                  [] { return std::make_unique<CollabBaselineProtocol>(); },
+                  silent_adversary(), trials, n)[kMeanProbes]
+            .mean();
+
+    const double beta = 1.0 / static_cast<double>(n);
+    table.add_row({Table::cell(n), Table::cell(distill_worst),
+                   Table::cell(distill_silent), Table::cell(collab),
+                   Table::cell(theory::distill_expected_rounds(alpha, beta, n)),
+                   Table::cell(theory::baseline_expected_rounds(alpha, beta,
+                                                                n)),
+                   Table::cell(theory::trivial_expected_rounds(beta), 0)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nshape check: distill_silent is flat (the benign O(1) "
+               "regime); distill_worst grows sublogarithmically, tracking "
+               "theory_distill's log n/Delta shape; collab_ec04 climbs like "
+               "log n and loses everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// FIG-2 — Theorem 4's alpha dependence: individual cost vs. alpha at
+// m = n = 1024, one good object.
+//
+// Expected shape: cost tracks (1/alpha) * log n / Delta — rising sharply
+// as alpha shrinks — and stays within a constant factor of the theory
+// curve across the sweep.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace acp;
+  using namespace acp::bench;
+
+  const std::size_t n = 1024;
+  const std::size_t trials = trials_from_env(20);
+
+  print_header("FIG-2 (Theorem 4, alpha sweep)",
+               "individual cost vs alpha; m = n = 1024, one good object; "
+               "worst over the adversary library");
+
+  Table table({"alpha", "distill_worst", "distill_silent", "theory",
+               "ratio_worst/theory"});
+
+  for (double alpha : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+    PointConfig config;
+    config.n = n;
+    config.m = n;
+    config.good = 1;
+    config.alpha = alpha;
+
+    const auto params = [&] {
+      DistillParams p;
+      p.alpha = alpha;
+      return p;
+    };
+    const double worst = worst_case_mean_probes(
+        config, params, trials, static_cast<std::uint64_t>(alpha * 1000));
+    const double silent =
+        run_point(config,
+                  [&] { return std::make_unique<DistillProtocol>(params()); },
+                  silent_adversary(), trials,
+                  static_cast<std::uint64_t>(alpha * 1000))[kMeanProbes]
+            .mean();
+    const double theory_value =
+        theory::distill_expected_rounds(alpha, 1.0 / n, n);
+    table.add_row({Table::cell(alpha), Table::cell(worst),
+                   Table::cell(silent), Table::cell(theory_value),
+                   Table::cell(worst / theory_value)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nshape check: cost rises as alpha falls; the ratio column "
+               "should stay within a modest constant band.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// FIG-6 — Convergence dynamics: fraction of honest players satisfied per
+// round, DISTILL vs the EC'04 baseline. Makes the proofs' dynamics
+// visible: DISTILL's phase-synchronized mass satisfaction (everyone probes
+// the distilled candidates at once) versus the baseline's rumor-spreading
+// doubling, which is what costs it the log n factor.
+#include <iostream>
+
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/engine/trace.hpp"
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace acp;
+
+/// Mean satisfied fraction per round over trials (rows padded with 1.0
+/// after a run ends).
+std::vector<double> convergence_curve(
+    std::size_t n, double alpha, std::size_t trials,
+    const std::function<std::unique_ptr<Protocol>()>& make_protocol) {
+  const auto honest = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  // Collect all per-trial curves first; a run that ended early counts as
+  // fully satisfied for the remaining rounds.
+  std::vector<std::vector<double>> curves;
+  std::size_t longest = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Rng rng(4000 + t);
+    const World world = make_simple_world(n, 1, rng);
+    const Population population =
+        Population::with_random_honest(n, honest, rng);
+    TraceRecorder trace;
+    SyncRunConfig config;
+    config.seed = 5000 + t;
+    config.observer = &trace;
+    auto protocol = make_protocol();
+    SilentAdversary adversary;
+    (void)SyncEngine::run(world, population, *protocol, adversary, config);
+    std::vector<double> curve;
+    curve.reserve(trace.rows().size());
+    for (const TraceRow& row : trace.rows()) {
+      curve.push_back(static_cast<double>(row.satisfied_honest) /
+                      static_cast<double>(honest));
+    }
+    longest = std::max(longest, curve.size());
+    curves.push_back(std::move(curve));
+  }
+  std::vector<double> mean(longest, 0.0);
+  for (const auto& curve : curves) {
+    for (std::size_t r = 0; r < longest; ++r) {
+      mean[r] += r < curve.size() ? curve[r] : 1.0;
+    }
+  }
+  for (double& value : mean) value /= static_cast<double>(trials);
+  return mean;
+}
+
+std::string bar(double fraction, std::size_t width = 40) {
+  const auto filled = static_cast<std::size_t>(
+      fraction * static_cast<double>(width) + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, '.');
+}
+
+}  // namespace
+
+int main() {
+  using namespace acp::bench;
+
+  const std::size_t n = 1024;
+  const double alpha = 0.9;
+  const std::size_t trials = trials_from_env(15);
+
+  print_header("FIG-6 (convergence dynamics)",
+               "satisfied honest fraction per round; m = n = 1024, "
+               "alpha = 0.9, silent adversary");
+
+  const auto distill = convergence_curve(n, alpha, trials, [&] {
+    acp::DistillParams params;
+    params.alpha = alpha;
+    return std::make_unique<acp::DistillProtocol>(params);
+  });
+  const auto collab = convergence_curve(n, alpha, trials, [] {
+    return std::make_unique<acp::CollabBaselineProtocol>();
+  });
+
+  const std::size_t rounds = std::max(distill.size(), collab.size());
+  std::cout << "round  DISTILL " << std::string(34, ' ') << "EC'04\n";
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const double d = r < distill.size() ? distill[r] : 1.0;
+    const double c = r < collab.size() ? collab[r] : 1.0;
+    std::cout.width(5);
+    std::cout << r << "  " << bar(d) << "  " << bar(c) << '\n';
+    if (d >= 0.999 && c >= 0.999) break;
+  }
+
+  std::cout << "\nshape check: DISTILL jumps to full satisfaction in a few "
+               "synchronized bursts (phase boundaries); the baseline climbs "
+               "as a smooth doubling curve stretched over ~log n rounds.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// FIG-7 — The m >> n regime: Theorem 4's first term. With one good object
+// among m >> n, the bound is O(1/(alpha beta n) + (1/alpha) log n/Delta)
+// = O(m/(alpha n)) + sublogarithmic: discovery work dominates and must be
+// split across the honest players. Sweep m at fixed n.
+#include <iostream>
+
+#include "acp/baseline/collab_baseline.hpp"
+#include "bench_support.hpp"
+
+int main() {
+  using namespace acp;
+  using namespace acp::bench;
+
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  const std::size_t trials = trials_from_env(15);
+
+  print_header("FIG-7 (Theorem 4, m >> n regime)",
+               "individual cost vs m at n = 256, alpha = 0.5, one good "
+               "object; discovery term 1/(alpha beta n) = m/(alpha n) "
+               "dominates");
+
+  Table table({"m", "m/n", "distill(k1=4)", "distill(k1=1)", "collab_ec04",
+               "theory_distill", "theory_collab"});
+
+  for (std::size_t m : {256u, 1024u, 4096u, 16384u}) {
+    PointConfig config;
+    config.n = n;
+    config.m = m;
+    config.good = 1;
+    config.alpha = alpha;
+
+    const auto distill =
+        run_point(config,
+                  [&]() -> std::unique_ptr<Protocol> {
+                    DistillParams p;
+                    p.alpha = alpha;
+                    return std::make_unique<DistillProtocol>(p);
+                  },
+                  [](Protocol&) {
+                    return std::make_unique<EagerVoteAdversary>();
+                  },
+                  trials, m)[kMeanProbes]
+            .mean();
+
+    const auto distill_k1 =
+        run_point(config,
+                  [&]() -> std::unique_ptr<Protocol> {
+                    DistillParams p;
+                    p.alpha = alpha;
+                    p.k1 = 1.0;
+                    return std::make_unique<DistillProtocol>(p);
+                  },
+                  [](Protocol&) {
+                    return std::make_unique<EagerVoteAdversary>();
+                  },
+                  trials, m)[kMeanProbes]
+            .mean();
+
+    const auto collab =
+        run_point(config,
+                  [] { return std::make_unique<CollabBaselineProtocol>(); },
+                  [](Protocol&) {
+                    return std::make_unique<EagerVoteAdversary>();
+                  },
+                  trials, m)[kMeanProbes]
+            .mean();
+
+    const double beta = 1.0 / static_cast<double>(m);
+    table.add_row(
+        {Table::cell(m), Table::cell(static_cast<double>(m) / n, 1),
+         Table::cell(distill), Table::cell(distill_k1), Table::cell(collab),
+         Table::cell(theory::distill_expected_rounds(alpha, beta, n)),
+         Table::cell(theory::baseline_expected_rounds(alpha, beta, n))});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nshape check: everything grows linearly in m — the "
+               "unavoidable discovery work (Theorem 1). Two honest "
+               "observations: (1) the k1 columns expose the fixed-phase "
+               "tradeoff — k1=1 restarts whole attempts when Step 1.1 "
+               "finds nothing (worse at small m), k1=4 overshoots (both "
+               "land ~2x above the theory curve at large m); (2) in this "
+               "regime the baseline's empirical mean beats DISTILL's, "
+               "because its 50/50 rule exploits votes adaptively during "
+               "discovery while DISTILL's schedule is fixed. DISTILL's "
+               "wins are the m~n regime (fig1) and the worst-case/tail "
+               "guarantees (tab1) — exactly what the bounds claim, and "
+               "nothing more.\n";
+  return 0;
+}

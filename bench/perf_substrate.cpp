@@ -1,0 +1,147 @@
+// PERF — google-benchmark microbenchmarks of the substrates: billboard
+// commit/ingest throughput, ledger window queries, engine round rate.
+// These justify the simulator's scalability claims (millions of probes
+// per second on one core).
+#include <benchmark/benchmark.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/billboard/billboard.hpp"
+#include "acp/billboard/vote_ledger.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/world/builders.hpp"
+#include "acp/world/population.hpp"
+
+namespace {
+
+using namespace acp;
+
+void BM_BillboardCommit(benchmark::State& state) {
+  const auto posts_per_round = static_cast<std::size_t>(state.range(0));
+  Billboard billboard(posts_per_round, 1024);
+  Round round = 0;
+  for (auto _ : state) {
+    std::vector<Post> posts;
+    posts.reserve(posts_per_round);
+    for (std::size_t p = 0; p < posts_per_round; ++p) {
+      posts.push_back(Post{PlayerId{p}, round,
+                           ObjectId{p % 1024}, 0.5, (p % 3) == 0});
+    }
+    billboard.commit_round(round, std::move(posts));
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(posts_per_round));
+}
+BENCHMARK(BM_BillboardCommit)->Arg(64)->Arg(1024);
+
+void BM_LedgerIngest(benchmark::State& state) {
+  const std::size_t n = 4096;
+  Billboard billboard(n, n);
+  for (Round r = 0; r < 64; ++r) {
+    std::vector<Post> posts;
+    for (std::size_t p = 0; p < n / 64; ++p) {
+      const std::size_t author = static_cast<std::size_t>(r) * (n / 64) + p;
+      posts.push_back(Post{PlayerId{author}, r, ObjectId{author % n}, 0.9,
+                           true});
+    }
+    billboard.commit_round(r, std::move(posts));
+  }
+  for (auto _ : state) {
+    VoteLedger ledger(VotePolicy::kFirstPositive, n, n, 1);
+    ledger.ingest(billboard);
+    benchmark::DoNotOptimize(ledger.events().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(billboard.size()));
+}
+BENCHMARK(BM_LedgerIngest);
+
+void BM_LedgerWindowQuery(benchmark::State& state) {
+  const std::size_t n = 4096;
+  Billboard billboard(n, n);
+  for (Round r = 0; r < 64; ++r) {
+    std::vector<Post> posts;
+    for (std::size_t p = 0; p < n / 64; ++p) {
+      const std::size_t author = static_cast<std::size_t>(r) * (n / 64) + p;
+      posts.push_back(Post{PlayerId{author}, r, ObjectId{author % 128}, 0.9,
+                           true});
+    }
+    billboard.commit_round(r, std::move(posts));
+  }
+  VoteLedger ledger(VotePolicy::kFirstPositive, n, n, 1);
+  ledger.ingest(billboard);
+  for (auto _ : state) {
+    const auto objects = ledger.objects_with_votes_in_window(16, 48, 2);
+    benchmark::DoNotOptimize(objects.size());
+  }
+}
+BENCHMARK(BM_LedgerWindowQuery);
+
+void BM_DistillFullRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const World world = make_simple_world(n, 1, rng);
+  const Population population =
+      Population::with_prefix_honest(n, n * 9 / 10);
+  std::uint64_t seed = 1;
+  std::int64_t probes = 0;
+  for (auto _ : state) {
+    DistillParams params;
+    params.alpha = 0.9;
+    DistillProtocol protocol(params);
+    SilentAdversary adversary;
+    const RunResult result = SyncEngine::run(
+        world, population, protocol, adversary,
+        {.max_rounds = 100000, .seed = seed++});
+    probes += result.total_honest_probes();
+    benchmark::DoNotOptimize(result.rounds_executed);
+  }
+  state.SetItemsProcessed(probes);
+  state.SetLabel("items = probes simulated");
+}
+BENCHMARK(BM_DistillFullRun)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EngineRoundRate(benchmark::State& state) {
+  // Trivial-probe protocol isolates engine overhead per player-round.
+  class NoopProtocol : public Protocol {
+   public:
+    void initialize(const WorldView& world, std::size_t) override {
+      m_ = world.num_objects();
+    }
+    void on_round_begin(Round, const Billboard&) override {}
+    std::optional<ObjectId> choose_probe(PlayerId, Round, Rng& rng) override {
+      return ObjectId{rng.index(m_)};
+    }
+    StepOutcome on_probe_result(PlayerId, Round, ObjectId object,
+                                double value, double, bool, Rng&) override {
+      return StepOutcome{ProbeReport{object, value, false}, false};
+    }
+
+   private:
+    std::size_t m_ = 0;
+  };
+
+  const std::size_t n = 1024;
+  Rng rng(9);
+  const World world = make_simple_world(n, 1, rng);
+  const Population population = Population::with_prefix_honest(n, n);
+  const auto rounds = static_cast<Round>(state.range(0));
+  for (auto _ : state) {
+    NoopProtocol protocol;
+    SilentAdversary adversary;
+    const RunResult result = SyncEngine::run(
+        world, population, protocol, adversary,
+        {.max_rounds = rounds, .seed = 3});
+    benchmark::DoNotOptimize(result.total_posts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel("items = player-rounds");
+}
+BENCHMARK(BM_EngineRoundRate)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// eBay-style marketplace (the paper's motivating example, §1).
+//
+// Buyers search for a trustworthy seller. Sellers have different prices
+// (the general cost model of §5.2): a transaction with a seller costs its
+// price and reveals whether the seller is honest (you get the goods — local
+// testing). Fraud rings run shill accounts that post glowing reviews for
+// scam sellers on the reputation billboard.
+//
+// The cost-class schedule (Theorem 12) probes cheap sellers first, so an
+// honest buyer's spend tracks the cheapest trustworthy seller's price
+// rather than the marketplace's priciest tier.
+#include <iomanip>
+#include <iostream>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/cost_classes.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/world/builders.hpp"
+
+int main() {
+  using namespace acp;
+
+  std::cout << "=== eBay marketplace: finding a trustworthy seller ===\n\n";
+
+  Rng rng(1999);
+
+  // The marketplace: 4 price tiers ($1-2, $2-4, $4-8, $8-16), 64 sellers
+  // per tier. Trustworthy sellers exist only from tier 1 ($2-4) upward —
+  // the cheapest tier is all scams, as is tradition.
+  CostClassWorldOptions market;
+  market.num_classes = 4;
+  market.objects_per_class = 64;
+  market.cheapest_good_class = 1;
+  market.good_per_class = 2;
+  const World world = make_cost_class_world(market, rng);
+
+  // 300 buyers; 60 of them are shill accounts run by the fraud ring.
+  const Population population =
+      Population::with_random_honest(/*n=*/300, /*num_honest=*/240, rng);
+
+  std::cout << "sellers:  " << world.num_objects() << " in 4 price tiers\n"
+            << "honest sellers: " << world.num_good()
+            << " (cheapest in the $2-4 tier)\n"
+            << "buyers:   " << population.num_players() << " ("
+            << population.num_dishonest() << " shill accounts)\n\n";
+
+  // Honest buyers follow the Theorem 12 schedule: run DISTILL^HP tier by
+  // tier, cheapest first, assuming one trustworthy seller per tier.
+  CostClassParams schedule;
+  schedule.alpha = population.alpha();
+  CostClassProtocol protocol(schedule);
+
+  // The fraud ring's shills all vouch for a handful of scam sellers.
+  CollusionAdversary fraud_ring(/*num_decoys=*/3);
+
+  const RunResult result = SyncEngine::run(world, population, protocol,
+                                           fraud_ring,
+                                           {.max_rounds = 200000, .seed = 7});
+
+  double cheapest_good = 1e300;
+  for (ObjectId seller : world.good_objects()) {
+    cheapest_good = std::min(cheapest_good, world.cost(seller));
+  }
+
+  std::cout << std::fixed << std::setprecision(2)
+            << "every buyer found a trustworthy seller: "
+            << (result.all_honest_satisfied ? "yes" : "no") << '\n'
+            << "mean spend per honest buyer:  $" << result.mean_honest_cost()
+            << '\n'
+            << "worst spend by one buyer:     $" << result.max_honest_cost()
+            << '\n'
+            << "cheapest trustworthy seller:  $" << cheapest_good << '\n'
+            << "rounds of market activity:    " << result.rounds_executed
+            << "\n\n"
+            << "Without the tiered schedule a buyer probing sellers "
+               "uniformly\nwould routinely pay $8-16 scam prices while "
+               "searching.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Gossip network: running the reputation system without any server.
+//
+// The paper's billboard is a service; in a real peer-to-peer network no
+// such service exists. This example runs DISTILL where every node keeps
+// its own replica of the billboard, synchronized by push gossip, with a
+// quarter of the nodes Byzantine (they absorb gossip and inject shill
+// votes). Compare the cost against the idealized shared billboard.
+#include <iomanip>
+#include <iostream>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/gossip/gossip_engine.hpp"
+#include "acp/world/builders.hpp"
+
+int main() {
+  using namespace acp;
+
+  std::cout << "=== Serverless reputation: gossip vs shared billboard ===\n\n";
+
+  const std::size_t n = 256;
+  const double alpha = 0.75;
+
+  auto make_scenario = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    World world = make_simple_world(n, 1, rng);
+    Population population = Population::with_random_honest(
+        n, static_cast<std::size_t>(alpha * static_cast<double>(n)), rng);
+    return std::pair{std::move(world), std::move(population)};
+  };
+
+  std::cout << std::fixed << std::setprecision(2);
+
+  // Idealized shared billboard (the paper's model).
+  {
+    auto [world, population] = make_scenario(2026);
+    DistillParams params;
+    params.alpha = alpha;
+    DistillProtocol protocol(params);
+    EagerVoteAdversary adversary;
+    const RunResult result = SyncEngine::run(world, population, protocol,
+                                             adversary, {.seed = 31});
+    std::cout << "shared billboard:         "
+              << result.mean_honest_probes() << " probes/node, "
+              << result.rounds_executed << " rounds\n";
+  }
+
+  // Gossip substrate at a few fanouts.
+  for (std::size_t fanout : {4u, 2u}) {
+    auto [world, population] = make_scenario(2026);
+    EagerVoteAdversary adversary;
+    const RunResult result = GossipEngine::run(
+        world, population,
+        [&]() -> std::unique_ptr<Protocol> {
+          DistillParams params;
+          params.alpha = alpha;
+          return std::make_unique<DistillProtocol>(params);
+        },
+        adversary, {.fanout = fanout, .max_rounds = 200000, .seed = 31});
+    std::cout << "gossip, fanout " << fanout << ":         "
+              << result.mean_honest_probes() << " probes/node, "
+              << result.rounds_executed << " rounds ("
+              << result.honest_success_fraction() * 100 << "% success)\n";
+  }
+
+  // Push-pull rescues sparse connectivity.
+  {
+    auto [world, population] = make_scenario(2026);
+    EagerVoteAdversary adversary;
+    const RunResult result = GossipEngine::run(
+        world, population,
+        [&]() -> std::unique_ptr<Protocol> {
+          DistillParams params;
+          params.alpha = alpha;
+          return std::make_unique<DistillProtocol>(params);
+        },
+        adversary,
+        {.fanout = 2, .pull = true, .loss_prob = 0.2,
+         .max_rounds = 200000, .seed = 31});
+    std::cout << "gossip, fanout 2 + pull,\n  20% message loss:       "
+              << result.mean_honest_probes() << " probes/node, "
+              << result.rounds_executed << " rounds ("
+              << result.honest_success_fraction() * 100 << "% success)\n";
+  }
+
+  std::cout << "\nEvery configuration finds the good object for every "
+               "honest node;\nthe price of decentralization is the gossip "
+               "propagation delay.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// P2P file sharing (the paper's title scenario; cf. EigenTrust [6]).
+//
+// Peers look for an authentic copy of a file among many download sources.
+// Authenticity is NOT locally testable in one step — a corrupted codec or
+// trojaned binary looks plausible — so this uses the §5.3 variant: each
+// peer's vote is the highest-quality source it has personally sampled,
+// goodness means "among the top-beta sources", and everyone runs for the
+// prescribed Theorem 13 horizon. Malicious peers claim absurd quality
+// scores for poisoned sources.
+#include <iomanip>
+#include <iostream>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/core/theory.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/world/builders.hpp"
+
+int main() {
+  using namespace acp;
+
+  std::cout << "=== P2P file sharing: finding an authentic source ===\n\n";
+
+  Rng rng(2003);
+
+  // 512 download sources; the 8 highest-quality ones are authentic copies
+  // (top-beta goodness, beta = 8/512).
+  const std::size_t sources = 512;
+  const std::size_t authentic = 8;
+  const World world = make_top_beta_world(sources, authentic, rng);
+
+  // 512 peers; 25% are part of a poisoning campaign.
+  const std::size_t peers = 512;
+  const std::size_t honest = 384;
+  const Population population =
+      Population::with_random_honest(peers, honest, rng);
+
+  const double alpha = population.alpha();
+  const double beta = world.beta();
+
+  // §5.3: DISTILL^HP with highest-reported votes and a prescribed horizon.
+  const DistillParams params =
+      make_no_local_testing_params(alpha, beta, peers);
+  DistillProtocol protocol(params);
+
+  // The campaign: each malicious peer permanently vouches for a poisoned
+  // source with a sky-high claimed quality score.
+  ValueLiarAdversary campaign(/*claimed_value=*/1e9);
+
+  const RunResult result = SyncEngine::run(
+      world, population, protocol, campaign,
+      {.max_rounds = *params.horizon + 4, .seed = 17});
+
+  std::cout << "sources: " << sources << " (" << authentic
+            << " authentic)\npeers:   " << peers << " ("
+            << population.num_dishonest() << " poisoning)\n"
+            << "prescribed horizon (Theorem 13): " << *params.horizon
+            << " rounds\n\n"
+            << std::fixed << std::setprecision(1)
+            << "peers whose best-sampled source is authentic: "
+            << result.honest_success_fraction() * 100.0 << "%\n"
+            << "mean downloads sampled per peer: "
+            << result.mean_honest_probes() << '\n'
+            << "rounds used: " << result.rounds_executed << "\n\n"
+            << "The poisoners' one-vote-per-identity budget is absorbed by "
+               "the\ncandidate thresholds: absurd claimed scores buy them "
+               "exactly one\npermanent vote each, nothing more.\n";
+  return 0;
+}

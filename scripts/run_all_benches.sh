@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every experiment table into results/, one file per bench.
+# Usage: scripts/run_all_benches.sh [build-dir] [trials]
+set -euo pipefail
+build_dir="${1:-build}"
+trials="${2:-}"
+out_dir="results"
+mkdir -p "$out_dir"
+for bench in "$build_dir"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  if [ -n "$trials" ]; then
+    ACP_BENCH_TRIALS="$trials" "$bench" | tee "$out_dir/$name.txt"
+  else
+    "$bench" | tee "$out_dir/$name.txt"
+  fi
+done
+echo "wrote $out_dir/"

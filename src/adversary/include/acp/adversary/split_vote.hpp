@@ -1,0 +1,73 @@
+// SplitVoteAdversary — the adaptive strategy that is extremal for Lemma 7.
+//
+// Lemma 7 bounds DISTILL's Step 2 iterations by charging each surviving bad
+// candidate's threshold votes (n/(4 c_t) per object per iteration) against
+// the adversary's total vote budget (1-alpha)n. The worst case spends that
+// budget so the candidate set shrinks as slowly as possible: keep a `decay`
+// fraction of the bad candidates alive in every iteration, paying exactly
+// the threshold for each, until the budget runs dry.
+//
+// The adversary is *adaptive*: it watches the (public, deterministic-given-
+// the-billboard) phase schedule of the observed DistillProtocol instance,
+// knows ground truth goodness, and times every vote to land inside the
+// exact counting window where it does damage. This is as strong as the
+// model allows short of breaking the billboard.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/core/distill.hpp"
+#include "acp/engine/adversary.hpp"
+
+namespace acp {
+
+struct SplitVoteParams {
+  /// Fraction of current bad candidates to keep alive each Step-2 iteration.
+  double decay = 0.5;
+  /// Share of the vote budget spent flooding distinct bad objects at the
+  /// very start (Step 1.1): this poisons the advice channel — honest
+  /// advice probes follow a random player's vote, and idle advice rounds
+  /// are free while poisoned ones cost a probe.
+  double flood_budget_fraction = 0.34;
+  /// Share of the vote budget reserved for seeding bad objects into C0
+  /// during Step 1.3 (each costs ~k2/4 votes). The remainder sustains
+  /// Step 2 survivors at the n/(4 c_t) threshold.
+  double seed_budget_fraction = 0.33;
+};
+
+class SplitVoteAdversary final : public Adversary {
+ public:
+  /// `observed` must be the DistillProtocol instance driving the honest
+  /// players of the same run (the adversary knows the protocol, §2.3).
+  SplitVoteAdversary(const DistillProtocol& observed,
+                     SplitVoteParams params = {});
+
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+  /// Dishonest players whose single vote is still unspent.
+  [[nodiscard]] std::size_t votes_remaining() const noexcept {
+    return unused_.size();
+  }
+
+ private:
+  void emit_votes(const std::vector<ObjectId>& targets, Round round,
+                  std::vector<Post>& out);
+
+  const DistillProtocol* observed_;
+  SplitVoteParams params_;
+
+  std::vector<PlayerId> unused_;
+  std::size_t flood_budget_ = 0;
+  std::size_t seed_budget_ = 0;
+  bool flooded_ = false;
+
+  /// Last seen (phase, phase-window start) to detect window entry.
+  DistillProtocol::Phase last_phase_ = DistillProtocol::Phase::kStep11;
+  Round last_window_start_ = -1;
+  bool primed_ = false;
+};
+
+}  // namespace acp

@@ -1,0 +1,93 @@
+// Byzantine strategy library (paper §2.3).
+//
+// The theorems quantify over *all* adaptive Byzantine adversaries; the
+// benches approximate the worst case by taking the maximum measured cost
+// over this library. Every strategy respects the billboard substrate rules
+// (true identity tags, true timestamps, at most one post per player per
+// round) — everything else is fair game.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/engine/adversary.hpp"
+
+namespace acp {
+
+/// Every dishonest player votes as early as possible, each for a distinct
+/// bad object — floods Step 1.2's S with (1-alpha)n bad candidates.
+class EagerVoteAdversary final : public Adversary {
+ public:
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+ private:
+  std::vector<ObjectId> targets_;  // per dishonest player, assigned at init
+  std::size_t next_voter_ = 0;
+};
+
+/// The colluding clique: all dishonest votes concentrate on a few decoy bad
+/// objects, cast early, so the decoys sail past the k2/4 threshold into C0
+/// and (for one iteration) past the Step 2 threshold.
+class CollusionAdversary final : public Adversary {
+ public:
+  explicit CollusionAdversary(std::size_t num_decoys = 4);
+
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+ private:
+  std::size_t num_decoys_;
+  std::vector<ObjectId> decoys_;
+  std::size_t next_voter_ = 0;
+};
+
+/// Pure slander: every round, every dishonest player posts a negative
+/// report about a (random) good object and never votes positively.
+/// Harmless against DISTILL — Figure 1 ignores negative reports — and the
+/// control arm for the "is slander useless?" question of §6.
+class SlandererAdversary final : public Adversary {
+ public:
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+};
+
+/// Unbounded spam: every round, every dishonest player posts a positive
+/// report for one of a few decoy bad objects. Against DISTILL this is no
+/// stronger than CollusionAdversary (the read-side one-vote rule caps it
+/// at one counted vote per identity); against popularity-style rules with
+/// no vote cap (PopularityProtocol) it owns the score distribution — the
+/// §1.3 amplification argument.
+class SpamAdversary final : public Adversary {
+ public:
+  explicit SpamAdversary(std::size_t num_decoys = 4);
+
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+ private:
+  std::size_t num_decoys_;
+  std::vector<ObjectId> decoys_;
+};
+
+/// Attack on the no-local-testing variant (§5.3): each dishonest player
+/// once posts an absurdly high claimed value for a bad object, making that
+/// its permanent highest-reported vote.
+class ValueLiarAdversary final : public Adversary {
+ public:
+  explicit ValueLiarAdversary(double claimed_value = 1e9);
+
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+ private:
+  double claimed_value_;
+  std::vector<ObjectId> targets_;
+  std::size_t next_voter_ = 0;
+};
+
+}  // namespace acp

@@ -1,0 +1,45 @@
+// TargetedSlanderAdversary — the attack that answers §6's "Is slander
+// useless?" in the affirmative for naive designs.
+//
+// Against Figure 1's DISTILL, negative reports are ignored and this
+// adversary is exactly as harmless as SlandererAdversary. Against the
+// veto variant (DistillParams::veto_fraction > 0), it times its negative
+// votes to land inside each counting window and aims them all at the good
+// objects: veto_fraction * n + 1 negatives veto the good object out of
+// the candidate set, failing the whole ATTEMPT — at a per-window price
+// the adversary can pay roughly f_neg * (1-alpha) * 4/veto-fraction times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/core/distill.hpp"
+#include "acp/engine/adversary.hpp"
+
+namespace acp {
+
+class TargetedSlanderAdversary final : public Adversary {
+ public:
+  /// `observed` is the honest protocol instance of the run (the adversary
+  /// knows the protocol and its phase schedule, §2.3).
+  explicit TargetedSlanderAdversary(const DistillProtocol& observed);
+
+  void initialize(const World& world, const Population& population) override;
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng& rng) override;
+
+ private:
+  const DistillProtocol* observed_;
+
+  /// Remaining negative votes per dishonest player (read-side budget).
+  std::vector<std::size_t> budget_;
+  /// Objects each dishonest player has already slandered (repeats are not
+  /// counted by the first-negative ledger).
+  std::vector<std::vector<ObjectId>> used_objects_;
+
+  DistillProtocol::Phase last_phase_ = DistillProtocol::Phase::kStep11;
+  Round last_window_start_ = -1;
+  bool primed_ = false;
+};
+
+}  // namespace acp

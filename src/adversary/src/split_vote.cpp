@@ -1,0 +1,149 @@
+#include "acp/adversary/split_vote.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+SplitVoteAdversary::SplitVoteAdversary(const DistillProtocol& observed,
+                                       SplitVoteParams params)
+    : observed_(&observed), params_(params) {
+  ACP_EXPECTS(params_.decay > 0.0 && params_.decay <= 1.0);
+  ACP_EXPECTS(params_.flood_budget_fraction >= 0.0 &&
+              params_.flood_budget_fraction <= 1.0);
+  ACP_EXPECTS(params_.seed_budget_fraction >= 0.0 &&
+              params_.seed_budget_fraction <= 1.0);
+  ACP_EXPECTS(params_.flood_budget_fraction + params_.seed_budget_fraction <=
+              1.0);
+}
+
+void SplitVoteAdversary::initialize(const World& /*world*/,
+                                    const Population& population) {
+  unused_ = population.dishonest_players();
+  flood_budget_ = static_cast<std::size_t>(
+      params_.flood_budget_fraction * static_cast<double>(unused_.size()));
+  seed_budget_ = static_cast<std::size_t>(
+      params_.seed_budget_fraction * static_cast<double>(unused_.size()));
+  flooded_ = false;
+  primed_ = false;
+}
+
+void SplitVoteAdversary::emit_votes(const std::vector<ObjectId>& targets,
+                                    Round round, std::vector<Post>& out) {
+  // Every queued vote comes from a distinct still-unused dishonest player,
+  // so the whole batch lands in a single round (one post per player).
+  std::size_t used = 0;
+  for (ObjectId target : targets) {
+    if (used >= unused_.size()) break;
+    out.push_back(Post{unused_[unused_.size() - 1 - used], round, target,
+                       /*reported_value=*/1.0, /*positive=*/true});
+    ++used;
+  }
+  unused_.resize(unused_.size() - used);
+}
+
+void SplitVoteAdversary::plan_round(const AdversaryContext& ctx,
+                                    std::vector<Post>& out, Rng& rng) {
+  if (unused_.empty()) return;
+
+  // Detect entry into a fresh counting window. The engine runs the honest
+  // protocol's on_round_begin before us, so `observed_` already reflects
+  // this round's phase.
+  const auto phase = observed_->phase();
+  const Round window_start = observed_->phase_window_start();
+  const bool entered =
+      !primed_ || phase != last_phase_ || window_start != last_window_start_;
+  primed_ = true;
+  last_phase_ = phase;
+  last_window_start_ = window_start;
+  if (!entered) return;
+
+  const std::size_t n = ctx.population.num_players();
+
+  switch (phase) {
+    case DistillProtocol::Phase::kStep11: {
+      // Poison the advice channel once: an idle advice round is free for
+      // the honest player, a poisoned one costs a full probe. Flood
+      // distinct bad objects so the decoys also inflate S.
+      if (flooded_) return;
+      flooded_ = true;
+      const std::size_t budget = std::min(flood_budget_, unused_.size());
+      const auto& bad = ctx.world.bad_objects();
+      if (budget == 0 || bad.empty()) return;
+      std::vector<ObjectId> targets;
+      targets.reserve(budget);
+      for (std::size_t i = 0; i < budget; ++i) {
+        targets.push_back(bad[i % bad.size()]);
+      }
+      emit_votes(targets, ctx.round, out);
+      return;
+    }
+
+    case DistillProtocol::Phase::kStep13: {
+      // Seed bad objects into C0: each needs ceil(c0_vote_fraction * k2)
+      // votes inside this window.
+      const auto& params = observed_->params();
+      const auto votes_each = static_cast<std::size_t>(std::max(
+          1.0, std::ceil(params.c0_vote_fraction * params.k2)));
+      const std::size_t budget = std::min(seed_budget_, unused_.size());
+      const std::size_t num_objects = budget / votes_each;
+      if (num_objects == 0) return;
+
+      // Prefer bad objects that already made S (honest probes will then
+      // keep encountering them); fall back to arbitrary bad objects.
+      std::vector<ObjectId> pool;
+      for (ObjectId obj : observed_->candidates()) {
+        if (!ctx.world.is_good(obj)) pool.push_back(obj);
+      }
+      for (ObjectId obj : ctx.world.bad_objects()) {
+        if (pool.size() >= num_objects) break;
+        if (std::find(pool.begin(), pool.end(), obj) == pool.end()) {
+          pool.push_back(obj);
+        }
+      }
+      std::vector<ObjectId> targets;
+      for (std::size_t i = 0; i < std::min(num_objects, pool.size()); ++i) {
+        targets.insert(targets.end(), votes_each, pool[i]);
+      }
+      emit_votes(targets, ctx.round, out);
+      return;
+    }
+
+    case DistillProtocol::Phase::kStep2: {
+      // Keep a decay fraction of the bad candidates alive: each survivor
+      // needs strictly more than n/(survival_divisor * c_t) votes in this
+      // iteration's window, all of which must come from us.
+      const auto& candidates = observed_->candidates();
+      if (candidates.empty()) return;
+      std::vector<ObjectId> bad;
+      for (ObjectId obj : candidates) {
+        if (!ctx.world.is_good(obj)) bad.push_back(obj);
+      }
+      if (bad.empty()) return;
+
+      const double ct = static_cast<double>(candidates.size());
+      const double threshold =
+          static_cast<double>(n) / (observed_->params().survival_divisor * ct);
+      const auto votes_each =
+          static_cast<std::size_t>(std::floor(threshold)) + 1;
+
+      auto keep = static_cast<std::size_t>(
+          std::ceil(params_.decay * static_cast<double>(bad.size())));
+      keep = std::min({keep, bad.size(), unused_.size() / votes_each});
+      if (keep == 0) return;
+
+      // Keep a random subset so honest players cannot anticipate survivors.
+      rng.shuffle(bad);
+      std::vector<ObjectId> targets;
+      for (std::size_t i = 0; i < keep; ++i) {
+        targets.insert(targets.end(), votes_each, bad[i]);
+      }
+      emit_votes(targets, ctx.round, out);
+      return;
+    }
+  }
+}
+
+}  // namespace acp

@@ -1,0 +1,125 @@
+#include "acp/adversary/strategies.hpp"
+
+#include <algorithm>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+/// Assign one bad object per dishonest player, cycling if there are more
+/// dishonest players than bad objects.
+std::vector<ObjectId> assign_bad_targets(const World& world,
+                                         const Population& population) {
+  const auto& bad = world.bad_objects();
+  std::vector<ObjectId> targets;
+  targets.reserve(population.num_dishonest());
+  for (std::size_t i = 0; i < population.num_dishonest(); ++i) {
+    if (bad.empty()) break;
+    targets.push_back(bad[i % bad.size()]);
+  }
+  return targets;
+}
+}  // namespace
+
+void EagerVoteAdversary::initialize(const World& world,
+                                    const Population& population) {
+  targets_ = assign_bad_targets(world, population);
+  next_voter_ = 0;
+}
+
+void EagerVoteAdversary::plan_round(const AdversaryContext& ctx,
+                                    std::vector<Post>& out, Rng& /*rng*/) {
+  // One post per player per round, so the flood takes one round total: all
+  // yet-unvoted dishonest players fire simultaneously.
+  const auto& dishonest = ctx.population.dishonest_players();
+  for (; next_voter_ < targets_.size(); ++next_voter_) {
+    out.push_back(Post{dishonest[next_voter_], ctx.round,
+                       targets_[next_voter_], /*reported_value=*/1.0,
+                       /*positive=*/true});
+  }
+}
+
+CollusionAdversary::CollusionAdversary(std::size_t num_decoys)
+    : num_decoys_(num_decoys) {
+  ACP_EXPECTS(num_decoys_ >= 1);
+}
+
+void CollusionAdversary::initialize(const World& world,
+                                    const Population& population) {
+  decoys_.clear();
+  const auto& bad = world.bad_objects();
+  for (std::size_t i = 0; i < std::min(num_decoys_, bad.size()); ++i) {
+    decoys_.push_back(bad[i]);
+  }
+  next_voter_ = 0;
+  (void)population;
+}
+
+void CollusionAdversary::plan_round(const AdversaryContext& ctx,
+                                    std::vector<Post>& out, Rng& /*rng*/) {
+  if (decoys_.empty()) return;
+  const auto& dishonest = ctx.population.dishonest_players();
+  for (; next_voter_ < dishonest.size(); ++next_voter_) {
+    const ObjectId decoy = decoys_[next_voter_ % decoys_.size()];
+    out.push_back(Post{dishonest[next_voter_], ctx.round, decoy,
+                       /*reported_value=*/1.0, /*positive=*/true});
+  }
+}
+
+void SlandererAdversary::plan_round(const AdversaryContext& ctx,
+                                    std::vector<Post>& out, Rng& rng) {
+  const auto& good = ctx.world.good_objects();
+  if (good.empty()) return;
+  for (PlayerId p : ctx.population.dishonest_players()) {
+    const ObjectId target = good[rng.index(good.size())];
+    out.push_back(Post{p, ctx.round, target, /*reported_value=*/0.0,
+                       /*positive=*/false});
+  }
+}
+
+SpamAdversary::SpamAdversary(std::size_t num_decoys)
+    : num_decoys_(num_decoys) {
+  ACP_EXPECTS(num_decoys_ >= 1);
+}
+
+void SpamAdversary::initialize(const World& world,
+                               const Population& /*population*/) {
+  decoys_.clear();
+  const auto& bad = world.bad_objects();
+  for (std::size_t i = 0; i < std::min(num_decoys_, bad.size()); ++i) {
+    decoys_.push_back(bad[i]);
+  }
+}
+
+void SpamAdversary::plan_round(const AdversaryContext& ctx,
+                               std::vector<Post>& out, Rng& rng) {
+  if (decoys_.empty()) return;
+  for (PlayerId p : ctx.population.dishonest_players()) {
+    out.push_back(Post{p, ctx.round, decoys_[rng.index(decoys_.size())],
+                       /*reported_value=*/1.0, /*positive=*/true});
+  }
+}
+
+ValueLiarAdversary::ValueLiarAdversary(double claimed_value)
+    : claimed_value_(claimed_value) {
+  ACP_EXPECTS(claimed_value_ > 0.0);
+}
+
+void ValueLiarAdversary::initialize(const World& world,
+                                    const Population& population) {
+  targets_ = assign_bad_targets(world, population);
+  next_voter_ = 0;
+}
+
+void ValueLiarAdversary::plan_round(const AdversaryContext& ctx,
+                                    std::vector<Post>& out, Rng& /*rng*/) {
+  const auto& dishonest = ctx.population.dishonest_players();
+  for (; next_voter_ < targets_.size(); ++next_voter_) {
+    out.push_back(Post{dishonest[next_voter_], ctx.round,
+                       targets_[next_voter_], claimed_value_,
+                       /*positive=*/true});
+  }
+}
+
+}  // namespace acp

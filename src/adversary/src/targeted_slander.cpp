@@ -1,0 +1,77 @@
+#include "acp/adversary/targeted_slander.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+TargetedSlanderAdversary::TargetedSlanderAdversary(
+    const DistillProtocol& observed)
+    : observed_(&observed) {}
+
+void TargetedSlanderAdversary::initialize(const World& /*world*/,
+                                          const Population& population) {
+  const std::size_t f_neg =
+      observed_->params().negative_votes_per_player;
+  budget_.assign(population.num_players(), 0);
+  used_objects_.assign(population.num_players(), {});
+  for (PlayerId p : population.dishonest_players()) {
+    budget_[p.value()] = f_neg;
+  }
+  primed_ = false;
+}
+
+void TargetedSlanderAdversary::plan_round(const AdversaryContext& ctx,
+                                          std::vector<Post>& out,
+                                          Rng& /*rng*/) {
+  // Fire once per counting window (the engine runs the honest protocol's
+  // transition before us, so the window boundaries are current).
+  const auto phase = observed_->phase();
+  const Round window_start = observed_->phase_window_start();
+  const bool entered =
+      !primed_ || phase != last_phase_ || window_start != last_window_start_;
+  primed_ = true;
+  last_phase_ = phase;
+  last_window_start_ = window_start;
+  if (!entered) return;
+
+  const double veto_fraction = observed_->params().veto_fraction;
+  const std::size_t n = ctx.population.num_players();
+  // Against plain DISTILL the veto is off; emulate plain slander's
+  // behavior of one negative wave so runs stay comparable.
+  const auto votes_needed =
+      veto_fraction > 0.0
+          ? static_cast<std::size_t>(
+                std::floor(veto_fraction * static_cast<double>(n))) +
+                1
+          : std::size_t{1};
+
+  // Slander every good object past the veto threshold, budget permitting.
+  for (ObjectId target : ctx.world.good_objects()) {
+    std::size_t cast = 0;
+    for (PlayerId p : ctx.population.dishonest_players()) {
+      if (cast >= votes_needed) break;
+      auto& used = used_objects_[p.value()];
+      if (budget_[p.value()] == 0) continue;
+      if (std::find(used.begin(), used.end(), target) != used.end()) {
+        continue;  // this player's slander of `target` already counted
+      }
+      // One post per player per round: a player already posting this round
+      // for an earlier good object must be skipped.
+      const bool already_posting =
+          std::any_of(out.begin(), out.end(), [&](const Post& post) {
+            return post.author == p && post.round == ctx.round;
+          });
+      if (already_posting) continue;
+      out.push_back(Post{p, ctx.round, target, /*reported_value=*/0.0,
+                         /*positive=*/false});
+      used.push_back(target);
+      --budget_[p.value()];
+      ++cast;
+    }
+  }
+}
+
+}  // namespace acp

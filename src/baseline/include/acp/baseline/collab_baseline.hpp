@@ -1,0 +1,67 @@
+// The prior-work baseline — "Collaboration of untrusting peers" (EC'04),
+// the algorithm the paper compares DISTILL against (§1.2, §3).
+//
+// Rule (the "balanced exploration/exploitation" step): at each step, with
+// probability 1/2 probe a uniformly random object, otherwise pick a
+// uniformly random player and probe the object that player currently votes
+// for (falling back to a random object if it has none). One positive vote
+// per player, derived on the read side as usual.
+//
+// Under a round-robin synchronous schedule this halts in expected
+// O(log n/(alpha beta n) + log n/alpha) rounds — the rumor-spreading
+// doubling argument — which is Omega(log n) even when almost everyone is
+// honest. That log n is exactly what DISTILL removes.
+#pragma once
+
+#include <optional>
+
+#include "acp/billboard/vote_ledger.hpp"
+#include "acp/engine/async_engine.hpp"
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+class CollabBaselineProtocol final : public Protocol {
+ public:
+  /// `follow_prob` — probability of the advice step (1/2 in the paper).
+  explicit CollabBaselineProtocol(double follow_prob = 0.5);
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+  [[nodiscard]] const VoteLedger& ledger() const;
+
+ private:
+  double follow_prob_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::optional<VoteLedger> ledger_;
+};
+
+/// The same rule in its native asynchronous model (for the EC'04 total-cost
+/// experiment and the schedule attack demonstration).
+class AsyncCollabProtocol final : public AsyncProtocol {
+ public:
+  explicit AsyncCollabProtocol(double follow_prob = 0.5);
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(
+      PlayerId player, const Billboard& billboard, Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, ObjectId object, double value,
+                              double cost, bool locally_good,
+                              Rng& rng) override;
+
+ private:
+  double follow_prob_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::optional<VoteLedger> ledger_;
+};
+
+}  // namespace acp

@@ -1,0 +1,36 @@
+// Full-cooperation oracle — the idealized coordination the Theorem 1 proof
+// grants the honest players: they magically know who is honest, partition
+// the unprobed objects among themselves ("drawing balls from a shared
+// urn"), and all stop one round after the first good hit. Not implementable
+// in the real model; used as the measured floor next to the Theorem 1 bound
+// (bench TAB-6).
+#pragma once
+
+#include <vector>
+
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+class FullCoopOracle final : public Protocol {
+ public:
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+ private:
+  /// Globally shuffled probe order; players consume it disjointly.
+  std::vector<ObjectId> order_;
+  std::size_t cursor_ = 0;
+  bool shuffled_ = false;
+  /// Set once any player probes a good object; everyone follows it next
+  /// round (one extra probe each — the "+1" of the oracle).
+  std::optional<ObjectId> found_;
+};
+
+}  // namespace acp

@@ -1,0 +1,50 @@
+// Popularity-following baseline — the strawman §1.3 warns about.
+//
+// "[Web-search-style] algorithms essentially compute the popularity of a
+// page, and are known to be vulnerable [to] malicious users who generate
+// lots of links ... Such popularity-style algorithms actually enhance the
+// power of malicious users." (§1.3, discussing EigenTrust [6].)
+//
+// The rule: with probability `follow_prob`, probe an object sampled
+// proportionally to its total vote count (rich-get-richer); otherwise a
+// uniformly random object. Unlike DISTILL there is no one-vote rule on
+// the read side and no freshness window: every positive report ever
+// posted keeps counting. A colluding clique that concentrates its posts
+// on a few decoys therefore *owns* the popularity distribution — bench
+// `tab11_popularity` measures the resulting amplification, reproducing
+// the paper's argument for why DISTILL is built the way it is.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+class PopularityProtocol final : public Protocol {
+ public:
+  explicit PopularityProtocol(double follow_prob = 0.5);
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+  /// Current popularity score (total positive reports ever) of an object.
+  [[nodiscard]] Count popularity(ObjectId object) const;
+
+ private:
+  double follow_prob_;
+  std::size_t m_ = 0;
+  std::size_t posts_consumed_ = 0;
+  /// Raw positive-report counts — deliberately NO one-vote rule.
+  std::vector<Count> score_;
+  Count total_score_ = 0;
+};
+
+}  // namespace acp

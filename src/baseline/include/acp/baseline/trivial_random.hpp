@@ -1,0 +1,41 @@
+// The trivial algorithm (§3): each player probes a uniformly random object
+// every step, disregarding the billboard completely. Expected time 1/beta.
+// Immune to any adversary — and the benchmark floor DISTILL must beat when
+// 1/alpha << 1/beta.
+#pragma once
+
+#include "acp/engine/async_engine.hpp"
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+class TrivialRandomProtocol final : public Protocol {
+ public:
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+ private:
+  std::size_t m_ = 0;
+};
+
+/// The same rule in the asynchronous model.
+class AsyncTrivialRandomProtocol final : public AsyncProtocol {
+ public:
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(
+      PlayerId player, const Billboard& billboard, Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, ObjectId object, double value,
+                              double cost, bool locally_good,
+                              Rng& rng) override;
+
+ private:
+  std::size_t m_ = 0;
+};
+
+}  // namespace acp

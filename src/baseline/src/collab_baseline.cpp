@@ -1,0 +1,78 @@
+#include "acp/baseline/collab_baseline.hpp"
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+CollabBaselineProtocol::CollabBaselineProtocol(double follow_prob)
+    : follow_prob_(follow_prob) {
+  ACP_EXPECTS(follow_prob_ >= 0.0 && follow_prob_ <= 1.0);
+}
+
+void CollabBaselineProtocol::initialize(const WorldView& world,
+                                        std::size_t num_players) {
+  n_ = num_players;
+  m_ = world.num_objects();
+  ledger_.emplace(VotePolicy::kFirstPositive, n_, m_, 1);
+}
+
+void CollabBaselineProtocol::on_round_begin(Round /*round*/,
+                                            const Billboard& billboard) {
+  ledger_->ingest(billboard);
+}
+
+std::optional<ObjectId> CollabBaselineProtocol::choose_probe(
+    PlayerId /*player*/, Round /*round*/, Rng& rng) {
+  if (rng.bernoulli(follow_prob_)) {
+    const PlayerId j{rng.index(n_)};
+    if (const auto vote = ledger_->current_vote(j); vote.has_value()) {
+      return *vote;
+    }
+  }
+  return ObjectId{rng.index(m_)};
+}
+
+StepOutcome CollabBaselineProtocol::on_probe_result(
+    PlayerId /*player*/, Round /*round*/, ObjectId object, double value,
+    double /*cost*/, bool locally_good, Rng& /*rng*/) {
+  return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
+}
+
+const VoteLedger& CollabBaselineProtocol::ledger() const {
+  ACP_EXPECTS(ledger_.has_value());
+  return *ledger_;
+}
+
+AsyncCollabProtocol::AsyncCollabProtocol(double follow_prob)
+    : follow_prob_(follow_prob) {
+  ACP_EXPECTS(follow_prob_ >= 0.0 && follow_prob_ <= 1.0);
+}
+
+void AsyncCollabProtocol::initialize(const WorldView& world,
+                                     std::size_t num_players) {
+  n_ = num_players;
+  m_ = world.num_objects();
+  ledger_.emplace(VotePolicy::kFirstPositive, n_, m_, 1);
+}
+
+std::optional<ObjectId> AsyncCollabProtocol::choose_probe(
+    PlayerId /*player*/, const Billboard& billboard, Rng& rng) {
+  ledger_->ingest(billboard);
+  if (rng.bernoulli(follow_prob_)) {
+    const PlayerId j{rng.index(n_)};
+    if (const auto vote = ledger_->current_vote(j); vote.has_value()) {
+      return *vote;
+    }
+  }
+  return ObjectId{rng.index(m_)};
+}
+
+StepOutcome AsyncCollabProtocol::on_probe_result(PlayerId /*player*/,
+                                                 ObjectId object, double value,
+                                                 double /*cost*/,
+                                                 bool locally_good,
+                                                 Rng& /*rng*/) {
+  return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
+}
+
+}  // namespace acp

@@ -1,0 +1,47 @@
+#include "acp/baseline/full_coop_oracle.hpp"
+
+#include <numeric>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+void FullCoopOracle::initialize(const WorldView& world,
+                                std::size_t /*num_players*/) {
+  order_.resize(world.num_objects());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = ObjectId{i};
+  cursor_ = 0;
+  shuffled_ = false;
+  found_.reset();
+}
+
+void FullCoopOracle::on_round_begin(Round /*round*/,
+                                    const Billboard& /*billboard*/) {}
+
+std::optional<ObjectId> FullCoopOracle::choose_probe(PlayerId /*player*/,
+                                                     Round /*round*/,
+                                                     Rng& rng) {
+  if (found_.has_value()) return *found_;  // follow the discovery
+  if (!shuffled_) {
+    // The oracle's shared random order; the first caller's stream seeds it
+    // (deterministic given the trial seed).
+    rng.shuffle(order_);
+    shuffled_ = true;
+  }
+  if (cursor_ >= order_.size()) {
+    // Urn exhausted without a hit (impossible when the world has a good
+    // object, but stay total): start over.
+    cursor_ = 0;
+  }
+  return order_[cursor_++];
+}
+
+StepOutcome FullCoopOracle::on_probe_result(PlayerId /*player*/,
+                                            Round /*round*/, ObjectId object,
+                                            double value, double /*cost*/,
+                                            bool locally_good, Rng& /*rng*/) {
+  if (locally_good && !found_.has_value()) found_ = object;
+  return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
+}
+
+}  // namespace acp

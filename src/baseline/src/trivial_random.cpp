@@ -1,0 +1,40 @@
+#include "acp/baseline/trivial_random.hpp"
+
+namespace acp {
+
+void TrivialRandomProtocol::initialize(const WorldView& world,
+                                       std::size_t /*num_players*/) {
+  m_ = world.num_objects();
+}
+
+void TrivialRandomProtocol::on_round_begin(Round /*round*/,
+                                           const Billboard& /*billboard*/) {}
+
+std::optional<ObjectId> TrivialRandomProtocol::choose_probe(
+    PlayerId /*player*/, Round /*round*/, Rng& rng) {
+  return ObjectId{rng.index(m_)};
+}
+
+StepOutcome TrivialRandomProtocol::on_probe_result(
+    PlayerId /*player*/, Round /*round*/, ObjectId object, double value,
+    double /*cost*/, bool locally_good, Rng& /*rng*/) {
+  return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
+}
+
+void AsyncTrivialRandomProtocol::initialize(const WorldView& world,
+                                            std::size_t /*num_players*/) {
+  m_ = world.num_objects();
+}
+
+std::optional<ObjectId> AsyncTrivialRandomProtocol::choose_probe(
+    PlayerId /*player*/, const Billboard& /*billboard*/, Rng& rng) {
+  return ObjectId{rng.index(m_)};
+}
+
+StepOutcome AsyncTrivialRandomProtocol::on_probe_result(
+    PlayerId /*player*/, ObjectId object, double value, double /*cost*/,
+    bool locally_good, Rng& /*rng*/) {
+  return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
+}
+
+}  // namespace acp

@@ -1,0 +1,73 @@
+// The shared billboard (paper §2.1).
+//
+// Append-only log of posts with system-enforced identity tags and
+// timestamps. The engine is the only writer: it collects the posts of a
+// round (honest reports and adversary fabrications alike), validates the
+// system-level invariants, and commits them atomically. Readers during round
+// r see exactly the posts committed for rounds < r — the synchronous
+// visibility rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/billboard/post.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+class Billboard {
+ public:
+  enum class Mode {
+    /// The engine-owned authoritative log: stamped rounds equal the commit
+    /// round and each player posts at most once per round.
+    kAuthoritative,
+    /// A node-local replica fed by gossip (acp_gossip): posts keep their
+    /// *origin* stamps but arrive later and possibly batched, so a commit
+    /// may carry several posts by one author and stamps from older rounds
+    /// (never future ones). Deduplication is the replicator's job.
+    kReplica,
+  };
+
+  Billboard(std::size_t num_players, std::size_t num_objects,
+            Mode mode = Mode::kAuthoritative);
+
+  [[nodiscard]] std::size_t num_players() const noexcept {
+    return num_players_;
+  }
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return num_objects_;
+  }
+
+  /// Commit all posts of `round` at once. Enforces the billboard contract:
+  /// rounds are committed in increasing order and authors/objects are in
+  /// range. In kAuthoritative mode, additionally: the stamped round
+  /// matches and each player posts at most once per round (a player takes
+  /// one step per round, §2.1). In kReplica mode, stamps may be older than
+  /// the commit (arrival) round but never newer.
+  void commit_round(Round round, std::vector<Post> posts);
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  /// All committed posts, in commit order (nondecreasing rounds).
+  [[nodiscard]] const std::vector<Post>& posts() const noexcept {
+    return posts_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return posts_.size(); }
+
+  /// Highest committed round, or -1 before the first commit.
+  [[nodiscard]] Round last_committed_round() const noexcept {
+    return last_round_;
+  }
+
+ private:
+  std::size_t num_players_;
+  std::size_t num_objects_;
+  Mode mode_;
+  std::vector<Post> posts_;
+  Round last_round_ = -1;
+};
+
+}  // namespace acp

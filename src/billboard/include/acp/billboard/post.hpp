@@ -1,0 +1,32 @@
+// A single billboard posting (paper §2.1).
+//
+// The billboard substrate guarantees that every message is reliably tagged
+// with the posting player's identity and a timestamp, and that no message is
+// ever erased. The *content* (object, reported value, direction) is entirely
+// up to the poster — Byzantine players lie freely.
+#pragma once
+
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+struct Post {
+  /// Reliably tagged by the system — a poster cannot forge this.
+  PlayerId author;
+  /// Timestamp: the synchronous round (or async step) in which it was posted.
+  /// Stamped by the system, not the poster.
+  Round round = 0;
+  /// Which object the post talks about.
+  ObjectId object;
+  /// The value the poster claims to have observed. Honest players report
+  /// truthfully; dishonest players report anything.
+  double reported_value = 0.0;
+  /// Recommendation direction: true = "this object is good". DISTILL uses
+  /// only positive reports (§4); negative reports exist so that the
+  /// "is slander useless?" question (§6) can be explored experimentally.
+  bool positive = false;
+
+  friend bool operator==(const Post&, const Post&) = default;
+};
+
+}  // namespace acp

@@ -1,0 +1,43 @@
+#include "acp/billboard/billboard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace acp {
+
+Billboard::Billboard(std::size_t num_players, std::size_t num_objects,
+                     Mode mode)
+    : num_players_(num_players), num_objects_(num_objects), mode_(mode) {
+  ACP_EXPECTS(num_players_ >= 1);
+  ACP_EXPECTS(num_objects_ >= 1);
+}
+
+void Billboard::commit_round(Round round, std::vector<Post> posts) {
+  ACP_EXPECTS(round > last_round_);
+  std::vector<std::size_t> authors;
+  authors.reserve(posts.size());
+  for (const Post& p : posts) {
+    ACP_EXPECTS(p.author.value() < num_players_);
+    ACP_EXPECTS(p.object.value() < num_objects_);
+    ACP_EXPECTS(p.reported_value >= 0.0);
+    if (mode_ == Mode::kAuthoritative) {
+      ACP_EXPECTS(p.round == round);
+      authors.push_back(p.author.value());
+    } else {
+      // Replica: the gossip layer cannot deliver posts from the future.
+      ACP_EXPECTS(p.round <= round);
+    }
+  }
+  if (mode_ == Mode::kAuthoritative) {
+    // One post per author per round (a player takes one step per round).
+    std::sort(authors.begin(), authors.end());
+    ACP_EXPECTS(std::adjacent_find(authors.begin(), authors.end()) ==
+                authors.end());
+  }
+
+  posts_.insert(posts_.end(), std::make_move_iterator(posts.begin()),
+                std::make_move_iterator(posts.end()));
+  last_round_ = round;
+}
+
+}  // namespace acp

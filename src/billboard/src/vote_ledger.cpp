@@ -1,0 +1,162 @@
+#include "acp/billboard/vote_ledger.hpp"
+
+#include <algorithm>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+VoteLedger::VoteLedger(VotePolicy policy, std::size_t num_players,
+                       std::size_t num_objects, std::size_t votes_per_player)
+    : policy_(policy),
+      num_players_(num_players),
+      num_objects_(num_objects),
+      votes_per_player_(votes_per_player),
+      player_votes_(num_players),
+      player_best_value_(num_players, 0.0),
+      player_has_report_(num_players, false),
+      object_event_rounds_(num_objects),
+      object_voters_(num_objects) {
+  ACP_EXPECTS(num_players_ >= 1);
+  ACP_EXPECTS(num_objects_ >= 1);
+  ACP_EXPECTS(votes_per_player_ >= 1);
+  ACP_EXPECTS(policy_ != VotePolicy::kHighestReported ||
+              votes_per_player_ == 1);
+}
+
+void VoteLedger::ingest(const Billboard& billboard) {
+  ACP_EXPECTS(billboard.num_players() == num_players_);
+  ACP_EXPECTS(billboard.num_objects() == num_objects_);
+  const auto& posts = billboard.posts();
+  for (; posts_consumed_ < posts.size(); ++posts_consumed_) {
+    const Post& post = posts[posts_consumed_];
+    const std::size_t p = post.author.value();
+    switch (policy_) {
+      case VotePolicy::kFirstPositive:
+      case VotePolicy::kFirstNegative: {
+        const bool wanted_direction =
+            policy_ == VotePolicy::kFirstPositive ? post.positive
+                                                  : !post.positive;
+        if (!wanted_direction) break;
+        auto& votes = player_votes_[p];
+        if (votes.size() >= votes_per_player_) break;
+        if (std::find(votes.begin(), votes.end(), post.object) != votes.end())
+          break;  // a repeat report on the same object is not a new vote
+        votes.push_back(post.object);
+        record_vote(post.author, post.object, post.round);
+        break;
+      }
+      case VotePolicy::kHighestReported: {
+        // Every report counts; the vote is the best-so-far object and each
+        // strict improvement is a fresh vote event (§5.3: the vote of a
+        // player can change as the execution progresses).
+        if (player_has_report_[p] &&
+            post.reported_value <= player_best_value_[p])
+          break;
+        player_has_report_[p] = true;
+        player_best_value_[p] = post.reported_value;
+        player_votes_[p].assign(1, post.object);
+        record_vote(post.author, post.object, post.round);
+        break;
+      }
+    }
+  }
+}
+
+void VoteLedger::record_vote(PlayerId voter, ObjectId object, Round round) {
+  // The authoritative engines produce nondecreasing rounds (append); a
+  // gossip replica may deliver an older-stamped post late, in which case
+  // the event is inserted in round order so window queries stay correct.
+  if (events_.empty() || round >= events_.back().round) {
+    events_.push_back(VoteEvent{voter, object, round});
+    event_rounds_.push_back(round);
+  } else {
+    const auto at = std::upper_bound(event_rounds_.begin(),
+                                     event_rounds_.end(), round) -
+                    event_rounds_.begin();
+    events_.insert(events_.begin() + at, VoteEvent{voter, object, round});
+    event_rounds_.insert(event_rounds_.begin() + at, round);
+  }
+  auto& rounds = object_event_rounds_[object.value()];
+  if (rounds.empty() || round >= rounds.back()) {
+    rounds.push_back(round);
+  } else {
+    rounds.insert(std::upper_bound(rounds.begin(), rounds.end(), round),
+                  round);
+  }
+  auto& voters = object_voters_[object.value()];
+  if (std::find(voters.begin(), voters.end(), voter) == voters.end()) {
+    voters.push_back(voter);
+  }
+}
+
+const std::vector<PlayerId>& VoteLedger::voters_of(ObjectId object) const {
+  ACP_EXPECTS(object.value() < num_objects_);
+  return object_voters_[object.value()];
+}
+
+std::span<const ObjectId> VoteLedger::votes_of(PlayerId p) const {
+  ACP_EXPECTS(p.value() < num_players_);
+  return player_votes_[p.value()];
+}
+
+std::optional<ObjectId> VoteLedger::current_vote(PlayerId p) const {
+  const auto votes = votes_of(p);
+  if (votes.empty()) return std::nullopt;
+  return votes.front();
+}
+
+Count VoteLedger::votes_in_window(ObjectId object, Round begin,
+                                  Round end) const {
+  ACP_EXPECTS(object.value() < num_objects_);
+  ACP_EXPECTS(begin <= end);
+  const auto& rounds = object_event_rounds_[object.value()];
+  const auto lo = std::lower_bound(rounds.begin(), rounds.end(), begin);
+  const auto hi = std::lower_bound(lo, rounds.end(), end);
+  return static_cast<Count>(hi - lo);
+}
+
+Count VoteLedger::total_votes(ObjectId object) const {
+  ACP_EXPECTS(object.value() < num_objects_);
+  return static_cast<Count>(object_event_rounds_[object.value()].size());
+}
+
+std::vector<ObjectId> VoteLedger::objects_with_votes_in_window(
+    Round begin, Round end, Count min_count) const {
+  ACP_EXPECTS(begin <= end);
+  ACP_EXPECTS(min_count >= 1);
+  // Walk only the events inside the window (cheap: windows are a few rounds
+  // and each player votes O(f) times total under kFirstPositive).
+  const auto lo = std::lower_bound(event_rounds_.begin(), event_rounds_.end(),
+                                   begin) -
+                  event_rounds_.begin();
+  const auto hi = std::lower_bound(event_rounds_.begin() +
+                                       static_cast<std::ptrdiff_t>(lo),
+                                   event_rounds_.end(), end) -
+                  event_rounds_.begin();
+  std::vector<ObjectId> touched;
+  std::vector<Count> counts;  // sparse via touched list
+  std::vector<Count> scratch(num_objects_, 0);
+  for (auto idx = static_cast<std::size_t>(lo);
+       idx < static_cast<std::size_t>(hi); ++idx) {
+    const ObjectId obj = events_[idx].object;
+    if (scratch[obj.value()] == 0) touched.push_back(obj);
+    ++scratch[obj.value()];
+  }
+  std::vector<ObjectId> result;
+  for (ObjectId obj : touched) {
+    if (scratch[obj.value()] >= min_count) result.push_back(obj);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<ObjectId> VoteLedger::objects_with_any_vote() const {
+  std::vector<ObjectId> result;
+  for (std::size_t i = 0; i < num_objects_; ++i) {
+    if (!object_event_rounds_[i].empty()) result.push_back(ObjectId{i});
+  }
+  return result;
+}
+
+}  // namespace acp

@@ -1,0 +1,69 @@
+// §5.2 — Multiple costs (Theorem 12).
+//
+// Objects are aggregated into cost classes; class i holds the objects with
+// cost in [2^i, 2^(i+1)). The schedule runs DISTILL^HP instance after
+// instance: first only on class 0, then class 1, and so on, each instance
+// under the minimal assumption beta_i = 1/m_i (one good object in the
+// class) and for its high-probability horizon. A player halts as soon as
+// it probes a good object, so the total cost to an honest player is within
+// O(log n / alpha) of the cheapest good object's cost q0 (for m = Θ(n)).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "acp/core/distill.hpp"
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+struct CostClassParams {
+  /// Known fraction of honest players.
+  double alpha = 0.5;
+  /// Horizon constant: each class instance runs for
+  /// k_h * (log n/(alpha beta_i n) + log n/alpha) rounds.
+  double k_h = 8.0;
+  /// DISTILL^HP constants for the inner instances.
+  double c1 = 2.0;
+  double c2 = 8.0;
+};
+
+class CostClassProtocol final : public Protocol {
+ public:
+  explicit CostClassProtocol(CostClassParams params);
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+  /// Cost class currently being searched.
+  [[nodiscard]] std::size_t current_class() const noexcept { return class_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return class_objects_.size();
+  }
+  [[nodiscard]] const std::vector<ObjectId>& class_objects(
+      std::size_t cls) const;
+
+ private:
+  void start_class(std::size_t cls, Round round);
+
+  CostClassParams params_;
+  std::optional<WorldView> world_;
+  std::size_t n_ = 0;
+
+  /// Objects per cost class (class index = floor(log2 cost), costs >= 1).
+  std::vector<std::vector<ObjectId>> class_objects_;
+
+  std::unique_ptr<DistillProtocol> inner_;
+  std::size_t class_ = 0;
+  Round class_end_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace acp

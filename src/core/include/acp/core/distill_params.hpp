@@ -1,0 +1,101 @@
+// Parameters of Algorithm DISTILL (Figure 1) and its paper variants.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+struct DistillParams {
+  /// Assumed fraction of honest players. The paper assumes alpha is known
+  /// (§2.3); §5.1's halving wrapper removes the assumption.
+  double alpha = 0.5;
+
+  /// Figure 1's constants. The proof of Theorem 4 needs k1 >= 1 and
+  /// k2 >= 192 for its explicit Chernoff constants; empirically far smaller
+  /// values already give the claimed behavior, and the benches use these
+  /// practical defaults. DISTILL^HP (Theorem 11) sets both to Θ(log n).
+  double k1 = 4.0;
+  double k2 = 16.0;
+
+  /// f of §4.1: positive votes allowed per player. 1 reproduces Figure 1.
+  std::size_t votes_per_player = 1;
+
+  /// §4.1 erroneous votes: probability that an honest player mistakenly
+  /// posts a positive report after probing a bad object. The player keeps
+  /// probing (it can still locally test), but the wasted vote consumes one
+  /// of its f vote slots on the read side.
+  double error_vote_prob = 0.0;
+
+  /// Ablation knob: Step 2.2's survival threshold is n / (survival_divisor
+  /// * c_t); the paper uses 4 (half the expected vote count).
+  double survival_divisor = 4.0;
+
+  /// Step 1.4's threshold is c0_vote_fraction * k2 votes; the paper uses
+  /// 1/4 (half the expected k2/2 votes).
+  double c0_vote_fraction = 0.25;
+
+  /// Ablation knob: disable the advice half of PROBE&SEEKADVICE (the
+  /// Lemma 6 termination wrinkle). Invocations then take 1 round, not 2.
+  bool use_advice = true;
+
+  /// Override the world's beta in the Step 1.1 length k1/(alpha beta n) —
+  /// used by the cost-class schedule (§5.2), which assumes beta_i = 1/m_i.
+  std::optional<double> beta_override;
+
+  /// Restrict the search to a subset of objects (cost-class schedule).
+  /// Candidate sets, random probes, and followed advice are all filtered
+  /// to this universe.
+  std::optional<std::vector<ObjectId>> universe;
+
+  /// §6 exploration ("Is slander useless?"): when > 0, negative reports
+  /// veto candidates — an object is dropped from C0/C_{t+1} if it drew
+  /// more than veto_fraction * n negative votes inside the counting
+  /// window. 0 (the default) reproduces Figure 1, which ignores negative
+  /// reports entirely. The abl3 bench shows why the paper's choice is the
+  /// safe one: a slander adversary can spend its negative-vote budget to
+  /// veto the good object.
+  double veto_fraction = 0.0;
+
+  /// Read-side budget of negative votes per player (first f_neg distinct
+  /// negative reports count), used only when veto_fraction > 0. Honest
+  /// players report every bad probe negatively, so this is typically
+  /// larger than the positive budget.
+  std::size_t negative_votes_per_player = 4;
+
+  /// §6 exploration ("can a notion of trust be useful?"): when true, the
+  /// SeekAdvice step samples the advised player weighted by local trust.
+  /// Trust is settled against the PUBLIC VOTERS of every personally
+  /// probed object: a verified-good probe gives each of its endorsers +1;
+  /// a verified-bad probe marks each endorser distrusted (under local
+  /// testing, endorsing a bad object is proof of dishonesty or error).
+  /// Weights: distrusted = 0, unknown = 1, trusted = trust + 1. Purely
+  /// local state — nothing is posted, so the adversary gains no channel.
+  /// Requires local testing. Figure 1 uses the uniform choice (false).
+  bool trust_weighted_advice = false;
+
+  /// true: the Figure 1 algorithm (halt on probing a good object).
+  /// false: the §5.3 variant without local testing — votes are
+  /// highest-value-so-far, nobody halts early, and everyone stops at
+  /// `horizon` rounds.
+  bool local_testing = true;
+
+  /// Required when local_testing == false: the prescribed stop time.
+  std::optional<Round> horizon;
+};
+
+/// DISTILL^HP (Theorem 11): k1, k2 = Θ(log n).
+[[nodiscard]] DistillParams make_hp_params(double alpha, std::size_t n,
+                                           double c1 = 2.0, double c2 = 8.0);
+
+/// §5.3 variant: DISTILL^HP without local testing, horizon of
+/// k_h * (log n/(alpha beta n) + log n/alpha) rounds.
+[[nodiscard]] DistillParams make_no_local_testing_params(double alpha,
+                                                         double beta,
+                                                         std::size_t n,
+                                                         double k_h = 8.0);
+
+}  // namespace acp

@@ -1,0 +1,59 @@
+// §5.1 — Guessing alpha by halving.
+//
+// DISTILL hardwires alpha. The wrapper removes the assumption: for epochs
+// i = 0, 1, 2, ..., run DISTILL^HP with alpha := 2^-i for exactly
+// 2^i * k3 * log n * (1/(beta n) + 1) rounds. Once 2^-i drops to or below
+// the true alpha_0, that epoch succeeds w.h.p.; earlier epochs leave only
+// benign after-effects (some players already satisfied, some dishonest
+// votes cast). Total time is at most twice the last epoch's.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "acp/core/distill.hpp"
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+struct GuessAlphaParams {
+  /// Epoch-length constant k3 of §5.1.
+  double k3 = 4.0;
+  /// DISTILL^HP constants for the inner instances.
+  double c1 = 2.0;
+  double c2 = 8.0;
+};
+
+class GuessAlphaProtocol final : public Protocol {
+ public:
+  explicit GuessAlphaProtocol(GuessAlphaParams params = {});
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  void on_round_begin(Round round, const Billboard& billboard) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
+                                                     Round round,
+                                                     Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) override;
+
+  /// Current epoch index i (alpha guess is 2^-i).
+  [[nodiscard]] std::size_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] double current_alpha_guess() const;
+  [[nodiscard]] const DistillProtocol& inner() const;
+
+ private:
+  void start_epoch(std::size_t epoch, Round round);
+
+  GuessAlphaParams params_;
+  std::optional<WorldView> world_;
+  std::size_t n_ = 0;
+  std::size_t max_epoch_ = 0;
+
+  std::unique_ptr<DistillProtocol> inner_;
+  std::size_t epoch_ = 0;
+  Round epoch_end_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace acp

@@ -1,0 +1,98 @@
+#include "acp/core/cost_classes.hpp"
+
+#include <cmath>
+
+#include "acp/core/theory.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/util/math.hpp"
+
+namespace acp {
+
+CostClassProtocol::CostClassProtocol(CostClassParams params)
+    : params_(params) {
+  ACP_EXPECTS(params_.alpha > 0.0 && params_.alpha <= 1.0);
+  ACP_EXPECTS(params_.k_h > 0.0);
+  ACP_EXPECTS(params_.c1 > 0.0 && params_.c2 > 0.0);
+}
+
+void CostClassProtocol::initialize(const WorldView& world,
+                                   std::size_t num_players) {
+  world_.emplace(world);
+  n_ = num_players;
+  ACP_EXPECTS(n_ >= 2);
+
+  // Partition by cost class; costs are public so this is honest knowledge.
+  class_objects_.clear();
+  for (std::size_t i = 0; i < world.num_objects(); ++i) {
+    const ObjectId obj{i};
+    const double cost = world.cost(obj);
+    ACP_EXPECTS(cost >= 1.0);  // w.l.o.g. in §5.2: minimal cost is 1
+    const auto cls = static_cast<std::size_t>(std::floor(std::log2(cost)));
+    if (cls >= class_objects_.size()) class_objects_.resize(cls + 1);
+    class_objects_[cls].push_back(obj);
+  }
+  ACP_EXPECTS(!class_objects_.empty());
+
+  started_ = false;
+  class_ = 0;
+  inner_.reset();
+}
+
+const std::vector<ObjectId>& CostClassProtocol::class_objects(
+    std::size_t cls) const {
+  ACP_EXPECTS(cls < class_objects_.size());
+  return class_objects_[cls];
+}
+
+void CostClassProtocol::start_class(std::size_t cls, Round round) {
+  class_ = cls;
+  const auto& objects = class_objects_[cls];
+  if (objects.empty()) {
+    // Empty class: skip instantly by giving it a zero-length horizon.
+    inner_.reset();
+    class_end_ = round;
+    return;
+  }
+  const double beta_i = 1.0 / static_cast<double>(objects.size());
+  DistillParams inner_params =
+      make_hp_params(params_.alpha, n_, params_.c1, params_.c2);
+  inner_params.universe = objects;
+  inner_params.beta_override = beta_i;
+  inner_ = std::make_unique<DistillProtocol>(inner_params);
+  inner_->initialize(*world_, n_);
+  class_end_ = round + theory::hp_horizon(params_.alpha, beta_i, n_,
+                                          params_.k_h);
+}
+
+void CostClassProtocol::on_round_begin(Round round,
+                                       const Billboard& billboard) {
+  ACP_EXPECTS(world_.has_value());
+  if (!started_) {
+    started_ = true;
+    start_class(0, round);
+  }
+  // Advance past finished (or empty) classes; cycle back to class 0 if the
+  // whole schedule ran dry — the w.h.p. analysis makes a wrap rare.
+  while (round >= class_end_) {
+    start_class((class_ + 1) % class_objects_.size(), round);
+  }
+  if (inner_) inner_->on_round_begin(round, billboard);
+}
+
+std::optional<ObjectId> CostClassProtocol::choose_probe(PlayerId player,
+                                                        Round round,
+                                                        Rng& rng) {
+  if (!inner_) return std::nullopt;
+  return inner_->choose_probe(player, round, rng);
+}
+
+StepOutcome CostClassProtocol::on_probe_result(PlayerId player, Round round,
+                                               ObjectId object, double value,
+                                               double cost, bool locally_good,
+                                               Rng& rng) {
+  ACP_EXPECTS(inner_ != nullptr);
+  return inner_->on_probe_result(player, round, object, value, cost,
+                                 locally_good, rng);
+}
+
+}  // namespace acp

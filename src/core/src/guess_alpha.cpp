@@ -1,0 +1,80 @@
+#include "acp/core/guess_alpha.hpp"
+
+#include <cmath>
+
+#include "acp/core/theory.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/util/math.hpp"
+
+namespace acp {
+
+GuessAlphaProtocol::GuessAlphaProtocol(GuessAlphaParams params)
+    : params_(params) {
+  ACP_EXPECTS(params_.k3 > 0.0);
+  ACP_EXPECTS(params_.c1 > 0.0 && params_.c2 > 0.0);
+}
+
+void GuessAlphaProtocol::initialize(const WorldView& world,
+                                    std::size_t num_players) {
+  world_.emplace(world);
+  n_ = num_players;
+  ACP_EXPECTS(n_ >= 2);
+  // Epochs 0 .. log n; the last guess alpha = 2^-max_epoch <= 1/n covers
+  // even a single honest player.
+  max_epoch_ = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(n_))));
+  started_ = false;
+  epoch_ = 0;
+  inner_.reset();
+}
+
+double GuessAlphaProtocol::current_alpha_guess() const {
+  return std::ldexp(1.0, -static_cast<int>(epoch_));
+}
+
+const DistillProtocol& GuessAlphaProtocol::inner() const {
+  ACP_EXPECTS(inner_ != nullptr);
+  return *inner_;
+}
+
+void GuessAlphaProtocol::start_epoch(std::size_t epoch, Round round) {
+  epoch_ = epoch;
+  DistillParams inner_params =
+      make_hp_params(current_alpha_guess(), n_, params_.c1, params_.c2);
+  inner_ = std::make_unique<DistillProtocol>(inner_params);
+  inner_->initialize(*world_, n_);
+  epoch_end_ =
+      round + theory::guess_alpha_epoch_rounds(epoch, world_->beta(), n_,
+                                               params_.k3);
+}
+
+void GuessAlphaProtocol::on_round_begin(Round round,
+                                        const Billboard& billboard) {
+  ACP_EXPECTS(world_.has_value());
+  if (!started_) {
+    started_ = true;
+    start_epoch(0, round);
+  } else if (round >= epoch_end_ && epoch_ < max_epoch_) {
+    // Move to the next (halved) guess. The fresh inner instance re-ingests
+    // the whole billboard; after-effects from earlier epochs (existing
+    // votes, satisfied players) are benign per §5.1.
+    start_epoch(epoch_ + 1, round);
+  }
+  inner_->on_round_begin(round, billboard);
+}
+
+std::optional<ObjectId> GuessAlphaProtocol::choose_probe(PlayerId player,
+                                                         Round round,
+                                                         Rng& rng) {
+  return inner_->choose_probe(player, round, rng);
+}
+
+StepOutcome GuessAlphaProtocol::on_probe_result(PlayerId player, Round round,
+                                                ObjectId object, double value,
+                                                double cost,
+                                                bool locally_good, Rng& rng) {
+  return inner_->on_probe_result(player, round, object, value, cost,
+                                 locally_good, rng);
+}
+
+}  // namespace acp

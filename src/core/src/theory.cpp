@@ -1,0 +1,136 @@
+#include "acp/core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "acp/core/distill_params.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+DistillParams make_hp_params(double alpha, std::size_t n, double c1,
+                             double c2) {
+  ACP_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  ACP_EXPECTS(n >= 2);
+  ACP_EXPECTS(c1 > 0.0 && c2 > 0.0);
+  DistillParams params;
+  params.alpha = alpha;
+  const double lg = std::log2(static_cast<double>(n));
+  params.k1 = std::max(1.0, c1 * lg);
+  params.k2 = std::max(4.0, c2 * lg);
+  return params;
+}
+
+DistillParams make_no_local_testing_params(double alpha, double beta,
+                                           std::size_t n, double k_h) {
+  DistillParams params = make_hp_params(alpha, n);
+  params.local_testing = false;
+  params.horizon = theory::hp_horizon(alpha, beta, n, k_h);
+  return params;
+}
+
+namespace theory {
+
+double delta(double alpha, std::size_t n) { return distill_delta(alpha, n); }
+
+double distill_expected_rounds(double alpha, double beta, std::size_t n) {
+  return theorem4_bound(alpha, beta, n);
+}
+
+double baseline_expected_rounds(double alpha, double beta, std::size_t n) {
+  return baseline_bound(alpha, beta, n);
+}
+
+double theorem1_floor(double alpha, double beta, std::size_t n,
+                      std::size_t m) {
+  ACP_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  ACP_EXPECTS(n >= 1 && m >= 1);
+  const double mm = static_cast<double>(m);
+  const double urn = (mm + 1.0) / (beta * mm + 1.0);
+  return urn / (alpha * static_cast<double>(n));
+}
+
+double theorem2_floor(double alpha, double beta) {
+  ACP_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  return 0.5 * std::min(1.0 / alpha, 1.0 / beta);
+}
+
+double corollary5_bound(double eps) {
+  ACP_EXPECTS(eps > 0.0);
+  return 1.0 / eps;
+}
+
+Round hp_horizon(double alpha, double beta, std::size_t n, double k_h) {
+  ACP_EXPECTS(k_h > 0.0);
+  return ceil_rounds(k_h * baseline_bound(alpha, beta, n));
+}
+
+double theorem12_cost_bound(double q0, double alpha, std::size_t n,
+                            std::size_t m) {
+  ACP_EXPECTS(q0 >= 1.0);
+  ACP_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  ACP_EXPECTS(n >= 2 && m >= 1);
+  return q0 * static_cast<double>(m) * std::log2(static_cast<double>(n)) /
+         (alpha * static_cast<double>(n));
+}
+
+Round guess_alpha_epoch_rounds(std::size_t epoch, double beta, std::size_t n,
+                               double k3) {
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  ACP_EXPECTS(n >= 2);
+  ACP_EXPECTS(k3 > 0.0);
+  const double nn = static_cast<double>(n);
+  const double base =
+      k3 * std::log2(nn) * (1.0 / (beta * nn) + 1.0);
+  return ceil_rounds(std::ldexp(base, static_cast<int>(epoch)));
+}
+
+double trivial_expected_rounds(double beta) {
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  return 1.0 / beta;
+}
+
+double lemma9_f(const std::vector<long long>& sigma) {
+  ACP_EXPECTS(sigma.size() >= 1);
+  double f = 0.0;
+  for (std::size_t t = 1; t < sigma.size(); ++t) {
+    ACP_EXPECTS(sigma[t] > 0 && sigma[t - 1] > 0);
+    f += static_cast<double>(sigma[t]) / static_cast<double>(sigma[t - 1]);
+  }
+  return f;
+}
+
+double lemma9_g(const std::vector<long long>& sigma, double a) {
+  ACP_EXPECTS(a > 0.0 && a < 1.0);
+  double g = 0.0;
+  for (long long c : sigma) {
+    ACP_EXPECTS(c > 0);
+    g += std::pow(a, 1.0 / static_cast<double>(c));
+  }
+  return g;
+}
+
+double lemma9_bound(const std::vector<long long>& sigma, double a) {
+  ACP_EXPECTS(!sigma.empty());
+  return (std::ceil(lemma9_f(sigma)) + 1.0) *
+         std::pow(a, 1.0 / static_cast<double>(sigma.front()));
+}
+
+double lemma9_bound_corrected(const std::vector<long long>& sigma,
+                              double a) {
+  ACP_EXPECTS(!sigma.empty());
+  return (std::ceil(lemma9_f(sigma)) + 2.0) *
+         std::pow(a, 1.0 / static_cast<double>(sigma.front()));
+}
+
+double lemma9_g_prefix(const std::vector<long long>& sigma, double a) {
+  ACP_EXPECTS(!sigma.empty());
+  std::vector<long long> prefix(sigma.begin(), sigma.end() - 1);
+  if (prefix.empty()) return 0.0;
+  return lemma9_g(prefix, a);
+}
+
+}  // namespace theory
+}  // namespace acp

@@ -1,0 +1,57 @@
+// Adversary — controller of the Byzantine players (paper §2.3).
+//
+// The adaptive Byzantine model: before each round the adversary sees the
+// complete ground truth (world values and goodness, player honesty flags)
+// and everything that happened in previous rounds (the billboard records
+// every honest probe because honest players post each result — so past coin
+// flips are fully observable). It then fabricates at most one post per
+// dishonest player for this round. It cannot forge identities or
+// timestamps, and cannot erase anything — those are billboard guarantees.
+#pragma once
+
+#include <vector>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/billboard/post.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/util/types.hpp"
+#include "acp/world/population.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+struct AdversaryContext {
+  const World& world;
+  const Population& population;
+  Round round;
+  /// Posts of rounds < round (same view the honest players get; adaptivity
+  /// comes from this containing all past honest actions).
+  const Billboard& billboard;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  Adversary() = default;
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+
+  /// Called once per run before the first round.
+  virtual void initialize(const World& /*world*/,
+                          const Population& /*population*/) {}
+
+  /// Append this round's dishonest posts to `out`. The engine validates
+  /// that every author is dishonest and posts at most once.
+  virtual void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                          Rng& rng) = 0;
+};
+
+/// An adversary whose dishonest players never post anything.
+class SilentAdversary final : public Adversary {
+ public:
+  void plan_round(const AdversaryContext&, std::vector<Post>&,
+                  Rng&) override {}
+};
+
+}  // namespace acp

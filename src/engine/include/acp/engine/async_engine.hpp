@@ -1,0 +1,98 @@
+// AsyncEngine — the asynchronous execution model of the prior work
+// ([AwerbuchPattShamirPelegTuttle EC'04], summarized in §1.1/§1.2).
+//
+// An execution is a sequence of basic steps; in a step, one player reads
+// the billboard, probes one object, and posts. The *schedule* — which
+// player moves next — is under adversarial control, which is exactly why
+// individual cost is meaningless here (a schedule that runs one player
+// alone forces it to search solo) and why the paper moves to the
+// synchronous model. We keep the async engine to reproduce the prior
+// work's total-cost behavior and to demonstrate the schedule attack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/protocol.hpp"
+#include "acp/engine/run_result.hpp"
+#include "acp/world/population.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+/// Honest-player algorithm in the asynchronous model: one decision per
+/// scheduled step, full billboard visible (all previously committed steps).
+class AsyncProtocol {
+ public:
+  virtual ~AsyncProtocol() = default;
+
+  AsyncProtocol() = default;
+  AsyncProtocol(const AsyncProtocol&) = delete;
+  AsyncProtocol& operator=(const AsyncProtocol&) = delete;
+
+  virtual void initialize(const WorldView& world, std::size_t num_players) = 0;
+
+  [[nodiscard]] virtual std::optional<ObjectId> choose_probe(
+      PlayerId player, const Billboard& billboard, Rng& rng) = 0;
+
+  virtual StepOutcome on_probe_result(PlayerId player, ObjectId object,
+                                      double value, double cost,
+                                      bool locally_good, Rng& rng) = 0;
+};
+
+/// Adversarial schedule: picks which active honest player takes the next
+/// step. (Dishonest posts are interleaved by the Adversary each step.)
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// `active` is non-empty and sorted by player id.
+  [[nodiscard]] virtual PlayerId next(const std::vector<PlayerId>& active,
+                                      Rng& rng) = 0;
+};
+
+/// Cycles through the active players — the "fair" schedule under which the
+/// paper evaluates the prior algorithm's individual cost.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Uniformly random active player each step.
+class RandomScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+};
+
+/// Always schedules the lowest-id active player — the schedule attack from
+/// §1.2 that forces one player to find a good object essentially alone.
+class StarveScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+};
+
+struct AsyncRunConfig {
+  /// Hard stop on the number of honest steps.
+  Count max_steps = 10000000;
+  std::uint64_t seed = 1;
+};
+
+class AsyncEngine {
+ public:
+  static RunResult run(const World& world, const Population& population,
+                       AsyncProtocol& protocol, Adversary& adversary,
+                       Scheduler& scheduler, const AsyncRunConfig& config);
+};
+
+}  // namespace acp

@@ -1,0 +1,88 @@
+// LockstepAdapter — simulating the synchronous model inside the
+// asynchronous one using timestamps (paper §1.2: "we can often simulate
+// synchronous behavior in asynchronous environments with the use of
+// timestamps (an integral part of any posting on any real billboard)").
+//
+// The adapter wraps a synchronous Protocol and presents it as an
+// AsyncProtocol. It maintains a *virtual* billboard whose timestamps are
+// virtual round numbers:
+//
+//  * Each participating player's local round is the number of synchronous
+//    steps it has completed. A player scheduled while it is ahead of the
+//    global virtual round simply waits (returns no probe, at no cost).
+//  * The global virtual round closes when every known, still-active
+//    participant has completed it; its posts then commit to the virtual
+//    billboard and become visible — exactly the synchronous visibility
+//    rule.
+//  * Posts on the real billboard by non-participants (dishonest players —
+//    the async scheduler only ever runs honest players) are re-stamped
+//    into the current virtual round, at most one per author per round, as
+//    the billboard contract requires.
+//
+// The adapter is told how many players participate (the honest player
+// count — in a deployment, the number of identities that registered for
+// the protocol). Under any schedule that keeps scheduling every active
+// player (round robin, uniform random, arbitrary fair bias), it reproduces
+// the synchronous execution *exactly*. Under an unfair schedule that
+// starves a participant forever, the virtual round cannot close and the
+// scheduled players wait — the classic synchronizer liveness condition:
+// simulation of synchrony needs every nonfaulty process scheduled
+// infinitely often. (That is precisely why the paper's lower-bound
+// discussion dismisses unrestricted asynchronous schedules, §1.2.)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "acp/engine/async_engine.hpp"
+#include "acp/engine/protocol.hpp"
+
+namespace acp {
+
+class LockstepAdapter final : public AsyncProtocol {
+ public:
+  /// `inner` must outlive the adapter and be freshly constructed per run.
+  /// `expected_participants` is the number of players that will run the
+  /// protocol (the honest count); each virtual round closes only after
+  /// every live participant has taken its step.
+  LockstepAdapter(Protocol& inner, std::size_t expected_participants);
+
+  void initialize(const WorldView& world, std::size_t num_players) override;
+  [[nodiscard]] std::optional<ObjectId> choose_probe(
+      PlayerId player, const Billboard& billboard, Rng& rng) override;
+  StepOutcome on_probe_result(PlayerId player, ObjectId object, double value,
+                              double cost, bool locally_good,
+                              Rng& rng) override;
+
+  /// The current virtual (synchronous) round.
+  [[nodiscard]] Round virtual_round() const noexcept { return vround_; }
+  /// The virtual billboard built so far (for tests).
+  [[nodiscard]] const Billboard& virtual_billboard() const;
+
+ private:
+  /// Classify and stage new real-billboard posts from non-participants.
+  void ingest_real(const Billboard& real);
+  /// Mark p's current-round step complete; close the round when everyone
+  /// still active has finished it.
+  void complete_step(PlayerId player);
+  void close_round_if_done();
+
+  Protocol* inner_;
+  std::size_t n_ = 0;
+
+  std::optional<Billboard> virtual_bb_;
+  std::vector<Post> staged_;
+  Round vround_ = 0;
+  bool round_open_ = false;
+
+  std::size_t expected_participants_ = 0;
+  std::size_t seen_participants_ = 0;
+  std::vector<bool> participant_;
+  std::vector<bool> halted_;
+  std::vector<Round> local_round_;
+  std::vector<bool> foreign_posted_;  // dishonest dedupe per virtual round
+
+  std::size_t real_cursor_ = 0;
+};
+
+}  // namespace acp

@@ -1,0 +1,34 @@
+// RunObserver — optional per-round instrumentation of a synchronous run.
+//
+// Observers see the run from the outside (ground truth included): they are
+// measurement equipment, not protocol participants. The engine invokes
+// them after each round's commit. Used by the trace recorder, the engine
+// invariant checks in the test suite, and ad-hoc bench instrumentation.
+#pragma once
+
+#include <cstddef>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  RunObserver() = default;
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  /// After round `round` committed. `billboard` includes this round's
+  /// posts; `active_honest` / `satisfied_honest` count honest players
+  /// still searching / already halted; `probes_this_round` counts honest
+  /// probes executed this round.
+  virtual void on_round_end(Round round, const Billboard& billboard,
+                            std::size_t active_honest,
+                            std::size_t satisfied_honest,
+                            std::size_t probes_this_round) = 0;
+};
+
+}  // namespace acp

@@ -1,0 +1,74 @@
+// Protocol — the honest players' algorithm.
+//
+// One Protocol instance drives all honest players of a run. Honest players
+// of the paper's algorithms are symmetric and synchronized, so the natural
+// implementation keeps the shared per-round computation (candidate sets,
+// phase schedule) in the protocol object and only the random choices and
+// personal observations per player. The engine calls:
+//
+//   initialize(world_view, n)           once per run
+//   on_round_begin(round, billboard)    once per round; billboard shows
+//                                       exactly the posts of rounds < round
+//   choose_probe(p, round, rng)         once per active honest player
+//   on_probe_result(p, round, ...)      after the probe executes
+//
+// choose_probe may return nullopt: the player idles this round (e.g. the
+// advice target has no vote yet — "if exists" in PROBE&SEEKADVICE).
+#pragma once
+
+#include <optional>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/util/types.hpp"
+#include "acp/world/world_view.hpp"
+
+namespace acp {
+
+/// What a player publishes after a step (by convention, its probe result).
+struct ProbeReport {
+  ObjectId object;
+  double reported_value = 0.0;
+  bool positive = false;
+};
+
+/// Result of one player step.
+struct StepOutcome {
+  /// Post to publish this round, if any. Honest players normally report
+  /// every probe truthfully (§2.1 convention).
+  std::optional<ProbeReport> post;
+  /// True when the player halts (it is now *satisfied*: it found a good
+  /// object and stops probing; its vote stays on the billboard).
+  bool halt = false;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual void initialize(const WorldView& world, std::size_t num_players) = 0;
+
+  virtual void on_round_begin(Round round, const Billboard& billboard) = 0;
+
+  [[nodiscard]] virtual std::optional<ObjectId> choose_probe(PlayerId player,
+                                                             Round round,
+                                                             Rng& rng) = 0;
+
+  virtual StepOutcome on_probe_result(PlayerId player, Round round,
+                                      ObjectId object, double value,
+                                      double cost, bool locally_good,
+                                      Rng& rng) = 0;
+
+  /// Protocols with a prescribed horizon (search without local testing,
+  /// §5.3) return true once every player must stop; the engine then halts
+  /// all remaining active players after this round's commit.
+  [[nodiscard]] virtual bool wants_halt_all(Round /*round*/) const {
+    return false;
+  }
+};
+
+}  // namespace acp

@@ -1,0 +1,48 @@
+// Per-run accounting produced by the engines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+struct PlayerStats {
+  bool honest = false;
+  /// Probes executed (== unit cost in the unit-cost model).
+  Count probes = 0;
+  /// Sum of costs of probed objects (general cost model).
+  double cost_paid = 0.0;
+  /// Round in which the player halted satisfied, or -1 if it never halted.
+  Round satisfied_round = -1;
+  /// Whether the player ever probed a ground-truth good object.
+  bool probed_good = false;
+
+  [[nodiscard]] bool satisfied() const noexcept {
+    return satisfied_round >= 0;
+  }
+};
+
+struct RunResult {
+  std::vector<PlayerStats> players;  // indexed by PlayerId.value()
+  Round rounds_executed = 0;
+  bool all_honest_satisfied = false;
+  /// Total posts committed (billboard size at the end).
+  std::size_t total_posts = 0;
+
+  // -- Aggregations over honest players ------------------------------------
+  [[nodiscard]] double mean_honest_probes() const;
+  [[nodiscard]] Count max_honest_probes() const;
+  [[nodiscard]] double mean_honest_cost() const;
+  [[nodiscard]] double max_honest_cost() const;
+  [[nodiscard]] Count total_honest_probes() const;
+  /// Mean satisfaction round among honest players; unsatisfied players are
+  /// counted at `rounds_executed` (a lower bound on their true time).
+  [[nodiscard]] double mean_honest_satisfied_round() const;
+  [[nodiscard]] Round max_honest_satisfied_round() const;
+  /// Fraction of honest players that probed a good object.
+  [[nodiscard]] double honest_success_fraction() const;
+};
+
+}  // namespace acp

@@ -1,0 +1,60 @@
+// SyncEngine — the synchronous execution model of the paper (§1.2, §2.1).
+//
+// Computation proceeds in rounds. In each round every *active* honest
+// player reads the billboard (posts of strictly earlier rounds), optionally
+// probes one object, and posts; simultaneously the adversary fabricates up
+// to one post per dishonest player. All of the round's posts are committed
+// atomically with the round's timestamp, becoming visible next round. A
+// player is active until it halts (is satisfied).
+//
+// Extensions beyond the paper's base model, both off by default:
+//  * staggered arrivals — players may join at later rounds (the paper's
+//    prior work studies "changing interests"; DISTILL handles late joiners
+//    naturally because its phase schedule is a deterministic function of
+//    the shared billboard);
+//  * fail-stop departures — honest players may crash-stop mid-search,
+//    leaving their posts behind (their votes keep helping; their absence
+//    lowers the effective alpha);
+//  * a RunObserver for per-round instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/observer.hpp"
+#include "acp/engine/protocol.hpp"
+#include "acp/engine/run_result.hpp"
+#include "acp/world/population.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+struct SyncRunConfig {
+  /// Hard stop: the run fails (all_honest_satisfied == false) if honest
+  /// players remain active after this many rounds.
+  Round max_rounds = 100000;
+  /// Trial seed; player and adversary streams are derived from it.
+  std::uint64_t seed = 1;
+  /// Optional per-player arrival rounds (indexed by PlayerId). Empty means
+  /// everyone starts at round 0. Only honest players' entries are used.
+  std::vector<Round> arrivals = {};
+  /// Optional per-player departure rounds (fail-stop churn, beyond the
+  /// paper's model): an honest player still active at its departure round
+  /// crash-stops — it leaves unsatisfied, its posts remain. -1 = never.
+  /// Empty means nobody departs.
+  std::vector<Round> departures = {};
+  /// Optional measurement hook; not owned.
+  RunObserver* observer = nullptr;
+};
+
+class SyncEngine {
+ public:
+  /// Execute one run. `protocol` and `adversary` must be freshly
+  /// constructed (or otherwise reset) for each run.
+  static RunResult run(const World& world, const Population& population,
+                       Protocol& protocol, Adversary& adversary,
+                       const SyncRunConfig& config);
+};
+
+}  // namespace acp

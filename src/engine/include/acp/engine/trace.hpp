@@ -1,0 +1,48 @@
+// TraceRecorder — a RunObserver that keeps one row per round: how many
+// honest players are still searching, how many are satisfied, how many
+// probes the round consumed, and the billboard growth. Dumpable as CSV for
+// plotting convergence curves (e.g. the satisfied-count doubling the
+// Lemma 6 argument predicts).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "acp/engine/observer.hpp"
+
+namespace acp {
+
+struct TraceRow {
+  Round round = 0;
+  std::size_t active_honest = 0;
+  std::size_t satisfied_honest = 0;
+  std::size_t probes = 0;
+  std::size_t billboard_posts = 0;
+
+  friend bool operator==(const TraceRow&, const TraceRow&) = default;
+};
+
+class TraceRecorder final : public RunObserver {
+ public:
+  void on_round_end(Round round, const Billboard& billboard,
+                    std::size_t active_honest, std::size_t satisfied_honest,
+                    std::size_t probes_this_round) override;
+
+  [[nodiscard]] const std::vector<TraceRow>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// First round in which at least `count` honest players were satisfied,
+  /// or -1 if that never happened.
+  [[nodiscard]] Round round_reaching_satisfied(std::size_t count) const;
+
+  /// Total honest probes across the run (sum of per-round probes).
+  [[nodiscard]] std::size_t total_probes() const;
+
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace acp

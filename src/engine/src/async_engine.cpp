@@ -1,0 +1,121 @@
+#include "acp/engine/async_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+PlayerId RoundRobinScheduler::next(const std::vector<PlayerId>& active,
+                                   Rng& /*rng*/) {
+  ACP_EXPECTS(!active.empty());
+  if (cursor_ >= active.size()) cursor_ = 0;
+  return active[cursor_++];
+}
+
+PlayerId RandomScheduler::next(const std::vector<PlayerId>& active,
+                               Rng& rng) {
+  ACP_EXPECTS(!active.empty());
+  return active[rng.index(active.size())];
+}
+
+PlayerId StarveScheduler::next(const std::vector<PlayerId>& active,
+                               Rng& /*rng*/) {
+  ACP_EXPECTS(!active.empty());
+  return active.front();
+}
+
+RunResult AsyncEngine::run(const World& world, const Population& population,
+                           AsyncProtocol& protocol, Adversary& adversary,
+                           Scheduler& scheduler,
+                           const AsyncRunConfig& config) {
+  ACP_EXPECTS(config.max_steps > 0);
+
+  const std::size_t n = population.num_players();
+  Billboard billboard(n, world.num_objects());
+  const WorldView world_view(world);
+
+  protocol.initialize(world_view, n);
+  adversary.initialize(world, population);
+
+  std::vector<Rng> player_rng;
+  player_rng.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    player_rng.push_back(derive_stream(config.seed, p));
+  }
+  Rng adversary_rng = derive_stream(config.seed, n + 1);
+  Rng scheduler_rng = derive_stream(config.seed, n + 2);
+
+  RunResult result;
+  result.players.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    result.players[p].honest = population.is_honest(PlayerId{p});
+  }
+
+  std::vector<PlayerId> active = population.honest_players();
+  std::vector<Post> step_posts;
+
+  Count step = 0;
+  for (; step < config.max_steps && !active.empty(); ++step) {
+    const Round stamp = static_cast<Round>(step);
+
+    // The adversary may interleave dishonest posts at every step — in the
+    // async model dishonest players can be scheduled arbitrarily often, and
+    // the one-vote rule on the read side is what limits their influence.
+    step_posts.clear();
+    adversary.plan_round(
+        AdversaryContext{world, population, stamp, billboard}, step_posts,
+        adversary_rng);
+    for (const Post& post : step_posts) {
+      ACP_EXPECTS(!population.is_honest(post.author));
+      ACP_EXPECTS(post.round == stamp);
+    }
+
+    const PlayerId p = scheduler.next(active, scheduler_rng);
+    ACP_ASSERT(std::find(active.begin(), active.end(), p) != active.end());
+
+    const auto choice =
+        protocol.choose_probe(p, billboard, player_rng[p.value()]);
+    bool halted = false;
+    if (choice.has_value()) {
+      const ObjectId object = *choice;
+      const ProbeOutcome outcome = world.probe(object);
+
+      PlayerStats& stats = result.players[p.value()];
+      ++stats.probes;
+      stats.cost_paid += outcome.cost;
+      if (world.is_good(object)) stats.probed_good = true;
+
+      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
+                                    ? outcome.locally_good
+                                    : false;
+      const StepOutcome out = protocol.on_probe_result(
+          p, object, outcome.value, outcome.cost, locally_good,
+          player_rng[p.value()]);
+      if (out.post.has_value()) {
+        step_posts.push_back(Post{p, stamp, out.post->object,
+                                  out.post->reported_value,
+                                  out.post->positive});
+      }
+      if (out.halt) {
+        stats.satisfied_round = stamp;
+        halted = true;
+      }
+    }
+
+    billboard.commit_round(stamp, std::move(step_posts));
+    step_posts = {};
+    if (halted) {
+      active.erase(std::remove(active.begin(), active.end(), p),
+                   active.end());
+    }
+  }
+
+  result.rounds_executed = static_cast<Round>(step);
+  result.all_honest_satisfied = active.empty();
+  result.total_posts = billboard.size();
+  return result;
+}
+
+}  // namespace acp

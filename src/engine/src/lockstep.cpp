@@ -1,0 +1,120 @@
+#include "acp/engine/lockstep.hpp"
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+LockstepAdapter::LockstepAdapter(Protocol& inner,
+                                 std::size_t expected_participants)
+    : inner_(&inner), expected_participants_(expected_participants) {
+  ACP_EXPECTS(expected_participants_ >= 1);
+}
+
+void LockstepAdapter::initialize(const WorldView& world,
+                                 std::size_t num_players) {
+  n_ = num_players;
+  inner_->initialize(world, num_players);
+  virtual_bb_.emplace(num_players, world.num_objects());
+  staged_.clear();
+  vround_ = 0;
+  round_open_ = false;
+  ACP_EXPECTS(expected_participants_ <= n_);
+  seen_participants_ = 0;
+  participant_.assign(n_, false);
+  halted_.assign(n_, false);
+  local_round_.assign(n_, 0);
+  foreign_posted_.assign(n_, false);
+  real_cursor_ = 0;
+}
+
+const Billboard& LockstepAdapter::virtual_billboard() const {
+  ACP_EXPECTS(virtual_bb_.has_value());
+  return *virtual_bb_;
+}
+
+void LockstepAdapter::ingest_real(const Billboard& real) {
+  const auto& posts = real.posts();
+  for (; real_cursor_ < posts.size(); ++real_cursor_) {
+    const Post& post = posts[real_cursor_];
+    const std::size_t author = post.author.value();
+    if (participant_[author]) continue;  // our own re-published sync posts
+    // A non-participant is a player the async scheduler never ran —
+    // dishonest. Re-stamp its post into the current virtual round, one
+    // per author per round (billboard contract).
+    if (foreign_posted_[author]) continue;
+    foreign_posted_[author] = true;
+    staged_.push_back(Post{post.author, vround_, post.object,
+                           post.reported_value, post.positive});
+  }
+}
+
+void LockstepAdapter::complete_step(PlayerId player) {
+  ACP_ASSERT(local_round_[player.value()] == vround_);
+  ++local_round_[player.value()];
+  close_round_if_done();
+}
+
+void LockstepAdapter::close_round_if_done() {
+  // A round cannot close while some participant has not even been
+  // scheduled for the first time.
+  if (seen_participants_ < expected_participants_) return;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (participant_[p] && !halted_[p] && local_round_[p] == vround_) {
+      return;  // someone still owes this round a step
+    }
+  }
+  virtual_bb_->commit_round(vround_, std::move(staged_));
+  staged_ = {};
+  ++vround_;
+  round_open_ = false;
+  foreign_posted_.assign(n_, false);
+}
+
+std::optional<ObjectId> LockstepAdapter::choose_probe(
+    PlayerId player, const Billboard& billboard, Rng& rng) {
+  const std::size_t pv = player.value();
+  ACP_EXPECTS(pv < n_);
+  if (!participant_[pv]) {
+    ACP_EXPECTS(seen_participants_ < expected_participants_);
+    participant_[pv] = true;
+    ++seen_participants_;
+    local_round_[pv] = vround_;
+  }
+  ingest_real(billboard);
+
+  if (local_round_[pv] > vround_) {
+    return std::nullopt;  // ahead of the pack: wait, cost-free
+  }
+
+  if (!round_open_) {
+    inner_->on_round_begin(vround_, *virtual_bb_);
+    round_open_ = true;
+  }
+
+  const auto choice = inner_->choose_probe(player, vround_, rng);
+  if (!choice.has_value()) {
+    // A genuine idle step of the synchronous protocol still consumes the
+    // player's round.
+    complete_step(player);
+    return std::nullopt;
+  }
+  return choice;
+}
+
+StepOutcome LockstepAdapter::on_probe_result(PlayerId player, ObjectId object,
+                                             double value, double cost,
+                                             bool locally_good, Rng& rng) {
+  StepOutcome out = inner_->on_probe_result(player, vround_, object, value,
+                                            cost, locally_good, rng);
+  if (out.post.has_value()) {
+    // Stage for the virtual billboard (virtual-round stamp); the engine
+    // also records it on the real billboard with the step stamp.
+    staged_.push_back(Post{player, vround_, out.post->object,
+                           out.post->reported_value, out.post->positive});
+  }
+  if (out.halt) halted_[player.value()] = true;
+  complete_step(player);
+  return out;
+}
+
+}  // namespace acp

@@ -1,0 +1,80 @@
+#include "acp/engine/run_result.hpp"
+
+#include <algorithm>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+template <class Fn>
+double honest_mean(const RunResult& r, Fn&& value_of) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const PlayerStats& s : r.players) {
+    if (!s.honest) continue;
+    sum += value_of(s);
+    ++count;
+  }
+  ACP_EXPECTS(count > 0);
+  return sum / static_cast<double>(count);
+}
+}  // namespace
+
+double RunResult::mean_honest_probes() const {
+  return honest_mean(*this, [](const PlayerStats& s) {
+    return static_cast<double>(s.probes);
+  });
+}
+
+Count RunResult::max_honest_probes() const {
+  Count best = 0;
+  for (const PlayerStats& s : players) {
+    if (s.honest) best = std::max(best, s.probes);
+  }
+  return best;
+}
+
+double RunResult::mean_honest_cost() const {
+  return honest_mean(*this, [](const PlayerStats& s) { return s.cost_paid; });
+}
+
+double RunResult::max_honest_cost() const {
+  double best = 0.0;
+  for (const PlayerStats& s : players) {
+    if (s.honest) best = std::max(best, s.cost_paid);
+  }
+  return best;
+}
+
+Count RunResult::total_honest_probes() const {
+  Count total = 0;
+  for (const PlayerStats& s : players) {
+    if (s.honest) total += s.probes;
+  }
+  return total;
+}
+
+double RunResult::mean_honest_satisfied_round() const {
+  return honest_mean(*this, [this](const PlayerStats& s) {
+    return static_cast<double>(s.satisfied() ? s.satisfied_round
+                                             : rounds_executed);
+  });
+}
+
+Round RunResult::max_honest_satisfied_round() const {
+  Round best = 0;
+  for (const PlayerStats& s : players) {
+    if (!s.honest) continue;
+    best = std::max(best, s.satisfied() ? s.satisfied_round : rounds_executed);
+  }
+  return best;
+}
+
+double RunResult::honest_success_fraction() const {
+  return honest_mean(*this, [](const PlayerStats& s) {
+    return s.probed_good ? 1.0 : 0.0;
+  });
+}
+
+}  // namespace acp

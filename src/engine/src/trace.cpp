@@ -1,0 +1,37 @@
+#include "acp/engine/trace.hpp"
+
+#include <ostream>
+
+namespace acp {
+
+void TraceRecorder::on_round_end(Round round, const Billboard& billboard,
+                                 std::size_t active_honest,
+                                 std::size_t satisfied_honest,
+                                 std::size_t probes_this_round) {
+  rows_.push_back(TraceRow{round, active_honest, satisfied_honest,
+                           probes_this_round, billboard.size()});
+}
+
+Round TraceRecorder::round_reaching_satisfied(std::size_t count) const {
+  for (const TraceRow& row : rows_) {
+    if (row.satisfied_honest >= count) return row.round;
+  }
+  return -1;
+}
+
+std::size_t TraceRecorder::total_probes() const {
+  std::size_t total = 0;
+  for (const TraceRow& row : rows_) total += row.probes;
+  return total;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "round,active_honest,satisfied_honest,probes,billboard_posts\n";
+  for (const TraceRow& row : rows_) {
+    os << row.round << ',' << row.active_honest << ','
+       << row.satisfied_honest << ',' << row.probes << ','
+       << row.billboard_posts << '\n';
+  }
+}
+
+}  // namespace acp

@@ -1,0 +1,221 @@
+#include "acp/gossip/gossip_engine.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+
+/// Post identity for gossip deduplication: (author, origin round,
+/// sequence-within-round is impossible — one post per author per round on
+/// the honest side; dishonest injections are deduped the same way, which
+/// caps a Byzantine identity at one *propagated* post per round, matching
+/// the billboard contract).
+std::uint64_t post_key(const Post& post) {
+  return (static_cast<std::uint64_t>(post.author.value()) << 32) ^
+         static_cast<std::uint64_t>(post.round);
+}
+
+struct Node {
+  std::unique_ptr<Protocol> protocol;
+  std::unique_ptr<Billboard> replica;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Post> inbox;  // arrived this round; committed at round end
+  std::vector<Post> fresh;  // learned last round; pushed this round
+  std::vector<Post> next_fresh;
+  bool probing = false;  // active honest searcher
+  bool honest = false;
+};
+
+}  // namespace
+
+RunResult GossipEngine::run(const World& world, const Population& population,
+                            const ProtocolFactory& make_protocol,
+                            Adversary& adversary,
+                            const GossipConfig& config) {
+  ACP_EXPECTS(config.max_rounds > 0);
+  ACP_EXPECTS(make_protocol != nullptr);
+  ACP_EXPECTS(config.loss_prob >= 0.0 && config.loss_prob < 1.0);
+
+  const std::size_t n = population.num_players();
+  const WorldView world_view(world);
+
+  adversary.initialize(world, population);
+
+  std::vector<Node> nodes(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    Node& node = nodes[p];
+    node.honest = population.is_honest(PlayerId{p});
+    if (!node.honest) continue;
+    node.protocol = make_protocol();
+    node.protocol->initialize(world_view, n);
+    node.replica = std::make_unique<Billboard>(n, world.num_objects(),
+                                               Billboard::Mode::kReplica);
+    node.probing = true;
+  }
+
+  // The adversary's omniscient union log (also the run's post count).
+  Billboard global(n, world.num_objects(), Billboard::Mode::kReplica);
+  std::vector<Post> global_inbox;
+
+  std::vector<Rng> player_rng;
+  player_rng.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    player_rng.push_back(derive_stream(config.seed, p));
+  }
+  Rng adversary_rng = derive_stream(config.seed, n + 1);
+  Rng gossip_rng = derive_stream(config.seed, n + 3);
+
+  // Static overlay links for the non-complete topologies, fixed per run.
+  std::vector<std::vector<std::size_t>> neighbors;
+  if (config.topology != GossipTopology::kComplete && config.fanout > 0) {
+    neighbors.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t k = 0; k < config.fanout; ++k) {
+        if (config.topology == GossipTopology::kRing) {
+          // Alternate +1, -1, +2, -2, ... around the ring.
+          const std::size_t hop = k / 2 + 1;
+          const std::size_t target =
+              (k % 2 == 0) ? (p + hop) % n : (p + n - hop % n) % n;
+          neighbors[p].push_back(target);
+        } else {
+          neighbors[p].push_back(gossip_rng.index(n));
+        }
+      }
+    }
+  }
+
+  RunResult result;
+  result.players.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    result.players[p].honest = nodes[p].honest;
+  }
+
+  auto deliver = [&](std::size_t target, const Post& post) {
+    Node& node = nodes[target];
+    if (!node.honest) return;  // Byzantine nodes absorb
+    if (!node.seen.insert(post_key(post)).second) return;
+    node.inbox.push_back(post);
+    node.next_fresh.push_back(post);
+  };
+
+  std::size_t searching = population.num_honest();
+
+  Round round = 0;
+  for (; round < config.max_rounds && searching > 0; ++round) {
+    // --- Gossip exchange: push last round's news to fanout random nodes;
+    // with pull enabled, also fetch fanout random peers' news. Every
+    // exchange is independently lost with loss_prob.
+    if (config.fanout > 0) {
+      for (std::size_t p = 0; p < n; ++p) {
+        Node& node = nodes[p];
+        if (!node.honest) continue;
+        if (!node.fresh.empty()) {
+          for (std::size_t k = 0; k < config.fanout; ++k) {
+            const std::size_t target =
+                neighbors.empty() ? gossip_rng.index(n) : neighbors[p][k];
+            if (config.loss_prob > 0.0 &&
+                gossip_rng.bernoulli(config.loss_prob)) {
+              continue;
+            }
+            for (const Post& post : node.fresh) deliver(target, post);
+          }
+        }
+        if (config.pull) {
+          for (std::size_t k = 0; k < config.fanout; ++k) {
+            const std::size_t source =
+                neighbors.empty() ? gossip_rng.index(n) : neighbors[p][k];
+            // Byzantine nodes return nothing; a pull of an empty peer is
+            // a no-op.
+            if (!nodes[source].honest || nodes[source].fresh.empty()) {
+              continue;
+            }
+            if (config.loss_prob > 0.0 &&
+                gossip_rng.bernoulli(config.loss_prob)) {
+              continue;
+            }
+            for (const Post& post : nodes[source].fresh) deliver(p, post);
+          }
+        }
+      }
+    }
+
+    // --- Byzantine injections: each fabricated post is pushed by its
+    // author to fanout random nodes (the liar's own gossip round).
+    global_inbox.clear();
+    std::vector<Post> lies;
+    adversary.plan_round(AdversaryContext{world, population, round, global},
+                         lies, adversary_rng);
+    for (const Post& post : lies) {
+      ACP_EXPECTS(!population.is_honest(post.author));
+      ACP_EXPECTS(post.round == round);
+      global_inbox.push_back(post);
+      for (std::size_t k = 0; k < std::max<std::size_t>(config.fanout, 1);
+           ++k) {
+        deliver(gossip_rng.index(n), post);
+      }
+    }
+
+    // --- Honest steps against each node's own replica.
+    for (std::size_t p = 0; p < n; ++p) {
+      Node& node = nodes[p];
+      if (!node.honest || !node.probing) continue;
+      const PlayerId pid{p};
+      node.protocol->on_round_begin(round, *node.replica);
+      const auto choice =
+          node.protocol->choose_probe(pid, round, player_rng[p]);
+      if (!choice.has_value()) continue;
+
+      const ObjectId object = *choice;
+      const ProbeOutcome outcome = world.probe(object);
+      PlayerStats& stats = result.players[p];
+      ++stats.probes;
+      stats.cost_paid += outcome.cost;
+      if (world.is_good(object)) stats.probed_good = true;
+
+      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
+                                    ? outcome.locally_good
+                                    : false;
+      const StepOutcome step = node.protocol->on_probe_result(
+          pid, round, object, outcome.value, outcome.cost, locally_good,
+          player_rng[p]);
+      if (step.post.has_value()) {
+        const Post post{pid, round, step.post->object,
+                        step.post->reported_value, step.post->positive};
+        node.seen.insert(post_key(post));
+        node.inbox.push_back(post);  // own replica, visible next round
+        node.next_fresh.push_back(post);
+        global_inbox.push_back(post);
+      }
+      if (step.halt) {
+        stats.satisfied_round = round;
+        node.probing = false;  // keeps relaying, stops probing
+        --searching;
+      }
+    }
+
+    // --- Commit the round everywhere.
+    for (std::size_t p = 0; p < n; ++p) {
+      Node& node = nodes[p];
+      if (!node.honest) continue;
+      node.replica->commit_round(round, std::move(node.inbox));
+      node.inbox = {};
+      node.fresh = std::move(node.next_fresh);
+      node.next_fresh = {};
+    }
+    global.commit_round(round, std::move(global_inbox));
+    global_inbox = {};
+  }
+
+  result.rounds_executed = round;
+  result.all_honest_satisfied = searching == 0;
+  result.total_posts = global.size();
+  return result;
+}
+
+}  // namespace acp

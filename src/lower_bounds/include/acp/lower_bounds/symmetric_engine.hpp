@@ -1,0 +1,40 @@
+// Execution driver for the Theorem 2 instance family.
+//
+// All n+1 players — honest and dishonest alike — run the *same* protocol
+// code; the only difference is the value function their probes return
+// (S^j vs. S), exactly as in the proof, where "the dishonest players follow
+// the protocol, except that the object values they report are the values
+// dictated by the adversarial strategy". Because every player runs the
+// shared protocol instance, the synchronized phase machinery applies
+// unchanged.
+//
+// The quantity of interest is the number of probes player 0 (always
+// honest) performs before it probes a truly good object.
+#pragma once
+
+#include <cstdint>
+
+#include "acp/engine/protocol.hpp"
+#include "acp/lower_bounds/symmetric_instance.hpp"
+
+namespace acp {
+
+struct SymmetricRunConfig {
+  Round max_rounds = 100000;
+  std::uint64_t seed = 1;
+};
+
+struct SymmetricRunResult {
+  /// Probes player 0 executed before (and including) its first truly good
+  /// probe; equals its cost in the unit-cost model.
+  Count player0_probes = 0;
+  bool player0_done = false;
+  Round rounds_executed = 0;
+};
+
+/// Run `protocol` (freshly constructed) over the instance.
+[[nodiscard]] SymmetricRunResult run_symmetric(
+    const SymmetricInstance& instance, Protocol& protocol,
+    const SymmetricRunConfig& config);
+
+}  // namespace acp

@@ -1,0 +1,81 @@
+// The Theorem 2 instance family — complete symmetry between friends and
+// foes.
+//
+// Players 1..n are partitioned into 1/alpha groups P_1..P_{1/alpha} of size
+// alpha*n; objects into 1/beta groups O_1..O_{1/beta} of size beta*m.
+// Player 0 is always honest. Every player j in P_k *perceives* (and
+// reports) value 1 exactly for the objects of O_k, in every instance. In
+// instance k (k = 1..B, B = min{1/alpha, 1/beta}), the truth is that O_k
+// is good — so the players of P_k happen to be honest and everyone else is
+// a liar, yet all groups look identical from player 0's seat. Groups
+// P_{B+1}.. never report anything (as in the proof).
+//
+// Any algorithm must, in expectation over k, probe ~B/2 group
+// representatives before hitting the true good group.
+#pragma once
+
+#include <cstddef>
+
+#include "acp/util/contracts.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+struct SymmetricInstanceParams {
+  std::size_t player_groups = 4;     // 1/alpha
+  std::size_t players_per_group = 8; // alpha * n
+  std::size_t object_groups = 4;     // 1/beta
+  std::size_t objects_per_group = 8; // beta * m
+};
+
+class SymmetricInstance {
+ public:
+  /// `good_group` is the k of instance I_k, in [1, B].
+  SymmetricInstance(const SymmetricInstanceParams& params,
+                    std::size_t good_group);
+
+  /// Total players including player 0.
+  [[nodiscard]] std::size_t num_players() const noexcept {
+    return params_.player_groups * params_.players_per_group + 1;
+  }
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return params_.object_groups * params_.objects_per_group;
+  }
+  /// B = min{1/alpha, 1/beta}: the number of candidate instances.
+  [[nodiscard]] std::size_t num_instances() const noexcept {
+    return std::min(params_.player_groups, params_.object_groups);
+  }
+  [[nodiscard]] std::size_t good_group() const noexcept { return good_group_; }
+
+  [[nodiscard]] double alpha() const noexcept {
+    return 1.0 / static_cast<double>(params_.player_groups);
+  }
+  [[nodiscard]] double beta() const noexcept {
+    return 1.0 / static_cast<double>(params_.object_groups);
+  }
+
+  /// Player group of j >= 1, in [1, player_groups]. Player 0 has no group.
+  [[nodiscard]] std::size_t player_group(PlayerId j) const;
+  /// Object group of i, in [1, object_groups].
+  [[nodiscard]] std::size_t object_group(ObjectId i) const;
+
+  /// S^j(i): what player j perceives (and would report) for object i.
+  /// Player 0 perceives the truth.
+  [[nodiscard]] double perceived_value(PlayerId j, ObjectId i) const;
+
+  /// S(i): the ground truth of instance I_{good_group}.
+  [[nodiscard]] bool truly_good(ObjectId i) const;
+
+  /// True for players of the mute groups P_{B+1}.. (they follow the
+  /// protocol but never post, as in the proof).
+  [[nodiscard]] bool is_mute(PlayerId j) const;
+
+  /// Ground-truth honesty in instance I_{good_group}: player 0 and P_k.
+  [[nodiscard]] bool is_honest(PlayerId j) const;
+
+ private:
+  SymmetricInstanceParams params_;
+  std::size_t good_group_;
+};
+
+}  // namespace acp

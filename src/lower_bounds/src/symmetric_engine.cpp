@@ -1,0 +1,85 @@
+#include "acp/lower_bounds/symmetric_engine.hpp"
+
+#include <vector>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+SymmetricRunResult run_symmetric(const SymmetricInstance& instance,
+                                 Protocol& protocol,
+                                 const SymmetricRunConfig& config) {
+  ACP_EXPECTS(config.max_rounds > 0);
+
+  const std::size_t n = instance.num_players();
+  const std::size_t m = instance.num_objects();
+
+  // Ground-truth world of instance I_k; the protocol only sees its public
+  // view (m, beta, threshold, unit costs).
+  std::vector<double> values(m);
+  std::vector<bool> good(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    good[i] = instance.truly_good(ObjectId{i});
+    values[i] = good[i] ? 1.0 : 0.0;
+  }
+  const World world(std::move(values), std::vector<double>(m, 1.0),
+                    std::move(good), GoodnessModel::kLocalTesting, 0.5);
+
+  Billboard billboard(n, m);
+  protocol.initialize(WorldView(world), n);
+
+  std::vector<Rng> player_rng;
+  player_rng.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    player_rng.push_back(derive_stream(config.seed, p));
+  }
+
+  SymmetricRunResult result;
+  std::vector<bool> halted(n, false);
+  std::vector<Post> round_posts;
+
+  Round round = 0;
+  for (; round < config.max_rounds && !result.player0_done; ++round) {
+    protocol.on_round_begin(round, billboard);
+    round_posts.clear();
+
+    for (std::size_t pv = 0; pv < n; ++pv) {
+      if (halted[pv]) continue;
+      const PlayerId p{pv};
+      const auto choice = protocol.choose_probe(p, round, player_rng[pv]);
+      if (!choice.has_value()) continue;
+      const ObjectId object = *choice;
+
+      // The defining trick: probe outcomes go through the player's own
+      // perception function S^j.
+      const double perceived = instance.perceived_value(p, object);
+      const bool perceived_good = perceived >= 0.5;
+
+      if (pv == 0) {
+        ++result.player0_probes;
+        if (instance.truly_good(object)) result.player0_done = true;
+      }
+
+      const StepOutcome out = protocol.on_probe_result(
+          p, round, object, perceived, /*cost=*/1.0, perceived_good,
+          player_rng[pv]);
+      if (out.post.has_value() && !instance.is_mute(p)) {
+        round_posts.push_back(Post{p, round, out.post->object,
+                                   out.post->reported_value,
+                                   out.post->positive});
+      }
+      if (out.halt) halted[pv] = true;
+    }
+
+    billboard.commit_round(round, std::move(round_posts));
+    round_posts = {};
+  }
+
+  result.rounds_executed = round;
+  return result;
+}
+
+}  // namespace acp

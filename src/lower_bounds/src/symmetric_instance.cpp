@@ -1,0 +1,47 @@
+#include "acp/lower_bounds/symmetric_instance.hpp"
+
+namespace acp {
+
+SymmetricInstance::SymmetricInstance(const SymmetricInstanceParams& params,
+                                     std::size_t good_group)
+    : params_(params), good_group_(good_group) {
+  ACP_EXPECTS(params_.player_groups >= 1);
+  ACP_EXPECTS(params_.players_per_group >= 1);
+  ACP_EXPECTS(params_.object_groups >= 1);
+  ACP_EXPECTS(params_.objects_per_group >= 1);
+  ACP_EXPECTS(good_group_ >= 1 && good_group_ <= num_instances());
+}
+
+std::size_t SymmetricInstance::player_group(PlayerId j) const {
+  ACP_EXPECTS(j.value() >= 1 && j.value() < num_players());
+  return (j.value() - 1) / params_.players_per_group + 1;
+}
+
+std::size_t SymmetricInstance::object_group(ObjectId i) const {
+  ACP_EXPECTS(i.value() < num_objects());
+  return i.value() / params_.objects_per_group + 1;
+}
+
+double SymmetricInstance::perceived_value(PlayerId j, ObjectId i) const {
+  ACP_EXPECTS(j.value() < num_players());
+  if (j.value() == 0) return truly_good(i) ? 1.0 : 0.0;
+  return object_group(i) == player_group(j) ? 1.0 : 0.0;
+}
+
+bool SymmetricInstance::truly_good(ObjectId i) const {
+  return object_group(i) == good_group_;
+}
+
+bool SymmetricInstance::is_mute(PlayerId j) const {
+  ACP_EXPECTS(j.value() < num_players());
+  if (j.value() == 0) return false;
+  return player_group(j) > num_instances();
+}
+
+bool SymmetricInstance::is_honest(PlayerId j) const {
+  ACP_EXPECTS(j.value() < num_players());
+  if (j.value() == 0) return true;
+  return player_group(j) == good_group_;
+}
+
+}  // namespace acp

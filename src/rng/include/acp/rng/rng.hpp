@@ -1,0 +1,112 @@
+// acp::Rng — the simulation's random source.
+//
+// A thin, deterministic wrapper around xoshiro256** providing exactly the
+// primitives the protocols need: bounded uniforms (unbiased, via rejection),
+// Bernoulli trials, uniform picks from containers, and Fisher-Yates shuffles.
+// All draws are reproducible from the seed, independent of the standard
+// library implementation (std::uniform_int_distribution is not portable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "acp/rng/xoshiro256.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform integer in [0, bound). Unbiased (Lemire-style rejection).
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    ACP_EXPECTS(bound > 0);
+    // Lemire's multiply-shift method with rejection on the low word.
+    std::uint64_t x = gen_();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = gen_();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform size_t index in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_below(n));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ACP_EXPECTS(lo <= hi);
+    const auto range =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 on full range
+    if (range == 0) return static_cast<std::int64_t>(gen_());
+    return lo + static_cast<std::int64_t>(uniform_below(range));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    ACP_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    ACP_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform01() < p;
+  }
+
+  /// Uniformly random element of a non-empty span.
+  template <class T>
+  const T& pick(std::span<const T> items) {
+    ACP_EXPECTS(!items.empty());
+    return items[index(items.size())];
+  }
+
+  template <class T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (partial Fisher-Yates).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent substream: same cycle, jumped 2^128 * (id+1).
+  /// Cheap way to hand each player its own generator.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
+
+ private:
+  Xoshiro256StarStar gen_;
+};
+
+/// Expand (trial_seed, stream index) into an independent Rng. Stateless
+/// helper used by the engine to seed player and adversary streams.
+[[nodiscard]] Rng derive_stream(std::uint64_t trial_seed,
+                                std::uint64_t stream_index) noexcept;
+
+}  // namespace acp

@@ -1,0 +1,36 @@
+// splitmix64 — the standard seeding/stream-derivation mixer.
+//
+// Used to expand a single 64-bit trial seed into independent state words for
+// xoshiro256** and to derive per-player substreams. Reference: Sebastiano
+// Vigna's public-domain implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace acp {
+
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot mix of two words; used to derive substream seeds such as
+/// (trial_seed, player_index) -> player seed.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+  sm.next();
+  return sm.next() ^ b;
+}
+
+}  // namespace acp

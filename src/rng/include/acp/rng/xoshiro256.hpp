@@ -1,0 +1,65 @@
+// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+//
+// Satisfies std::uniform_random_bit_generator so it composes with <random>
+// where needed, but the acp::Rng wrapper provides the distributions actually
+// used by the simulation (portable across standard libraries).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "acp/rng/splitmix64.hpp"
+
+namespace acp {
+
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256StarStar(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead by 2^128 steps: yields a statistically independent stream
+  /// sharing the same cycle. Used to derive per-player streams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((word & (std::uint64_t{1} << bit)) != 0) {
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace acp

@@ -1,0 +1,39 @@
+#include "acp/rng/rng.hpp"
+
+#include <numeric>
+
+#include "acp/rng/splitmix64.hpp"
+
+namespace acp {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  ACP_EXPECTS(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) init, O(k) swaps.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  Rng child = *this;
+  // Re-seed from the current raw state via mixing rather than many jumps:
+  // mix64 of two successive outputs with the stream id gives independent,
+  // O(1)-derivable substreams.
+  Rng probe = *this;
+  const std::uint64_t a = probe.next_u64();
+  const std::uint64_t b = probe.next_u64();
+  child = Rng(mix64(a ^ stream_id, b + 0x9e3779b97f4a7c15ULL * stream_id));
+  return child;
+}
+
+Rng derive_stream(std::uint64_t trial_seed,
+                  std::uint64_t stream_index) noexcept {
+  return Rng(mix64(trial_seed, stream_index));
+}
+
+}  // namespace acp

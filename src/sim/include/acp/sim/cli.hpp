@@ -1,0 +1,96 @@
+// Command-line experiment runner (the `acpsim` tool).
+//
+// Lets a user run any protocol/adversary combination from the shell
+// without writing C++:
+//
+//   acpsim --n 1024 --alpha 0.5 --protocol distill --adversary splitvote
+//   (plus --trials 20, etc.)
+//
+// The parsing and execution logic lives in the library so it is testable;
+// tools/acpsim.cpp is a thin main().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "acp/util/types.hpp"
+
+namespace acp::cli {
+
+enum class ProtocolKind {
+  kDistill,
+  kDistillHp,
+  kGuessAlpha,
+  kCostClasses,
+  kNoLocalTesting,
+  kCollab,
+  kTrivial,
+};
+
+enum class AdversaryKind {
+  kSilent,
+  kSlander,
+  kEager,
+  kCollude,
+  kSplitVote,
+  kValueLiar,
+};
+
+struct CliConfig {
+  std::size_t n = 256;
+  std::size_t m = 256;
+  std::size_t good = 1;
+  double alpha = 0.5;
+  ProtocolKind protocol = ProtocolKind::kDistill;
+  AdversaryKind adversary = AdversaryKind::kSilent;
+  std::size_t trials = 20;
+  std::uint64_t seed = 1;
+  Round max_rounds = 500000;
+
+  // Protocol knobs.
+  std::size_t votes_per_player = 1;
+  double error_vote_prob = 0.0;
+  double veto_fraction = 0.0;
+  bool use_advice = true;
+
+  // Cost-class worlds (protocol == kCostClasses).
+  std::size_t cost_classes = 4;
+  std::size_t cheapest_good_class = 0;
+
+  /// Engine: the paper's idealized shared billboard, or the gossip-
+  /// replicated P2P substrate.
+  bool gossip = false;
+  std::size_t fanout = 2;
+
+  /// Trust-weighted SeekAdvice (§6 exploration; distill/distill-hp only).
+  bool trust_advice = false;
+
+  bool csv = false;
+  bool help = false;
+
+  /// Write a per-round trace CSV of the FIRST trial to this path
+  /// (shared-billboard engine only). Empty = no trace.
+  std::string trace_path;
+
+  /// Optional one-dimensional parameter sweep (--sweep name=lo:hi:step).
+  /// Supported names: alpha, n, good, f, err, veto. Empty = no sweep.
+  std::string sweep_param;
+  double sweep_lo = 0.0;
+  double sweep_hi = 0.0;
+  double sweep_step = 0.0;
+};
+
+/// Parse argv-style arguments (without argv[0]). Throws std::invalid_argument
+/// with a human-readable message on bad input.
+[[nodiscard]] CliConfig parse_args(const std::vector<std::string>& args);
+
+/// The --help text.
+[[nodiscard]] std::string usage();
+
+/// Run the configured experiment and print a result table (or CSV) to
+/// `out`. Returns the process exit code.
+int run(const CliConfig& config, std::ostream& out);
+
+}  // namespace acp::cli

@@ -1,0 +1,34 @@
+// Trial runner: repeat an experiment over independent seeds and summarize.
+//
+// A trial function maps a 64-bit seed to one metric vector (e.g. {mean
+// probes, max probes, success fraction}); the runner fans trials out over a
+// thread pool and returns one Summary per metric. Seeds are base_seed,
+// base_seed+1, ... so every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "acp/stats/summary.hpp"
+
+namespace acp {
+
+struct TrialPlan {
+  std::size_t trials = 30;
+  std::uint64_t base_seed = 1;
+  /// 0 = use hardware_concurrency (at least 1).
+  std::size_t threads = 0;
+};
+
+/// Trial returning a single metric.
+[[nodiscard]] Summary run_trials(
+    const TrialPlan& plan, const std::function<double(std::uint64_t)>& trial);
+
+/// Trial returning `num_metrics` metrics; result has one Summary per
+/// metric, in order. Every trial must return exactly num_metrics values.
+[[nodiscard]] std::vector<Summary> run_trials_multi(
+    const TrialPlan& plan, std::size_t num_metrics,
+    const std::function<std::vector<double>(std::uint64_t)>& trial);
+
+}  // namespace acp

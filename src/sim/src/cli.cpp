@@ -1,0 +1,481 @@
+#include "acp/sim/cli.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/core/cost_classes.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/core/guess_alpha.hpp"
+#include "acp/core/theory.hpp"
+#include <fstream>
+
+#include "acp/engine/sync_engine.hpp"
+#include "acp/engine/trace.hpp"
+#include "acp/gossip/gossip_engine.hpp"
+#include "acp/sim/runner.hpp"
+#include "acp/stats/table.hpp"
+#include "acp/world/builders.hpp"
+
+namespace acp::cli {
+
+namespace {
+
+ProtocolKind parse_protocol(const std::string& name) {
+  static const std::map<std::string, ProtocolKind> kinds = {
+      {"distill", ProtocolKind::kDistill},
+      {"distill-hp", ProtocolKind::kDistillHp},
+      {"guess-alpha", ProtocolKind::kGuessAlpha},
+      {"cost-classes", ProtocolKind::kCostClasses},
+      {"no-lt", ProtocolKind::kNoLocalTesting},
+      {"collab", ProtocolKind::kCollab},
+      {"trivial", ProtocolKind::kTrivial},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) {
+    throw std::invalid_argument("unknown protocol: " + name);
+  }
+  return it->second;
+}
+
+AdversaryKind parse_adversary(const std::string& name) {
+  static const std::map<std::string, AdversaryKind> kinds = {
+      {"silent", AdversaryKind::kSilent},
+      {"slander", AdversaryKind::kSlander},
+      {"eager", AdversaryKind::kEager},
+      {"collude", AdversaryKind::kCollude},
+      {"splitvote", AdversaryKind::kSplitVote},
+      {"liar", AdversaryKind::kValueLiar},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) {
+    throw std::invalid_argument("unknown adversary: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(acpsim — billboard collaboration simulator (ICDCS'05 DISTILL)
+
+usage: acpsim [options]
+
+world:
+  --n N            players (default 256)
+  --m M            objects (default 256)
+  --good G         good objects (default 1)
+  --alpha A        honest fraction in (0,1] (default 0.5)
+  --cost-classes C     cost classes for --protocol cost-classes (default 4)
+  --cheapest-good K    class of the cheapest good object (default 0)
+
+algorithm:
+  --protocol P     distill | distill-hp | guess-alpha | cost-classes |
+                   no-lt | collab | trivial (default distill)
+  --f F            positive votes per player (default 1)
+  --err E          honest false-positive vote probability (default 0)
+  --veto V         negative-vote veto fraction, 0 disables (default 0)
+  --no-advice      disable the SeekAdvice half of PROBE&SEEKADVICE
+  --trust          trust-weighted SeekAdvice (distill/distill-hp only)
+
+adversary:
+  --adversary A    silent | slander | eager | collude | splitvote | liar
+                   (default silent)
+
+substrate:
+  --gossip         replace the shared billboard with per-node replicas
+                   synchronized by push gossip
+  --fanout F       gossip push fanout (default 2)
+
+execution:
+  --sweep P=LO:HI:STEP   sweep one parameter (alpha|n|good|f|err|veto),
+                         printing one row per value
+  --trials T       independent seeded trials (default 20)
+  --seed S         base seed (default 1)
+  --max-rounds R   per-trial round cap (default 500000)
+  --csv            machine-readable output
+  --trace FILE     write a per-round trace CSV of the first trial
+  --help           this text
+)";
+}
+
+CliConfig parse_args(const std::vector<std::string>& args) {
+  CliConfig config;
+  auto need_value = [&](std::size_t i) -> const std::string& {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value after " + args[i]);
+    }
+    return args[i + 1];
+  };
+  auto to_size = [](const std::string& flag, const std::string& text) {
+    try {
+      const long long value = std::stoll(text);
+      if (value < 0) throw std::invalid_argument("");
+      return static_cast<std::size_t>(value);
+    } catch (...) {
+      throw std::invalid_argument("bad value for " + flag + ": " + text);
+    }
+  };
+  auto to_double = [](const std::string& flag, const std::string& text) {
+    try {
+      return std::stod(text);
+    } catch (...) {
+      throw std::invalid_argument("bad value for " + flag + ": " + text);
+    }
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      config.help = true;
+    } else if (arg == "--csv") {
+      config.csv = true;
+    } else if (arg == "--no-advice") {
+      config.use_advice = false;
+    } else if (arg == "--gossip") {
+      config.gossip = true;
+    } else if (arg == "--trust") {
+      config.trust_advice = true;
+    } else if (arg == "--fanout") {
+      config.fanout = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--trace") {
+      config.trace_path = need_value(i);
+      ++i;
+    } else if (arg == "--n") {
+      config.n = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--m") {
+      config.m = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--good") {
+      config.good = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--alpha") {
+      config.alpha = to_double(arg, need_value(i));
+      ++i;
+    } else if (arg == "--protocol") {
+      config.protocol = parse_protocol(need_value(i));
+      ++i;
+    } else if (arg == "--adversary") {
+      config.adversary = parse_adversary(need_value(i));
+      ++i;
+    } else if (arg == "--trials") {
+      config.trials = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--seed") {
+      config.seed = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--max-rounds") {
+      config.max_rounds = static_cast<Round>(to_size(arg, need_value(i)));
+      ++i;
+    } else if (arg == "--f") {
+      config.votes_per_player = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--err") {
+      config.error_vote_prob = to_double(arg, need_value(i));
+      ++i;
+    } else if (arg == "--veto") {
+      config.veto_fraction = to_double(arg, need_value(i));
+      ++i;
+    } else if (arg == "--cost-classes") {
+      config.cost_classes = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--cheapest-good") {
+      config.cheapest_good_class = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--sweep") {
+      // name=lo:hi:step
+      const std::string& spec = need_value(i);
+      ++i;
+      const auto eq = spec.find('=');
+      const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq);
+      const auto c2 =
+          c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+      if (eq == std::string::npos || c1 == std::string::npos ||
+          c2 == std::string::npos) {
+        throw std::invalid_argument(
+            "--sweep wants name=lo:hi:step, got: " + spec);
+      }
+      config.sweep_param = spec.substr(0, eq);
+      config.sweep_lo = to_double(arg, spec.substr(eq + 1, c1 - eq - 1));
+      config.sweep_hi = to_double(arg, spec.substr(c1 + 1, c2 - c1 - 1));
+      config.sweep_step = to_double(arg, spec.substr(c2 + 1));
+    } else {
+      throw std::invalid_argument("unknown option: " + arg +
+                                  " (try --help)");
+    }
+  }
+
+  if (config.help) return config;
+  if (config.n < 1) throw std::invalid_argument("--n must be >= 1");
+  if (config.m < 1) throw std::invalid_argument("--m must be >= 1");
+  if (config.good < 1 || config.good > config.m) {
+    throw std::invalid_argument("--good must be in [1, m]");
+  }
+  if (config.alpha <= 0.0 || config.alpha > 1.0) {
+    throw std::invalid_argument("--alpha must be in (0, 1]");
+  }
+  if (config.trials < 1) throw std::invalid_argument("--trials must be >= 1");
+  if (config.max_rounds < 1) {
+    throw std::invalid_argument("--max-rounds must be >= 1");
+  }
+  if (!config.sweep_param.empty()) {
+    static const std::vector<std::string> kSweepable = {
+        "alpha", "n", "good", "f", "err", "veto"};
+    if (std::find(kSweepable.begin(), kSweepable.end(),
+                  config.sweep_param) == kSweepable.end()) {
+      throw std::invalid_argument("--sweep: unknown parameter " +
+                                  config.sweep_param);
+    }
+    if (config.sweep_step <= 0.0 || config.sweep_hi < config.sweep_lo) {
+      throw std::invalid_argument("--sweep: need lo <= hi and step > 0");
+    }
+  }
+  return config;
+}
+
+namespace {
+
+struct TrialSetup {
+  World world;
+  Population population;
+  std::unique_ptr<Protocol> protocol;
+  std::unique_ptr<Adversary> adversary;
+};
+
+World make_world(const CliConfig& config, Rng& rng) {
+  switch (config.protocol) {
+    case ProtocolKind::kCostClasses: {
+      CostClassWorldOptions opts;
+      opts.num_classes = config.cost_classes;
+      opts.objects_per_class =
+          std::max<std::size_t>(1, config.m / config.cost_classes);
+      opts.cheapest_good_class = config.cheapest_good_class;
+      return make_cost_class_world(opts, rng);
+    }
+    case ProtocolKind::kNoLocalTesting:
+      return make_top_beta_world(config.m, config.good, rng);
+    default:
+      return make_simple_world(config.m, config.good, rng);
+  }
+}
+
+std::unique_ptr<Protocol> make_protocol(const CliConfig& config,
+                                        const World& world) {
+  switch (config.protocol) {
+    case ProtocolKind::kDistill:
+    case ProtocolKind::kDistillHp: {
+      DistillParams params = config.protocol == ProtocolKind::kDistillHp
+                                 ? make_hp_params(config.alpha, config.n)
+                                 : DistillParams{};
+      params.alpha = config.alpha;
+      params.votes_per_player = config.votes_per_player;
+      params.error_vote_prob = config.error_vote_prob;
+      params.veto_fraction = config.veto_fraction;
+      params.use_advice = config.use_advice;
+      params.trust_weighted_advice = config.trust_advice;
+      return std::make_unique<DistillProtocol>(params);
+    }
+    case ProtocolKind::kGuessAlpha:
+      return std::make_unique<GuessAlphaProtocol>();
+    case ProtocolKind::kCostClasses: {
+      CostClassParams params;
+      params.alpha = config.alpha;
+      return std::make_unique<CostClassProtocol>(params);
+    }
+    case ProtocolKind::kNoLocalTesting: {
+      DistillParams params = make_no_local_testing_params(
+          config.alpha, world.beta(), config.n);
+      return std::make_unique<DistillProtocol>(params);
+    }
+    case ProtocolKind::kCollab:
+      return std::make_unique<CollabBaselineProtocol>();
+    case ProtocolKind::kTrivial:
+      return std::make_unique<TrivialRandomProtocol>();
+  }
+  throw std::logic_error("unreachable protocol kind");
+}
+
+std::unique_ptr<Adversary> make_adversary(const CliConfig& config,
+                                          Protocol& protocol) {
+  switch (config.adversary) {
+    case AdversaryKind::kSilent:
+      return std::make_unique<SilentAdversary>();
+    case AdversaryKind::kSlander:
+      return std::make_unique<SlandererAdversary>();
+    case AdversaryKind::kEager:
+      return std::make_unique<EagerVoteAdversary>();
+    case AdversaryKind::kCollude:
+      return std::make_unique<CollusionAdversary>(4);
+    case AdversaryKind::kSplitVote: {
+      auto* distill = dynamic_cast<DistillProtocol*>(&protocol);
+      if (distill == nullptr) {
+        throw std::invalid_argument(
+            "--adversary splitvote requires --protocol distill or "
+            "distill-hp (it observes DISTILL's phase schedule)");
+      }
+      return std::make_unique<SplitVoteAdversary>(*distill);
+    }
+    case AdversaryKind::kValueLiar:
+      return std::make_unique<ValueLiarAdversary>();
+  }
+  throw std::logic_error("unreachable adversary kind");
+}
+
+}  // namespace
+
+namespace {
+
+/// Six metric summaries for one configuration point.
+std::vector<Summary> measure_point(const CliConfig& config) {
+  TrialPlan plan;
+  plan.trials = config.trials;
+  plan.base_seed = config.seed;
+  plan.threads = 1;
+
+  const auto summaries = run_trials_multi(
+      plan, 6, [&](std::uint64_t seed) {
+        Rng rng(seed);
+        const World world = make_world(config, rng);
+        const auto honest = std::max<std::size_t>(
+            1, static_cast<std::size_t>(config.alpha *
+                                        static_cast<double>(config.n)));
+        const Population population =
+            Population::with_random_honest(config.n, honest, rng);
+        RunResult result;
+        if (config.gossip) {
+          // Per-node protocol instances over the gossip substrate. The
+          // split-vote adversary needs a single observed instance, which
+          // does not exist here; make_adversary rejects it below.
+          auto probe_protocol = make_protocol(config, world);  // validation
+          auto adversary = make_adversary(config, *probe_protocol);
+          if (config.adversary == AdversaryKind::kSplitVote) {
+            throw std::invalid_argument(
+                "--adversary splitvote is not available with --gossip "
+                "(there is no single protocol instance to observe)");
+          }
+          result = GossipEngine::run(
+              world, population,
+              [&] { return make_protocol(config, world); }, *adversary,
+              {.fanout = config.fanout,
+               .max_rounds = config.max_rounds,
+               .seed = seed ^ 0x2545F491});
+        } else {
+          auto protocol = make_protocol(config, world);
+          auto adversary = make_adversary(config, *protocol);
+          SyncRunConfig run_config;
+          run_config.max_rounds = config.max_rounds;
+          run_config.seed = seed ^ 0x2545F491;
+          TraceRecorder trace;
+          const bool want_trace =
+              !config.trace_path.empty() && seed == config.seed;
+          if (want_trace) run_config.observer = &trace;
+          result = SyncEngine::run(world, population, *protocol, *adversary,
+                                   run_config);
+          if (want_trace) {
+            std::ofstream file(config.trace_path);
+            if (!file) {
+              throw std::invalid_argument("--trace: cannot open " +
+                                          config.trace_path);
+            }
+            trace.write_csv(file);
+          }
+        }
+        return std::vector<double>{
+            result.mean_honest_probes(),
+            static_cast<double>(result.max_honest_probes()),
+            result.mean_honest_cost(),
+            static_cast<double>(result.rounds_executed),
+            result.honest_success_fraction(),
+            result.all_honest_satisfied ? 1.0 : 0.0,
+        };
+      });
+
+  return summaries;
+}
+
+/// Apply a sweep value to a copy of the configuration.
+CliConfig with_sweep_value(const CliConfig& base, double value) {
+  CliConfig config = base;
+  if (base.sweep_param == "alpha") {
+    config.alpha = value;
+  } else if (base.sweep_param == "n") {
+    config.n = static_cast<std::size_t>(value);
+  } else if (base.sweep_param == "good") {
+    config.good = static_cast<std::size_t>(value);
+  } else if (base.sweep_param == "f") {
+    config.votes_per_player = static_cast<std::size_t>(value);
+  } else if (base.sweep_param == "err") {
+    config.error_vote_prob = value;
+  } else if (base.sweep_param == "veto") {
+    config.veto_fraction = value;
+  }
+  return config;
+}
+
+}  // namespace
+
+int run(const CliConfig& config, std::ostream& out) {
+  if (config.help) {
+    out << usage();
+    return 0;
+  }
+
+  if (!config.sweep_param.empty()) {
+    Table table({config.sweep_param, "probes/player", "worst", "cost",
+                 "rounds", "success", "completed"});
+    int exit_code = 0;
+    for (double value = config.sweep_lo; value <= config.sweep_hi + 1e-12;
+         value += config.sweep_step) {
+      const auto summaries = measure_point(with_sweep_value(config, value));
+      table.add_row({Table::cell(value, 3),
+                     Table::cell(summaries[0].mean()),
+                     Table::cell(summaries[1].mean()),
+                     Table::cell(summaries[2].mean()),
+                     Table::cell(summaries[3].mean()),
+                     Table::cell(summaries[4].mean(), 4),
+                     Table::cell(summaries[5].min(), 0)});
+      if (summaries[5].min() < 1.0) exit_code = 2;
+    }
+    if (config.csv) {
+      table.print_csv(out);
+    } else {
+      out << "acpsim sweep over " << config.sweep_param << "\n\n";
+      table.print(out);
+    }
+    return exit_code;
+  }
+
+  const auto summaries = measure_point(config);
+  Table table({"metric", "mean", "p50", "p90", "min", "max"});
+  const std::vector<std::string> names = {
+      "probes/player",  "worst player probes", "cost/player",
+      "rounds",         "success fraction",    "run completed"};
+  for (std::size_t metric = 0; metric < names.size(); ++metric) {
+    const Summary& s = summaries[metric];
+    table.add_row({names[metric], Table::cell(s.mean()),
+                   Table::cell(s.median()), Table::cell(s.p90()),
+                   Table::cell(s.min()), Table::cell(s.max())});
+  }
+  if (config.csv) {
+    table.print_csv(out);
+  } else {
+    out << "acpsim: n=" << config.n << " m=" << config.m
+        << " good=" << config.good << " alpha=" << config.alpha
+        << " trials=" << config.trials << "\n\n";
+    table.print(out);
+  }
+  // Signal failure if any trial failed to satisfy all honest players.
+  return summaries[5].min() >= 1.0 ? 0 : 2;
+}
+
+}  // namespace acp::cli

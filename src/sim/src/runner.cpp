@@ -1,0 +1,79 @@
+#include "acp/sim/runner.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "acp/sim/thread_pool.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+std::vector<Summary> run_trials_multi(
+    const TrialPlan& plan, std::size_t num_metrics,
+    const std::function<std::vector<double>(std::uint64_t)>& trial) {
+  ACP_EXPECTS(plan.trials >= 1);
+  ACP_EXPECTS(num_metrics >= 1);
+  ACP_EXPECTS(trial != nullptr);
+
+  std::vector<std::vector<double>> results(plan.trials);
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  const std::size_t threads = resolve_threads(plan.threads);
+  if (threads == 1) {
+    for (std::size_t t = 0; t < plan.trials; ++t) {
+      results[t] = trial(plan.base_seed + t);
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t t = 0; t < plan.trials; ++t) {
+      pool.submit([&, t] {
+        try {
+          results[t] = trial(plan.base_seed + t);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!first_failure) first_failure = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  std::vector<std::vector<double>> per_metric(num_metrics);
+  for (auto& samples : per_metric) samples.reserve(plan.trials);
+  for (const auto& row : results) {
+    ACP_ENSURES(row.size() == num_metrics);
+    for (std::size_t metric = 0; metric < num_metrics; ++metric) {
+      per_metric[metric].push_back(row[metric]);
+    }
+  }
+
+  std::vector<Summary> summaries;
+  summaries.reserve(num_metrics);
+  for (auto& samples : per_metric) {
+    summaries.push_back(Summary::from_samples(std::move(samples)));
+  }
+  return summaries;
+}
+
+Summary run_trials(const TrialPlan& plan,
+                   const std::function<double(std::uint64_t)>& trial) {
+  ACP_EXPECTS(trial != nullptr);
+  auto summaries = run_trials_multi(
+      plan, 1, [&trial](std::uint64_t seed) {
+        return std::vector<double>{trial(seed)};
+      });
+  return summaries.front();
+}
+
+}  // namespace acp

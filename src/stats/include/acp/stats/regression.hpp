@@ -1,0 +1,22 @@
+// Least-squares line fitting — used by tests and benches to check growth
+// rates (e.g. that the baseline's cost grows linearly in log n while
+// DISTILL's stays flat).
+#pragma once
+
+#include <vector>
+
+namespace acp {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares of y against x. Requires >= 2 points and
+/// non-constant x.
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace acp

@@ -1,0 +1,36 @@
+// Streaming first/second-moment accumulator (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+
+namespace acp {
+
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of the pushed samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace acp

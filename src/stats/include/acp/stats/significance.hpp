@@ -1,0 +1,28 @@
+// Two-sample significance testing for bench comparisons.
+//
+// Welch's unequal-variance t-test with the large-sample normal
+// approximation for the decision rule — ample for the benches' 15+ trial
+// samples, and dependency-free. Report the statistic; decide at
+// conventional thresholds.
+#pragma once
+
+#include "acp/stats/summary.hpp"
+
+namespace acp {
+
+struct WelchResult {
+  /// Welch's t statistic for mean(a) - mean(b).
+  double t = 0.0;
+  /// Welch–Satterthwaite effective degrees of freedom.
+  double degrees_of_freedom = 0.0;
+  /// |t| exceeds the two-sided large-sample 5% critical value (1.96).
+  bool significant_5pct = false;
+  /// |t| exceeds the two-sided large-sample 1% critical value (2.576).
+  bool significant_1pct = false;
+};
+
+/// Welch's t-test on two summaries. Requires >= 2 samples per side and a
+/// non-degenerate variance in at least one side.
+[[nodiscard]] WelchResult welch_t_test(const Summary& a, const Summary& b);
+
+}  // namespace acp

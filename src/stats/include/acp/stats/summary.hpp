@@ -1,0 +1,47 @@
+// Sample summary: moments, quantiles, and a normal-approximation 95% CI.
+#pragma once
+
+#include <vector>
+
+namespace acp {
+
+class Summary {
+ public:
+  /// Takes ownership of the samples (sorts them). Must be non-empty.
+  static Summary from_samples(std::vector<double> samples);
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return sorted_.size();
+  }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+  [[nodiscard]] double sem() const noexcept { return sem_; }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// Linear-interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p90() const { return quantile(0.9); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// 95% confidence interval for the mean (normal approximation).
+  [[nodiscard]] double ci95_low() const noexcept { return mean_ - 1.96 * sem_; }
+  [[nodiscard]] double ci95_high() const noexcept {
+    return mean_ + 1.96 * sem_;
+  }
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  Summary() = default;
+
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  double sem_ = 0.0;
+};
+
+}  // namespace acp

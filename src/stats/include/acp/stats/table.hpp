@@ -1,0 +1,38 @@
+// Aligned table rendering for bench output (paper-style rows), with an
+// optional CSV form for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace acp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// One cell per header; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(long long value);
+  static std::string cell(std::size_t value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+
+  /// Aligned, boxed-header text rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acp

@@ -1,0 +1,74 @@
+#include "acp/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ACP_EXPECTS(lo < hi);
+  ACP_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  ACP_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  ACP_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  ACP_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  ACP_EXPECTS(width >= 1);
+  const std::size_t peak =
+      std::max<std::size_t>(1, *std::max_element(counts_.begin(),
+                                                 counts_.end()));
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(width) *
+                                              static_cast<double>(counts_[b]) /
+                                              static_cast<double>(peak)));
+    os << '[';
+    os.width(10);
+    os << bin_low(b) << ", ";
+    os.width(10);
+    os << bin_high(b) << ") ";
+    os.width(8);
+    os << counts_[b] << ' ' << std::string(bar, '#') << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow:  " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace acp

@@ -1,0 +1,52 @@
+#include "acp/stats/regression.hpp"
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ACP_EXPECTS(x.size() == y.size());
+  ACP_EXPECTS(x.size() >= 2);
+
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  ACP_EXPECTS(sxx > 0.0);
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  // r^2 = 1 - SS_res/SS_tot; constant y means a perfect horizontal fit.
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double pred = fit.intercept + fit.slope * x[i];
+      const double res = y[i] - pred;
+      ss_res += res * res;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace acp

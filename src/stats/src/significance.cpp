@@ -1,0 +1,31 @@
+#include "acp/stats/significance.hpp"
+
+#include <cmath>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+WelchResult welch_t_test(const Summary& a, const Summary& b) {
+  ACP_EXPECTS(a.count() >= 2 && b.count() >= 2);
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double va = a.stddev() * a.stddev() / na;
+  const double vb = b.stddev() * b.stddev() / nb;
+  ACP_EXPECTS(va + vb > 0.0);
+
+  WelchResult result;
+  result.t = (a.mean() - b.mean()) / std::sqrt(va + vb);
+  // Welch–Satterthwaite.
+  const double numerator = (va + vb) * (va + vb);
+  const double denominator =
+      va * va / (na - 1.0) + vb * vb / (nb - 1.0);
+  result.degrees_of_freedom =
+      denominator > 0.0 ? numerator / denominator : na + nb - 2.0;
+  const double abs_t = std::fabs(result.t);
+  result.significant_5pct = abs_t > 1.96;
+  result.significant_1pct = abs_t > 2.576;
+  return result;
+}
+
+}  // namespace acp

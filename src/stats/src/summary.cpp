@@ -1,0 +1,35 @@
+#include "acp/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "acp/stats/running_stats.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+Summary Summary::from_samples(std::vector<double> samples) {
+  ACP_EXPECTS(!samples.empty());
+  Summary s;
+  RunningStats rs;
+  for (double x : samples) rs.push(x);
+  s.mean_ = rs.mean();
+  s.stddev_ = rs.stddev();
+  s.sem_ = rs.sem();
+  std::sort(samples.begin(), samples.end());
+  s.sorted_ = std::move(samples);
+  return s;
+}
+
+double Summary::quantile(double q) const {
+  ACP_EXPECTS(q >= 0.0 && q <= 1.0);
+  const auto n = sorted_.size();
+  if (n == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace acp

@@ -1,0 +1,61 @@
+// Contract checking for the acp libraries.
+//
+// Follows the C++ Core Guidelines I.5/I.7 style: preconditions and
+// postconditions are stated at the interface and checked at run time.
+// Violations throw acp::ContractViolation so tests can observe them and so
+// simulation drivers can fail a single trial without aborting the process.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace acp {
+
+/// Thrown when an ACP_EXPECTS / ACP_ENSURES / ACP_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* condition,
+                    std::source_location loc);
+
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* condition() const noexcept { return condition_; }
+
+ private:
+  const char* kind_;
+  const char* condition_;
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                std::source_location loc);
+}  // namespace detail
+
+}  // namespace acp
+
+/// Precondition check. Use at function entry.
+#define ACP_EXPECTS(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::acp::detail::contract_fail("precondition", #cond,             \
+                                   std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+/// Postcondition check. Use before returning.
+#define ACP_ENSURES(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::acp::detail::contract_fail("postcondition", #cond,            \
+                                   std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+/// Internal invariant check.
+#define ACP_ASSERT(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::acp::detail::contract_fail("invariant", #cond,                \
+                                   std::source_location::current()); \
+    }                                                                 \
+  } while (false)

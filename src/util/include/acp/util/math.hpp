@@ -1,0 +1,69 @@
+// Small integer/real math helpers used throughout the simulation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+/// ceil(a / b) for positive integers.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) {
+  ACP_EXPECTS(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+/// ceil(x) as a positive round count, at least `floor_value`.
+[[nodiscard]] inline std::int64_t ceil_rounds(double x,
+                                              std::int64_t floor_value = 1) {
+  ACP_EXPECTS(std::isfinite(x));
+  const auto c = static_cast<std::int64_t>(std::ceil(x));
+  return c < floor_value ? floor_value : c;
+}
+
+/// log2 of a positive value.
+[[nodiscard]] inline double log2_of(double x) {
+  ACP_EXPECTS(x > 0.0);
+  return std::log2(x);
+}
+
+/// Natural log of a positive value.
+[[nodiscard]] inline double ln_of(double x) {
+  ACP_EXPECTS(x > 0.0);
+  return std::log(x);
+}
+
+/// The paper's Notation 3: Delta = log(1/(1-alpha) + log n), base 2.
+/// For alpha == 1 the first term is unbounded; callers should clamp alpha.
+[[nodiscard]] inline double distill_delta(double alpha, std::size_t n) {
+  ACP_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  ACP_EXPECTS(n >= 2);
+  const double inner = 1.0 / (1.0 - alpha) + std::log2(static_cast<double>(n));
+  return std::log2(inner);
+}
+
+/// Theorem 4 upper-bound shape: 1/(alpha beta n) + (1/alpha) log n / Delta.
+[[nodiscard]] inline double theorem4_bound(double alpha, double beta,
+                                           std::size_t n) {
+  ACP_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  ACP_EXPECTS(n >= 2);
+  const double nn = static_cast<double>(n);
+  return 1.0 / (alpha * beta * nn) +
+         (1.0 / alpha) * std::log2(nn) / distill_delta(alpha, n);
+}
+
+/// Prior-work (EC'04 under round robin) shape: log n/(alpha beta n) + log n/alpha.
+[[nodiscard]] inline double baseline_bound(double alpha, double beta,
+                                           std::size_t n) {
+  ACP_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  ACP_EXPECTS(beta > 0.0 && beta <= 1.0);
+  ACP_EXPECTS(n >= 2);
+  const double nn = static_cast<double>(n);
+  const double lg = std::log2(nn);
+  return lg / (alpha * beta * nn) + lg / alpha;
+}
+
+}  // namespace acp

@@ -1,0 +1,68 @@
+// Strong identifier types shared across the acp libraries.
+//
+// PlayerId and ObjectId are distinct wrapper types (Core Guidelines I.4:
+// precisely and strongly typed interfaces) so a player index can never be
+// passed where an object index is expected. Round is a plain signed count
+// because it participates in arithmetic everywhere.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace acp {
+
+/// Round counter of the synchronous engine. Round 0 is the first round.
+using Round = std::int64_t;
+
+/// Number of probes / posts; signed to keep arithmetic warnings quiet.
+using Count = std::int64_t;
+
+namespace detail {
+
+/// CRTP-free strong index: a size_t with a phantom tag.
+template <class Tag>
+class StrongId {
+ public:
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(std::size_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::size_t value() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  std::size_t value_ = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace detail
+
+struct PlayerTag {};
+struct ObjectTag {};
+
+/// Index of a player, dense in [0, n).
+using PlayerId = detail::StrongId<PlayerTag>;
+/// Index of an object, dense in [0, m).
+using ObjectId = detail::StrongId<ObjectTag>;
+
+std::ostream& operator<<(std::ostream& os, PlayerId id);
+std::ostream& operator<<(std::ostream& os, ObjectId id);
+
+}  // namespace acp
+
+template <>
+struct std::hash<acp::PlayerId> {
+  std::size_t operator()(acp::PlayerId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<acp::ObjectId> {
+  std::size_t operator()(acp::ObjectId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};

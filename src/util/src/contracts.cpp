@@ -1,0 +1,30 @@
+#include "acp/util/contracts.hpp"
+
+#include <sstream>
+
+namespace acp {
+
+namespace {
+std::string format_message(const char* kind, const char* condition,
+                           std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << kind
+     << " violated: " << condition << " (in " << loc.function_name() << ')';
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     std::source_location loc)
+    : std::logic_error(format_message(kind, condition, loc)),
+      kind_(kind),
+      condition_(condition) {}
+
+namespace detail {
+void contract_fail(const char* kind, const char* condition,
+                   std::source_location loc) {
+  throw ContractViolation(kind, condition, loc);
+}
+}  // namespace detail
+
+}  // namespace acp

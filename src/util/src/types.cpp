@@ -1,0 +1,15 @@
+#include "acp/util/types.hpp"
+
+#include <ostream>
+
+namespace acp {
+
+std::ostream& operator<<(std::ostream& os, PlayerId id) {
+  return os << "player#" << id.value();
+}
+
+std::ostream& operator<<(std::ostream& os, ObjectId id) {
+  return os << "object#" << id.value();
+}
+
+}  // namespace acp

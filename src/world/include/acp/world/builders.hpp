@@ -1,0 +1,56 @@
+// World builders for the experiment workloads.
+#pragma once
+
+#include <cstddef>
+
+#include "acp/rng/rng.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+/// Parameters for the standard unit-cost world.
+struct UnitCostWorldOptions {
+  std::size_t num_objects = 0;
+  std::size_t num_good = 0;
+  GoodnessModel model = GoodnessModel::kLocalTesting;
+  /// Values of bad objects are uniform in [bad_lo, bad_hi); good objects in
+  /// [good_lo, good_hi). threshold must separate the ranges for local testing.
+  double bad_lo = 0.0;
+  double bad_hi = 0.4;
+  double good_lo = 0.6;
+  double good_hi = 1.0;
+  double threshold = 0.5;
+};
+
+/// Unit-cost world with `num_good` good objects at random positions.
+[[nodiscard]] World make_unit_cost_world(const UnitCostWorldOptions& opts,
+                                         Rng& rng);
+
+/// Convenience: m objects, g good, unit costs, local testing.
+[[nodiscard]] World make_simple_world(std::size_t m, std::size_t g, Rng& rng);
+
+/// Parameters for the general-cost world of §5.2 (Theorem 12).
+struct CostClassWorldOptions {
+  /// Number of cost classes; class i holds objects with cost in [2^i, 2^(i+1)).
+  std::size_t num_classes = 4;
+  /// Objects per class.
+  std::size_t objects_per_class = 64;
+  /// Index of the class containing the cheapest good object (q0 ~ 2^i0).
+  std::size_t cheapest_good_class = 0;
+  /// Good objects per class, for classes >= cheapest_good_class.
+  std::size_t good_per_class = 1;
+  double threshold = 0.5;
+};
+
+/// World where costs come in geometric classes and good objects exist only
+/// in classes >= cheapest_good_class. Always local testing (as in §5.2).
+[[nodiscard]] World make_cost_class_world(const CostClassWorldOptions& opts,
+                                          Rng& rng);
+
+/// World for search without local testing (§5.3): all values are distinct
+/// uniform draws, the top beta*m count as good, and there is no usable
+/// threshold.
+[[nodiscard]] World make_top_beta_world(std::size_t m, std::size_t num_good,
+                                        Rng& rng);
+
+}  // namespace acp

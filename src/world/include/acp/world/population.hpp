@@ -1,0 +1,66 @@
+// The player population of the model (paper §2.3).
+//
+// n players; an alpha fraction are honest (follow the protocol), the rest
+// are Byzantine and controlled by an adversary. The population records only
+// the ground-truth honesty flags; who gets to see them is the engine's
+// business (honest protocol code never does).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/rng/rng.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+class Population {
+ public:
+  /// `honest[p]` is the ground-truth flag for player p.
+  explicit Population(std::vector<bool> honest);
+
+  [[nodiscard]] std::size_t num_players() const noexcept {
+    return honest_.size();
+  }
+  [[nodiscard]] std::size_t num_honest() const noexcept {
+    return honest_ids_.size();
+  }
+  [[nodiscard]] std::size_t num_dishonest() const noexcept {
+    return dishonest_ids_.size();
+  }
+
+  /// alpha — the fraction of honest players (paper's notation).
+  [[nodiscard]] double alpha() const noexcept {
+    return static_cast<double>(num_honest()) /
+           static_cast<double>(num_players());
+  }
+
+  [[nodiscard]] bool is_honest(PlayerId p) const {
+    ACP_EXPECTS(p.value() < honest_.size());
+    return honest_[p.value()];
+  }
+
+  [[nodiscard]] const std::vector<PlayerId>& honest_players() const noexcept {
+    return honest_ids_;
+  }
+  [[nodiscard]] const std::vector<PlayerId>& dishonest_players()
+      const noexcept {
+    return dishonest_ids_;
+  }
+
+  /// First `num_honest` players honest, the rest dishonest. Convenient for
+  /// deterministic tests; protocols are symmetric so placement is irrelevant.
+  static Population with_prefix_honest(std::size_t n, std::size_t num_honest);
+
+  /// `num_honest` honest players at uniformly random positions.
+  static Population with_random_honest(std::size_t n, std::size_t num_honest,
+                                       Rng& rng);
+
+ private:
+  std::vector<bool> honest_;
+  std::vector<PlayerId> honest_ids_;
+  std::vector<PlayerId> dishonest_ids_;
+};
+
+}  // namespace acp

@@ -1,0 +1,104 @@
+// The object universe of the model (paper §2).
+//
+// m objects, each with an intrinsic unknown value and a known cost. Objects
+// are partitioned into good (high value) and bad (low value). Probing an
+// object reveals its value and charges its cost.
+//
+// Two goodness models (paper §2.2):
+//  * LocalTesting — goodness is decidable from a single probe (value >=
+//    a publicly known threshold).
+//  * TopBeta — goodness means "among the beta*m top-valued objects"; a
+//    prober learns the value but cannot test goodness locally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acp/util/contracts.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+enum class GoodnessModel {
+  kLocalTesting,
+  kTopBeta,
+};
+
+/// What a player learns from probing an object.
+struct ProbeOutcome {
+  double value = 0.0;
+  double cost = 0.0;
+  /// Meaningful only under local testing; the engine still fills it in under
+  /// TopBeta so tests can use it as ground truth, but honest protocol code
+  /// for the no-local-testing variant must not read it (and does not).
+  bool locally_good = false;
+};
+
+/// Immutable description of the object universe for one simulation instance.
+class World {
+ public:
+  /// `good` flags the ground-truth good objects. Under kLocalTesting, every
+  /// good object's value must be >= threshold and every bad one's < threshold.
+  World(std::vector<double> values, std::vector<double> costs,
+        std::vector<bool> good, GoodnessModel model, double threshold);
+
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] std::size_t num_good() const noexcept { return num_good_; }
+
+  /// beta — the fraction of good objects (paper's notation).
+  [[nodiscard]] double beta() const noexcept {
+    return static_cast<double>(num_good_) /
+           static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] GoodnessModel model() const noexcept { return model_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] double value(ObjectId i) const {
+    ACP_EXPECTS(i.value() < values_.size());
+    return values_[i.value()];
+  }
+
+  /// Cost is public knowledge (paper §2): protocols may read it freely.
+  [[nodiscard]] double cost(ObjectId i) const {
+    ACP_EXPECTS(i.value() < costs_.size());
+    return costs_[i.value()];
+  }
+
+  /// Ground truth — for the engine, adversaries, and tests. Honest protocol
+  /// code only sees goodness through ProbeOutcome under local testing.
+  [[nodiscard]] bool is_good(ObjectId i) const {
+    ACP_EXPECTS(i.value() < good_.size());
+    return good_[i.value()];
+  }
+
+  [[nodiscard]] ProbeOutcome probe(ObjectId i) const {
+    ACP_EXPECTS(i.value() < values_.size());
+    return ProbeOutcome{values_[i.value()], costs_[i.value()],
+                        good_[i.value()]};
+  }
+
+  /// All good object ids, ascending.
+  [[nodiscard]] const std::vector<ObjectId>& good_objects() const noexcept {
+    return good_ids_;
+  }
+
+  /// All bad object ids, ascending.
+  [[nodiscard]] const std::vector<ObjectId>& bad_objects() const noexcept {
+    return bad_ids_;
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> costs_;
+  std::vector<bool> good_;
+  std::vector<ObjectId> good_ids_;
+  std::vector<ObjectId> bad_ids_;
+  std::size_t num_good_ = 0;
+  GoodnessModel model_;
+  double threshold_;
+};
+
+}  // namespace acp

@@ -1,0 +1,35 @@
+// WorldView — the public knowledge a protocol is allowed to see.
+//
+// Paper §2: object costs are known, values are unknown until probed. The
+// model parameters m, beta, and the local-testing threshold are assumed to
+// be common knowledge (DISTILL's code uses beta; the threshold defines
+// local testing). Honest protocol code receives a WorldView, never a World,
+// so it cannot cheat by reading ground-truth values or goodness.
+#pragma once
+
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+class WorldView {
+ public:
+  explicit WorldView(const World& world) : world_(&world) {}
+
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return world_->num_objects();
+  }
+  [[nodiscard]] double beta() const noexcept { return world_->beta(); }
+  [[nodiscard]] GoodnessModel model() const noexcept {
+    return world_->model();
+  }
+  [[nodiscard]] double threshold() const noexcept {
+    return world_->threshold();
+  }
+  /// Cost is public (paper §2).
+  [[nodiscard]] double cost(ObjectId i) const { return world_->cost(i); }
+
+ private:
+  const World* world_;
+};
+
+}  // namespace acp

@@ -1,0 +1,102 @@
+#include "acp/world/builders.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+World make_unit_cost_world(const UnitCostWorldOptions& opts, Rng& rng) {
+  ACP_EXPECTS(opts.num_objects >= 1);
+  ACP_EXPECTS(opts.num_good >= 1 && opts.num_good <= opts.num_objects);
+  ACP_EXPECTS(opts.bad_lo <= opts.bad_hi && opts.bad_hi <= opts.threshold);
+  ACP_EXPECTS(opts.threshold <= opts.good_lo && opts.good_lo <= opts.good_hi);
+
+  const std::size_t m = opts.num_objects;
+  std::vector<double> values(m);
+  std::vector<double> costs(m, 1.0);
+  std::vector<bool> good(m, false);
+
+  for (std::size_t idx : rng.sample_indices(m, opts.num_good)) {
+    good[idx] = true;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    values[i] = good[i] ? rng.uniform_real(opts.good_lo, opts.good_hi)
+                        : rng.uniform_real(opts.bad_lo, opts.bad_hi);
+  }
+  return World(std::move(values), std::move(costs), std::move(good),
+               opts.model, opts.threshold);
+}
+
+World make_simple_world(std::size_t m, std::size_t g, Rng& rng) {
+  UnitCostWorldOptions opts;
+  opts.num_objects = m;
+  opts.num_good = g;
+  return make_unit_cost_world(opts, rng);
+}
+
+World make_cost_class_world(const CostClassWorldOptions& opts, Rng& rng) {
+  ACP_EXPECTS(opts.num_classes >= 1);
+  ACP_EXPECTS(opts.objects_per_class >= 1);
+  ACP_EXPECTS(opts.cheapest_good_class < opts.num_classes);
+  ACP_EXPECTS(opts.good_per_class >= 1 &&
+              opts.good_per_class <= opts.objects_per_class);
+
+  const std::size_t m = opts.num_classes * opts.objects_per_class;
+  std::vector<double> values(m);
+  std::vector<double> costs(m);
+  std::vector<bool> good(m, false);
+
+  // Lay out class-by-class, then shuffle positions so protocols cannot
+  // exploit index structure. Keep a permutation to scatter objects.
+  std::vector<std::size_t> pos(m);
+  for (std::size_t i = 0; i < m; ++i) pos[i] = i;
+  rng.shuffle(pos);
+
+  std::size_t slot = 0;
+  for (std::size_t cls = 0; cls < opts.num_classes; ++cls) {
+    const double lo = static_cast<double>(std::size_t{1} << cls);
+    const double hi = 2.0 * lo;
+    for (std::size_t j = 0; j < opts.objects_per_class; ++j, ++slot) {
+      const std::size_t at = pos[slot];
+      costs[at] = rng.uniform_real(lo, hi);
+      const bool make_good =
+          cls >= opts.cheapest_good_class && j < opts.good_per_class;
+      good[at] = make_good;
+      values[at] = make_good ? rng.uniform_real(0.6, 1.0)
+                             : rng.uniform_real(0.0, 0.4);
+    }
+  }
+  return World(std::move(values), std::move(costs), std::move(good),
+               GoodnessModel::kLocalTesting, opts.threshold);
+}
+
+World make_top_beta_world(std::size_t m, std::size_t num_good, Rng& rng) {
+  ACP_EXPECTS(m >= 1);
+  ACP_EXPECTS(num_good >= 1 && num_good <= m);
+
+  std::vector<double> values(m);
+  for (auto& v : values) v = rng.uniform01();
+  // Ensure distinctness for a well-defined top-beta set: perturb ties by
+  // re-drawing (uniform doubles collide with negligible probability, but be
+  // exact rather than probabilistic here).
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  while (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    for (auto& v : values) v = rng.uniform01();
+    sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+  }
+
+  const double cutoff = sorted[m - num_good];  // smallest good value
+  std::vector<bool> good(m, false);
+  for (std::size_t i = 0; i < m; ++i) good[i] = values[i] >= cutoff;
+
+  std::vector<double> costs(m, 1.0);
+  // No usable threshold under TopBeta; store the cutoff for tests only.
+  return World(std::move(values), std::move(costs), std::move(good),
+               GoodnessModel::kTopBeta, cutoff);
+}
+
+}  // namespace acp

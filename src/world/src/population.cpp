@@ -1,0 +1,37 @@
+#include "acp/world/population.hpp"
+
+#include <utility>
+
+namespace acp {
+
+Population::Population(std::vector<bool> honest) : honest_(std::move(honest)) {
+  ACP_EXPECTS(!honest_.empty());
+  for (std::size_t p = 0; p < honest_.size(); ++p) {
+    if (honest_[p]) {
+      honest_ids_.push_back(PlayerId{p});
+    } else {
+      dishonest_ids_.push_back(PlayerId{p});
+    }
+  }
+  ACP_EXPECTS(!honest_ids_.empty());
+}
+
+Population Population::with_prefix_honest(std::size_t n,
+                                          std::size_t num_honest) {
+  ACP_EXPECTS(n >= 1);
+  ACP_EXPECTS(num_honest >= 1 && num_honest <= n);
+  std::vector<bool> honest(n, false);
+  for (std::size_t p = 0; p < num_honest; ++p) honest[p] = true;
+  return Population(std::move(honest));
+}
+
+Population Population::with_random_honest(std::size_t n,
+                                          std::size_t num_honest, Rng& rng) {
+  ACP_EXPECTS(n >= 1);
+  ACP_EXPECTS(num_honest >= 1 && num_honest <= n);
+  std::vector<bool> honest(n, false);
+  for (std::size_t idx : rng.sample_indices(n, num_honest)) honest[idx] = true;
+  return Population(std::move(honest));
+}
+
+}  // namespace acp

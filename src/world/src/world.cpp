@@ -1,0 +1,35 @@
+#include "acp/world/world.hpp"
+
+#include <utility>
+
+namespace acp {
+
+World::World(std::vector<double> values, std::vector<double> costs,
+             std::vector<bool> good, GoodnessModel model, double threshold)
+    : values_(std::move(values)),
+      costs_(std::move(costs)),
+      good_(std::move(good)),
+      model_(model),
+      threshold_(threshold) {
+  ACP_EXPECTS(!values_.empty());
+  ACP_EXPECTS(values_.size() == costs_.size());
+  ACP_EXPECTS(values_.size() == good_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    ACP_EXPECTS(values_[i] >= 0.0);
+    ACP_EXPECTS(costs_[i] >= 0.0);
+    if (good_[i]) {
+      ++num_good_;
+      good_ids_.push_back(ObjectId{i});
+    } else {
+      bad_ids_.push_back(ObjectId{i});
+    }
+    if (model_ == GoodnessModel::kLocalTesting) {
+      // Local testing is only coherent when the threshold separates the
+      // classes exactly (paper §2.2: "value exceeds a known threshold").
+      ACP_EXPECTS(good_[i] == (values_[i] >= threshold_));
+    }
+  }
+  ACP_EXPECTS(num_good_ >= 1);
+}
+
+}  // namespace acp

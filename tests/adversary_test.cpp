@@ -1,0 +1,216 @@
+// Unit tests of the adversary strategies' mechanics.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/billboard/vote_ledger.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+/// Run one plan_round against a fresh billboard and return the posts.
+std::vector<Post> plan_once(Adversary& adversary, const Scenario& scenario,
+                            Round round = 0) {
+  Billboard billboard(scenario.population.num_players(),
+                      scenario.world.num_objects());
+  adversary.initialize(scenario.world, scenario.population);
+  std::vector<Post> out;
+  Rng rng(5);
+  adversary.plan_round(AdversaryContext{scenario.world, scenario.population,
+                                        round, billboard},
+                       out, rng);
+  return out;
+}
+
+TEST(EagerVote, OnePostPerDishonestPlayer) {
+  auto scenario = Scenario::make(16, 8, 16, 1, 71);
+  EagerVoteAdversary adversary;
+  const auto posts = plan_once(adversary, scenario);
+  EXPECT_EQ(posts.size(), 8u);
+  for (const Post& post : posts) {
+    EXPECT_FALSE(scenario.population.is_honest(post.author));
+    EXPECT_TRUE(post.positive);
+    EXPECT_FALSE(scenario.world.is_good(post.object));
+  }
+}
+
+TEST(EagerVote, DistinctTargetsWhenEnoughBadObjects) {
+  auto scenario = Scenario::make(16, 8, 32, 1, 72);
+  EagerVoteAdversary adversary;
+  const auto posts = plan_once(adversary, scenario);
+  std::set<std::size_t> targets;
+  for (const Post& post : posts) targets.insert(post.object.value());
+  EXPECT_EQ(targets.size(), posts.size());
+}
+
+TEST(EagerVote, SilentAfterFirstRound) {
+  auto scenario = Scenario::make(16, 8, 16, 1, 73);
+  EagerVoteAdversary adversary;
+  Billboard billboard(16, 16);
+  adversary.initialize(scenario.world, scenario.population);
+  std::vector<Post> out;
+  Rng rng(5);
+  adversary.plan_round(
+      AdversaryContext{scenario.world, scenario.population, 0, billboard},
+      out, rng);
+  EXPECT_EQ(out.size(), 8u);
+  out.clear();
+  adversary.plan_round(
+      AdversaryContext{scenario.world, scenario.population, 1, billboard},
+      out, rng);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Collusion, ConcentratesOnDecoys) {
+  auto scenario = Scenario::make(32, 8, 32, 1, 74);
+  CollusionAdversary adversary(2);
+  const auto posts = plan_once(adversary, scenario);
+  EXPECT_EQ(posts.size(), 24u);
+  std::set<std::size_t> targets;
+  for (const Post& post : posts) {
+    targets.insert(post.object.value());
+    EXPECT_FALSE(scenario.world.is_good(post.object));
+  }
+  EXPECT_LE(targets.size(), 2u);
+}
+
+TEST(Collusion, RejectsZeroDecoys) {
+  EXPECT_THROW(CollusionAdversary(0), ContractViolation);
+}
+
+TEST(Slanderer, OnlyNegativePostsOnGoodObjects) {
+  auto scenario = Scenario::make(16, 8, 16, 2, 75);
+  SlandererAdversary adversary;
+  const auto posts = plan_once(adversary, scenario);
+  EXPECT_EQ(posts.size(), 8u);
+  for (const Post& post : posts) {
+    EXPECT_FALSE(post.positive);
+    EXPECT_TRUE(scenario.world.is_good(post.object));
+  }
+}
+
+TEST(Slanderer, PostsEveryRound) {
+  auto scenario = Scenario::make(16, 8, 16, 1, 76);
+  SlandererAdversary adversary;
+  Billboard billboard(16, 16);
+  adversary.initialize(scenario.world, scenario.population);
+  Rng rng(5);
+  for (Round r = 0; r < 3; ++r) {
+    std::vector<Post> out;
+    adversary.plan_round(
+        AdversaryContext{scenario.world, scenario.population, r, billboard},
+        out, rng);
+    EXPECT_EQ(out.size(), 8u) << "round " << r;
+  }
+}
+
+TEST(ValueLiar, ClaimsAbsurdValues) {
+  auto scenario = Scenario::make(16, 8, 16, 1, 77);
+  ValueLiarAdversary adversary(1e6);
+  const auto posts = plan_once(adversary, scenario);
+  EXPECT_EQ(posts.size(), 8u);
+  for (const Post& post : posts) {
+    EXPECT_DOUBLE_EQ(post.reported_value, 1e6);
+    EXPECT_FALSE(scenario.world.is_good(post.object));
+  }
+}
+
+TEST(ValueLiar, DominatesHighestReportedLedger) {
+  auto scenario = Scenario::make(4, 2, 8, 1, 78);
+  ValueLiarAdversary adversary(1e6);
+  Billboard billboard(4, 8);
+  adversary.initialize(scenario.world, scenario.population);
+  std::vector<Post> out;
+  Rng rng(5);
+  adversary.plan_round(
+      AdversaryContext{scenario.world, scenario.population, 0, billboard},
+      out, rng);
+  billboard.commit_round(0, out);
+  VoteLedger ledger(VotePolicy::kHighestReported, 4, 8, 1);
+  ledger.ingest(billboard);
+  for (PlayerId p : scenario.population.dishonest_players()) {
+    ASSERT_TRUE(ledger.current_vote(p).has_value());
+    EXPECT_FALSE(scenario.world.is_good(*ledger.current_vote(p)));
+  }
+}
+
+TEST(SplitVote, SpendsAtMostBudget) {
+  auto scenario = Scenario::make(64, 16, 64, 1, 79);
+  DistillProtocol protocol(basic_params(0.25));
+  SplitVoteAdversary adversary(protocol);
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.seed = 80});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_LE(adversary.votes_remaining(), 48u);
+}
+
+TEST(SplitVote, TargetsOnlyBadObjects) {
+  auto scenario = Scenario::make(64, 16, 64, 1, 81);
+  DistillProtocol protocol(basic_params(0.25));
+
+  // Wrap the adversary to capture its posts.
+  class Recorder : public Adversary {
+   public:
+    explicit Recorder(SplitVoteAdversary& inner) : inner_(&inner) {}
+    void initialize(const World& world, const Population& pop) override {
+      world_ = &world;
+      inner_->initialize(world, pop);
+    }
+    void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                    Rng& rng) override {
+      const std::size_t before = out.size();
+      inner_->plan_round(ctx, out, rng);
+      for (std::size_t i = before; i < out.size(); ++i) {
+        EXPECT_FALSE(world_->is_good(out[i].object));
+        EXPECT_TRUE(out[i].positive);
+      }
+    }
+
+   private:
+    SplitVoteAdversary* inner_;
+    const World* world_ = nullptr;
+  };
+
+  SplitVoteAdversary split(protocol);
+  Recorder recorder(split);
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        recorder, {.seed = 82});
+}
+
+TEST(SplitVote, RejectsBadDecay) {
+  DistillProtocol protocol(basic_params(0.5));
+  SplitVoteParams params;
+  params.decay = 0.0;
+  EXPECT_THROW(SplitVoteAdversary(protocol, params), ContractViolation);
+}
+
+TEST(SplitVote, ProlongsRunsAtLowAlpha) {
+  // Averaged over trials, the split-vote adversary should cost the honest
+  // players at least as much as a silent adversary at alpha = 1/4.
+  double silent = 0.0;
+  double split = 0.0;
+  const int trials = 10;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(256, 64, 256, 1, 900 + t);
+    {
+      DistillProtocol protocol(basic_params(0.25));
+      SilentAdversary adversary;
+      silent += SyncEngine::run(scenario.world, scenario.population, protocol,
+                                adversary, {.seed = 950 + t})
+                    .mean_honest_probes();
+    }
+    {
+      DistillProtocol protocol(basic_params(0.25));
+      SplitVoteAdversary adversary(protocol);
+      split += SyncEngine::run(scenario.world, scenario.population, protocol,
+                               adversary, {.seed = 950 + t})
+                   .mean_honest_probes();
+    }
+  }
+  EXPECT_GE(split, silent);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,190 @@
+// Staggered arrivals (late joiners) and the trace/observer machinery.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/engine/trace.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(Arrivals, AllAtZeroMatchesDefault) {
+  auto scenario = Scenario::make(32, 32, 32, 1, 161);
+  SyncRunConfig with_arrivals;
+  with_arrivals.seed = 5;
+  with_arrivals.arrivals.assign(32, 0);
+  RunResult a;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    a = SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, with_arrivals);
+  }
+  RunResult b;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    b = SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.seed = 5});
+  }
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  for (std::size_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+}
+
+TEST(Arrivals, LateJoinersStillSucceed) {
+  auto scenario = Scenario::make(64, 64, 64, 1, 162);
+  SyncRunConfig config;
+  config.seed = 6;
+  config.arrivals.assign(64, 0);
+  // A quarter of the players join in waves.
+  for (std::size_t p = 0; p < 16; ++p) {
+    config.arrivals[p] = static_cast<Round>(5 + 3 * p);
+  }
+  DistillProtocol protocol(basic_params(1.0));
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, config);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(Arrivals, LateJoinerPaysLittleOnceOthersAreSatisfied) {
+  // Lemma 6 in vivo: a player arriving long after the crowd has satisfied
+  // itself finds a good object within a few advice probes — expected
+  // 4/alpha rounds, so its probe count is tiny compared with m.
+  double late_probes = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto scenario =
+        Scenario::make(128, 128, 128, 1, 1630 + static_cast<unsigned>(t));
+    SyncRunConfig config;
+    config.seed = 1700 + static_cast<std::uint64_t>(t);
+    config.arrivals.assign(128, 0);
+    config.arrivals[0] = 500;  // joins long after everyone else finished
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    const RunResult result = SyncEngine::run(
+        scenario.world, scenario.population, protocol, adversary, config);
+    EXPECT_TRUE(result.all_honest_satisfied);
+    late_probes += static_cast<double>(result.players[0].probes);
+  }
+  // Expected ~2/alpha = 2 probes; allow generous slack.
+  EXPECT_LT(late_probes / trials, 8.0);
+}
+
+TEST(Arrivals, RunNotCompleteUntilArrivalsProcessed) {
+  auto scenario = Scenario::make(8, 8, 8, 8, 164);
+  SyncRunConfig config;
+  config.seed = 7;
+  config.max_rounds = 3;
+  config.arrivals.assign(8, 0);
+  config.arrivals[0] = 100;  // beyond max_rounds
+  DistillProtocol protocol(basic_params(1.0));
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, config);
+  EXPECT_FALSE(result.all_honest_satisfied);
+}
+
+TEST(Arrivals, RejectsWrongSizeVector) {
+  auto scenario = Scenario::make(8, 8, 8, 1, 165);
+  SyncRunConfig config;
+  config.arrivals.assign(4, 0);  // wrong length
+  DistillProtocol protocol(basic_params(1.0));
+  SilentAdversary adversary;
+  EXPECT_THROW((void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                               adversary, config),
+               ContractViolation);
+}
+
+TEST(Trace, RowsCoverEveryRound) {
+  auto scenario = Scenario::make(32, 32, 32, 1, 166);
+  TraceRecorder trace;
+  SyncRunConfig config;
+  config.seed = 8;
+  config.observer = &trace;
+  DistillProtocol protocol(basic_params(1.0));
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, config);
+  ASSERT_EQ(trace.rows().size(),
+            static_cast<std::size_t>(result.rounds_executed));
+  for (std::size_t i = 0; i < trace.rows().size(); ++i) {
+    EXPECT_EQ(trace.rows()[i].round, static_cast<Round>(i));
+  }
+}
+
+TEST(Trace, SatisfiedMonotoneAndTotalsMatch) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 167);
+  TraceRecorder trace;
+  SyncRunConfig config;
+  config.seed = 9;
+  config.observer = &trace;
+  DistillProtocol protocol(basic_params(0.5));
+  EagerVoteAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, config);
+
+  std::size_t last_satisfied = 0;
+  for (const TraceRow& row : trace.rows()) {
+    EXPECT_GE(row.satisfied_honest, last_satisfied);
+    last_satisfied = row.satisfied_honest;
+  }
+  EXPECT_EQ(last_satisfied, 32u);
+  EXPECT_EQ(trace.total_probes(),
+            static_cast<std::size_t>(result.total_honest_probes()));
+}
+
+TEST(Trace, RoundReachingSatisfied) {
+  auto scenario = Scenario::make(32, 32, 32, 1, 168);
+  TraceRecorder trace;
+  SyncRunConfig config;
+  config.seed = 10;
+  config.observer = &trace;
+  DistillProtocol protocol(basic_params(1.0));
+  SilentAdversary adversary;
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, config);
+  const Round half = trace.round_reaching_satisfied(16);
+  const Round all = trace.round_reaching_satisfied(32);
+  EXPECT_GE(half, 0);
+  EXPECT_GE(all, half);
+  EXPECT_EQ(trace.round_reaching_satisfied(33), -1);
+}
+
+TEST(Trace, CsvShape) {
+  TraceRecorder trace;
+  Billboard billboard(2, 2);
+  billboard.commit_round(0, {});
+  trace.on_round_end(0, billboard, 2, 0, 2);
+  trace.on_round_end(1, billboard, 1, 1, 1);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "round,active_honest,satisfied_honest,probes,billboard_posts\n"
+            "0,2,0,2,0\n1,1,1,1,0\n");
+}
+
+TEST(Trace, BillboardPostsNondecreasing) {
+  auto scenario = Scenario::make(32, 16, 32, 1, 169);
+  TraceRecorder trace;
+  SyncRunConfig config;
+  config.seed = 11;
+  config.observer = &trace;
+  DistillProtocol protocol(basic_params(0.5));
+  EagerVoteAdversary adversary;
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, config);
+  std::size_t last = 0;
+  for (const TraceRow& row : trace.rows()) {
+    EXPECT_GE(row.billboard_posts, last);  // append-only billboard
+    last = row.billboard_posts;
+  }
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,166 @@
+#include "acp/engine/async_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/world/builders.hpp"
+
+namespace acp {
+namespace {
+
+TEST(Schedulers, RoundRobinCycles) {
+  RoundRobinScheduler scheduler;
+  Rng rng(1);
+  const std::vector<PlayerId> active = {PlayerId{0}, PlayerId{1}, PlayerId{2}};
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{1});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{2});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+}
+
+TEST(Schedulers, RoundRobinHandlesShrinkingSet) {
+  RoundRobinScheduler scheduler;
+  Rng rng(1);
+  std::vector<PlayerId> active = {PlayerId{0}, PlayerId{1}, PlayerId{2}};
+  (void)scheduler.next(active, rng);
+  (void)scheduler.next(active, rng);
+  (void)scheduler.next(active, rng);
+  active.pop_back();
+  // Cursor wraps instead of indexing out of bounds.
+  const PlayerId p = scheduler.next(active, rng);
+  EXPECT_TRUE(p == PlayerId{0} || p == PlayerId{1});
+}
+
+TEST(Schedulers, StarveAlwaysPicksFront) {
+  StarveScheduler scheduler;
+  Rng rng(1);
+  const std::vector<PlayerId> active = {PlayerId{3}, PlayerId{5}};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scheduler.next(active, rng), PlayerId{3});
+  }
+}
+
+TEST(Schedulers, RandomPicksFromActive) {
+  RandomScheduler scheduler;
+  Rng rng(2);
+  const std::vector<PlayerId> active = {PlayerId{1}, PlayerId{4}};
+  for (int i = 0; i < 50; ++i) {
+    const PlayerId p = scheduler.next(active, rng);
+    EXPECT_TRUE(p == PlayerId{1} || p == PlayerId{4});
+  }
+}
+
+TEST(AsyncEngine, TrivialRandomFindsGood) {
+  Rng rng(3);
+  const World world = make_simple_world(32, 4, rng);
+  const auto pop = Population::with_prefix_honest(4, 4);
+  AsyncTrivialRandomProtocol protocol;
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, {.seed = 7});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(result.players[p].probed_good);
+    EXPECT_GE(result.players[p].probes, 1);
+  }
+}
+
+TEST(AsyncEngine, StepsCountedGlobally) {
+  Rng rng(4);
+  const World world = make_simple_world(16, 16, rng);  // everything good
+  const auto pop = Population::with_prefix_honest(3, 3);
+  AsyncTrivialRandomProtocol protocol;
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, {.seed = 1});
+  // Every probe hits a good object: exactly one step per player.
+  EXPECT_EQ(result.rounds_executed, 3);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(AsyncEngine, StarveScheduleForcesSoloSearch) {
+  // Under the starving schedule the lone scheduled player gets no help:
+  // its probe count is the whole run's step count until it finds the good
+  // object — the §1.2 argument for why async individual cost is vacuous.
+  Rng rng(5);
+  const World world = make_simple_world(64, 1, rng);
+  const auto pop = Population::with_prefix_honest(8, 8);
+  AsyncCollabProtocol protocol;
+  SilentAdversary adversary;
+  StarveScheduler scheduler;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, {.seed = 2});
+  // Player 0 is starved-in (always scheduled) until it halts: every step up
+  // to its satisfaction was its own probe, with no help possible.
+  EXPECT_TRUE(result.players[0].satisfied());
+  EXPECT_EQ(result.players[0].probes, result.players[0].satisfied_round + 1);
+}
+
+TEST(AsyncEngine, MaxStepsRespected) {
+  // A world whose good object exists but a protocol that never probes it.
+  const World world({0.1, 0.9}, {1.0, 1.0}, {false, true},
+                    GoodnessModel::kLocalTesting, 0.5);
+  class StubbornProtocol : public AsyncProtocol {
+   public:
+    void initialize(const WorldView&, std::size_t) override {}
+    std::optional<ObjectId> choose_probe(PlayerId, const Billboard&,
+                                         Rng&) override {
+      return ObjectId{0};
+    }
+    StepOutcome on_probe_result(PlayerId, ObjectId object, double value,
+                                double, bool locally_good, Rng&) override {
+      return StepOutcome{ProbeReport{object, value, locally_good},
+                         locally_good};
+    }
+  } protocol;
+  const auto pop = Population::with_prefix_honest(2, 2);
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  const RunResult result = AsyncEngine::run(
+      world, pop, protocol, adversary, scheduler, {.max_steps = 10, .seed = 1});
+  EXPECT_FALSE(result.all_honest_satisfied);
+  EXPECT_EQ(result.rounds_executed, 10);
+}
+
+TEST(AsyncEngine, CollabBaselineSpreadsViaVotes) {
+  // Once one player finds the good object, followers should find it much
+  // faster than solo search: total steps far below n * m/2.
+  Rng rng(6);
+  const World world = make_simple_world(256, 1, rng);
+  const auto pop = Population::with_prefix_honest(16, 16);
+  AsyncCollabProtocol protocol;
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, {.seed = 3});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_LT(result.rounds_executed, 16 * 128);
+}
+
+TEST(AsyncEngine, DishonestPostsInterleaved) {
+  Rng rng(7);
+  const World world = make_simple_world(16, 1, rng);
+  const auto pop = Population::with_prefix_honest(4, 2);
+  class PostingAdversary : public Adversary {
+   public:
+    void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                    Rng&) override {
+      out.push_back(Post{ctx.population.dishonest_players()[0], ctx.round,
+                         ObjectId{0}, 1.0, true});
+    }
+  } adversary;
+  AsyncTrivialRandomProtocol protocol;
+  RoundRobinScheduler scheduler;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, {.seed = 4});
+  // Every step carries one dishonest post plus at most one honest post.
+  EXPECT_GE(result.total_posts,
+            static_cast<std::size_t>(result.rounds_executed));
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/full_coop_oracle.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(TrivialRandom, FindsGoodEventually) {
+  auto scenario = Scenario::make(16, 16, 64, 2, 101);
+  TrivialRandomProtocol protocol;
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, {.seed = 1});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(TrivialRandom, MeanCostNearOneOverBeta) {
+  // beta = 1/8: expect ~8 probes per player on average over many trials.
+  double total = 0.0;
+  int count = 0;
+  for (std::uint64_t t = 0; t < 40; ++t) {
+    auto scenario = Scenario::make(8, 8, 64, 8, 200 + t);
+    TrivialRandomProtocol protocol;
+    SilentAdversary adversary;
+    const RunResult result =
+        SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.seed = 300 + t});
+    total += result.mean_honest_probes();
+    ++count;
+  }
+  const double mean = total / count;
+  EXPECT_NEAR(mean, theory::trivial_expected_rounds(1.0 / 8.0), 2.5);
+}
+
+TEST(TrivialRandom, ImmuneToAdversary) {
+  // The trivial algorithm ignores the billboard entirely, so any adversary
+  // produces the identical execution under the same seeds.
+  auto scenario = Scenario::make(16, 8, 64, 2, 102);
+  auto run_with = [&](Adversary& adversary) {
+    TrivialRandomProtocol protocol;
+    return SyncEngine::run(scenario.world, scenario.population, protocol,
+                           adversary, {.seed = 55});
+  };
+  SilentAdversary silent;
+  EagerVoteAdversary eager;
+  const RunResult a = run_with(silent);
+  const RunResult b = run_with(eager);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+}
+
+TEST(CollabBaseline, TerminatesAllHonest) {
+  auto scenario = Scenario::make(64, 64, 64, 1, 103);
+  CollabBaselineProtocol protocol;
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, {.seed = 2});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(CollabBaseline, TerminatesUnderEagerVotes) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 104);
+  CollabBaselineProtocol protocol;
+  EagerVoteAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, {.seed = 3});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(CollabBaseline, FollowProbZeroEqualsTrivial) {
+  // With follow_prob = 0 the rule degenerates to pure random probing.
+  auto scenario = Scenario::make(8, 8, 32, 4, 105);
+  CollabBaselineProtocol protocol(0.0);
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, {.seed = 4});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(CollabBaseline, RejectsBadFollowProb) {
+  EXPECT_THROW(CollabBaselineProtocol(1.5), ContractViolation);
+  EXPECT_THROW(CollabBaselineProtocol(-0.1), ContractViolation);
+}
+
+TEST(CollabBaseline, GrowsWithLogN) {
+  // The defining weakness: even all-honest, cost grows with n. Compare
+  // n = 64 vs n = 1024 (means over trials); expect a clear increase.
+  auto mean_cost = [](std::size_t n) {
+    double total = 0.0;
+    const int trials = 15;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      Rng rng(1000 + t);
+      const World world = make_simple_world(n, 1, rng);
+      const auto pop = Population::with_prefix_honest(n, n);
+      CollabBaselineProtocol protocol;
+      SilentAdversary adversary;
+      const RunResult result = SyncEngine::run(world, pop, protocol,
+                                               adversary, {.seed = 2000 + t});
+      total += result.mean_honest_probes();
+    }
+    return total / trials;
+  };
+  EXPECT_GT(mean_cost(1024), mean_cost(64) + 2.0);
+}
+
+TEST(FullCoopOracle, NoDuplicateProbesBeforeDiscovery) {
+  // n players splitting a shared urn: total probes until the first good
+  // discovery never exceed m (each object probed at most once).
+  Rng rng(7);
+  const World world = make_simple_world(128, 1, rng);
+  const auto pop = Population::with_prefix_honest(8, 8);
+  FullCoopOracle protocol;
+  SilentAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 5});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  // Total probes <= m + n (urn + one follow round).
+  EXPECT_LE(result.total_honest_probes(), 128 + 8);
+}
+
+TEST(FullCoopOracle, MeanCostNearTheorem1Floor) {
+  // The oracle should track the Theorem 1 floor within a small factor.
+  const std::size_t n = 16;
+  const std::size_t m = 256;
+  const std::size_t good = 4;
+  double total = 0.0;
+  const int trials = 30;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Rng rng(3000 + t);
+    const World world = make_simple_world(m, good, rng);
+    const auto pop = Population::with_prefix_honest(n, n);
+    FullCoopOracle protocol;
+    SilentAdversary adversary;
+    const RunResult result =
+        SyncEngine::run(world, pop, protocol, adversary, {.seed = 4000 + t});
+    total += result.mean_honest_probes();
+  }
+  const double measured = total / trials;
+  const double floor = theory::theorem1_floor(
+      1.0, static_cast<double>(good) / m, n, m);
+  EXPECT_GE(measured, floor);       // cannot beat the bound
+  EXPECT_LE(measured, 4.0 * floor + 2.0);  // and sits near it
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,106 @@
+#include "acp/billboard/billboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+Post make_post(std::size_t author, Round round, std::size_t object,
+               double value = 0.5, bool positive = false) {
+  return Post{PlayerId{author}, round, ObjectId{object}, value, positive};
+}
+
+TEST(Billboard, StartsEmpty) {
+  const Billboard bb(4, 8);
+  EXPECT_EQ(bb.size(), 0u);
+  EXPECT_EQ(bb.last_committed_round(), -1);
+  EXPECT_EQ(bb.num_players(), 4u);
+  EXPECT_EQ(bb.num_objects(), 8u);
+}
+
+TEST(Billboard, CommitAppends) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(0, 0, 3), make_post(1, 0, 5)});
+  EXPECT_EQ(bb.size(), 2u);
+  EXPECT_EQ(bb.last_committed_round(), 0);
+  EXPECT_EQ(bb.posts()[0].object, ObjectId{3});
+  EXPECT_EQ(bb.posts()[1].author, PlayerId{1});
+}
+
+TEST(Billboard, AppendOnlyAcrossRounds) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(0, 0, 1)});
+  bb.commit_round(1, {make_post(0, 1, 2)});
+  EXPECT_EQ(bb.size(), 2u);
+  // Earlier posts are untouched — no erasure.
+  EXPECT_EQ(bb.posts()[0].round, 0);
+  EXPECT_EQ(bb.posts()[1].round, 1);
+}
+
+TEST(Billboard, EmptyRoundAllowed) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {});
+  EXPECT_EQ(bb.size(), 0u);
+  EXPECT_EQ(bb.last_committed_round(), 0);
+}
+
+TEST(Billboard, SkippedRoundsAllowed) {
+  Billboard bb(4, 8);
+  bb.commit_round(5, {make_post(2, 5, 0)});
+  EXPECT_EQ(bb.last_committed_round(), 5);
+}
+
+TEST(Billboard, RejectsNonMonotoneRounds) {
+  Billboard bb(4, 8);
+  bb.commit_round(3, {});
+  EXPECT_THROW(bb.commit_round(3, {}), ContractViolation);
+  EXPECT_THROW(bb.commit_round(2, {}), ContractViolation);
+}
+
+TEST(Billboard, RejectsWrongStamp) {
+  Billboard bb(4, 8);
+  EXPECT_THROW(bb.commit_round(1, {make_post(0, 0, 0)}), ContractViolation);
+}
+
+TEST(Billboard, RejectsUnknownAuthor) {
+  Billboard bb(4, 8);
+  EXPECT_THROW(bb.commit_round(0, {make_post(4, 0, 0)}), ContractViolation);
+}
+
+TEST(Billboard, RejectsUnknownObject) {
+  Billboard bb(4, 8);
+  EXPECT_THROW(bb.commit_round(0, {make_post(0, 0, 8)}), ContractViolation);
+}
+
+TEST(Billboard, RejectsDoublePostSameRound) {
+  Billboard bb(4, 8);
+  EXPECT_THROW(bb.commit_round(0, {make_post(1, 0, 2), make_post(1, 0, 3)}),
+               ContractViolation);
+}
+
+TEST(Billboard, RejectsNegativeReportedValue) {
+  Billboard bb(4, 8);
+  EXPECT_THROW(bb.commit_round(0, {make_post(0, 0, 0, -1.0)}),
+               ContractViolation);
+}
+
+TEST(Billboard, SamePlayerAcrossRoundsAllowed) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(1, 0, 2)});
+  EXPECT_NO_THROW(bb.commit_round(1, {make_post(1, 1, 3)}));
+}
+
+TEST(Billboard, FailedCommitLeavesLogUnchanged) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(0, 0, 1)});
+  EXPECT_THROW(bb.commit_round(1, {make_post(1, 1, 2), make_post(9, 1, 0)}),
+               ContractViolation);
+  // Validation precedes append: nothing from the bad batch landed.
+  EXPECT_EQ(bb.size(), 1u);
+  EXPECT_EQ(bb.last_committed_round(), 0);
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,169 @@
+#include "acp/world/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(UnitCostWorld, CountsAndCosts) {
+  Rng rng(1);
+  const World w = make_simple_world(100, 7, rng);
+  EXPECT_EQ(w.num_objects(), 100u);
+  EXPECT_EQ(w.num_good(), 7u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(w.cost(ObjectId{i}), 1.0);
+  }
+}
+
+TEST(UnitCostWorld, ValuesSeparatedByThreshold) {
+  Rng rng(2);
+  const World w = make_simple_world(64, 4, rng);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const ObjectId obj{i};
+    if (w.is_good(obj)) {
+      EXPECT_GE(w.value(obj), w.threshold());
+    } else {
+      EXPECT_LT(w.value(obj), w.threshold());
+    }
+  }
+}
+
+TEST(UnitCostWorld, GoodPlacementVariesAcrossSeeds) {
+  Rng rng_a(3);
+  Rng rng_b(4);
+  const World a = make_simple_world(256, 1, rng_a);
+  const World b = make_simple_world(256, 1, rng_b);
+  // With 256 positions, identical placement for two seeds is very unlikely;
+  // this guards against a deterministic (e.g. always-index-0) placement bug.
+  EXPECT_NE(a.good_objects()[0], b.good_objects()[0]);
+}
+
+TEST(UnitCostWorld, ReproducibleFromSeed) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const World a = make_simple_world(64, 2, rng_a);
+  const World b = make_simple_world(64, 2, rng_b);
+  EXPECT_EQ(a.good_objects(), b.good_objects());
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.value(ObjectId{i}), b.value(ObjectId{i}));
+  }
+}
+
+TEST(UnitCostWorld, RejectsOverlappingRanges) {
+  Rng rng(6);
+  UnitCostWorldOptions opts;
+  opts.num_objects = 10;
+  opts.num_good = 1;
+  opts.bad_hi = 0.7;  // crosses threshold 0.5
+  EXPECT_THROW((void)make_unit_cost_world(opts, rng), ContractViolation);
+}
+
+TEST(UnitCostWorld, AllGood) {
+  Rng rng(7);
+  const World w = make_simple_world(10, 10, rng);
+  EXPECT_DOUBLE_EQ(w.beta(), 1.0);
+}
+
+TEST(CostClassWorld, ClassStructure) {
+  Rng rng(8);
+  CostClassWorldOptions opts;
+  opts.num_classes = 3;
+  opts.objects_per_class = 10;
+  opts.cheapest_good_class = 1;
+  const World w = make_cost_class_world(opts, rng);
+  EXPECT_EQ(w.num_objects(), 30u);
+
+  std::size_t per_class_counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < 30; ++i) {
+    const double cost = w.cost(ObjectId{i});
+    ASSERT_GE(cost, 1.0);
+    ASSERT_LT(cost, 8.0);
+    ++per_class_counts[static_cast<std::size_t>(std::floor(std::log2(cost)))];
+  }
+  EXPECT_EQ(per_class_counts[0], 10u);
+  EXPECT_EQ(per_class_counts[1], 10u);
+  EXPECT_EQ(per_class_counts[2], 10u);
+}
+
+TEST(CostClassWorld, GoodOnlyInExpensiveClasses) {
+  Rng rng(9);
+  CostClassWorldOptions opts;
+  opts.num_classes = 4;
+  opts.objects_per_class = 16;
+  opts.cheapest_good_class = 2;
+  const World w = make_cost_class_world(opts, rng);
+  for (ObjectId obj : w.good_objects()) {
+    EXPECT_GE(w.cost(obj), 4.0);  // 2^2
+  }
+  // Classes 2 and 3 contribute one good object each.
+  EXPECT_EQ(w.num_good(), 2u);
+}
+
+TEST(CostClassWorld, CheapestGoodInRequestedClass) {
+  Rng rng(10);
+  CostClassWorldOptions opts;
+  opts.num_classes = 5;
+  opts.objects_per_class = 8;
+  opts.cheapest_good_class = 3;
+  const World w = make_cost_class_world(opts, rng);
+  double cheapest = 1e300;
+  for (ObjectId obj : w.good_objects()) {
+    cheapest = std::min(cheapest, w.cost(obj));
+  }
+  EXPECT_GE(cheapest, 8.0);
+  EXPECT_LT(cheapest, 16.0);
+}
+
+TEST(CostClassWorld, RejectsBadClassIndex) {
+  Rng rng(11);
+  CostClassWorldOptions opts;
+  opts.num_classes = 2;
+  opts.cheapest_good_class = 2;
+  EXPECT_THROW((void)make_cost_class_world(opts, rng), ContractViolation);
+}
+
+TEST(TopBetaWorld, ExactlyTopValuesAreGood) {
+  Rng rng(12);
+  const World w = make_top_beta_world(50, 5, rng);
+  EXPECT_EQ(w.model(), GoodnessModel::kTopBeta);
+  EXPECT_EQ(w.num_good(), 5u);
+  // Every good value must exceed every bad value.
+  double min_good = 1e300;
+  double max_bad = -1.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const ObjectId obj{i};
+    if (w.is_good(obj)) {
+      min_good = std::min(min_good, w.value(obj));
+    } else {
+      max_bad = std::max(max_bad, w.value(obj));
+    }
+  }
+  EXPECT_GT(min_good, max_bad);
+}
+
+TEST(TopBetaWorld, DistinctValues) {
+  Rng rng(13);
+  const World w = make_top_beta_world(100, 10, rng);
+  std::set<double> values;
+  for (std::size_t i = 0; i < 100; ++i) values.insert(w.value(ObjectId{i}));
+  EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(TopBetaWorld, SingleGoodIsMaximum) {
+  Rng rng(14);
+  const World w = make_top_beta_world(40, 1, rng);
+  const ObjectId best = w.good_objects()[0];
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (ObjectId{i} != best) {
+      EXPECT_LT(w.value(ObjectId{i}), w.value(best));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,231 @@
+#include "acp/sim/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace acp::cli {
+namespace {
+
+TEST(CliParse, Defaults) {
+  const CliConfig config = parse_args({});
+  EXPECT_EQ(config.n, 256u);
+  EXPECT_EQ(config.m, 256u);
+  EXPECT_EQ(config.good, 1u);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.5);
+  EXPECT_EQ(config.protocol, ProtocolKind::kDistill);
+  EXPECT_EQ(config.adversary, AdversaryKind::kSilent);
+  EXPECT_FALSE(config.csv);
+  EXPECT_TRUE(config.use_advice);
+}
+
+TEST(CliParse, AllOptions) {
+  const CliConfig config = parse_args(
+      {"--n", "128", "--m", "512", "--good", "3", "--alpha", "0.75",
+       "--protocol", "distill-hp", "--adversary", "collude", "--trials",
+       "7", "--seed", "99", "--max-rounds", "1000", "--f", "2", "--err",
+       "0.1", "--veto", "0.25", "--no-advice", "--csv"});
+  EXPECT_EQ(config.n, 128u);
+  EXPECT_EQ(config.m, 512u);
+  EXPECT_EQ(config.good, 3u);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.75);
+  EXPECT_EQ(config.protocol, ProtocolKind::kDistillHp);
+  EXPECT_EQ(config.adversary, AdversaryKind::kCollude);
+  EXPECT_EQ(config.trials, 7u);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.max_rounds, 1000);
+  EXPECT_EQ(config.votes_per_player, 2u);
+  EXPECT_DOUBLE_EQ(config.error_vote_prob, 0.1);
+  EXPECT_DOUBLE_EQ(config.veto_fraction, 0.25);
+  EXPECT_FALSE(config.use_advice);
+  EXPECT_TRUE(config.csv);
+}
+
+TEST(CliParse, UnknownOptionRejected) {
+  EXPECT_THROW((void)parse_args({"--bogus"}), std::invalid_argument);
+}
+
+TEST(CliParse, MissingValueRejected) {
+  EXPECT_THROW((void)parse_args({"--n"}), std::invalid_argument);
+}
+
+TEST(CliParse, BadNumberRejected) {
+  EXPECT_THROW((void)parse_args({"--n", "abc"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--alpha", "zzz"}), std::invalid_argument);
+}
+
+TEST(CliParse, RangeChecks) {
+  EXPECT_THROW((void)parse_args({"--alpha", "0"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--alpha", "1.5"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--good", "0"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--m", "4", "--good", "5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--trials", "0"}), std::invalid_argument);
+}
+
+TEST(CliParse, UnknownProtocolAdversaryRejected) {
+  EXPECT_THROW((void)parse_args({"--protocol", "magic"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--adversary", "gremlin"}),
+               std::invalid_argument);
+}
+
+TEST(CliParse, HelpSkipsValidation) {
+  const CliConfig config = parse_args({"--help"});
+  EXPECT_TRUE(config.help);
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  CliConfig config;
+  config.help = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+  EXPECT_NE(out.str().find("usage: acpsim"), std::string::npos);
+}
+
+TEST(CliRun, SmallDistillRunSucceeds) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 3;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+  EXPECT_NE(out.str().find("probes/player"), std::string::npos);
+  EXPECT_NE(out.str().find("success fraction"), std::string::npos);
+}
+
+TEST(CliRun, CsvOutput) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.csv = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+  EXPECT_NE(out.str().find("metric,mean,p50"), std::string::npos);
+}
+
+TEST(CliRun, EveryProtocolRuns) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kDistill, ProtocolKind::kDistillHp,
+        ProtocolKind::kGuessAlpha, ProtocolKind::kCostClasses,
+        ProtocolKind::kNoLocalTesting, ProtocolKind::kCollab,
+        ProtocolKind::kTrivial}) {
+    CliConfig config;
+    config.n = 32;
+    config.m = 32;
+    config.good = 2;
+    config.trials = 2;
+    config.protocol = kind;
+    std::ostringstream out;
+    const int code = run(config, out);
+    EXPECT_TRUE(code == 0 || code == 2) << "protocol " << static_cast<int>(kind);
+    EXPECT_FALSE(out.str().empty());
+  }
+}
+
+TEST(CliRun, EveryAdversaryRuns) {
+  for (AdversaryKind kind :
+       {AdversaryKind::kSilent, AdversaryKind::kSlander,
+        AdversaryKind::kEager, AdversaryKind::kCollude,
+        AdversaryKind::kSplitVote, AdversaryKind::kValueLiar}) {
+    CliConfig config;
+    config.n = 32;
+    config.m = 32;
+    config.alpha = 0.5;
+    config.trials = 2;
+    config.adversary = kind;
+    std::ostringstream out;
+    EXPECT_EQ(run(config, out), 0) << "adversary " << static_cast<int>(kind);
+  }
+}
+
+TEST(CliParse, SweepSpec) {
+  const CliConfig config =
+      parse_args({"--sweep", "alpha=0.1:0.9:0.2"});
+  EXPECT_EQ(config.sweep_param, "alpha");
+  EXPECT_DOUBLE_EQ(config.sweep_lo, 0.1);
+  EXPECT_DOUBLE_EQ(config.sweep_hi, 0.9);
+  EXPECT_DOUBLE_EQ(config.sweep_step, 0.2);
+}
+
+TEST(CliParse, SweepRejectsMalformedSpec) {
+  EXPECT_THROW((void)parse_args({"--sweep", "alpha"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--sweep", "alpha=1:2"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--sweep", "bogus=0:1:0.5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--sweep", "alpha=0.9:0.1:0.2"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--sweep", "alpha=0.1:0.9:0"}),
+               std::invalid_argument);
+}
+
+TEST(CliRun, SweepPrintsOneRowPerValue) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.sweep_param = "alpha";
+  config.sweep_lo = 0.5;
+  config.sweep_hi = 1.0;
+  config.sweep_step = 0.25;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("0.500"), std::string::npos);
+  EXPECT_NE(text.find("0.750"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+}
+
+TEST(CliParse, GossipAndTrustFlags) {
+  const CliConfig config =
+      parse_args({"--gossip", "--fanout", "4", "--trust"});
+  EXPECT_TRUE(config.gossip);
+  EXPECT_EQ(config.fanout, 4u);
+  EXPECT_TRUE(config.trust_advice);
+}
+
+TEST(CliRun, GossipEngineRuns) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.gossip = true;
+  config.fanout = 3;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+}
+
+TEST(CliRun, GossipRejectsSplitVote) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 1;
+  config.gossip = true;
+  config.adversary = AdversaryKind::kSplitVote;
+  std::ostringstream out;
+  EXPECT_THROW(run(config, out), std::invalid_argument);
+}
+
+TEST(CliRun, TrustRuns) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.trust_advice = true;
+  config.adversary = AdversaryKind::kEager;
+  config.alpha = 0.5;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+}
+
+TEST(CliRun, SplitVoteRequiresDistill) {
+  CliConfig config;
+  config.protocol = ProtocolKind::kCollab;
+  config.adversary = AdversaryKind::kSplitVote;
+  config.trials = 1;
+  std::ostringstream out;
+  EXPECT_THROW(run(config, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acp::cli

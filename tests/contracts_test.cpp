@@ -1,0 +1,68 @@
+#include "acp/util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acp {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(ACP_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(ACP_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(ACP_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+  EXPECT_THROW(ACP_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, ViolationRecordsKind) {
+  try {
+    ACP_EXPECTS(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "precondition");
+    EXPECT_STREQ(e.condition(), "false");
+  }
+}
+
+TEST(Contracts, EnsuresRecordsKind) {
+  try {
+    ACP_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "postcondition");
+  }
+}
+
+TEST(Contracts, MessageContainsLocation) {
+  try {
+    ACP_EXPECTS(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("contracts_test.cpp"), std::string::npos);
+    EXPECT_NE(message.find("2 > 3"), std::string::npos);
+  }
+}
+
+TEST(Contracts, IsLogicError) {
+  EXPECT_THROW(ACP_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, ConditionEvaluatedOnce) {
+  int evaluations = 0;
+  ACP_EXPECTS([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,140 @@
+// §5.2 — multiple costs (Theorem 12).
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/cost_classes.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+struct CostScenario {
+  World world;
+  Population population;
+};
+
+CostScenario make_cost_scenario(std::size_t num_classes,
+                                std::size_t per_class,
+                                std::size_t cheapest_good,
+                                std::size_t n, std::size_t honest,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  CostClassWorldOptions opts;
+  opts.num_classes = num_classes;
+  opts.objects_per_class = per_class;
+  opts.cheapest_good_class = cheapest_good;
+  World world = make_cost_class_world(opts, rng);
+  Population population = Population::with_random_honest(n, honest, rng);
+  return CostScenario{std::move(world), std::move(population)};
+}
+
+RunResult run_cost_classes(const CostScenario& scenario, double alpha,
+                           std::uint64_t seed) {
+  CostClassParams params;
+  params.alpha = alpha;
+  CostClassProtocol protocol(params);
+  SilentAdversary adversary;
+  return SyncEngine::run(scenario.world, scenario.population, protocol,
+                         adversary, {.max_rounds = 500000, .seed = seed});
+}
+
+TEST(CostClasses, AllFindGood) {
+  auto scenario = make_cost_scenario(4, 32, 1, 64, 32, 121);
+  const RunResult result = run_cost_classes(scenario, 0.5, 1);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(CostClasses, PartitionsUniverseByCost) {
+  auto scenario = make_cost_scenario(3, 16, 0, 16, 16, 122);
+  CostClassParams params;
+  params.alpha = 1.0;
+  CostClassProtocol protocol(params);
+  protocol.initialize(WorldView(scenario.world), 16);
+  ASSERT_EQ(protocol.num_classes(), 3u);
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    EXPECT_EQ(protocol.class_objects(cls).size(), 16u);
+    for (ObjectId obj : protocol.class_objects(cls)) {
+      const double cost = scenario.world.cost(obj);
+      EXPECT_GE(cost, static_cast<double>(std::size_t{1} << cls));
+      EXPECT_LT(cost, static_cast<double>(std::size_t{2} << cls));
+    }
+  }
+}
+
+TEST(CostClasses, StartsWithCheapestClass) {
+  auto scenario = make_cost_scenario(3, 16, 0, 16, 16, 123);
+  CostClassParams params;
+  params.alpha = 1.0;
+  CostClassProtocol protocol(params);
+  protocol.initialize(WorldView(scenario.world), 16);
+  Billboard billboard(16, 48);
+  protocol.on_round_begin(0, billboard);
+  EXPECT_EQ(protocol.current_class(), 0u);
+}
+
+TEST(CostClasses, CostBoundedWhenGoodIsCheap) {
+  // Cheapest good object in class 0 (cost < 2): honest cost should be tiny
+  // compared with probing expensive classes.
+  auto scenario = make_cost_scenario(5, 16, 0, 32, 32, 124);
+  const RunResult result = run_cost_classes(scenario, 1.0, 2);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  // If the schedule leaked into class 4 (costs ~16-32) the mean cost would
+  // blow up; staying within class 0 keeps it small.
+  EXPECT_LT(result.mean_honest_cost(), 100.0);
+}
+
+TEST(CostClasses, CostScalesWithCheapestGoodClass) {
+  // Moving the cheapest good object to a more expensive class should raise
+  // the mean cost paid roughly geometrically (Theorem 12: ~ q0).
+  double cheap_total = 0.0;
+  double dear_total = 0.0;
+  const int trials = 6;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto cheap = make_cost_scenario(4, 16, 0, 32, 32, 7000 + t);
+    auto dear = make_cost_scenario(4, 16, 3, 32, 32, 7000 + t);
+    cheap_total += run_cost_classes(cheap, 1.0, 8000 + t).mean_honest_cost();
+    dear_total += run_cost_classes(dear, 1.0, 8000 + t).mean_honest_cost();
+  }
+  // q0 differs by ~8x; demand at least 2x separation to be robust.
+  EXPECT_GT(dear_total, 2.0 * cheap_total);
+}
+
+TEST(CostClasses, SucceedsUnderAdversary) {
+  auto scenario = make_cost_scenario(3, 16, 1, 48, 24, 125);
+  CostClassParams params;
+  params.alpha = 0.5;
+  CostClassProtocol protocol(params);
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.max_rounds = 500000, .seed = 3});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(CostClasses, RejectsBadParams) {
+  CostClassParams params;
+  params.alpha = 0.0;
+  EXPECT_THROW(CostClassProtocol{params}, ContractViolation);
+}
+
+TEST(CostClasses, RejectsSubUnitCosts) {
+  // §5.2 assumes all costs >= 1 (w.l.o.g.); the protocol checks it.
+  const World world({0.1, 0.9}, {0.5, 1.0}, {false, true},
+                    GoodnessModel::kLocalTesting, 0.5);
+  CostClassParams params;
+  CostClassProtocol protocol(params);
+  EXPECT_THROW(protocol.initialize(WorldView(world), 4), ContractViolation);
+}
+
+TEST(CostClasses, ClassQueryOutOfRangeThrows) {
+  auto scenario = make_cost_scenario(2, 8, 0, 8, 8, 126);
+  CostClassParams params;
+  CostClassProtocol protocol(params);
+  protocol.initialize(WorldView(scenario.world), 8);
+  EXPECT_THROW((void)protocol.class_objects(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,186 @@
+// Black-box behavior of DISTILL under the engine and adversary library.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(DistillBehavior, SucceedsUnderEagerVoteAdversary) {
+  auto scenario = Scenario::make(128, 64, 128, 1, 21);
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, 22);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillBehavior, SucceedsUnderCollusionAdversary) {
+  auto scenario = Scenario::make(128, 64, 128, 1, 23);
+  CollusionAdversary adversary(4);
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, 24);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillBehavior, SucceedsUnderSplitVoteAdversary) {
+  auto scenario = Scenario::make(128, 64, 128, 1, 25);
+  DistillProtocol protocol(basic_params(0.5));
+  SplitVoteAdversary adversary(protocol);
+  const RunResult result = SyncEngine::run(scenario.world,
+                                           scenario.population, protocol,
+                                           adversary, {.seed = 26});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillBehavior, SlanderIsUseless) {
+  // Negative-only adversaries must not slow DISTILL beyond noise: compare
+  // mean probes against the silent adversary over a few trials.
+  double silent_total = 0.0;
+  double slander_total = 0.0;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    auto scenario = Scenario::make(64, 32, 64, 1, 300 + t);
+    {
+      SilentAdversary adversary;
+      silent_total +=
+          run_distill(scenario, basic_params(0.5), adversary, 400 + t)
+              .mean_honest_probes();
+    }
+    {
+      SlandererAdversary adversary;
+      slander_total +=
+          run_distill(scenario, basic_params(0.5), adversary, 400 + t)
+              .mean_honest_probes();
+    }
+  }
+  // Identical seeds and identical honest randomness: slander changes
+  // nothing at all in DISTILL's execution.
+  EXPECT_DOUBLE_EQ(silent_total, slander_total);
+}
+
+TEST(DistillBehavior, SatisfiedPlayersStopProbing) {
+  auto scenario = Scenario::make(32, 32, 32, 4, 27);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(1.0), adversary, 28);
+  for (const auto& stats : result.players) {
+    ASSERT_TRUE(stats.satisfied());
+    // A player's probe count can be at most satisfied_round + 1 (one probe
+    // per round, none after halting).
+    EXPECT_LE(stats.probes, stats.satisfied_round + 1);
+  }
+}
+
+TEST(DistillBehavior, ProbeCountBoundedByRounds) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 29);
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, 30);
+  for (const auto& stats : result.players) {
+    EXPECT_LE(stats.probes, result.rounds_executed);
+  }
+}
+
+TEST(DistillBehavior, UnitCostEqualsProbes) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 31);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, 32);
+  for (const auto& stats : result.players) {
+    EXPECT_DOUBLE_EQ(stats.cost_paid, static_cast<double>(stats.probes));
+  }
+}
+
+TEST(DistillBehavior, ManyGoodObjectsFinishFast) {
+  // beta = 1/4: random probing alone finds a good object in ~4 probes, and
+  // Step 1.1 is short. Expect a small constant.
+  auto scenario = Scenario::make(64, 64, 64, 16, 33);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(1.0), adversary, 34);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_LT(result.mean_honest_probes(), 30.0);
+}
+
+TEST(DistillBehavior, WorksWhenObjectsOutnumberPlayers) {
+  // m >> n exercises Step 1.1's k1/(alpha beta n) scaling.
+  auto scenario = Scenario::make(32, 32, 512, 8, 35);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(1.0), adversary, 36);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillBehavior, WorksWhenPlayersOutnumberObjects) {
+  auto scenario = Scenario::make(512, 256, 32, 1, 37);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, 38);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillBehavior, SingleHonestPlayerStillSucceeds) {
+  // alpha = 1/16: a lonely honest player among Byzantine peers.
+  auto scenario = Scenario::make(16, 1, 16, 2, 39);
+  EagerVoteAdversary adversary;
+  DistillParams params = basic_params(1.0 / 16.0);
+  const RunResult result =
+      run_distill(scenario, params, adversary, 40, /*max_rounds=*/200000);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillBehavior, DeterministicAcrossRuns) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 41);
+  auto run_once = [&] {
+    SilentAdversary adversary;
+    return run_distill(scenario, basic_params(0.5), adversary, 42);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+    EXPECT_EQ(a.players[p].satisfied_round, b.players[p].satisfied_round);
+  }
+}
+
+TEST(DistillBehavior, MeanCostWithinTheoryEnvelope) {
+  // Mean probes across trials should sit within a generous constant of the
+  // Theorem 4 shape (the bound hides constants; 12x is ample).
+  const std::size_t n = 256;
+  const double alpha = 0.5;
+  double total = 0.0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    auto scenario =
+        Scenario::make(n, n / 2, n, 1, 500 + static_cast<std::uint64_t>(t));
+    SilentAdversary adversary;
+    total += run_distill(scenario, basic_params(alpha), adversary,
+                         600 + static_cast<std::uint64_t>(t))
+                 .mean_honest_probes();
+  }
+  const double measured = total / trials;
+  const double bound =
+      theory::distill_expected_rounds(alpha, 1.0 / n, n);
+  EXPECT_LT(measured, 12.0 * bound);
+}
+
+TEST(DistillBehavior, SplitVoteBudgetNeverExceeded) {
+  auto scenario = Scenario::make(128, 32, 128, 1, 43);
+  DistillProtocol protocol(basic_params(0.25));
+  SplitVoteAdversary adversary(protocol);
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.seed = 44});
+  // votes_remaining counts unspent dishonest votes; spent <= dishonest.
+  EXPECT_LE(scenario.population.num_dishonest() - adversary.votes_remaining(),
+            scenario.population.num_dishonest());
+}
+
+}  // namespace
+}  // namespace acp::test

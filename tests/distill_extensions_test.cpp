@@ -1,0 +1,116 @@
+// §4.1 extensions (multiple votes, erroneous votes) and ablation knobs.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(DistillExtensions, MultiVoteStillTerminates) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 51);
+  DistillParams params = basic_params(0.5);
+  params.votes_per_player = 4;
+  SilentAdversary adversary;
+  const RunResult result = run_distill(scenario, params, adversary, 52);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillExtensions, ErroneousVotesTolerated) {
+  // 10% false-positive rate with f = 4 slots: the true vote still lands
+  // (§4.1: tolerate errors while one positive vote is correct).
+  auto scenario = Scenario::make(64, 32, 64, 1, 53);
+  DistillParams params = basic_params(0.5);
+  params.votes_per_player = 4;
+  params.error_vote_prob = 0.1;
+  SilentAdversary adversary;
+  const RunResult result = run_distill(scenario, params, adversary, 54);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillExtensions, ErrorsWithSingleVoteStillFindGood) {
+  // With f = 1 an early error burns the only read-side slot; the player
+  // still *finds* a good object itself (local testing), it just can't
+  // advertise it. Success is unaffected; collaboration degrades.
+  auto scenario = Scenario::make(64, 64, 64, 4, 55);
+  DistillParams params = basic_params(1.0);
+  params.error_vote_prob = 0.2;
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, params, adversary, 56, /*max_rounds=*/200000);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(DistillExtensions, LargerVoteBudgetAmplifiesAdversary) {
+  // With f votes per player the adversary's effective budget is f(1-alpha)n.
+  // Sanity: runs still terminate with f = 8 and a colluding adversary.
+  auto scenario = Scenario::make(64, 32, 64, 1, 57);
+  DistillParams params = basic_params(0.5);
+  params.votes_per_player = 8;
+  CollusionAdversary adversary(8);
+  const RunResult result = run_distill(scenario, params, adversary, 58);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillAblation, NoAdviceStillTerminatesWhenAllHonest) {
+  auto scenario = Scenario::make(64, 64, 64, 2, 59);
+  DistillParams params = basic_params(1.0);
+  params.use_advice = false;
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, params, adversary, 60, /*max_rounds=*/200000);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillAblation, SurvivalDivisorTwoTerminates) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 61);
+  DistillParams params = basic_params(0.5);
+  params.survival_divisor = 2.0;  // stricter threshold n/(2 c_t)
+  SilentAdversary adversary;
+  const RunResult result = run_distill(scenario, params, adversary, 62);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillAblation, SurvivalDivisorEightTerminates) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 63);
+  DistillParams params = basic_params(0.5);
+  params.survival_divisor = 8.0;  // laxer threshold n/(8 c_t)
+  EagerVoteAdversary adversary;
+  const RunResult result = run_distill(scenario, params, adversary, 64);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(DistillHp, FactorySetsLogConstants) {
+  const DistillParams params = make_hp_params(0.5, 1024);
+  EXPECT_DOUBLE_EQ(params.k1, 20.0);  // 2 * log2(1024)
+  EXPECT_DOUBLE_EQ(params.k2, 80.0);  // 8 * log2(1024)
+  EXPECT_DOUBLE_EQ(params.alpha, 0.5);
+  EXPECT_TRUE(params.local_testing);
+}
+
+TEST(DistillHp, TerminatesWithTightTail) {
+  // HP constants: over several trials the max satisfied round should stay
+  // within the Theorem 11 horizon.
+  const std::size_t n = 64;
+  const double alpha = 0.5;
+  const Round horizon = theory::hp_horizon(alpha, 1.0 / n, n, 16.0);
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    auto scenario = Scenario::make(n, n / 2, n, 1, 700 + t);
+    SilentAdversary adversary;
+    const RunResult result = run_distill(scenario, make_hp_params(alpha, n),
+                                         adversary, 800 + t,
+                                         /*max_rounds=*/horizon);
+    EXPECT_TRUE(result.all_honest_satisfied) << "trial " << t;
+  }
+}
+
+TEST(DistillHp, RejectsBadConstants) {
+  EXPECT_THROW((void)make_hp_params(0.5, 64, 0.0, 8.0), ContractViolation);
+  EXPECT_THROW((void)make_hp_params(0.5, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp::test

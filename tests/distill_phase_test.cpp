@@ -1,0 +1,329 @@
+// White-box tests of DISTILL's phase machinery against Figure 1.
+#include <gtest/gtest.h>
+
+#include "acp/core/distill.hpp"
+#include "acp/util/contracts.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+/// Drive a DistillProtocol by hand against a billboard, bypassing the
+/// engine, so phase transitions can be inspected round by round.
+class PhaseHarness {
+ public:
+  PhaseHarness(DistillParams params, std::size_t n, std::size_t m,
+               std::size_t good, std::uint64_t seed = 1)
+      : rng_(seed),
+        world_(make_simple_world(m, good, rng_)),
+        billboard_(n, m),
+        protocol_(std::move(params)) {
+    protocol_.initialize(WorldView(world_), n);
+  }
+
+  /// Run the current round's on_round_begin if not yet done (idempotent).
+  void begin() {
+    if (!begun_) {
+      protocol_.on_round_begin(round_, billboard_);
+      begun_ = true;
+    }
+  }
+
+  /// Advance one round; `posts` land stamped with the current round.
+  void step(std::vector<Post> posts = {}) {
+    begin();
+    for (Post& p : posts) p.round = round_;
+    billboard_.commit_round(round_, std::move(posts));
+    ++round_;
+    begun_ = false;
+  }
+
+  /// A player's probe choice in the current round (after on_round_begin).
+  std::optional<ObjectId> probe(PlayerId p, Rng& rng) {
+    begin();
+    return protocol_.choose_probe(p, round_, rng);
+  }
+
+  DistillProtocol& protocol() { return protocol_; }
+  [[nodiscard]] Round round() const { return round_; }
+
+ private:
+  Rng rng_;
+  World world_;
+  Billboard billboard_;
+  DistillProtocol protocol_;
+  Round round_ = 0;
+  bool begun_ = false;
+};
+
+DistillParams params_with(double alpha, double k1, double k2) {
+  DistillParams p;
+  p.alpha = alpha;
+  p.k1 = k1;
+  p.k2 = k2;
+  return p;
+}
+
+TEST(DistillPhases, StartsInStep11) {
+  PhaseHarness h(params_with(1.0, 4.0, 16.0), 16, 16, 1);
+  h.step();
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep11);
+  EXPECT_EQ(h.protocol().attempts_started(), 1u);
+}
+
+TEST(DistillPhases, PhaseLengthsMatchFigure1) {
+  // alpha=0.5, beta=1/16, n=16: k1/(alpha beta n) = 4/(0.5*1) = 8
+  // invocations of 2 rounds; k2/alpha = 32 invocations; step2 iteration
+  // 1/alpha = 2 invocations.
+  DistillParams p = params_with(0.5, 4.0, 16.0);
+  PhaseHarness h(p, 16, 16, 1);
+  h.step();
+  EXPECT_EQ(h.protocol().step11_rounds(), 16);
+  EXPECT_EQ(h.protocol().step13_rounds(), 64);
+  EXPECT_EQ(h.protocol().step2_iteration_rounds(), 4);
+}
+
+TEST(DistillPhases, AdviceDisabledHalvesInvocationLength) {
+  DistillParams p = params_with(0.5, 4.0, 16.0);
+  p.use_advice = false;
+  PhaseHarness h(p, 16, 16, 1);
+  h.step();
+  EXPECT_EQ(h.protocol().rounds_per_invocation(), 1);
+  EXPECT_EQ(h.protocol().step11_rounds(), 8);
+}
+
+TEST(DistillPhases, TransitionToStep13AtBoundary) {
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 4, 4, 1);
+  const Round step11 = 2;  // ceil(1/(1*0.25*4)) = 1 invocation = 2 rounds
+  h.step();
+  EXPECT_EQ(h.protocol().step11_rounds(), step11);
+  h.step();
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep11);
+  h.step();  // round 2: boundary
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep13);
+}
+
+TEST(DistillPhases, StepSComputedFromVotes) {
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 4, 8, 1);
+  // Two votes during Step 1.1: objects 3 and 5.
+  h.step({Post{PlayerId{0}, 0, ObjectId{3}, 1.0, true}});
+  h.step({Post{PlayerId{1}, 0, ObjectId{5}, 1.0, true}});
+  const Round step11 = h.protocol().step11_rounds();
+  for (Round r = 2; r < step11; ++r) h.step();
+  h.begin();  // boundary: S computed
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep13);
+  const auto& s = h.protocol().candidates();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], ObjectId{3});
+  EXPECT_EQ(s[1], ObjectId{5});
+}
+
+TEST(DistillPhases, EmptyC0RestartsAttempt) {
+  // Nobody votes: C0 empty at the 1.3/2 boundary, so a new ATTEMPT starts.
+  DistillParams p = params_with(1.0, 1.0, 2.0);
+  PhaseHarness h(p, 4, 4, 1);
+  const Round total = h.protocol().step11_rounds();
+  h.step();
+  const Round step13 = h.protocol().step13_rounds();
+  for (Round r = 1; r < total + step13; ++r) h.step();
+  EXPECT_EQ(h.protocol().attempts_started(), 1u);
+  h.step();  // boundary: empty C0 -> restart
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep11);
+  EXPECT_EQ(h.protocol().attempts_started(), 2u);
+}
+
+TEST(DistillPhases, C0RequiresThresholdVotes) {
+  // k2 = 4 => threshold ceil(4/4) = 1 vote within the Step 1.3 window.
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 4, 8, 1);
+  const Round step11 = h.protocol().step11_rounds();
+  // One early vote (gets object 2 into S but is OUTSIDE the 1.3 window).
+  h.step({Post{PlayerId{0}, 0, ObjectId{2}, 1.0, true}});
+  for (Round r = 1; r < step11; ++r) h.step();
+  // Now in Step 1.3. Vote for object 6 inside the window.
+  h.step({Post{PlayerId{1}, 0, ObjectId{6}, 1.0, true}});
+  const Round step13 = h.protocol().step13_rounds();
+  for (Round r = 1; r < step13; ++r) h.step();
+  h.step();  // boundary: C0 computed from the 1.3 window only
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep2);
+  const auto& c0 = h.protocol().candidates();
+  ASSERT_EQ(c0.size(), 1u);
+  EXPECT_EQ(c0[0], ObjectId{6});
+}
+
+TEST(DistillPhases, Step2SurvivalThresholdStrict) {
+  // n=8, c_t=2: survival needs > 8/(4*2) = 1 vote, i.e. >= 2 votes.
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 8, 8, 1);
+  const Round step11 = h.protocol().step11_rounds();
+  for (Round r = 0; r < step11; ++r) h.step();
+  h.begin();
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep13);
+  // Two objects into C0 (>= 1 vote each in window).
+  h.step({Post{PlayerId{0}, 0, ObjectId{1}, 1.0, true},
+          Post{PlayerId{1}, 0, ObjectId{2}, 1.0, true}});
+  const Round step13 = h.protocol().step13_rounds();
+  for (Round r = 1; r < step13; ++r) h.step();
+  h.step();
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep2);
+  ASSERT_EQ(h.protocol().candidates().size(), 2u);
+
+  // During the iteration: object 1 gets 2 votes, object 2 gets 1.
+  h.step({Post{PlayerId{2}, 0, ObjectId{1}, 1.0, true},
+          Post{PlayerId{3}, 0, ObjectId{1}, 1.0, true},
+          Post{PlayerId{4}, 0, ObjectId{2}, 1.0, true}});
+  const Round iter = h.protocol().step2_iteration_rounds();
+  for (Round r = 1; r < iter; ++r) h.step();
+  h.step();  // boundary: C1 computed
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep2);
+  EXPECT_EQ(h.protocol().iteration(), 1u);
+  const auto& c1 = h.protocol().candidates();
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0], ObjectId{1});
+}
+
+TEST(DistillPhases, EmptyCtEndsAttempt) {
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 8, 8, 1);
+  const Round step11 = h.protocol().step11_rounds();
+  for (Round r = 0; r < step11; ++r) h.step();
+  h.step({Post{PlayerId{0}, 0, ObjectId{1}, 1.0, true}});
+  const Round step13 = h.protocol().step13_rounds();
+  for (Round r = 1; r < step13; ++r) h.step();
+  h.step();
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep2);
+  // No votes during the iteration: everything drops, ATTEMPT restarts.
+  const Round iter = h.protocol().step2_iteration_rounds();
+  for (Round r = 0; r < iter - 1; ++r) h.step();
+  h.step();
+  EXPECT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep11);
+  EXPECT_EQ(h.protocol().attempts_started(), 2u);
+}
+
+TEST(DistillPhases, AdviceRoundFollowsVote) {
+  DistillParams p = params_with(1.0, 4.0, 16.0);
+  PhaseHarness h(p, 4, 64, 1);
+  // Round 0: candidate probe. Vote by player 2 lands round 0.
+  h.step({Post{PlayerId{2}, 0, ObjectId{9}, 1.0, true}});
+  // Round 1 is an advice round; all advice must go to object 9 (the only
+  // vote) or be nullopt (never a random candidate probe).
+  Rng rng(7);
+  bool followed = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto probe = h.probe(PlayerId{0}, rng);
+    if (probe.has_value()) {
+      EXPECT_EQ(*probe, ObjectId{9});
+      followed = true;
+    }
+  }
+  EXPECT_TRUE(followed);  // with 50 draws over 4 players, j=2 comes up
+}
+
+TEST(DistillPhases, AdviceIdlesWithoutVotes) {
+  DistillParams p = params_with(1.0, 4.0, 16.0);
+  PhaseHarness h(p, 4, 64, 1);
+  h.step();  // round 0 done, round 1 is advice round, no votes anywhere
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(h.probe(PlayerId{0}, rng).has_value());
+  }
+}
+
+TEST(DistillPhases, CandidateProbeStaysInCandidates) {
+  DistillParams p = params_with(1.0, 1.0, 4.0);
+  PhaseHarness h(p, 4, 16, 1);
+  h.step({Post{PlayerId{0}, 0, ObjectId{3}, 1.0, true},
+          Post{PlayerId{1}, 0, ObjectId{7}, 1.0, true}});
+  const Round step11 = h.protocol().step11_rounds();
+  for (Round r = 1; r < step11; ++r) h.step();
+  h.begin();  // boundary round: S computed
+  ASSERT_EQ(h.protocol().phase(), DistillProtocol::Phase::kStep13);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto probe = h.probe(PlayerId{0}, rng);
+    ASSERT_TRUE(probe.has_value());
+    EXPECT_TRUE(*probe == ObjectId{3} || *probe == ObjectId{7});
+  }
+}
+
+TEST(DistillPhases, Step11ProbesWholeUniverse) {
+  DistillParams p = params_with(1.0, 16.0, 4.0);
+  PhaseHarness h(p, 4, 8, 1);
+  h.step();
+  Rng rng(11);
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 400; ++i) {
+    const auto probe = h.protocol().choose_probe(PlayerId{0}, 0, rng);
+    ASSERT_TRUE(probe.has_value());
+    seen[probe->value()] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DistillPhases, UniverseRestrictionFiltersEverything) {
+  DistillParams p = params_with(1.0, 4.0, 4.0);
+  p.universe = std::vector<ObjectId>{ObjectId{0}, ObjectId{1}};
+  p.beta_override = 0.5;
+  PhaseHarness h(p, 4, 8, 1);
+  // A vote for an out-of-universe object must not be followed.
+  h.step({Post{PlayerId{2}, 0, ObjectId{5}, 1.0, true}});
+  Rng rng(13);
+  // Advice round: the only vote is out of universe -> idle.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(h.probe(PlayerId{0}, rng).has_value());
+  }
+  // Candidate rounds only pick universe members.
+  h.step();
+  for (int i = 0; i < 50; ++i) {
+    const auto probe = h.probe(PlayerId{0}, rng);
+    ASSERT_TRUE(probe.has_value());
+    EXPECT_LE(probe->value(), 1u);
+  }
+}
+
+TEST(DistillPhases, VoteOnGoodProbeHaltsPlayer) {
+  DistillParams p = params_with(1.0, 4.0, 16.0);
+  PhaseHarness h(p, 4, 16, 1);
+  h.step();
+  Rng rng(17);
+  const StepOutcome out = h.protocol().on_probe_result(
+      PlayerId{0}, 0, ObjectId{3}, 0.9, 1.0, /*locally_good=*/true, rng);
+  EXPECT_TRUE(out.halt);
+  ASSERT_TRUE(out.post.has_value());
+  EXPECT_TRUE(out.post->positive);
+  EXPECT_EQ(out.post->object, ObjectId{3});
+}
+
+TEST(DistillPhases, BadProbePostsNegativeAndContinues) {
+  DistillParams p = params_with(1.0, 4.0, 16.0);
+  PhaseHarness h(p, 4, 16, 1);
+  h.step();
+  Rng rng(19);
+  const StepOutcome out = h.protocol().on_probe_result(
+      PlayerId{0}, 0, ObjectId{3}, 0.1, 1.0, /*locally_good=*/false, rng);
+  EXPECT_FALSE(out.halt);
+  ASSERT_TRUE(out.post.has_value());
+  EXPECT_FALSE(out.post->positive);
+}
+
+TEST(DistillParamsValidation, RejectsBadAlpha) {
+  EXPECT_THROW(DistillProtocol(params_with(0.0, 4, 16)), ContractViolation);
+  EXPECT_THROW(DistillProtocol(params_with(1.5, 4, 16)), ContractViolation);
+}
+
+TEST(DistillParamsValidation, RejectsNoLocalTestingWithoutHorizon) {
+  DistillParams p = params_with(0.5, 4, 16);
+  p.local_testing = false;
+  EXPECT_THROW(DistillProtocol{p}, ContractViolation);
+}
+
+TEST(DistillParamsValidation, RejectsZeroVotes) {
+  DistillParams p = params_with(0.5, 4, 16);
+  p.votes_per_player = 0;
+  EXPECT_THROW(DistillProtocol{p}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,31 @@
+// End-to-end smoke tests: DISTILL terminates and finds good objects.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(DistillSmoke, AllHonestSingleGoodObjectTerminates) {
+  auto scenario = Scenario::make(/*n=*/64, /*honest=*/64, /*m=*/64,
+                                 /*good=*/1, /*seed=*/7);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(1.0), adversary, /*seed=*/11);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+  EXPECT_LT(result.rounds_executed, 2000);
+}
+
+TEST(DistillSmoke, HalfHonestTerminates) {
+  auto scenario = Scenario::make(/*n=*/128, /*honest=*/64, /*m=*/128,
+                                 /*good=*/2, /*seed=*/3);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, basic_params(0.5), adversary, /*seed=*/5);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace acp::test

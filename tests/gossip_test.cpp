@@ -1,0 +1,305 @@
+// The gossip-replicated billboard substrate and DISTILL on top of it.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/gossip/gossip_engine.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+ProtocolFactory distill_factory(double alpha) {
+  return [alpha]() -> std::unique_ptr<Protocol> {
+    DistillParams params;
+    params.alpha = alpha;
+    return std::make_unique<DistillProtocol>(params);
+  };
+}
+
+TEST(ReplicaBillboard, AcceptsOldStampsAndBatchedAuthors) {
+  Billboard replica(4, 4, Billboard::Mode::kReplica);
+  replica.commit_round(
+      5, {Post{PlayerId{0}, 1, ObjectId{0}, 1.0, true},
+          Post{PlayerId{0}, 3, ObjectId{1}, 1.0, true},  // same author
+          Post{PlayerId{1}, 5, ObjectId{2}, 1.0, false}});
+  EXPECT_EQ(replica.size(), 3u);
+}
+
+TEST(ReplicaBillboard, RejectsFutureStamps) {
+  Billboard replica(4, 4, Billboard::Mode::kReplica);
+  EXPECT_THROW(
+      replica.commit_round(2, {Post{PlayerId{0}, 3, ObjectId{0}, 1.0, true}}),
+      ContractViolation);
+}
+
+TEST(ReplicaBillboard, AuthoritativeStillStrict) {
+  Billboard authoritative(4, 4);  // default mode
+  EXPECT_THROW(authoritative.commit_round(
+                   5, {Post{PlayerId{0}, 1, ObjectId{0}, 1.0, true}}),
+               ContractViolation);
+}
+
+TEST(VoteLedgerReplica, OutOfOrderRoundsStaySorted) {
+  Billboard replica(4, 4, Billboard::Mode::kReplica);
+  VoteLedger ledger(VotePolicy::kFirstPositive, 4, 4, 1);
+  // Arrivals: a round-7 vote first, then a late round-2 vote.
+  replica.commit_round(7, {Post{PlayerId{0}, 7, ObjectId{1}, 1.0, true}});
+  ledger.ingest(replica);
+  replica.commit_round(9, {Post{PlayerId{1}, 2, ObjectId{1}, 1.0, true}});
+  ledger.ingest(replica);
+  // Window queries respect origin stamps despite arrival order.
+  EXPECT_EQ(ledger.votes_in_window(ObjectId{1}, 0, 5), 1);
+  EXPECT_EQ(ledger.votes_in_window(ObjectId{1}, 5, 10), 1);
+  EXPECT_EQ(ledger.votes_in_window(ObjectId{1}, 0, 10), 2);
+  // Global event log ordered by round.
+  ASSERT_EQ(ledger.events().size(), 2u);
+  EXPECT_LT(ledger.events()[0].round, ledger.events()[1].round);
+}
+
+TEST(GossipEngine, AllHonestConverges) {
+  auto scenario = Scenario::make(64, 64, 64, 1, 191);
+  SilentAdversary adversary;
+  const RunResult result = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(1.0), adversary,
+      {.fanout = 2, .max_rounds = 100000, .seed = 1});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(GossipEngine, SurvivesByzantineFlood) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 192);
+  EagerVoteAdversary adversary;
+  const RunResult result = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(0.5), adversary,
+      {.fanout = 3, .max_rounds = 100000, .seed = 2});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(GossipEngine, FanoutZeroMeansSoloSearch) {
+  // No dissemination: every node must find the good object by itself, so
+  // total probes approach the no-collaboration regime (~n * 1/beta / 2)
+  // and certainly far exceed the gossiping run's.
+  auto scenario = Scenario::make(32, 32, 32, 1, 193);
+  SilentAdversary silent_a;
+  const RunResult solo = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(1.0), silent_a,
+      {.fanout = 0, .max_rounds = 100000, .seed = 3});
+  SilentAdversary silent_b;
+  const RunResult connected = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(1.0), silent_b,
+      {.fanout = 2, .max_rounds = 100000, .seed = 3});
+  EXPECT_TRUE(solo.all_honest_satisfied);
+  EXPECT_TRUE(connected.all_honest_satisfied);
+  EXPECT_GT(solo.total_honest_probes(), 2 * connected.total_honest_probes());
+}
+
+TEST(GossipEngine, HigherFanoutApproachesCentralized) {
+  // Mean cost over a few trials: fanout 8 should be no worse than fanout 1
+  // (faster dissemination can only help, up to noise), and both must stay
+  // within a constant factor of the shared-billboard run.
+  double f1 = 0.0;
+  double f8 = 0.0;
+  double central = 0.0;
+  const int trials = 8;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(64, 64, 64, 1, 2000 + t);
+    {
+      SilentAdversary adversary;
+      f1 += GossipEngine::run(scenario.world, scenario.population,
+                              distill_factory(1.0), adversary,
+                              {.fanout = 1, .max_rounds = 100000,
+                               .seed = 3000 + t})
+                .mean_honest_probes();
+    }
+    {
+      SilentAdversary adversary;
+      f8 += GossipEngine::run(scenario.world, scenario.population,
+                              distill_factory(1.0), adversary,
+                              {.fanout = 8, .max_rounds = 100000,
+                               .seed = 3000 + t})
+                .mean_honest_probes();
+    }
+    {
+      DistillProtocol protocol(basic_params(1.0));
+      SilentAdversary adversary;
+      central += SyncEngine::run(scenario.world, scenario.population,
+                                 protocol, adversary, {.seed = 3000 + t})
+                     .mean_honest_probes();
+    }
+  }
+  EXPECT_LE(f8, f1 * 1.25);       // more gossip never hurts much
+  EXPECT_LE(f8, central * 4.0);   // and approaches the shared billboard
+}
+
+TEST(GossipEngine, DeterministicGivenSeed) {
+  auto scenario = Scenario::make(48, 24, 48, 1, 194);
+  auto run_once = [&] {
+    EagerVoteAdversary adversary;
+    return GossipEngine::run(scenario.world, scenario.population,
+                             distill_factory(0.5), adversary,
+                             {.fanout = 2, .max_rounds = 100000, .seed = 5});
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  for (std::size_t p = 0; p < 48; ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+}
+
+TEST(GossipEngine, SatisfiedNodesKeepRelaying) {
+  // Even when most nodes finish early, stragglers still converge because
+  // satisfied nodes relay: the run completes with everyone satisfied.
+  auto scenario = Scenario::make(96, 96, 96, 1, 195);
+  SilentAdversary adversary;
+  const RunResult result = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(1.0), adversary,
+      {.fanout = 1, .max_rounds = 100000, .seed = 6});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(GossipEngine, LossyLinksSlowButDoNotBreak) {
+  double lossless = 0.0;
+  double lossy = 0.0;
+  const int trials = 6;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(64, 64, 64, 1, 2100 + t);
+    {
+      SilentAdversary adversary;
+      const RunResult result = GossipEngine::run(
+          scenario.world, scenario.population, distill_factory(1.0),
+          adversary,
+          {.fanout = 2, .loss_prob = 0.0, .max_rounds = 100000,
+           .seed = 2200 + t});
+      EXPECT_TRUE(result.all_honest_satisfied);
+      lossless += result.mean_honest_probes();
+    }
+    {
+      SilentAdversary adversary;
+      const RunResult result = GossipEngine::run(
+          scenario.world, scenario.population, distill_factory(1.0),
+          adversary,
+          {.fanout = 2, .loss_prob = 0.5, .max_rounds = 100000,
+           .seed = 2200 + t});
+      EXPECT_TRUE(result.all_honest_satisfied);
+      lossy += result.mean_honest_probes();
+    }
+  }
+  EXPECT_GE(lossy, lossless);  // losing half the exchanges cannot help
+}
+
+TEST(GossipEngine, PullAcceleratesSparseFanout) {
+  // At fanout 1 with Byzantine absorbers, push alone barely percolates;
+  // push-pull rescues dissemination.
+  double push_only = 0.0;
+  double push_pull = 0.0;
+  const int trials = 6;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(64, 32, 64, 1, 2300 + t);
+    {
+      SilentAdversary adversary;
+      push_only += GossipEngine::run(scenario.world, scenario.population,
+                                     distill_factory(0.5), adversary,
+                                     {.fanout = 1, .max_rounds = 200000,
+                                      .seed = 2400 + t})
+                       .mean_honest_probes();
+    }
+    {
+      SilentAdversary adversary;
+      push_pull += GossipEngine::run(scenario.world, scenario.population,
+                                     distill_factory(0.5), adversary,
+                                     {.fanout = 1, .pull = true,
+                                      .max_rounds = 200000,
+                                      .seed = 2400 + t})
+                       .mean_honest_probes();
+    }
+  }
+  EXPECT_LT(push_pull, push_only);
+}
+
+TEST(GossipTopology, RingStillConvergesButSlower) {
+  double complete_probes = 0.0;
+  double ring_probes = 0.0;
+  const int trials = 5;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(96, 96, 96, 1, 2500 + t);
+    {
+      SilentAdversary adversary;
+      const RunResult result = GossipEngine::run(
+          scenario.world, scenario.population, distill_factory(1.0),
+          adversary,
+          {.fanout = 2, .topology = GossipTopology::kComplete,
+           .max_rounds = 200000, .seed = 2600 + t});
+      EXPECT_TRUE(result.all_honest_satisfied);
+      complete_probes += result.mean_honest_probes();
+    }
+    {
+      SilentAdversary adversary;
+      const RunResult result = GossipEngine::run(
+          scenario.world, scenario.population, distill_factory(1.0),
+          adversary,
+          {.fanout = 2, .topology = GossipTopology::kRing,
+           .max_rounds = 200000, .seed = 2600 + t});
+      EXPECT_TRUE(result.all_honest_satisfied);
+      ring_probes += result.mean_honest_probes();
+    }
+  }
+  // Ring diameter is O(n); dissemination-limited cost must exceed the
+  // complete overlay's.
+  EXPECT_GT(ring_probes, complete_probes);
+}
+
+TEST(GossipTopology, RandomGraphConverges) {
+  auto scenario = Scenario::make(96, 72, 96, 1, 2700);
+  EagerVoteAdversary adversary;
+  const RunResult result = GossipEngine::run(
+      scenario.world, scenario.population, distill_factory(0.75), adversary,
+      {.fanout = 3, .topology = GossipTopology::kRandomGraph,
+       .max_rounds = 200000, .seed = 2701});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(GossipTopology, StaticOverlayDeterministic) {
+  auto scenario = Scenario::make(48, 36, 48, 1, 2800);
+  auto run_once = [&] {
+    SilentAdversary adversary;
+    return GossipEngine::run(scenario.world, scenario.population,
+                             distill_factory(0.75), adversary,
+                             {.fanout = 2,
+                              .topology = GossipTopology::kRandomGraph,
+                              .max_rounds = 200000, .seed = 2801});
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  for (std::size_t p = 0; p < 48; ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+}
+
+TEST(GossipEngine, RejectsBadLossProb) {
+  auto scenario = Scenario::make(8, 8, 8, 1, 197);
+  SilentAdversary adversary;
+  EXPECT_THROW((void)GossipEngine::run(scenario.world, scenario.population,
+                                 distill_factory(1.0), adversary,
+                                 {.fanout = 2, .loss_prob = 1.0,
+                                  .max_rounds = 10, .seed = 1}),
+               ContractViolation);
+}
+
+TEST(GossipEngine, RejectsBadConfig) {
+  auto scenario = Scenario::make(8, 8, 8, 1, 196);
+  SilentAdversary adversary;
+  EXPECT_THROW((void)GossipEngine::run(scenario.world, scenario.population,
+                                 distill_factory(1.0), adversary,
+                                 {.fanout = 2, .max_rounds = 0, .seed = 1}),
+               ContractViolation);
+  EXPECT_THROW((void)GossipEngine::run(scenario.world, scenario.population,
+                                 nullptr, adversary,
+                                 {.fanout = 2, .max_rounds = 10, .seed = 1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp::test

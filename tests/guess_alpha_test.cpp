@@ -1,0 +1,124 @@
+// §5.1 — alpha-halving wrapper.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/guess_alpha.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+RunResult run_guess_alpha(const Scenario& scenario, std::uint64_t seed,
+                          Round max_rounds = 500000) {
+  GuessAlphaProtocol protocol;
+  SilentAdversary adversary;
+  return SyncEngine::run(scenario.world, scenario.population, protocol,
+                         adversary,
+                         {.max_rounds = max_rounds, .seed = seed});
+}
+
+TEST(GuessAlpha, SucceedsWithHighAlphaUnknown) {
+  auto scenario = Scenario::make(64, 56, 64, 1, 111);
+  const RunResult result = run_guess_alpha(scenario, 1);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(GuessAlpha, SucceedsWithLowAlphaUnknown) {
+  auto scenario = Scenario::make(64, 8, 64, 1, 112);
+  const RunResult result = run_guess_alpha(scenario, 2);
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(GuessAlpha, FirstEpochGuessIsOne) {
+  GuessAlphaProtocol protocol;
+  Rng rng(3);
+  const World world = make_simple_world(16, 1, rng);
+  protocol.initialize(WorldView(world), 16);
+  Billboard billboard(16, 16);
+  protocol.on_round_begin(0, billboard);
+  EXPECT_EQ(protocol.epoch(), 0u);
+  EXPECT_DOUBLE_EQ(protocol.current_alpha_guess(), 1.0);
+}
+
+TEST(GuessAlpha, EpochAdvancesAfterPrescribedRounds) {
+  GuessAlphaProtocol protocol;
+  Rng rng(4);
+  const World world = make_simple_world(16, 1, rng);
+  protocol.initialize(WorldView(world), 16);
+  Billboard billboard(16, 16);
+  const Round epoch0 =
+      theory::guess_alpha_epoch_rounds(0, 1.0 / 16.0, 16, 4.0);
+  for (Round r = 0; r <= epoch0; ++r) {
+    protocol.on_round_begin(r, billboard);
+    billboard.commit_round(r, {});
+  }
+  EXPECT_EQ(protocol.epoch(), 1u);
+  EXPECT_DOUBLE_EQ(protocol.current_alpha_guess(), 0.5);
+}
+
+TEST(GuessAlpha, EpochsCapAtLogN) {
+  GuessAlphaProtocol protocol;
+  Rng rng(5);
+  const World world = make_simple_world(16, 16, rng);
+  protocol.initialize(WorldView(world), 16);
+  Billboard billboard(16, 16);
+  Round r = 0;
+  // Run long enough to exhaust all epochs (log2(16) = 4 epochs + slack).
+  for (; r < 50000 && protocol.epoch() < 4; ++r) {
+    protocol.on_round_begin(r, billboard);
+    billboard.commit_round(r, {});
+  }
+  EXPECT_EQ(protocol.epoch(), 4u);
+  // Further rounds stay in the last epoch.
+  for (Round extra = 0; extra < 100; ++extra, ++r) {
+    protocol.on_round_begin(r, billboard);
+    billboard.commit_round(r, {});
+  }
+  EXPECT_EQ(protocol.epoch(), 4u);
+}
+
+TEST(GuessAlpha, InnerIsHpInstance) {
+  GuessAlphaProtocol protocol;
+  Rng rng(6);
+  const World world = make_simple_world(64, 1, rng);
+  protocol.initialize(WorldView(world), 64);
+  Billboard billboard(64, 64);
+  protocol.on_round_begin(0, billboard);
+  // HP constants: k1 = 2 log2 64 = 12, k2 = 8 log2 64 = 48.
+  EXPECT_DOUBLE_EQ(protocol.inner().params().k1, 12.0);
+  EXPECT_DOUBLE_EQ(protocol.inner().params().k2, 48.0);
+}
+
+TEST(GuessAlpha, OverheadBoundedVsKnownAlpha) {
+  // The wrapper should cost at most a constant factor more than DISTILL^HP
+  // with the true alpha. Use a generous factor of 12.
+  double wrapper_total = 0.0;
+  double known_total = 0.0;
+  const int trials = 8;
+  const std::size_t n = 64;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(n, n / 2, n, 1, 5000 + t);
+    wrapper_total +=
+        run_guess_alpha(scenario, 6000 + t).mean_honest_probes();
+    SilentAdversary adversary;
+    known_total += run_distill(scenario, make_hp_params(0.5, n), adversary,
+                               6000 + t)
+                       .mean_honest_probes();
+  }
+  EXPECT_LT(wrapper_total, 12.0 * known_total + 50.0 * trials);
+}
+
+TEST(GuessAlpha, WorksUnderAdversary) {
+  auto scenario = Scenario::make(64, 16, 64, 1, 113);
+  GuessAlphaProtocol protocol;
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.max_rounds = 500000, .seed = 7});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,178 @@
+// Cross-module integration: full pipelines that combine world building,
+// engines, protocols, adversaries, the trial runner, and statistics — the
+// same paths the benches use.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/core/theory.hpp"
+#include "acp/sim/runner.hpp"
+#include "acp/stats/regression.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+double distill_trial(std::size_t n, double alpha, std::uint64_t seed) {
+  Rng rng(seed);
+  const World world = make_simple_world(n, 1, rng);
+  const auto honest = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  const auto pop = Population::with_random_honest(n, honest, rng);
+  DistillProtocol protocol(basic_params(alpha));
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 300000,
+                                            .seed = seed ^ 0x5bd1e995});
+  return result.mean_honest_probes();
+}
+
+double collab_trial(std::size_t n, double alpha, std::uint64_t seed) {
+  Rng rng(seed);
+  const World world = make_simple_world(n, 1, rng);
+  const auto honest = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  const auto pop = Population::with_random_honest(n, honest, rng);
+  CollabBaselineProtocol protocol;
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 300000,
+                                            .seed = seed ^ 0x5bd1e995});
+  return result.mean_honest_probes();
+}
+
+TEST(Integration, HeadlineResultDistillFlatBaselineLogarithmic) {
+  // The paper's headline: at alpha = 0.9, DISTILL's individual cost is
+  // essentially constant in n while the prior algorithm grows ~ log n.
+  std::vector<double> log_n;
+  std::vector<double> distill_cost;
+  std::vector<double> collab_cost;
+  for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+    TrialPlan plan;
+    plan.trials = 12;
+    plan.base_seed = n;
+    plan.threads = 1;
+    const Summary d = run_trials(plan, [&](std::uint64_t s) {
+      return distill_trial(n, 0.9, s);
+    });
+    const Summary c = run_trials(plan, [&](std::uint64_t s) {
+      return collab_trial(n, 0.9, s);
+    });
+    log_n.push_back(std::log2(static_cast<double>(n)));
+    distill_cost.push_back(d.mean());
+    collab_cost.push_back(c.mean());
+  }
+  const LinearFit distill_fit = fit_linear(log_n, distill_cost);
+  const LinearFit collab_fit = fit_linear(log_n, collab_cost);
+  // Baseline grows clearly with log n; DISTILL's slope is much smaller.
+  EXPECT_GT(collab_fit.slope, 1.0);
+  EXPECT_LT(distill_fit.slope, 0.5 * collab_fit.slope);
+  // And DISTILL wins outright at the largest size.
+  EXPECT_LT(distill_cost.back(), collab_cost.back());
+}
+
+TEST(Integration, AdversaryMaxIsWorseThanSilent) {
+  // Worst-over-strategies is at least the silent cost (sanity for the
+  // "max over adversary library" methodology used in the benches).
+  const std::size_t n = 128;
+  const double alpha = 0.25;
+  double silent_mean = 0.0;
+  double worst_mean = 0.0;
+  const int trials = 8;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario =
+        Scenario::make(n, n / 4, n, 1, 1000 + t);
+    double worst = 0.0;
+    {
+      DistillProtocol protocol(basic_params(alpha));
+      SilentAdversary adversary;
+      const double cost =
+          SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, {.max_rounds = 300000, .seed = 2000 + t})
+              .mean_honest_probes();
+      silent_mean += cost;
+      worst = std::max(worst, cost);
+    }
+    {
+      DistillProtocol protocol(basic_params(alpha));
+      EagerVoteAdversary adversary;
+      worst = std::max(
+          worst, SyncEngine::run(scenario.world, scenario.population,
+                                 protocol, adversary,
+                                 {.max_rounds = 300000, .seed = 2000 + t})
+                     .mean_honest_probes());
+    }
+    {
+      DistillProtocol protocol(basic_params(alpha));
+      SplitVoteAdversary adversary(protocol);
+      worst = std::max(
+          worst, SyncEngine::run(scenario.world, scenario.population,
+                                 protocol, adversary,
+                                 {.max_rounds = 300000, .seed = 2000 + t})
+                     .mean_honest_probes());
+    }
+    worst_mean += worst;
+  }
+  EXPECT_GE(worst_mean, silent_mean);
+}
+
+TEST(Integration, TrialRunnerReproducesAcrossThreadCounts) {
+  auto metric = [](std::uint64_t seed) { return distill_trial(64, 0.5, seed); };
+  TrialPlan serial;
+  serial.trials = 8;
+  serial.base_seed = 42;
+  serial.threads = 1;
+  TrialPlan parallel = serial;
+  parallel.threads = 4;
+  const Summary a = run_trials(serial, metric);
+  const Summary b = run_trials(parallel, metric);
+  EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
+}
+
+TEST(Integration, DistillBeatsTrivialWhenAlphaHighAndBetaLow) {
+  // 1/beta = n >> 1/alpha: collaboration should crush solo random search.
+  const std::size_t n = 256;
+  TrialPlan plan;
+  plan.trials = 10;
+  plan.base_seed = 3000;
+  plan.threads = 1;
+  const Summary distill = run_trials(plan, [&](std::uint64_t s) {
+    return distill_trial(n, 0.9, s);
+  });
+  const Summary trivial = run_trials(plan, [&](std::uint64_t s) {
+    Rng rng(s);
+    const World world = make_simple_world(n, 1, rng);
+    const auto pop = Population::with_prefix_honest(n, n * 9 / 10);
+    TrivialRandomProtocol protocol;
+    SilentAdversary adversary;
+    return SyncEngine::run(world, pop, protocol, adversary,
+                           {.max_rounds = 300000, .seed = s})
+        .mean_honest_probes();
+  });
+  EXPECT_LT(distill.mean() * 5.0, trivial.mean());
+}
+
+TEST(Integration, TrivialBeatsEveryoneWhenBetaHuge) {
+  // beta = 1/2: random probing ends in ~2 probes; DISTILL's fixed phase
+  // structure cannot possibly win here (the paper's Theorem 2 regime where
+  // min{1/alpha, 1/beta} = 1/beta is the binding term).
+  const std::size_t n = 128;
+  TrialPlan plan;
+  plan.trials = 10;
+  plan.base_seed = 4000;
+  plan.threads = 1;
+  const Summary trivial = run_trials(plan, [&](std::uint64_t s) {
+    Rng rng(s);
+    const World world = make_simple_world(n, n / 2, rng);
+    const auto pop = Population::with_prefix_honest(n, n / 2);
+    TrivialRandomProtocol protocol;
+    SilentAdversary adversary;
+    return SyncEngine::run(world, pop, protocol, adversary,
+                           {.max_rounds = 300000, .seed = s})
+        .mean_honest_probes();
+  });
+  EXPECT_LT(trivial.mean(), 4.0);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,71 @@
+// Lockstep equivalence as a property over a (n, alpha, scheduler) grid:
+// the §1.2 synchronizer must reproduce the native synchronous run exactly
+// under every fair schedule, honest-only and Byzantine alike.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/engine/lockstep.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+enum class Sched { kRoundRobin, kRandom };
+
+using GridParam = std::tuple<std::size_t /*n*/, double /*alpha*/, Sched>;
+
+class LockstepGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(LockstepGrid, ExactEquivalence) {
+  const auto [n, alpha, sched] = GetParam();
+  auto scenario = Scenario::make(
+      n, static_cast<std::size_t>(alpha * static_cast<double>(n)), n, 1,
+      n * 7 + static_cast<std::size_t>(alpha * 100));
+  const std::uint64_t seed = n + 17;
+
+  RunResult sync_result;
+  {
+    DistillProtocol protocol(basic_params(alpha));
+    EagerVoteAdversary adversary;
+    sync_result =
+        SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.max_rounds = 300000, .seed = seed});
+  }
+
+  RunResult async_result;
+  {
+    DistillProtocol protocol(basic_params(alpha));
+    LockstepAdapter adapter(protocol, scenario.population.num_honest());
+    EagerVoteAdversary adversary;
+    std::unique_ptr<Scheduler> scheduler;
+    if (sched == Sched::kRoundRobin) {
+      scheduler = std::make_unique<RoundRobinScheduler>();
+    } else {
+      scheduler = std::make_unique<RandomScheduler>();
+    }
+    async_result = AsyncEngine::run(scenario.world, scenario.population,
+                                    adapter, adversary, *scheduler,
+                                    {.max_steps = 50000000, .seed = seed});
+  }
+
+  ASSERT_TRUE(sync_result.all_honest_satisfied);
+  ASSERT_TRUE(async_result.all_honest_satisfied);
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(sync_result.players[p].probes, async_result.players[p].probes)
+        << "player " << p;
+    EXPECT_EQ(sync_result.players[p].probed_good,
+              async_result.players[p].probed_good);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LockstepGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(24, 48, 96),
+                       ::testing::Values(0.5, 1.0),
+                       ::testing::Values(Sched::kRoundRobin,
+                                         Sched::kRandom)));
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,175 @@
+// LockstepAdapter (§1.2): simulating the synchronous model in the
+// asynchronous one with timestamps.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/engine/lockstep.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+/// Run DISTILL natively synchronous and via the lockstep adapter under the
+/// given scheduler; both from the same seed.
+struct Pair {
+  RunResult sync;
+  RunResult async;
+  Round virtual_rounds = 0;
+};
+
+template <class SchedulerT, class AdversaryFactory>
+Pair run_pair(const Scenario& scenario, double alpha, std::uint64_t seed,
+              AdversaryFactory&& make_adversary) {
+  Pair pair;
+  {
+    DistillProtocol protocol(basic_params(alpha));
+    auto adversary = make_adversary();
+    pair.sync = SyncEngine::run(scenario.world, scenario.population, protocol,
+                                *adversary,
+                                {.max_rounds = 100000, .seed = seed});
+  }
+  {
+    DistillProtocol protocol(basic_params(alpha));
+    LockstepAdapter adapter(protocol,
+                            scenario.population.num_honest());
+    auto adversary = make_adversary();
+    SchedulerT scheduler;
+    pair.async = AsyncEngine::run(scenario.world, scenario.population,
+                                  adapter, *adversary, scheduler,
+                                  {.max_steps = 10000000, .seed = seed});
+    pair.virtual_rounds = adapter.virtual_round();
+  }
+  return pair;
+}
+
+TEST(Lockstep, RoundRobinReproducesSyncExactly) {
+  auto scenario = Scenario::make(64, 64, 64, 1, 141);
+  const auto pair = run_pair<RoundRobinScheduler>(
+      scenario, 1.0, 7, [] { return std::make_unique<SilentAdversary>(); });
+  ASSERT_TRUE(pair.async.all_honest_satisfied);
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(pair.sync.players[p].probes, pair.async.players[p].probes)
+        << "player " << p;
+    EXPECT_EQ(pair.sync.players[p].probed_good,
+              pair.async.players[p].probed_good);
+  }
+}
+
+TEST(Lockstep, RandomScheduleReproducesSyncExactly) {
+  // Per-player randomness plus serialized virtual rounds make the schedule
+  // order irrelevant: even a random fair schedule reproduces the
+  // synchronous run exactly.
+  auto scenario = Scenario::make(48, 48, 48, 1, 142);
+  const auto pair = run_pair<RandomScheduler>(
+      scenario, 1.0, 8, [] { return std::make_unique<SilentAdversary>(); });
+  ASSERT_TRUE(pair.async.all_honest_satisfied);
+  for (std::size_t p = 0; p < 48; ++p) {
+    EXPECT_EQ(pair.sync.players[p].probes, pair.async.players[p].probes);
+  }
+}
+
+TEST(Lockstep, MatchesUnderByzantineVotes) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 143);
+  const auto pair = run_pair<RoundRobinScheduler>(
+      scenario, 0.5, 9, [] { return std::make_unique<EagerVoteAdversary>(); });
+  ASSERT_TRUE(pair.async.all_honest_satisfied);
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(pair.sync.players[p].probes, pair.async.players[p].probes);
+  }
+}
+
+TEST(Lockstep, VirtualRoundsMatchSyncRounds) {
+  auto scenario = Scenario::make(32, 32, 32, 1, 144);
+  const auto pair = run_pair<RoundRobinScheduler>(
+      scenario, 1.0, 10, [] { return std::make_unique<SilentAdversary>(); });
+  // Virtual rounds may lag by at most one (the final partial round never
+  // closes once everyone halts).
+  EXPECT_GE(pair.virtual_rounds + 1, pair.sync.rounds_executed);
+  EXPECT_LE(pair.virtual_rounds, pair.sync.rounds_executed);
+}
+
+TEST(Lockstep, StarvedParticipantBlocksRoundClosure) {
+  // The synchronizer's liveness condition: if the schedule starves a
+  // participant forever, the virtual round can never close. The scheduled
+  // player waits (cost-free) rather than diverging from the synchronous
+  // semantics — exactly why meaningful individual-cost bounds need the
+  // synchronous model (§1.2).
+  auto scenario = Scenario::make(16, 16, 16, 2, 145);
+  DistillProtocol protocol(basic_params(1.0));
+  LockstepAdapter adapter(protocol, scenario.population.num_honest());
+  SilentAdversary adversary;
+  StarveScheduler scheduler;
+  const RunResult result =
+      AsyncEngine::run(scenario.world, scenario.population, adapter,
+                       adversary, scheduler,
+                       {.max_steps = 1000, .seed = 11});
+  EXPECT_FALSE(result.all_honest_satisfied);
+  // Player 0 took at most its round-0 probe; every later activation was a
+  // free wait for the 15 players that never ran.
+  EXPECT_LE(result.players[0].probes, 1);
+  EXPECT_EQ(adapter.virtual_round(), 0);
+}
+
+TEST(Lockstep, WaitingStepsAreFree) {
+  // Under a scheduler that runs player 0 twice as often, player 0's extra
+  // activations are cost-free waits; its probe count still matches the
+  // fair synchronous run.
+  class BiasedScheduler final : public Scheduler {
+   public:
+    PlayerId next(const std::vector<PlayerId>& active, Rng&) override {
+      ++tick_;
+      if (tick_ % 2 == 0) return active.front();
+      if (cursor_ >= active.size()) cursor_ = 0;
+      return active[cursor_++];
+    }
+
+   private:
+    std::size_t tick_ = 0;
+    std::size_t cursor_ = 0;
+  };
+
+  auto scenario = Scenario::make(32, 32, 32, 1, 146);
+  Pair pair;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    pair.sync = SyncEngine::run(scenario.world, scenario.population, protocol,
+                                adversary, {.max_rounds = 100000, .seed = 12});
+  }
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    LockstepAdapter adapter(protocol, scenario.population.num_honest());
+    SilentAdversary adversary;
+    BiasedScheduler scheduler;
+    pair.async = AsyncEngine::run(scenario.world, scenario.population,
+                                  adapter, adversary, scheduler,
+                                  {.max_steps = 10000000, .seed = 12});
+  }
+  ASSERT_TRUE(pair.async.all_honest_satisfied);
+  for (std::size_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(pair.sync.players[p].probes, pair.async.players[p].probes);
+  }
+}
+
+TEST(Lockstep, VirtualBillboardRespectsContract) {
+  // The virtual billboard the adapter builds is itself a valid Billboard:
+  // monotone rounds, one post per author per round. Reaching the end of a
+  // run without a ContractViolation from commit_round proves it; also
+  // sanity-check timestamps.
+  auto scenario = Scenario::make(32, 16, 32, 1, 147);
+  DistillProtocol protocol(basic_params(0.5));
+  LockstepAdapter adapter(protocol, scenario.population.num_honest());
+  EagerVoteAdversary adversary;
+  RoundRobinScheduler scheduler;
+  (void)AsyncEngine::run(scenario.world, scenario.population, adapter,
+                         adversary, scheduler,
+                         {.max_steps = 10000000, .seed = 13});
+  Round last = -1;
+  for (const Post& post : adapter.virtual_billboard().posts()) {
+    EXPECT_GE(post.round, last);
+    last = std::max(last, post.round);
+  }
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,136 @@
+// Theorem 1 / Theorem 2 instance constructions and measured floors.
+#include <gtest/gtest.h>
+
+#include "acp/core/distill.hpp"
+#include "acp/core/theory.hpp"
+#include "acp/lower_bounds/symmetric_engine.hpp"
+#include "acp/lower_bounds/symmetric_instance.hpp"
+#include "acp/util/contracts.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+SymmetricInstanceParams small_params() {
+  SymmetricInstanceParams p;
+  p.player_groups = 4;
+  p.players_per_group = 4;
+  p.object_groups = 4;
+  p.objects_per_group = 4;
+  return p;
+}
+
+TEST(SymmetricInstance, Dimensions) {
+  const SymmetricInstance inst(small_params(), 2);
+  EXPECT_EQ(inst.num_players(), 17u);
+  EXPECT_EQ(inst.num_objects(), 16u);
+  EXPECT_EQ(inst.num_instances(), 4u);
+  EXPECT_DOUBLE_EQ(inst.alpha(), 0.25);
+  EXPECT_DOUBLE_EQ(inst.beta(), 0.25);
+}
+
+TEST(SymmetricInstance, GroupAssignment) {
+  const SymmetricInstance inst(small_params(), 1);
+  EXPECT_EQ(inst.player_group(PlayerId{1}), 1u);
+  EXPECT_EQ(inst.player_group(PlayerId{4}), 1u);
+  EXPECT_EQ(inst.player_group(PlayerId{5}), 2u);
+  EXPECT_EQ(inst.player_group(PlayerId{16}), 4u);
+  EXPECT_EQ(inst.object_group(ObjectId{0}), 1u);
+  EXPECT_EQ(inst.object_group(ObjectId{15}), 4u);
+}
+
+TEST(SymmetricInstance, Player0HasNoGroup) {
+  const SymmetricInstance inst(small_params(), 1);
+  EXPECT_THROW((void)inst.player_group(PlayerId{0}), ContractViolation);
+}
+
+TEST(SymmetricInstance, PerceptionIsGroupLocal) {
+  const SymmetricInstance inst(small_params(), 3);
+  // Player in group 2 sees value 1 exactly on O_2, regardless of the truth.
+  const PlayerId j{5};  // group 2
+  for (std::size_t i = 0; i < 16; ++i) {
+    const ObjectId obj{i};
+    const double expected = inst.object_group(obj) == 2 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(inst.perceived_value(j, obj), expected);
+  }
+}
+
+TEST(SymmetricInstance, Player0SeesTruth) {
+  const SymmetricInstance inst(small_params(), 3);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const ObjectId obj{i};
+    EXPECT_DOUBLE_EQ(inst.perceived_value(PlayerId{0}, obj),
+                     inst.truly_good(obj) ? 1.0 : 0.0);
+  }
+}
+
+TEST(SymmetricInstance, HonestSetIsGoodGroupPlusPlayer0) {
+  const SymmetricInstance inst(small_params(), 2);
+  EXPECT_TRUE(inst.is_honest(PlayerId{0}));
+  EXPECT_TRUE(inst.is_honest(PlayerId{5}));   // group 2
+  EXPECT_FALSE(inst.is_honest(PlayerId{1}));  // group 1
+}
+
+TEST(SymmetricInstance, MuteGroupsBeyondB) {
+  SymmetricInstanceParams p = small_params();
+  p.object_groups = 2;  // B = min(4, 2) = 2
+  const SymmetricInstance inst(p, 1);
+  EXPECT_EQ(inst.num_instances(), 2u);
+  EXPECT_FALSE(inst.is_mute(PlayerId{1}));   // group 1 <= B
+  EXPECT_FALSE(inst.is_mute(PlayerId{5}));   // group 2 <= B
+  EXPECT_TRUE(inst.is_mute(PlayerId{9}));    // group 3 > B
+  EXPECT_TRUE(inst.is_mute(PlayerId{13}));   // group 4 > B
+}
+
+TEST(SymmetricInstance, RejectsBadGoodGroup) {
+  EXPECT_THROW(SymmetricInstance(small_params(), 0), ContractViolation);
+  EXPECT_THROW(SymmetricInstance(small_params(), 5), ContractViolation);
+}
+
+TEST(SymmetricEngine, Player0EventuallyFinds) {
+  const SymmetricInstance inst(small_params(), 2);
+  DistillProtocol protocol(basic_params(0.25));
+  const SymmetricRunResult result =
+      run_symmetric(inst, protocol, {.max_rounds = 100000, .seed = 1});
+  EXPECT_TRUE(result.player0_done);
+  EXPECT_GE(result.player0_probes, 1);
+}
+
+TEST(SymmetricEngine, AverageOverInstancesRespectsTheorem2) {
+  // Yao average over k = 1..B: player 0's expected probes >= B/2 = 2 for
+  // 4 groups. Run each instance with several seeds.
+  SymmetricInstanceParams params = small_params();
+  params.players_per_group = 8;
+  double total = 0.0;
+  int runs = 0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      const SymmetricInstance inst(params, k);
+      DistillProtocol protocol(basic_params(inst.alpha()));
+      const SymmetricRunResult result =
+          run_symmetric(inst, protocol, {.max_rounds = 100000, .seed = s});
+      EXPECT_TRUE(result.player0_done);
+      total += static_cast<double>(result.player0_probes);
+      ++runs;
+    }
+  }
+  const double mean = total / runs;
+  EXPECT_GE(mean, theory::theorem2_floor(0.25, 0.25));
+}
+
+TEST(Theorem1Floor, MatchesUrnFormula) {
+  // (m+1)/(beta m + 1) spread over alpha n probes per round:
+  // (99+1)/(0.25*99+1) / (1.0*10).
+  EXPECT_NEAR(theory::theorem1_floor(1.0, 0.25, 10, 99), 100.0 / 25.75 / 10.0,
+              1e-9);
+}
+
+TEST(Theorem2Floor, MinOfInverseRates) {
+  // B/2 with B = min{1/alpha, 1/beta}.
+  EXPECT_DOUBLE_EQ(theory::theorem2_floor(0.1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(theory::theorem2_floor(0.5, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(theory::theorem2_floor(0.1, 0.1), 5.0);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,87 @@
+#include "acp/util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(CeilDiv, ExactDivision) { EXPECT_EQ(ceil_div(10, 5), 2); }
+
+TEST(CeilDiv, RoundsUp) { EXPECT_EQ(ceil_div(11, 5), 3); }
+
+TEST(CeilDiv, ZeroNumerator) { EXPECT_EQ(ceil_div(0, 5), 0); }
+
+TEST(CeilDiv, One) { EXPECT_EQ(ceil_div(1, 100), 1); }
+
+TEST(CeilDiv, RejectsNonPositiveDivisor) {
+  EXPECT_THROW((void)ceil_div(1, 0), ContractViolation);
+}
+
+TEST(CeilRounds, FloorsAtOneByDefault) {
+  EXPECT_EQ(ceil_rounds(0.001), 1);
+  EXPECT_EQ(ceil_rounds(-5.0), 1);
+}
+
+TEST(CeilRounds, CeilsFractions) { EXPECT_EQ(ceil_rounds(2.1), 3); }
+
+TEST(CeilRounds, ExactIntegerUnchanged) { EXPECT_EQ(ceil_rounds(4.0), 4); }
+
+TEST(CeilRounds, CustomFloor) { EXPECT_EQ(ceil_rounds(1.0, 5), 5); }
+
+TEST(CeilRounds, RejectsNonFinite) {
+  EXPECT_THROW((void)ceil_rounds(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+TEST(DistillDelta, MatchesDefinition) {
+  // Delta = log2(1/(1-alpha) + log2 n).
+  const double d = distill_delta(0.5, 1024);
+  EXPECT_NEAR(d, std::log2(2.0 + 10.0), 1e-12);
+}
+
+TEST(DistillDelta, GrowsWithAlpha) {
+  EXPECT_GT(distill_delta(0.999, 1024), distill_delta(0.5, 1024));
+}
+
+TEST(DistillDelta, GrowsWithN) {
+  EXPECT_GT(distill_delta(0.5, 1 << 20), distill_delta(0.5, 1 << 10));
+}
+
+TEST(DistillDelta, RejectsDegenerateAlpha) {
+  EXPECT_THROW((void)distill_delta(0.0, 64), ContractViolation);
+  EXPECT_THROW((void)distill_delta(1.0, 64), ContractViolation);
+}
+
+TEST(Theorem4Bound, SublogarithmicInN) {
+  // At fixed alpha < 1 the bound grows like log n / log log n — strictly
+  // slower than log n.
+  const double b10 = theorem4_bound(0.5, 1.0 / 1024.0, 1024);
+  const double b20 = theorem4_bound(0.5, 1.0 / (1 << 20), 1 << 20);
+  EXPECT_LT(b20 / b10, 20.0 / 10.0);
+}
+
+TEST(Theorem4Bound, NearConstantWhenMostHonest) {
+  // Corollary 5 regime: alpha = 1 - n^(-1/2).
+  const std::size_t n = 1 << 16;
+  const double alpha = 1.0 - 1.0 / std::sqrt(static_cast<double>(n));
+  const double bound = theorem4_bound(alpha, 1.0 / static_cast<double>(n), n);
+  EXPECT_LT(bound, 6.0);
+}
+
+TEST(BaselineBound, LogarithmicEvenWhenAllHonest) {
+  const double b = baseline_bound(1.0, 1.0 / 1024.0, 1024);
+  EXPECT_GE(b, 10.0);  // log2(1024) = 10 dominates
+}
+
+TEST(BaselineBound, AlwaysAboveTheorem4ForLargeN) {
+  for (std::size_t n : {1u << 10, 1u << 14, 1u << 18}) {
+    const double beta = 1.0 / static_cast<double>(n);
+    EXPECT_GT(baseline_bound(0.5, beta, n), theorem4_bound(0.5, beta, n))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,118 @@
+// Matrix completeness: every (protocol, adversary) pairing the library
+// offers must run to a sane outcome. This is the compatibility contract a
+// downstream user relies on when mixing components; each cell runs small
+// and fast.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/adversary/targeted_slander.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/popularity.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/core/cost_classes.hpp"
+#include "acp/core/guess_alpha.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+enum class P {
+  kDistill,
+  kDistillHp,
+  kGuessAlpha,
+  kCollab,
+  kTrivial,
+  kPopularity,
+};
+enum class A {
+  kSilent,
+  kSlander,
+  kEager,
+  kCollude,
+  kSpam,
+  kSplitVote,
+  kTargetedSlander,
+};
+
+using Cell = std::tuple<P, A>;
+
+class Matrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Matrix, PairingRunsToCompletion) {
+  const auto [p, a] = GetParam();
+  const double alpha = 0.5;
+  auto scenario = Scenario::make(48, 24, 48, 2, 271);
+
+  std::unique_ptr<Protocol> protocol;
+  switch (p) {
+    case P::kDistill:
+      protocol = std::make_unique<DistillProtocol>(basic_params(alpha));
+      break;
+    case P::kDistillHp:
+      protocol = std::make_unique<DistillProtocol>(make_hp_params(alpha, 48));
+      break;
+    case P::kGuessAlpha:
+      protocol = std::make_unique<GuessAlphaProtocol>();
+      break;
+    case P::kCollab:
+      protocol = std::make_unique<CollabBaselineProtocol>();
+      break;
+    case P::kTrivial:
+      protocol = std::make_unique<TrivialRandomProtocol>();
+      break;
+    case P::kPopularity:
+      protocol = std::make_unique<PopularityProtocol>();
+      break;
+  }
+
+  // Observer adversaries need a DistillProtocol; pair them with the
+  // nearest observable instance or skip the cell explicitly.
+  auto* distill = dynamic_cast<DistillProtocol*>(protocol.get());
+  std::unique_ptr<Adversary> adversary;
+  switch (a) {
+    case A::kSilent:
+      adversary = std::make_unique<SilentAdversary>();
+      break;
+    case A::kSlander:
+      adversary = std::make_unique<SlandererAdversary>();
+      break;
+    case A::kEager:
+      adversary = std::make_unique<EagerVoteAdversary>();
+      break;
+    case A::kCollude:
+      adversary = std::make_unique<CollusionAdversary>(3);
+      break;
+    case A::kSpam:
+      adversary = std::make_unique<SpamAdversary>(3);
+      break;
+    case A::kSplitVote:
+      if (distill == nullptr) GTEST_SKIP() << "observer needs DISTILL";
+      adversary = std::make_unique<SplitVoteAdversary>(*distill);
+      break;
+    case A::kTargetedSlander:
+      if (distill == nullptr) GTEST_SKIP() << "observer needs DISTILL";
+      adversary = std::make_unique<TargetedSlanderAdversary>(*distill);
+      break;
+  }
+
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, *protocol,
+                      *adversary, {.max_rounds = 100000, .seed = 272});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, Matrix,
+    ::testing::Combine(
+        ::testing::Values(P::kDistill, P::kDistillHp, P::kGuessAlpha,
+                          P::kCollab, P::kTrivial, P::kPopularity),
+        ::testing::Values(A::kSilent, A::kSlander, A::kEager, A::kCollude,
+                          A::kSpam, A::kSplitVote, A::kTargetedSlander)));
+
+}  // namespace
+}  // namespace acp::test

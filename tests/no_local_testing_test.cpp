@@ -1,0 +1,114 @@
+// §5.3 — search without local testing (Theorem 13).
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/theory.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+struct TopBetaScenario {
+  World world;
+  Population population;
+};
+
+TopBetaScenario make_top_beta_scenario(std::size_t n, std::size_t honest,
+                                       std::size_t m, std::size_t good,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  World world = make_top_beta_world(m, good, rng);
+  Population population = Population::with_random_honest(n, honest, rng);
+  return TopBetaScenario{std::move(world), std::move(population)};
+}
+
+RunResult run_no_lt(const TopBetaScenario& scenario, double alpha,
+                    Adversary& adversary, std::uint64_t seed) {
+  const double beta = scenario.world.beta();
+  DistillParams params = make_no_local_testing_params(
+      alpha, beta, scenario.population.num_players());
+  DistillProtocol protocol(params);
+  return SyncEngine::run(scenario.world, scenario.population, protocol,
+                         adversary,
+                         {.max_rounds = *params.horizon + 10, .seed = seed});
+}
+
+TEST(NoLocalTesting, AllStopAtHorizon) {
+  auto scenario = make_top_beta_scenario(64, 32, 64, 4, 131);
+  SilentAdversary adversary;
+  const RunResult result = run_no_lt(scenario, 0.5, adversary, 1);
+  EXPECT_TRUE(result.all_honest_satisfied);  // all halted by the horizon
+  const DistillParams params = make_no_local_testing_params(0.5, 4.0 / 64, 64);
+  EXPECT_LE(result.rounds_executed, *params.horizon);
+}
+
+TEST(NoLocalTesting, MostPlayersFindGood) {
+  // Theorem 13: w.h.p. every honest player probes a good object by the
+  // horizon. Demand at least 90% per trial at these comfortable settings.
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    auto scenario = make_top_beta_scenario(64, 48, 64, 4, 9000 + t);
+    SilentAdversary adversary;
+    const RunResult result = run_no_lt(scenario, 0.75, adversary, 9100 + t);
+    EXPECT_GE(result.honest_success_fraction(), 0.9) << "trial " << t;
+  }
+}
+
+TEST(NoLocalTesting, SucceedsUnderValueLiar) {
+  // The liar's absurd claims make dishonest votes permanent — but that is
+  // still one vote per liar, which the candidate thresholds absorb.
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    auto scenario = make_top_beta_scenario(64, 48, 64, 4, 9200 + t);
+    ValueLiarAdversary adversary;
+    const RunResult result = run_no_lt(scenario, 0.75, adversary, 9300 + t);
+    EXPECT_GE(result.honest_success_fraction(), 0.9) << "trial " << t;
+  }
+}
+
+TEST(NoLocalTesting, NoEarlyHalt) {
+  // Nobody halts before the horizon: every player probes in (almost) every
+  // round — minus advice rounds without votes.
+  auto scenario = make_top_beta_scenario(32, 32, 32, 2, 132);
+  SilentAdversary adversary;
+  const RunResult result = run_no_lt(scenario, 1.0, adversary, 2);
+  for (const auto& stats : result.players) {
+    EXPECT_EQ(stats.satisfied_round, result.rounds_executed - 1);
+  }
+}
+
+TEST(NoLocalTesting, ProtocolNeverPostsPositive) {
+  // The §5.3 variant derives votes from values; its posts carry
+  // positive == false by construction.
+  Rng rng(133);
+  const World world = make_top_beta_world(16, 1, rng);
+  DistillParams params = make_no_local_testing_params(1.0, 1.0 / 16, 16);
+  DistillProtocol protocol(params);
+  protocol.initialize(WorldView(world), 16);
+  Billboard billboard(16, 16);
+  protocol.on_round_begin(0, billboard);
+  Rng prng(5);
+  const StepOutcome out = protocol.on_probe_result(
+      PlayerId{0}, 0, ObjectId{3}, 0.99, 1.0, /*locally_good=*/false, prng);
+  ASSERT_TRUE(out.post.has_value());
+  EXPECT_FALSE(out.post->positive);
+  EXPECT_FALSE(out.halt);
+}
+
+TEST(NoLocalTesting, SingleBestObjectSearch) {
+  // beta = 1/m: searching for the maximum-value object (§2.2's "maximum
+  // value object ... without local testing, using beta = 1/m").
+  auto scenario = make_top_beta_scenario(64, 64, 64, 1, 134);
+  SilentAdversary adversary;
+  const RunResult result = run_no_lt(scenario, 1.0, adversary, 3);
+  EXPECT_GE(result.honest_success_fraction(), 0.9);
+}
+
+TEST(NoLocalTesting, HorizonScalesWithBeta) {
+  const Round h_scarce = *make_no_local_testing_params(0.5, 1.0 / 256, 256)
+                              .horizon;
+  const Round h_plenty = *make_no_local_testing_params(0.5, 0.25, 256)
+                              .horizon;
+  EXPECT_GT(h_scarce, h_plenty);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,141 @@
+// The popularity-following strawman (§1.3) and the spam adversary that
+// owns it.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/popularity.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(Popularity, TerminatesAllHonest) {
+  auto scenario = Scenario::make(64, 64, 64, 2, 221);
+  PopularityProtocol protocol;
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(
+      scenario.world, scenario.population, protocol, adversary, {.seed = 1});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(Popularity, ScoresCountEveryPositivePost) {
+  Rng rng(222);
+  const World world = make_simple_world(8, 1, rng);
+  PopularityProtocol protocol;
+  protocol.initialize(WorldView(world), 4);
+  Billboard billboard(4, 8);
+  // The same author posts positive for object 3 twice: both count (no
+  // one-vote rule — that is the whole point of the strawman).
+  billboard.commit_round(0, {Post{PlayerId{0}, 0, ObjectId{3}, 1.0, true}});
+  billboard.commit_round(1, {Post{PlayerId{0}, 1, ObjectId{3}, 1.0, true},
+                             Post{PlayerId{1}, 1, ObjectId{2}, 1.0, false}});
+  protocol.on_round_begin(2, billboard);
+  EXPECT_EQ(protocol.popularity(ObjectId{3}), 2);
+  EXPECT_EQ(protocol.popularity(ObjectId{2}), 0);  // negative: not counted
+}
+
+TEST(Popularity, FollowsTheScoreDistribution) {
+  Rng rng(223);
+  const World world = make_simple_world(8, 1, rng);
+  PopularityProtocol protocol(/*follow_prob=*/1.0);
+  protocol.initialize(WorldView(world), 4);
+  Billboard billboard(4, 8);
+  // Only object 5 has score: every follow probe must pick it.
+  billboard.commit_round(0, {Post{PlayerId{0}, 0, ObjectId{5}, 1.0, true}});
+  protocol.on_round_begin(1, billboard);
+  Rng prng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto probe = protocol.choose_probe(PlayerId{1}, 1, prng);
+    ASSERT_TRUE(probe.has_value());
+    EXPECT_EQ(*probe, ObjectId{5});
+  }
+}
+
+TEST(Popularity, RejectsBadFollowProb) {
+  EXPECT_THROW(PopularityProtocol(-0.1), ContractViolation);
+  EXPECT_THROW(PopularityProtocol(1.1), ContractViolation);
+}
+
+TEST(SpamAdversary, PostsEveryRoundForEveryLiar) {
+  auto scenario = Scenario::make(16, 8, 16, 1, 224);
+  SpamAdversary adversary(2);
+  adversary.initialize(scenario.world, scenario.population);
+  Billboard billboard(16, 16);
+  Rng rng(9);
+  for (Round r = 0; r < 3; ++r) {
+    std::vector<Post> out;
+    adversary.plan_round(
+        AdversaryContext{scenario.world, scenario.population, r, billboard},
+        out, rng);
+    EXPECT_EQ(out.size(), 8u) << "round " << r;
+    for (const Post& post : out) {
+      EXPECT_TRUE(post.positive);
+      EXPECT_FALSE(scenario.world.is_good(post.object));
+    }
+  }
+}
+
+TEST(SpamAdversary, HarmlessAgainstDistillBeyondOneVote) {
+  // The read-side cap: under DISTILL, the spam clique's influence equals
+  // the one-shot collusion clique's — the extra posts change nothing in
+  // the ledger. (Executions differ in billboard size but the counted
+  // votes match: one per identity.)
+  auto scenario = Scenario::make(64, 32, 64, 1, 225);
+  DistillProtocol protocol(basic_params(0.5));
+  SpamAdversary adversary(4);
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.max_rounds = 300000, .seed = 226});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  // One counted vote per dishonest identity at most.
+  std::vector<std::size_t> votes(64, 0);
+  for (const VoteEvent& event : protocol.ledger().events()) {
+    ++votes[event.voter.value()];
+  }
+  for (std::size_t count : votes) EXPECT_LE(count, 1u);
+}
+
+TEST(Popularity, SpamAmplificationMeasurable) {
+  // The §1.3 claim in miniature: spam must cost the popularity rule more
+  // than it costs DISTILL, relative to their silent baselines.
+  double distill_silent = 0.0;
+  double distill_spam = 0.0;
+  double pop_silent = 0.0;
+  double pop_spam = 0.0;
+  const int trials = 10;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(128, 64, 128, 1, 9900 + t);
+    auto run_with = [&](Protocol& protocol, Adversary& adversary) {
+      return SyncEngine::run(scenario.world, scenario.population, protocol,
+                             adversary, {.max_rounds = 3000, .seed = 9950 + t})
+          .mean_honest_probes();
+    };
+    {
+      DistillProtocol p(basic_params(0.5));
+      SilentAdversary a;
+      distill_silent += run_with(p, a);
+    }
+    {
+      DistillProtocol p(basic_params(0.5));
+      SpamAdversary a(4);
+      distill_spam += run_with(p, a);
+    }
+    {
+      PopularityProtocol p;
+      SilentAdversary a;
+      pop_silent += run_with(p, a);
+    }
+    {
+      PopularityProtocol p;
+      SpamAdversary a(4);
+      pop_spam += run_with(p, a);
+    }
+  }
+  const double distill_factor = distill_spam / distill_silent;
+  const double pop_factor = pop_spam / pop_silent;
+  EXPECT_GT(pop_factor, 2.0 * distill_factor);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,79 @@
+#include "acp/world/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(Population, PrefixHonest) {
+  const auto pop = Population::with_prefix_honest(10, 4);
+  EXPECT_EQ(pop.num_players(), 10u);
+  EXPECT_EQ(pop.num_honest(), 4u);
+  EXPECT_EQ(pop.num_dishonest(), 6u);
+  EXPECT_DOUBLE_EQ(pop.alpha(), 0.4);
+  EXPECT_TRUE(pop.is_honest(PlayerId{0}));
+  EXPECT_TRUE(pop.is_honest(PlayerId{3}));
+  EXPECT_FALSE(pop.is_honest(PlayerId{4}));
+}
+
+TEST(Population, HonestIdsSortedAndComplete) {
+  const auto pop = Population::with_prefix_honest(5, 2);
+  ASSERT_EQ(pop.honest_players().size(), 2u);
+  EXPECT_EQ(pop.honest_players()[0], PlayerId{0});
+  EXPECT_EQ(pop.honest_players()[1], PlayerId{1});
+  ASSERT_EQ(pop.dishonest_players().size(), 3u);
+  EXPECT_EQ(pop.dishonest_players()[0], PlayerId{2});
+}
+
+TEST(Population, RandomHonestCount) {
+  Rng rng(1);
+  const auto pop = Population::with_random_honest(100, 37, rng);
+  EXPECT_EQ(pop.num_honest(), 37u);
+  EXPECT_EQ(pop.num_dishonest(), 63u);
+}
+
+TEST(Population, RandomHonestConsistentFlags) {
+  Rng rng(2);
+  const auto pop = Population::with_random_honest(50, 20, rng);
+  std::size_t honest_count = 0;
+  for (std::size_t p = 0; p < 50; ++p) {
+    if (pop.is_honest(PlayerId{p})) ++honest_count;
+  }
+  EXPECT_EQ(honest_count, 20u);
+}
+
+TEST(Population, RandomPlacementVaries) {
+  Rng rng(3);
+  const auto a = Population::with_random_honest(64, 8, rng);
+  const auto b = Population::with_random_honest(64, 8, rng);
+  EXPECT_NE(a.honest_players(), b.honest_players());
+}
+
+TEST(Population, AllHonest) {
+  const auto pop = Population::with_prefix_honest(8, 8);
+  EXPECT_DOUBLE_EQ(pop.alpha(), 1.0);
+  EXPECT_TRUE(pop.dishonest_players().empty());
+}
+
+TEST(Population, RejectsZeroHonest) {
+  EXPECT_THROW(Population::with_prefix_honest(8, 0), ContractViolation);
+}
+
+TEST(Population, RejectsMoreHonestThanPlayers) {
+  EXPECT_THROW(Population::with_prefix_honest(8, 9), ContractViolation);
+}
+
+TEST(Population, RejectsAllDishonestVector) {
+  EXPECT_THROW(Population(std::vector<bool>{false, false}),
+               ContractViolation);
+}
+
+TEST(Population, OutOfRangeQueryThrows) {
+  const auto pop = Population::with_prefix_honest(4, 2);
+  EXPECT_THROW((void)pop.is_honest(PlayerId{4}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp

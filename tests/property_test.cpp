@@ -1,0 +1,233 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// the whole parameter grid, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: DISTILL terminates with every honest player finding a good
+// object, across (n, honest fraction, beta-granularity, adversary kind).
+// ---------------------------------------------------------------------------
+
+enum class AdversaryKind { kSilent, kEager, kCollusion, kSplitVote };
+
+using DistillGridParam =
+    std::tuple<std::size_t /*n*/, double /*alpha*/, std::size_t /*good*/,
+               AdversaryKind>;
+
+class DistillGrid : public ::testing::TestWithParam<DistillGridParam> {};
+
+TEST_P(DistillGrid, TerminatesAndSucceeds) {
+  const auto [n, alpha, good, kind] = GetParam();
+  const auto honest =
+      static_cast<std::size_t>(alpha * static_cast<double>(n));
+  auto scenario = Scenario::make(n, honest, n, good,
+                                 /*seed=*/n * 31 + good * 7);
+  DistillProtocol protocol(basic_params(alpha));
+
+  std::unique_ptr<Adversary> adversary;
+  switch (kind) {
+    case AdversaryKind::kSilent:
+      adversary = std::make_unique<SilentAdversary>();
+      break;
+    case AdversaryKind::kEager:
+      adversary = std::make_unique<EagerVoteAdversary>();
+      break;
+    case AdversaryKind::kCollusion:
+      adversary = std::make_unique<CollusionAdversary>(4);
+      break;
+    case AdversaryKind::kSplitVote:
+      adversary = std::make_unique<SplitVoteAdversary>(protocol);
+      break;
+  }
+
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      *adversary, {.max_rounds = 300000, .seed = n + good});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+  // Invariant: a player's probes never exceed rounds, and every satisfied
+  // player's last round is within the run.
+  for (const auto& stats : result.players) {
+    if (!stats.honest) continue;
+    EXPECT_LE(stats.probes, result.rounds_executed);
+    EXPECT_LT(stats.satisfied_round, result.rounds_executed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistillGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(32, 64, 128),
+                       ::testing::Values(0.25, 0.5, 1.0),
+                       ::testing::Values<std::size_t>(1, 4),
+                       ::testing::Values(AdversaryKind::kSilent,
+                                         AdversaryKind::kEager,
+                                         AdversaryKind::kCollusion,
+                                         AdversaryKind::kSplitVote)));
+
+// ---------------------------------------------------------------------------
+// Property: the one-vote rule holds on the ledger DISTILL actually built —
+// no player ever contributes more than f vote events.
+// ---------------------------------------------------------------------------
+
+class VoteBudgetSweep
+    : public ::testing::TestWithParam<std::size_t /*f*/> {};
+
+TEST_P(VoteBudgetSweep, NoPlayerExceedsBudget) {
+  const std::size_t f = GetParam();
+  auto scenario = Scenario::make(64, 32, 64, 2, 400 + f);
+  DistillParams params = basic_params(0.5);
+  params.votes_per_player = f;
+  params.error_vote_prob = 0.1;  // errors try to overdraw the budget
+  DistillProtocol protocol(params);
+  EagerVoteAdversary adversary;
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.max_rounds = 300000, .seed = 500 + f});
+
+  std::vector<std::size_t> events_per_player(64, 0);
+  for (const VoteEvent& event : protocol.ledger().events()) {
+    ++events_per_player[event.voter.value()];
+  }
+  for (std::size_t count : events_per_player) {
+    EXPECT_LE(count, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, VoteBudgetSweep,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Property: candidate sets only ever shrink within a Step 2 run, and all
+// candidate sets respect the universe restriction.
+// ---------------------------------------------------------------------------
+
+class MonotoneCandidatesSweep
+    : public ::testing::TestWithParam<double /*alpha*/> {};
+
+TEST_P(MonotoneCandidatesSweep, CandidateSetsShrinkWithinAttempt) {
+  const double alpha = GetParam();
+  const std::size_t n = 64;
+  const auto honest = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  auto scenario = Scenario::make(n, honest, n, 1, 600);
+
+  // Observe candidates through a wrapper adversary called every round
+  // (after the protocol's transition).
+  class Observer : public Adversary {
+   public:
+    explicit Observer(const DistillProtocol& protocol)
+        : protocol_(&protocol) {}
+    void plan_round(const AdversaryContext&, std::vector<Post>&,
+                    Rng&) override {
+      if (protocol_->phase() == DistillProtocol::Phase::kStep2) {
+        if (last_attempt_ == protocol_->attempts_started() &&
+            last_iteration_ + 1 == protocol_->iteration()) {
+          // Consecutive iterations within one attempt: C_{t+1} subset C_t.
+          EXPECT_LE(protocol_->candidates().size(), last_size_);
+          for (ObjectId obj : protocol_->candidates()) {
+            EXPECT_TRUE(std::find(last_candidates_.begin(),
+                                  last_candidates_.end(),
+                                  obj) != last_candidates_.end());
+          }
+        }
+        last_attempt_ = protocol_->attempts_started();
+        last_iteration_ = protocol_->iteration();
+        last_size_ = protocol_->candidates().size();
+        last_candidates_ = protocol_->candidates();
+      }
+    }
+
+   private:
+    const DistillProtocol* protocol_;
+    std::size_t last_attempt_ = 0;
+    std::size_t last_iteration_ = 0;
+    std::size_t last_size_ = 0;
+    std::vector<ObjectId> last_candidates_;
+  };
+
+  DistillProtocol protocol(basic_params(alpha));
+  Observer observer(protocol);
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      observer, {.max_rounds = 300000, .seed = 601});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, MonotoneCandidatesSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------------
+// Property: baseline protocols also terminate across the grid (they are the
+// comparison arm of every bench; they must be reliable too).
+// ---------------------------------------------------------------------------
+
+using BaselineParam = std::tuple<std::size_t /*n*/, double /*alpha*/>;
+
+class BaselineGrid : public ::testing::TestWithParam<BaselineParam> {};
+
+TEST_P(BaselineGrid, CollabTerminates) {
+  const auto [n, alpha] = GetParam();
+  const auto honest = static_cast<std::size_t>(alpha * static_cast<double>(n));
+  auto scenario = Scenario::make(n, honest, n, 1, 700 + n);
+  CollabBaselineProtocol protocol;
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.max_rounds = 300000, .seed = 701});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaselineGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(32, 128),
+                       ::testing::Values(0.25, 0.5, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Property: determinism — same seed, same run — across protocol kinds.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<int /*kind*/> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsFromIdenticalSeeds) {
+  auto scenario = Scenario::make(48, 24, 48, 1, 800);
+  auto run_once = [&]() -> RunResult {
+    SilentAdversary adversary;
+    switch (GetParam()) {
+      case 0: {
+        DistillProtocol protocol(basic_params(0.5));
+        return SyncEngine::run(scenario.world, scenario.population, protocol,
+                               adversary, {.seed = 801});
+      }
+      case 1: {
+        CollabBaselineProtocol protocol;
+        return SyncEngine::run(scenario.world, scenario.population, protocol,
+                               adversary, {.seed = 801});
+      }
+      default: {
+        DistillProtocol protocol(make_hp_params(0.5, 48));
+        return SyncEngine::run(scenario.world, scenario.population, protocol,
+                               adversary, {.seed = 801});
+      }
+    }
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.total_posts, b.total_posts);
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+    EXPECT_EQ(a.players[p].satisfied_round, b.players[p].satisfied_round);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismSweep, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,216 @@
+#include "acp/rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "acp/rng/splitmix64.hpp"
+#include "acp/rng/xoshiro256.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value for seed 0 from the public-domain implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Mix64, OrderSensitive) { EXPECT_NE(mix64(1, 2), mix64(2, 1)); }
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a() != b());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowOneAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform_below(0), ContractViolation);
+}
+
+TEST(Rng, UniformBelowRoughlyUniform) {
+  Rng rng(4);
+  constexpr std::size_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.index(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, PickCoversAll) {
+  Rng rng(10);
+  const std::vector<int> items = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(items.begin(), items.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(Rng, ShuffleUniformFirstElement) {
+  // Chi-square-ish check: the element landing in position 0 should be
+  // uniform over a small vector.
+  std::map<int, int> counts;
+  for (int trial = 0; trial < 12000; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) + 1000);
+    std::vector<int> v = {0, 1, 2, 3};
+    rng.shuffle(v);
+    ++counts[v[0]];
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, 3000, 350) << "value " << value;
+  }
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(12);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(13);
+  auto sample = rng.sample_indices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(14);
+  EXPECT_THROW((void)rng.sample_indices(5, 6), ContractViolation);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  const Rng base(15);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitDeterministic) {
+  const Rng base(16);
+  Rng a = base.split(3);
+  Rng b = base.split(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(DeriveStream, IndependentPerIndex) {
+  Rng a = derive_stream(99, 0);
+  Rng b = derive_stream(99, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DeriveStream, Reproducible) {
+  Rng a = derive_stream(7, 3);
+  Rng b = derive_stream(7, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace acp

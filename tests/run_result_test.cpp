@@ -1,0 +1,83 @@
+#include "acp/engine/run_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.rounds_executed = 10;
+  r.players.resize(4);
+  // Two honest, two dishonest.
+  r.players[0] = {.honest = true,
+                  .probes = 4,
+                  .cost_paid = 4.0,
+                  .satisfied_round = 3,
+                  .probed_good = true};
+  r.players[1] = {.honest = true,
+                  .probes = 8,
+                  .cost_paid = 16.0,
+                  .satisfied_round = -1,
+                  .probed_good = false};
+  r.players[2] = {.honest = false, .probes = 0, .cost_paid = 0.0};
+  r.players[3] = {.honest = false, .probes = 0, .cost_paid = 0.0};
+  return r;
+}
+
+TEST(RunResult, MeanHonestProbes) {
+  EXPECT_DOUBLE_EQ(sample_result().mean_honest_probes(), 6.0);
+}
+
+TEST(RunResult, MaxHonestProbes) {
+  EXPECT_EQ(sample_result().max_honest_probes(), 8);
+}
+
+TEST(RunResult, MeanHonestCost) {
+  EXPECT_DOUBLE_EQ(sample_result().mean_honest_cost(), 10.0);
+}
+
+TEST(RunResult, MaxHonestCost) {
+  EXPECT_DOUBLE_EQ(sample_result().max_honest_cost(), 16.0);
+}
+
+TEST(RunResult, TotalHonestProbes) {
+  EXPECT_EQ(sample_result().total_honest_probes(), 12);
+}
+
+TEST(RunResult, UnsatisfiedCountedAtRunEnd) {
+  // Player 1 never halted: counted at rounds_executed = 10.
+  EXPECT_DOUBLE_EQ(sample_result().mean_honest_satisfied_round(), 6.5);
+  EXPECT_EQ(sample_result().max_honest_satisfied_round(), 10);
+}
+
+TEST(RunResult, SuccessFraction) {
+  EXPECT_DOUBLE_EQ(sample_result().honest_success_fraction(), 0.5);
+}
+
+TEST(RunResult, DishonestExcludedFromAggregates) {
+  RunResult r = sample_result();
+  r.players[2].probes = 1000;  // must not affect honest stats
+  r.players[2].cost_paid = 1e6;
+  EXPECT_DOUBLE_EQ(r.mean_honest_probes(), 6.0);
+  EXPECT_EQ(r.max_honest_probes(), 8);
+}
+
+TEST(RunResult, ThrowsWithoutHonestPlayers) {
+  RunResult r;
+  r.players.resize(1);
+  r.players[0].honest = false;
+  EXPECT_THROW((void)r.mean_honest_probes(), ContractViolation);
+}
+
+TEST(PlayerStats, SatisfiedPredicate) {
+  PlayerStats s;
+  EXPECT_FALSE(s.satisfied());
+  s.satisfied_round = 0;
+  EXPECT_TRUE(s.satisfied());
+}
+
+}  // namespace
+}  // namespace acp

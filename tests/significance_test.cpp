@@ -1,0 +1,85 @@
+#include "acp/stats/significance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acp/rng/rng.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+Summary gaussian_sample(double mean, double stddev, std::size_t count,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Box–Muller from two uniforms.
+    const double u1 = rng.uniform01();
+    const double u2 = rng.uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.283185307 * u2);
+    samples.push_back(mean + stddev * z);
+  }
+  return Summary::from_samples(std::move(samples));
+}
+
+TEST(WelchTTest, DetectsLargeSeparation) {
+  const Summary a = gaussian_sample(10.0, 1.0, 50, 1);
+  const Summary b = gaussian_sample(12.0, 1.0, 50, 2);
+  const WelchResult result = welch_t_test(a, b);
+  EXPECT_LT(result.t, 0.0);  // mean(a) < mean(b)
+  EXPECT_TRUE(result.significant_5pct);
+  EXPECT_TRUE(result.significant_1pct);
+}
+
+TEST(WelchTTest, SameDistributionUsuallyNotSignificant) {
+  int significant = 0;
+  for (std::uint64_t t = 0; t < 40; ++t) {
+    const Summary a = gaussian_sample(5.0, 2.0, 30, 100 + t);
+    const Summary b = gaussian_sample(5.0, 2.0, 30, 200 + t);
+    if (welch_t_test(a, b).significant_5pct) ++significant;
+  }
+  // 5% false-positive rate: 40 trials should rarely exceed ~6 hits.
+  EXPECT_LE(significant, 6);
+}
+
+TEST(WelchTTest, SymmetricInArguments) {
+  const Summary a = gaussian_sample(3.0, 1.0, 25, 7);
+  const Summary b = gaussian_sample(4.0, 2.0, 40, 8);
+  const WelchResult ab = welch_t_test(a, b);
+  const WelchResult ba = welch_t_test(b, a);
+  EXPECT_DOUBLE_EQ(ab.t, -ba.t);
+  EXPECT_DOUBLE_EQ(ab.degrees_of_freedom, ba.degrees_of_freedom);
+}
+
+TEST(WelchTTest, DegreesOfFreedomReasonable) {
+  // Equal sizes and variances: df ~ n_a + n_b - 2.
+  const Summary a = gaussian_sample(0.0, 1.0, 30, 9);
+  const Summary b = gaussian_sample(0.0, 1.0, 30, 10);
+  const WelchResult result = welch_t_test(a, b);
+  EXPECT_GT(result.degrees_of_freedom, 40.0);
+  EXPECT_LE(result.degrees_of_freedom, 58.0 + 1e-9);
+}
+
+TEST(WelchTTest, RejectsDegenerateInput) {
+  const Summary single = Summary::from_samples({1.0});
+  const Summary pair = Summary::from_samples({1.0, 2.0});
+  EXPECT_THROW((void)welch_t_test(single, pair), ContractViolation);
+  const Summary flat_a = Summary::from_samples({3.0, 3.0, 3.0});
+  const Summary flat_b = Summary::from_samples({3.0, 3.0});
+  EXPECT_THROW((void)welch_t_test(flat_a, flat_b), ContractViolation);
+}
+
+TEST(WelchTTest, ZeroVarianceOneSideStillWorks) {
+  const Summary flat = Summary::from_samples({3.0, 3.0, 3.0});
+  const Summary noisy = gaussian_sample(5.0, 1.0, 30, 11);
+  const WelchResult result = welch_t_test(noisy, flat);
+  EXPECT_GT(result.t, 0.0);
+  EXPECT_TRUE(result.significant_5pct);
+}
+
+}  // namespace
+}  // namespace acp

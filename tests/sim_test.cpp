@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "acp/sim/runner.hpp"
+#include "acp/sim/thread_pool.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, SingleThreadOrdering) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+}
+
+TEST(Runner, SeedsAreSequential) {
+  std::mutex mutex;
+  std::set<std::uint64_t> seen;
+  TrialPlan plan;
+  plan.trials = 20;
+  plan.base_seed = 100;
+  plan.threads = 3;
+  (void)run_trials(plan, [&](std::uint64_t seed) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(seed);
+    return 0.0;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 119u);
+}
+
+TEST(Runner, SummaryMatchesSamples) {
+  TrialPlan plan;
+  plan.trials = 5;
+  plan.base_seed = 0;
+  plan.threads = 1;
+  const Summary s = run_trials(
+      plan, [](std::uint64_t seed) { return static_cast<double>(seed); });
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Runner, MultiMetricOrderPreserved) {
+  TrialPlan plan;
+  plan.trials = 10;
+  plan.threads = 2;
+  const auto summaries = run_trials_multi(
+      plan, 2, [](std::uint64_t seed) {
+        return std::vector<double>{static_cast<double>(seed), -1.0};
+      });
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_GT(summaries[0].mean(), 0.0);
+  EXPECT_DOUBLE_EQ(summaries[1].mean(), -1.0);
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  auto run_with = [](std::size_t threads) {
+    TrialPlan plan;
+    plan.trials = 16;
+    plan.base_seed = 7;
+    plan.threads = threads;
+    return run_trials(plan, [](std::uint64_t seed) {
+      return static_cast<double>(seed * seed % 97);
+    });
+  };
+  const Summary a = run_with(1);
+  const Summary b = run_with(4);
+  EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
+}
+
+TEST(Runner, PropagatesTrialFailure) {
+  TrialPlan plan;
+  plan.trials = 8;
+  plan.threads = 2;
+  EXPECT_THROW(
+      (void)run_trials(plan,
+                       [](std::uint64_t seed) -> double {
+                         if (seed == 3) throw std::runtime_error("boom");
+                         return 0.0;
+                       }),
+      std::runtime_error);
+}
+
+TEST(Runner, WrongMetricCountRejected) {
+  TrialPlan plan;
+  plan.trials = 2;
+  plan.threads = 1;
+  EXPECT_THROW((void)run_trials_multi(plan, 2,
+                                      [](std::uint64_t) {
+                                        return std::vector<double>{1.0};
+                                      }),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp

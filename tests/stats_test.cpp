@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "acp/stats/histogram.hpp"
+#include "acp/stats/regression.hpp"
+#include "acp/stats/running_stats.hpp"
+#include "acp/stats/summary.hpp"
+#include "acp/stats/table.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  const RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.push(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.push(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, SemShrinksWithN) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.push(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.push(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.sem(), large.sem());
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i < 25 ? a : b).push(x);
+    all.push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.push(1.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Summary, BasicStats) {
+  const auto s = Summary::from_samples({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Summary, RejectsEmpty) {
+  EXPECT_THROW((void)Summary::from_samples({}), ContractViolation);
+}
+
+TEST(Summary, QuantileInterpolation) {
+  const auto s = Summary::from_samples({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(Summary, SingleSampleQuantiles) {
+  const auto s = Summary::from_samples({7.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 7.0);
+}
+
+TEST(Summary, CiContainsMeanAndIsSymmetric) {
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back((i % 10) * 1.0);
+  const auto s = Summary::from_samples(std::move(samples));
+  EXPECT_LT(s.ci95_low(), s.mean());
+  EXPECT_GT(s.ci95_high(), s.mean());
+  EXPECT_NEAR(s.mean() - s.ci95_low(), s.ci95_high() - s.mean(), 1e-12);
+}
+
+TEST(Summary, RejectsBadQuantile) {
+  const auto s = Summary::from_samples({1.0});
+  EXPECT_THROW((void)s.quantile(-0.1), ContractViolation);
+  EXPECT_THROW((void)s.quantile(1.1), ContractViolation);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0 (inclusive low edge)
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10.0);  // overflow (exclusive high edge)
+  h.add(-0.1);  // underflow
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BinBounds) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string rendered = h.render(10);
+  EXPECT_NE(rendered.find("##########"), std::string::npos);
+  EXPECT_NE(rendered.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Regression, PerfectLine) {
+  const auto fit = fit_linear({1.0, 2.0, 3.0}, {3.0, 5.0, 7.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, ConstantY) {
+  const auto fit = fit_linear({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, NoisyLineReasonableFit) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fit_linear({1.0}, {1.0}), ContractViolation);
+  EXPECT_THROW((void)fit_linear({1.0, 1.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW((void)fit_linear({1.0, 2.0}, {1.0}), ContractViolation);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::cell(0.5)});
+  t.add_row({"n", Table::cell(1024ll)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);  // right-aligned cells
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  SUCCEED();  // no throw on padded cells
+}
+
+TEST(Table, RejectsOverlongRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), ContractViolation);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::cell(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(Table::cell(static_cast<std::size_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,266 @@
+#include "acp/engine/sync_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/engine/adversary.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/world/builders.hpp"
+
+namespace acp {
+namespace {
+
+World tiny_world() {
+  // Object 0 bad, object 1 good; unit costs; local testing.
+  return World({0.1, 0.9}, {1.0, 1.0}, {false, true},
+               GoodnessModel::kLocalTesting, 0.5);
+}
+
+/// Probes a scripted object sequence (same for every player), halting on a
+/// good probe. Records what the billboard looked like each round.
+class ScriptedProtocol : public Protocol {
+ public:
+  explicit ScriptedProtocol(std::vector<std::optional<std::size_t>> script)
+      : script_(std::move(script)) {}
+
+  void initialize(const WorldView&, std::size_t) override {}
+
+  void on_round_begin(Round round, const Billboard& billboard) override {
+    posts_visible_at_round_.push_back(billboard.size());
+    round_ = round;
+  }
+
+  std::optional<ObjectId> choose_probe(PlayerId, Round, Rng&) override {
+    const auto idx = static_cast<std::size_t>(round_);
+    if (idx >= script_.size() || !script_[idx].has_value()) {
+      return std::nullopt;
+    }
+    return ObjectId{*script_[idx]};
+  }
+
+  StepOutcome on_probe_result(PlayerId, Round, ObjectId object, double value,
+                              double, bool locally_good, Rng&) override {
+    last_locally_good_ = locally_good;
+    return StepOutcome{ProbeReport{object, value, locally_good},
+                       locally_good};
+  }
+
+  std::vector<std::size_t> posts_visible_at_round_;
+  bool last_locally_good_ = false;
+
+ private:
+  std::vector<std::optional<std::size_t>> script_;
+  Round round_ = 0;
+};
+
+TEST(SyncEngine, HaltsWhenGoodProbed) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(2, 2);
+  ScriptedProtocol protocol({0, 0, 1});
+  SilentAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_EQ(result.rounds_executed, 3);
+  for (const auto& stats : result.players) {
+    EXPECT_EQ(stats.probes, 3);
+    EXPECT_EQ(stats.satisfied_round, 2);
+    EXPECT_TRUE(stats.probed_good);
+    EXPECT_DOUBLE_EQ(stats.cost_paid, 3.0);
+  }
+}
+
+TEST(SyncEngine, IdleRoundCostsNothing) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(1, 1);
+  ScriptedProtocol protocol({std::nullopt, std::nullopt, 1});
+  SilentAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  EXPECT_EQ(result.players[0].probes, 1);
+  EXPECT_EQ(result.players[0].satisfied_round, 2);
+}
+
+TEST(SyncEngine, MaxRoundsStopsRun) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(1, 1);
+  ScriptedProtocol protocol({0, 0, 0, 0, 0, 0, 0, 0});  // never finds good
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 5, .seed = 1});
+  EXPECT_FALSE(result.all_honest_satisfied);
+  EXPECT_EQ(result.rounds_executed, 5);
+  EXPECT_EQ(result.players[0].probes, 5);
+  EXPECT_FALSE(result.players[0].satisfied());
+}
+
+TEST(SyncEngine, PostsVisibleOnlyNextRound) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(2, 2);
+  ScriptedProtocol protocol({0, 0, 1});
+  SilentAdversary adversary;
+  (void)SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  // Round r sees exactly the posts of rounds < r: 0, then 2 (both players
+  // posted in round 0), then 4.
+  ASSERT_EQ(protocol.posts_visible_at_round_.size(), 3u);
+  EXPECT_EQ(protocol.posts_visible_at_round_[0], 0u);
+  EXPECT_EQ(protocol.posts_visible_at_round_[1], 2u);
+  EXPECT_EQ(protocol.posts_visible_at_round_[2], 4u);
+}
+
+TEST(SyncEngine, HonestPostsRecorded) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(3, 3);
+  ScriptedProtocol protocol({0, 1});
+  SilentAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  EXPECT_EQ(result.total_posts, 6u);  // 3 players x 2 rounds
+}
+
+TEST(SyncEngine, LocallyGoodMaskedUnderTopBeta) {
+  // Same labeling but TopBeta: the protocol must see locally_good == false
+  // even when probing the ground-truth good object.
+  const World world({0.1, 0.9}, {1.0, 1.0}, {false, true},
+                    GoodnessModel::kTopBeta, 0.5);
+  const auto pop = Population::with_prefix_honest(1, 1);
+  ScriptedProtocol protocol({1, 1});
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 1, .seed = 1});
+  EXPECT_FALSE(protocol.last_locally_good_);
+  // Ground truth still recorded in stats.
+  EXPECT_TRUE(result.players[0].probed_good);
+}
+
+class DishonestPostingAdversary : public Adversary {
+ public:
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng&) override {
+    for (PlayerId p : ctx.population.dishonest_players()) {
+      out.push_back(Post{p, ctx.round, ObjectId{0}, 1.0, true});
+    }
+  }
+};
+
+TEST(SyncEngine, AdversaryPostsLandOnBillboard) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(3, 1);
+  ScriptedProtocol protocol({0, 1});
+  DishonestPostingAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  // 2 dishonest posts + 1 honest post per round, 2 rounds.
+  EXPECT_EQ(result.total_posts, 6u);
+}
+
+class ForgingAdversary : public Adversary {
+ public:
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng&) override {
+    // Tries to speak for honest player 0 — must be rejected by the engine.
+    out.push_back(Post{PlayerId{0}, ctx.round, ObjectId{0}, 1.0, true});
+  }
+};
+
+TEST(SyncEngine, AdversaryCannotForgeHonestIdentity) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(2, 1);
+  ScriptedProtocol protocol({1});
+  ForgingAdversary adversary;
+  EXPECT_THROW((void)SyncEngine::run(world, pop, protocol, adversary, {.seed = 1}),
+               ContractViolation);
+}
+
+class BackdatingAdversary : public Adversary {
+ public:
+  void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                  Rng&) override {
+    out.push_back(
+        Post{ctx.population.dishonest_players()[0], ctx.round - 1,
+             ObjectId{0}, 1.0, true});
+  }
+};
+
+TEST(SyncEngine, AdversaryCannotBackdate) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(2, 1);
+  ScriptedProtocol protocol({1});
+  BackdatingAdversary adversary;
+  EXPECT_THROW((void)SyncEngine::run(world, pop, protocol, adversary, {.seed = 1}),
+               ContractViolation);
+}
+
+TEST(SyncEngine, HonestFlagsInResult) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(3, 2);
+  ScriptedProtocol protocol({1});
+  SilentAdversary adversary;
+  const RunResult result =
+      SyncEngine::run(world, pop, protocol, adversary, {.seed = 1});
+  EXPECT_TRUE(result.players[0].honest);
+  EXPECT_TRUE(result.players[1].honest);
+  EXPECT_FALSE(result.players[2].honest);
+  // Dishonest players execute no probes.
+  EXPECT_EQ(result.players[2].probes, 0);
+}
+
+TEST(SyncEngine, DeterministicGivenSeed) {
+  Rng rng(5);
+  const World world = make_simple_world(32, 1, rng);
+  const auto pop = Population::with_prefix_honest(8, 8);
+  auto run_once = [&](std::uint64_t seed) {
+    ScriptedProtocol protocol({});  // force nullopt script? use random below
+    (void)protocol;
+    // Use a random-probing protocol through the engine's player streams.
+    class RandomProtocol : public Protocol {
+     public:
+      void initialize(const WorldView& world_view, std::size_t) override {
+        m_ = world_view.num_objects();
+      }
+      void on_round_begin(Round, const Billboard&) override {}
+      std::optional<ObjectId> choose_probe(PlayerId, Round,
+                                           Rng& player_rng) override {
+        return ObjectId{player_rng.index(m_)};
+      }
+      StepOutcome on_probe_result(PlayerId, Round, ObjectId object,
+                                  double value, double, bool locally_good,
+                                  Rng&) override {
+        return StepOutcome{ProbeReport{object, value, locally_good},
+                           locally_good};
+      }
+
+     private:
+      std::size_t m_ = 0;
+    } random_protocol;
+    SilentAdversary adversary;
+    return SyncEngine::run(world, pop, random_protocol, adversary,
+                           {.seed = seed});
+  };
+  const RunResult a = run_once(42);
+  const RunResult b = run_once(42);
+  const RunResult c = run_once(43);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.total_posts, b.total_posts);
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+  // Different seed should (generically) differ somewhere.
+  bool differs = a.rounds_executed != c.rounds_executed;
+  for (std::size_t p = 0; p < 8 && !differs; ++p) {
+    differs = a.players[p].probes != c.players[p].probes;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyncEngine, RejectsNonPositiveMaxRounds) {
+  const World world = tiny_world();
+  const auto pop = Population::with_prefix_honest(1, 1);
+  ScriptedProtocol protocol({1});
+  SilentAdversary adversary;
+  EXPECT_THROW((void)SyncEngine::run(world, pop, protocol, adversary,
+                               {.max_rounds = 0, .seed = 1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,50 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "acp/core/distill.hpp"
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/world/builders.hpp"
+#include "acp/world/population.hpp"
+
+namespace acp::test {
+
+/// Standard scenario: m objects (g good, unit cost, local testing),
+/// n players with `honest` honest ones at random positions.
+struct Scenario {
+  World world;
+  Population population;
+
+  static Scenario make(std::size_t n, std::size_t honest, std::size_t m,
+                       std::size_t good, std::uint64_t seed) {
+    Rng rng(seed);
+    World world = make_simple_world(m, good, rng);
+    Population population = Population::with_random_honest(n, honest, rng);
+    return Scenario{std::move(world), std::move(population)};
+  }
+};
+
+/// Run DISTILL on a scenario with the given adversary; convenience wrapper
+/// used throughout the tests.
+inline RunResult run_distill(const Scenario& scenario, DistillParams params,
+                             Adversary& adversary, std::uint64_t seed,
+                             Round max_rounds = 100000) {
+  DistillProtocol protocol(std::move(params));
+  SyncRunConfig config;
+  config.seed = seed;
+  config.max_rounds = max_rounds;
+  return SyncEngine::run(scenario.world, scenario.population, protocol,
+                         adversary, config);
+}
+
+inline DistillParams basic_params(double alpha) {
+  DistillParams params;
+  params.alpha = alpha;
+  return params;
+}
+
+}  // namespace acp::test

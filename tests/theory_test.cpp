@@ -1,0 +1,70 @@
+#include "acp/core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp::theory {
+namespace {
+
+TEST(Theory, DeltaMatchesUtil) {
+  EXPECT_DOUBLE_EQ(delta(0.5, 256), std::log2(2.0 + 8.0));
+}
+
+TEST(Theory, DistillBeatsBaselineAsymptotically) {
+  for (std::size_t n : {1u << 12, 1u << 16, 1u << 20}) {
+    const double beta = 1.0 / static_cast<double>(n);
+    EXPECT_LT(distill_expected_rounds(0.5, beta, n),
+              baseline_expected_rounds(0.5, beta, n));
+  }
+}
+
+TEST(Theory, Theorem1FloorDecreasesWithPlayers) {
+  EXPECT_GT(theorem1_floor(0.5, 0.01, 10, 1000),
+            theorem1_floor(0.5, 0.01, 100, 1000));
+}
+
+TEST(Theory, Theorem1FloorIncreasesWithScarcity) {
+  EXPECT_GT(theorem1_floor(0.5, 0.001, 10, 1000),
+            theorem1_floor(0.5, 0.1, 10, 1000));
+}
+
+TEST(Theory, Theorem2FloorSymmetricRoles) {
+  EXPECT_DOUBLE_EQ(theorem2_floor(0.2, 0.4), theorem2_floor(0.4, 0.2));
+}
+
+TEST(Theory, Corollary5InverseEps) {
+  EXPECT_DOUBLE_EQ(corollary5_bound(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(corollary5_bound(0.25), 4.0);
+  EXPECT_THROW((void)corollary5_bound(0.0), ContractViolation);
+}
+
+TEST(Theory, HpHorizonPositiveAndScales) {
+  const Round h1 = hp_horizon(0.5, 1.0 / 64.0, 64);
+  const Round h2 = hp_horizon(0.25, 1.0 / 64.0, 64);
+  EXPECT_GT(h1, 0);
+  EXPECT_GT(h2, h1);  // fewer honest players -> longer horizon
+}
+
+TEST(Theory, Theorem12BoundLinearInQ0) {
+  const double b1 = theorem12_cost_bound(1.0, 0.5, 256, 256);
+  const double b8 = theorem12_cost_bound(8.0, 0.5, 256, 256);
+  EXPECT_NEAR(b8 / b1, 8.0, 1e-9);
+}
+
+TEST(Theory, GuessAlphaEpochsDouble) {
+  const Round e0 = guess_alpha_epoch_rounds(0, 0.1, 256);
+  const Round e1 = guess_alpha_epoch_rounds(1, 0.1, 256);
+  const Round e2 = guess_alpha_epoch_rounds(2, 0.1, 256);
+  EXPECT_NEAR(static_cast<double>(e1) / static_cast<double>(e0), 2.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(e2) / static_cast<double>(e1), 2.0, 0.1);
+}
+
+TEST(Theory, TrivialIsInverseBeta) {
+  EXPECT_DOUBLE_EQ(trivial_expected_rounds(0.125), 8.0);
+}
+
+}  // namespace
+}  // namespace acp::theory

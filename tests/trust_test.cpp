@@ -1,0 +1,110 @@
+// Trust-weighted advice (§6's "can trust be useful?" exploration).
+#include <gtest/gtest.h>
+
+#include "acp/adversary/strategies.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+DistillParams trust_params(double alpha) {
+  DistillParams params = basic_params(alpha);
+  params.trust_weighted_advice = true;
+  return params;
+}
+
+TEST(TrustAdvice, TerminatesAllHonest) {
+  auto scenario = Scenario::make(64, 64, 64, 1, 201);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, trust_params(1.0), adversary, 202);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(TrustAdvice, TerminatesUnderFlood) {
+  auto scenario = Scenario::make(128, 64, 128, 1, 203);
+  EagerVoteAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, trust_params(0.5), adversary, 204);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(TrustAdvice, NeverWorseThanUniformUnderFloodOnAverage) {
+  // The flood adversary's whole edge is wasted advice probes on its
+  // decoys; local trust should claw some of that back. Per-trial variance
+  // is large, so demand approximate parity (<= 1.10x) over enough trials;
+  // the abl4/abl5 benches measure the actual advantage with more data.
+  double uniform_total = 0.0;
+  double trust_total = 0.0;
+  const int trials = 30;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(256, 64, 256, 1, 9000 + t);
+    {
+      DistillProtocol protocol(basic_params(0.25));
+      EagerVoteAdversary adversary;
+      uniform_total +=
+          SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, {.max_rounds = 300000, .seed = 9100 + t})
+              .mean_honest_probes();
+    }
+    {
+      DistillProtocol protocol(trust_params(0.25));
+      EagerVoteAdversary adversary;
+      trust_total +=
+          SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, {.max_rounds = 300000, .seed = 9100 + t})
+              .mean_honest_probes();
+    }
+  }
+  EXPECT_LE(trust_total, uniform_total * 1.10);
+}
+
+TEST(TrustAdvice, HarmlessWhenEveryoneIsHonest) {
+  // With no liars there is nothing to learn; trust weighting must not
+  // distort the benign-case cost by more than noise.
+  double uniform_total = 0.0;
+  double trust_total = 0.0;
+  const int trials = 10;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto scenario = Scenario::make(128, 128, 128, 1, 9500 + t);
+    {
+      DistillProtocol protocol(basic_params(1.0));
+      SilentAdversary adversary;
+      uniform_total +=
+          SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, {.max_rounds = 300000, .seed = 9600 + t})
+              .mean_honest_probes();
+    }
+    {
+      DistillProtocol protocol(trust_params(1.0));
+      SilentAdversary adversary;
+      trust_total +=
+          SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, {.max_rounds = 300000, .seed = 9600 + t})
+              .mean_honest_probes();
+    }
+  }
+  EXPECT_NEAR(trust_total / trials, uniform_total / trials,
+              0.25 * uniform_total / trials);
+}
+
+TEST(TrustAdvice, DeterministicGivenSeed) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 205);
+  auto run_once = [&] {
+    DistillProtocol protocol(trust_params(0.5));
+    EagerVoteAdversary adversary;
+    return SyncEngine::run(scenario.world, scenario.population, protocol,
+                           adversary, {.max_rounds = 300000, .seed = 206});
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+  }
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,60 @@
+#include "acp/util/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace acp {
+namespace {
+
+TEST(StrongId, ValueRoundTrips) {
+  const PlayerId p{42};
+  EXPECT_EQ(p.value(), 42u);
+}
+
+TEST(StrongId, Comparisons) {
+  const ObjectId a{1};
+  const ObjectId b{2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ObjectId{1});
+}
+
+TEST(StrongId, DefaultIsSentinel) {
+  const PlayerId p;
+  EXPECT_NE(p, PlayerId{0});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<PlayerId, ObjectId>);
+  SUCCEED();
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<PlayerId> set;
+  set.insert(PlayerId{1});
+  set.insert(PlayerId{2});
+  set.insert(PlayerId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, StreamOutputPlayer) {
+  std::ostringstream os;
+  os << PlayerId{7};
+  EXPECT_EQ(os.str(), "player#7");
+}
+
+TEST(StrongId, StreamOutputObject) {
+  std::ostringstream os;
+  os << ObjectId{9};
+  EXPECT_EQ(os.str(), "object#9");
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LE(ObjectId{3}, ObjectId{3});
+  EXPECT_GT(ObjectId{4}, ObjectId{3});
+}
+
+}  // namespace
+}  // namespace acp

@@ -1,0 +1,149 @@
+// The §6 veto variant and the targeted-slander adversary.
+#include <gtest/gtest.h>
+
+#include "acp/adversary/targeted_slander.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+DistillParams veto_params(double alpha, double veto) {
+  DistillParams params = basic_params(alpha);
+  params.veto_fraction = veto;
+  return params;
+}
+
+TEST(Veto, DisabledByDefault) {
+  const DistillParams params = basic_params(0.5);
+  EXPECT_DOUBLE_EQ(params.veto_fraction, 0.0);
+}
+
+TEST(Veto, RejectsBadFraction) {
+  EXPECT_THROW(DistillProtocol{veto_params(0.5, 1.5)}, ContractViolation);
+  EXPECT_THROW(DistillProtocol{veto_params(0.5, -0.1)}, ContractViolation);
+}
+
+TEST(Veto, RejectedWithoutLocalTesting) {
+  DistillParams params = make_no_local_testing_params(0.5, 0.1, 64);
+  params.veto_fraction = 0.25;
+  EXPECT_THROW(DistillProtocol{params}, ContractViolation);
+}
+
+TEST(Veto, TerminatesInBenignRuns) {
+  auto scenario = Scenario::make(64, 32, 64, 1, 151);
+  SilentAdversary adversary;
+  const RunResult result =
+      run_distill(scenario, veto_params(0.5, 0.25), adversary, 152);
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(Veto, TerminatesUnderTargetedSlander) {
+  // Local testing bounds slander's damage to delay: every run still ends
+  // with all honest players satisfied.
+  auto scenario = Scenario::make(64, 32, 64, 1, 153);
+  DistillProtocol protocol(veto_params(0.5, 0.25));
+  TargetedSlanderAdversary adversary(protocol);
+  const RunResult result =
+      SyncEngine::run(scenario.world, scenario.population, protocol,
+                      adversary, {.max_rounds = 300000, .seed = 154});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_DOUBLE_EQ(result.honest_success_fraction(), 1.0);
+}
+
+TEST(Veto, PlainDistillIgnoresTargetedSlander) {
+  // With veto off, the targeted slanderer is exactly as harmless as any
+  // slander: identical execution to the silent adversary.
+  auto scenario = Scenario::make(64, 32, 64, 1, 155);
+  RunResult silent_result;
+  {
+    DistillProtocol protocol(basic_params(0.5));
+    SilentAdversary adversary;
+    silent_result =
+        SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.max_rounds = 300000, .seed = 156});
+  }
+  RunResult slander_result;
+  {
+    DistillProtocol protocol(basic_params(0.5));
+    TargetedSlanderAdversary adversary(protocol);
+    slander_result =
+        SyncEngine::run(scenario.world, scenario.population, protocol,
+                        adversary, {.max_rounds = 300000, .seed = 156});
+  }
+  EXPECT_EQ(silent_result.rounds_executed, slander_result.rounds_executed);
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(silent_result.players[p].probes,
+              slander_result.players[p].probes);
+  }
+}
+
+TEST(TargetedSlander, OnlyNegativePosts) {
+  auto scenario = Scenario::make(32, 16, 32, 2, 157);
+  DistillProtocol protocol(veto_params(0.5, 0.25));
+  TargetedSlanderAdversary inner(protocol);
+
+  class Recorder : public Adversary {
+   public:
+    Recorder(Adversary& wrapped, const World& world)
+        : wrapped_(&wrapped), world_(&world) {}
+    void initialize(const World& world, const Population& pop) override {
+      wrapped_->initialize(world, pop);
+    }
+    void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                    Rng& rng) override {
+      const std::size_t before = out.size();
+      wrapped_->plan_round(ctx, out, rng);
+      for (std::size_t i = before; i < out.size(); ++i) {
+        EXPECT_FALSE(out[i].positive);
+        EXPECT_TRUE(world_->is_good(out[i].object));
+      }
+    }
+
+   private:
+    Adversary* wrapped_;
+    const World* world_;
+  } recorder(inner, scenario.world);
+
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        recorder, {.max_rounds = 300000, .seed = 158});
+}
+
+TEST(TargetedSlander, RespectsNegativeBudget) {
+  auto scenario = Scenario::make(32, 16, 32, 1, 159);
+  DistillParams params = veto_params(0.5, 0.25);
+  params.negative_votes_per_player = 2;
+  DistillProtocol protocol(params);
+  TargetedSlanderAdversary inner(protocol);
+
+  class Counter : public Adversary {
+   public:
+    explicit Counter(Adversary& wrapped) : wrapped_(&wrapped) {}
+    void initialize(const World& world, const Population& pop) override {
+      wrapped_->initialize(world, pop);
+      per_player_.assign(pop.num_players(), 0);
+    }
+    void plan_round(const AdversaryContext& ctx, std::vector<Post>& out,
+                    Rng& rng) override {
+      const std::size_t before = out.size();
+      wrapped_->plan_round(ctx, out, rng);
+      for (std::size_t i = before; i < out.size(); ++i) {
+        ++per_player_[out[i].author.value()];
+      }
+    }
+    std::vector<std::size_t> per_player_;
+
+   private:
+    Adversary* wrapped_;
+  } counter(inner);
+
+  (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                        counter, {.max_rounds = 300000, .seed = 160});
+  for (std::size_t posts : counter.per_player_) {
+    EXPECT_LE(posts, 2u);  // one post per budgeted negative vote
+  }
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,215 @@
+#include "acp/billboard/vote_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+namespace {
+
+Post make_post(std::size_t author, Round round, std::size_t object,
+               double value, bool positive) {
+  return Post{PlayerId{author}, round, ObjectId{object}, value, positive};
+}
+
+class FirstPositiveLedgerTest : public ::testing::Test {
+ protected:
+  Billboard bb_{4, 8};
+  VoteLedger ledger_{VotePolicy::kFirstPositive, 4, 8, 1};
+};
+
+TEST_F(FirstPositiveLedgerTest, NoVotesInitially) {
+  EXPECT_FALSE(ledger_.current_vote(PlayerId{0}).has_value());
+  EXPECT_TRUE(ledger_.objects_with_any_vote().empty());
+  EXPECT_TRUE(ledger_.events().empty());
+}
+
+TEST_F(FirstPositiveLedgerTest, PositivePostBecomesVote) {
+  bb_.commit_round(0, {make_post(1, 0, 5, 0.9, true)});
+  ledger_.ingest(bb_);
+  ASSERT_TRUE(ledger_.current_vote(PlayerId{1}).has_value());
+  EXPECT_EQ(*ledger_.current_vote(PlayerId{1}), ObjectId{5});
+  EXPECT_EQ(ledger_.total_votes(ObjectId{5}), 1);
+}
+
+TEST_F(FirstPositiveLedgerTest, NegativePostIsNotAVote) {
+  bb_.commit_round(0, {make_post(1, 0, 5, 0.1, false)});
+  ledger_.ingest(bb_);
+  EXPECT_FALSE(ledger_.current_vote(PlayerId{1}).has_value());
+  EXPECT_EQ(ledger_.total_votes(ObjectId{5}), 0);
+}
+
+TEST_F(FirstPositiveLedgerTest, OneVoteRuleIgnoresLaterPositives) {
+  bb_.commit_round(0, {make_post(1, 0, 5, 0.9, true)});
+  bb_.commit_round(1, {make_post(1, 1, 6, 0.9, true)});
+  ledger_.ingest(bb_);
+  EXPECT_EQ(*ledger_.current_vote(PlayerId{1}), ObjectId{5});
+  EXPECT_EQ(ledger_.total_votes(ObjectId{6}), 0);
+  EXPECT_EQ(ledger_.events().size(), 1u);
+}
+
+TEST_F(FirstPositiveLedgerTest, RepeatPositiveSameObjectNotDoubleCounted) {
+  bb_.commit_round(0, {make_post(1, 0, 5, 0.9, true)});
+  bb_.commit_round(1, {make_post(1, 1, 5, 0.9, true)});
+  ledger_.ingest(bb_);
+  EXPECT_EQ(ledger_.total_votes(ObjectId{5}), 1);
+}
+
+TEST_F(FirstPositiveLedgerTest, IngestIsIdempotent) {
+  bb_.commit_round(0, {make_post(0, 0, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  ledger_.ingest(bb_);
+  EXPECT_EQ(ledger_.total_votes(ObjectId{2}), 1);
+}
+
+TEST_F(FirstPositiveLedgerTest, IncrementalIngest) {
+  bb_.commit_round(0, {make_post(0, 0, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  bb_.commit_round(1, {make_post(1, 1, 3, 1.0, true)});
+  ledger_.ingest(bb_);
+  EXPECT_EQ(ledger_.total_votes(ObjectId{2}), 1);
+  EXPECT_EQ(ledger_.total_votes(ObjectId{3}), 1);
+}
+
+TEST_F(FirstPositiveLedgerTest, WindowCounting) {
+  bb_.commit_round(0, {make_post(0, 0, 4, 1.0, true)});
+  bb_.commit_round(5, {make_post(1, 5, 4, 1.0, true)});
+  bb_.commit_round(9, {make_post(2, 9, 4, 1.0, true)});
+  ledger_.ingest(bb_);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 0, 10), 3);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 0, 5), 1);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 5, 6), 1);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 1, 5), 0);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 9, 9), 0);  // empty window
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{4}, 10, 20), 0);
+}
+
+TEST_F(FirstPositiveLedgerTest, WindowHalfOpenSemantics) {
+  bb_.commit_round(3, {make_post(0, 3, 1, 1.0, true)});
+  ledger_.ingest(bb_);
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{1}, 3, 4), 1);  // includes begin
+  EXPECT_EQ(ledger_.votes_in_window(ObjectId{1}, 2, 3), 0);  // excludes end
+}
+
+TEST_F(FirstPositiveLedgerTest, ObjectsWithVotesInWindowThreshold) {
+  bb_.commit_round(0, {make_post(0, 0, 1, 1.0, true),
+                       make_post(1, 0, 1, 1.0, true),
+                       make_post(2, 0, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  const auto two_plus = ledger_.objects_with_votes_in_window(0, 1, 2);
+  ASSERT_EQ(two_plus.size(), 1u);
+  EXPECT_EQ(two_plus[0], ObjectId{1});
+  const auto one_plus = ledger_.objects_with_votes_in_window(0, 1, 1);
+  EXPECT_EQ(one_plus.size(), 2u);
+}
+
+TEST_F(FirstPositiveLedgerTest, ObjectsWithVotesWindowExcludesOutside) {
+  bb_.commit_round(0, {make_post(0, 0, 1, 1.0, true)});
+  bb_.commit_round(5, {make_post(1, 5, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  const auto in_late_window = ledger_.objects_with_votes_in_window(5, 6, 1);
+  ASSERT_EQ(in_late_window.size(), 1u);
+  EXPECT_EQ(in_late_window[0], ObjectId{2});
+}
+
+TEST_F(FirstPositiveLedgerTest, ObjectsWithAnyVoteSorted) {
+  bb_.commit_round(0, {make_post(0, 0, 7, 1.0, true),
+                       make_post(1, 0, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  const auto objs = ledger_.objects_with_any_vote();
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0], ObjectId{2});
+  EXPECT_EQ(objs[1], ObjectId{7});
+}
+
+TEST(MultiVoteLedger, HonorsVoteBudget) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kFirstPositive, 4, 8, /*f=*/2);
+  bb.commit_round(0, {make_post(0, 0, 1, 1.0, true)});
+  bb.commit_round(1, {make_post(0, 1, 2, 1.0, true)});
+  bb.commit_round(2, {make_post(0, 2, 3, 1.0, true)});  // over budget
+  ledger.ingest(bb);
+  const auto votes = ledger.votes_of(PlayerId{0});
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes[0], ObjectId{1});
+  EXPECT_EQ(votes[1], ObjectId{2});
+  EXPECT_EQ(ledger.total_votes(ObjectId{3}), 0);
+}
+
+TEST(HighestReportedLedger, VoteIsBestSoFar) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kHighestReported, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 0.3, false)});
+  bb.commit_round(1, {make_post(0, 1, 2, 0.8, false)});
+  bb.commit_round(2, {make_post(0, 2, 3, 0.5, false)});
+  ledger.ingest(bb);
+  ASSERT_TRUE(ledger.current_vote(PlayerId{0}).has_value());
+  EXPECT_EQ(*ledger.current_vote(PlayerId{0}), ObjectId{2});
+}
+
+TEST(HighestReportedLedger, EachImprovementIsAnEvent) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kHighestReported, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 0.3, false)});
+  bb.commit_round(1, {make_post(0, 1, 2, 0.8, false)});
+  bb.commit_round(2, {make_post(0, 2, 3, 0.5, false)});  // not an improvement
+  ledger.ingest(bb);
+  EXPECT_EQ(ledger.events().size(), 2u);
+  EXPECT_EQ(ledger.votes_in_window(ObjectId{2}, 1, 2), 1);
+  EXPECT_EQ(ledger.votes_in_window(ObjectId{3}, 0, 10), 0);
+}
+
+TEST(HighestReportedLedger, PositiveFlagIrrelevant) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kHighestReported, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 0.3, true)});
+  ledger.ingest(bb);
+  EXPECT_EQ(*ledger.current_vote(PlayerId{0}), ObjectId{1});
+}
+
+TEST(HighestReportedLedger, TiesDoNotSwitchVote) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kHighestReported, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 0.5, false)});
+  bb.commit_round(1, {make_post(0, 1, 2, 0.5, false)});
+  ledger.ingest(bb);
+  EXPECT_EQ(*ledger.current_vote(PlayerId{0}), ObjectId{1});
+}
+
+TEST(HighestReportedLedger, RejectsMultiVoteBudget) {
+  EXPECT_THROW(VoteLedger(VotePolicy::kHighestReported, 4, 8, 2),
+               ContractViolation);
+}
+
+TEST(VoteLedger, RejectsMismatchedBillboard) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kFirstPositive, 5, 8, 1);
+  EXPECT_THROW(ledger.ingest(bb), ContractViolation);
+}
+
+TEST(VoteLedger, PerPlayerIsolation) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kFirstPositive, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 1.0, true),
+                      make_post(1, 0, 2, 1.0, true)});
+  ledger.ingest(bb);
+  EXPECT_EQ(*ledger.current_vote(PlayerId{0}), ObjectId{1});
+  EXPECT_EQ(*ledger.current_vote(PlayerId{1}), ObjectId{2});
+  EXPECT_FALSE(ledger.current_vote(PlayerId{2}).has_value());
+}
+
+TEST(VoteLedger, EventLogOrderedByRound) {
+  Billboard bb(4, 8);
+  VoteLedger ledger(VotePolicy::kFirstPositive, 4, 8, 1);
+  bb.commit_round(0, {make_post(0, 0, 1, 1.0, true)});
+  bb.commit_round(3, {make_post(1, 3, 2, 1.0, true)});
+  bb.commit_round(7, {make_post(2, 7, 1, 1.0, true)});
+  ledger.ingest(bb);
+  const auto& events = ledger.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].round, events[1].round);
+  EXPECT_LE(events[1].round, events[2].round);
+}
+
+}  // namespace
+}  // namespace acp

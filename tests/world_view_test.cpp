@@ -1,0 +1,146 @@
+// Remaining coverage: WorldView, cost-class cycling, GuessAlpha epoch
+// re-ingestion, and miscellaneous edges found by coverage review.
+#include <gtest/gtest.h>
+
+#include "acp/core/cost_classes.hpp"
+#include "acp/core/guess_alpha.hpp"
+#include "acp/stats/histogram.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+TEST(WorldView, ReflectsTopBetaModel) {
+  Rng rng(211);
+  const World world = make_top_beta_world(32, 4, rng);
+  const WorldView view(world);
+  EXPECT_EQ(view.model(), GoodnessModel::kTopBeta);
+  EXPECT_DOUBLE_EQ(view.beta(), 0.125);
+  EXPECT_EQ(view.num_objects(), 32u);
+}
+
+TEST(WorldView, CostPassthrough) {
+  Rng rng(212);
+  CostClassWorldOptions opts;
+  opts.num_classes = 2;
+  opts.objects_per_class = 4;
+  const World world = make_cost_class_world(opts, rng);
+  const WorldView view(world);
+  for (std::size_t i = 0; i < world.num_objects(); ++i) {
+    EXPECT_DOUBLE_EQ(view.cost(ObjectId{i}), world.cost(ObjectId{i}));
+  }
+}
+
+TEST(CostClasses, WrapsAroundWhenAllHorizonsExpire) {
+  // A world whose only good object is expensive, with a tiny k_h so the
+  // schedule exhausts all classes at least once and must wrap. The run
+  // still completes (the wrap restarts from class 0).
+  Rng rng(213);
+  CostClassWorldOptions world_opts;
+  world_opts.num_classes = 3;
+  world_opts.objects_per_class = 16;
+  world_opts.cheapest_good_class = 2;
+  const World world = make_cost_class_world(world_opts, rng);
+  const auto pop = Population::with_prefix_honest(32, 32);
+
+  CostClassParams params;
+  params.alpha = 1.0;
+  params.k_h = 0.05;  // absurdly short horizons force wrap-around
+  CostClassProtocol protocol(params);
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 500000, .seed = 3});
+  EXPECT_TRUE(result.all_honest_satisfied);
+}
+
+TEST(CostClasses, SkipsEmptyClasses) {
+  // Costs only in classes 0 and 2 (class 1 empty by construction): the
+  // protocol's class partition has an empty middle class and must skip it
+  // without stalling.
+  std::vector<double> values = {0.1, 0.9, 0.1, 0.1};
+  std::vector<double> costs = {1.0, 5.0, 1.5, 4.5};  // classes 0,2,0,2
+  std::vector<bool> good = {false, true, false, false};
+  const World world(std::move(values), std::move(costs), std::move(good),
+                    GoodnessModel::kLocalTesting, 0.5);
+  const auto pop = Population::with_prefix_honest(8, 8);
+  CostClassParams params;
+  params.alpha = 1.0;
+  CostClassProtocol protocol(params);
+  SilentAdversary adversary;
+  const RunResult result = SyncEngine::run(world, pop, protocol, adversary,
+                                           {.max_rounds = 100000, .seed = 4});
+  EXPECT_TRUE(result.all_honest_satisfied);
+  EXPECT_EQ(protocol.num_classes(), 3u);
+  EXPECT_TRUE(protocol.class_objects(1).empty());
+}
+
+TEST(GuessAlpha, EpochCarriesVotesForward) {
+  // Votes cast in epoch 0 survive into epoch 1's fresh inner instance
+  // (the §5.1 "after effects are benign" argument): the fresh ledger
+  // re-ingests the whole billboard, so S still contains them.
+  Rng rng(214);
+  const World world = make_simple_world(16, 1, rng);
+  GuessAlphaProtocol protocol;
+  protocol.initialize(WorldView(world), 16);
+  Billboard billboard(16, 16);
+
+  // Round 0: a vote by player 3 for the good object.
+  const ObjectId good = world.good_objects()[0];
+  protocol.on_round_begin(0, billboard);
+  billboard.commit_round(0, {Post{PlayerId{3}, 0, good, 0.9, true}});
+
+  // Drive to epoch 1.
+  Round r = 1;
+  while (protocol.epoch() == 0) {
+    protocol.on_round_begin(r, billboard);
+    billboard.commit_round(r, {});
+    ++r;
+  }
+  EXPECT_EQ(protocol.epoch(), 1u);
+  // The fresh inner instance knows the old vote.
+  EXPECT_EQ(protocol.inner().ledger().total_votes(good), 1);
+}
+
+TEST(Histogram, SingleBinDegenerate) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.0);
+  h.add(0.999);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 1.0);
+}
+
+TEST(Histogram, RenderIncludesOverflowLines) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-1.0);
+  h.add(2.0);
+  const std::string rendered = h.render(10);
+  EXPECT_NE(rendered.find("underflow: 1"), std::string::npos);
+  EXPECT_NE(rendered.find("overflow:  1"), std::string::npos);
+}
+
+TEST(TrustTable, ImportExportRoundTrip) {
+  DistillParams params = basic_params(0.5);
+  params.trust_weighted_advice = true;
+  DistillProtocol protocol(params);
+  Rng rng(215);
+  const World world = make_simple_world(8, 1, rng);
+
+  std::vector<std::vector<int>> table(8, std::vector<int>(8, 0));
+  table[2][5] = 3;
+  table[2][6] = -1;
+  protocol.import_trust_table(table);
+  protocol.initialize(WorldView(world), 8);
+  EXPECT_EQ(protocol.trust_table(), table);
+
+  // A mismatched import is ignored (fresh zero table).
+  DistillProtocol other(params);
+  other.import_trust_table(
+      std::vector<std::vector<int>>(4, std::vector<int>(4, 1)));
+  other.initialize(WorldView(world), 8);
+  EXPECT_EQ(other.trust_table().size(), 8u);
+  EXPECT_EQ(other.trust_table()[0][0], 0);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -1,0 +1,21 @@
+// acpsim — command-line front end for the simulator (see acp/sim/cli.hpp).
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "acp/sim/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const acp::cli::CliConfig config = acp::cli::parse_args(args);
+    return acp::cli::run(config, std::cout);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "acpsim: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "acpsim: internal error: " << e.what() << '\n';
+    return 3;
+  }
+}
