@@ -56,7 +56,7 @@ int main() {
                    Table::cell(summaries[3].mean(), 3)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: a strict threshold (divisor near 1) drops "
                "the good object and restarts attempts; lax thresholds let "
                "the adversary keep more decoys per vote. The paper's "

@@ -55,7 +55,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: advice roughly halves the mean probe cost — "
                "an advice round is free when the chosen player has no vote "
                "and cheaply targeted when it does, while a candidate probe "

@@ -121,7 +121,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check (a negative result, deliberately reported): "
                "slander is useless in BOTH directions here. With veto off "
                "it changes nothing by construction; with veto on, honest "

@@ -50,7 +50,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: trust is neutral at high alpha — runs end "
                "after a handful of advice draws, too few for local scores "
                "to learn anything — but at low alpha, where runs last "

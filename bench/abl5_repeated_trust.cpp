@@ -92,7 +92,7 @@ int main() {
                    verdict});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: epoch 0 matches ABL-4 (one-shot trust is a "
                "modest win at this alpha). With carried tables the win "
                "compounds: by the later epochs the population has mapped "

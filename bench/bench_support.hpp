@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "acp/core/distill.hpp"
 #include "acp/core/theory.hpp"
 #include "acp/engine/sync_engine.hpp"
+#include "acp/obs/json.hpp"
 #include "acp/sim/runner.hpp"
 #include "acp/stats/summary.hpp"
 #include "acp/stats/table.hpp"
@@ -33,6 +35,17 @@ inline std::size_t trials_from_env(std::size_t default_trials) {
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return default_trials;
+}
+
+/// Trial-runner worker threads from ACP_BENCH_THREADS (default 1). Any
+/// value is deterministic: trials are independently seeded and results are
+/// stored by trial index, so only wall-clock time changes.
+inline std::size_t threads_from_env(std::size_t default_threads = 1) {
+  if (const char* env = std::getenv("ACP_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return default_threads;
 }
 
 /// One experiment point: a world/population shape plus run limits.
@@ -75,7 +88,7 @@ inline std::vector<Summary> run_point(const PointConfig& config,
   TrialPlan plan;
   plan.trials = trials;
   plan.base_seed = base_seed;
-  plan.threads = 1;  // determinism independent of host concurrency
+  plan.threads = threads_from_env();  // deterministic at any thread count
   return run_trials_multi(
       plan, kNumMetrics, [&](std::uint64_t seed) {
         Rng rng(seed);
@@ -130,14 +143,71 @@ inline double worst_case_mean_probes(const PointConfig& config,
   return worst;
 }
 
-/// Standard bench banner.
+namespace detail {
+/// Bench identity captured by print_header() so JSON dumps can name
+/// themselves without threading an id through every call site.
+inline std::string& bench_id() {
+  static std::string id;
+  return id;
+}
+inline std::string& bench_claim() {
+  static std::string claim;
+  return claim;
+}
+}  // namespace detail
+
+/// Standard bench banner. Also records the bench id (the token before the
+/// first space, e.g. "FIG-1") and claim for write_table_json().
 inline void print_header(const std::string& id, const std::string& claim) {
+  detail::bench_id() = id.substr(0, id.find(' '));
+  detail::bench_claim() = claim;
   std::cout << "==============================================================="
                "=\n"
             << id << "\n"
             << claim << "\n"
             << "==============================================================="
                "=\n";
+}
+
+/// If ACP_BENCH_JSON=<dir> is set, dump `table` as
+/// <dir>/BENCH_<id>.json ("acp.bench.v1": id, claim, headers, string
+/// rows). No-op otherwise. Failures warn on stderr but never fail the
+/// bench — JSON is a side channel, the table on stdout is the contract.
+inline void write_table_json(const Table& table) {
+  const char* dir = std::getenv("ACP_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string id =
+      detail::bench_id().empty() ? std::string("bench") : detail::bench_id();
+  const std::string path = std::string(dir) + "/BENCH_" + id + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "ACP_BENCH_JSON: cannot open " << path << "\n";
+    return;
+  }
+  obs::JsonWriter json(file);
+  json.begin_object();
+  json.member("schema", "acp.bench.v1");
+  json.member("id", id);
+  json.member("claim", detail::bench_claim());
+  json.key("headers").begin_array();
+  for (const std::string& header : table.headers()) json.value(header);
+  json.end_array();
+  json.key("rows").begin_array();
+  for (const auto& row : table.rows()) {
+    json.begin_array();
+    for (const std::string& cell : row) json.value(cell);
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  file << "\n";
+}
+
+/// Print the result table to stdout and, under ACP_BENCH_JSON, dump it as
+/// JSON too. Benches call this instead of table.print(std::cout).
+inline void print_table(const Table& table) {
+  table.print(std::cout);
+  write_table_json(table);
 }
 
 }  // namespace acp::bench

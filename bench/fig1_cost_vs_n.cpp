@@ -60,7 +60,7 @@ int main() {
                    Table::cell(theory::trivial_expected_rounds(beta), 0)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: distill_silent is flat (the benign O(1) "
                "regime); distill_worst grows sublogarithmically, tracking "
                "theory_distill's log n/Delta shape; collab_ec04 climbs like "

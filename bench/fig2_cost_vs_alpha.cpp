@@ -49,7 +49,7 @@ int main() {
                    Table::cell(worst / theory_value)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: cost rises as alpha falls; the ratio column "
                "should stay within a modest constant band.\n";
   return 0;

@@ -80,7 +80,7 @@ int main() {
                    acp::Table::cell(acp::theory::theorem2_floor(rate, rate))});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: both algorithm columns must sit above the "
                "floor and grow ~linearly with B.\n";
   return 0;

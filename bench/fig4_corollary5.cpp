@@ -47,7 +47,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: within each eps block the cost stays flat in "
                "n (the Corollary 5 claim).\n";
   return 0;

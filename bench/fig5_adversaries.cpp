@@ -58,7 +58,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: slander == silent (negative reports are "
                "ignored); split-vote is the most expensive strategy at low "
                "alpha.\n";

@@ -83,14 +83,20 @@ int main() {
   });
 
   const std::size_t rounds = std::max(distill.size(), collab.size());
+  // The human-readable output is ASCII bars, not a table; the JSON side
+  // channel (ACP_BENCH_JSON) still gets the raw per-round fractions.
+  acp::Table table({"round", "distill", "ec04"});
   std::cout << "round  DISTILL " << std::string(34, ' ') << "EC'04\n";
   for (std::size_t r = 0; r < rounds; ++r) {
     const double d = r < distill.size() ? distill[r] : 1.0;
     const double c = r < collab.size() ? collab[r] : 1.0;
     std::cout.width(5);
     std::cout << r << "  " << bar(d) << "  " << bar(c) << '\n';
+    table.add_row({acp::Table::cell(r), acp::Table::cell(d, 4),
+                   acp::Table::cell(c, 4)});
     if (d >= 0.999 && c >= 0.999) break;
   }
+  write_table_json(table);
 
   std::cout << "\nshape check: DISTILL jumps to full satisfaction in a few "
                "synchronized bursts (phase boundaries); the baseline climbs "

@@ -74,7 +74,7 @@ int main() {
          Table::cell(theory::baseline_expected_rounds(alpha, beta, n))});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: everything grows linearly in m — the "
                "unavoidable discovery work (Theorem 1). Two honest "
                "observations: (1) the k1 columns expose the fixed-phase "

@@ -4,6 +4,10 @@
 // per second on one core).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "acp/adversary/strategies.hpp"
 #include "acp/billboard/billboard.hpp"
 #include "acp/billboard/vote_ledger.hpp"
@@ -144,4 +148,35 @@ BENCHMARK(BM_EngineRoundRate)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so ACP_BENCH_JSON=<dir>
+// routes google-benchmark's own JSON reporter to the same place the table
+// benches dump theirs: <dir>/BENCH_perf_substrate.json. Explicit
+// --benchmark_out flags on the command line still win — injected flags
+// come first and google-benchmark takes the last occurrence.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  if (const char* dir = std::getenv("ACP_BENCH_JSON"); dir != nullptr &&
+                                                       *dir != '\0') {
+    args.push_back(std::string("--benchmark_out=") + dir +
+                   "/BENCH_perf_substrate.json");
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  std::vector<char*> arg_ptrs;
+  arg_ptrs.reserve(args.size() + 1);
+  for (std::string& arg : args) arg_ptrs.push_back(arg.data());
+  arg_ptrs.push_back(nullptr);
+  int patched_argc = static_cast<int>(args.size());
+
+  benchmark::Initialize(&patched_argc, arg_ptrs.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc,
+                                             arg_ptrs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

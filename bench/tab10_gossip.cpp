@@ -105,7 +105,7 @@ int main() {
                    Table::cell(summaries[3].mean(), 4)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: success stays 1.0 at every fanout; cost "
                "approaches the shared-billboard cost from above as fanout "
                "grows, degrading gracefully down to fanout 2. At fanout 1 "

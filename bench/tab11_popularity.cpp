@@ -72,7 +72,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: under silence the two are comparable (the "
                "rich-get-richer rule is even slightly faster — popularity "
                "IS informative when everyone is honest, which is why "

@@ -81,7 +81,7 @@ int main() {
                        theory::hp_horizon(alpha, 1.0 / n, n)))});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: the HP row's restart fraction is lower (and "
                "its tail correspondingly tighter relative to its median) "
                "than the constant-k row's; both stay under hp_horizon.\n";

@@ -71,7 +71,7 @@ int main() {
              q0, alpha, n, num_classes * per_class))});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: schedule_cost scales ~geometrically with the "
                "good class (tracking q0); naive_cost stays high even for "
                "cheap good objects.\n";

@@ -53,7 +53,7 @@ int main() {
                    Table::cell(summaries[1].mean())});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: success ~1.0 across beta; horizon shrinks as "
                "good objects become plentiful.\n";
   return 0;

@@ -52,7 +52,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: cost degrades slowly while f << 1/(1-alpha) "
                "= 10; success stays 1.0 throughout; err=0.05 costs little "
                "once f > 1.\n";

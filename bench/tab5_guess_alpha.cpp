@@ -63,7 +63,7 @@ int main() {
                    Table::cell(wrapper[1].mean(), 4)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: overhead_x stays a modest constant across "
                "true alpha values; wrapper success is 1.0.\n";
   return 0;

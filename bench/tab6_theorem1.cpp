@@ -48,7 +48,7 @@ int main() {
                    Table::cell(theory::theorem1_floor(1.0, beta, n, m))});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: oracle_mean tracks the floor within a small "
                "factor; no algorithm dips below it.\n";
   return 0;

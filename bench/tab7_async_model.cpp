@@ -63,7 +63,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: total cost is similar across schedules "
                "(~n log n), but starve-one's worst individual cost is ~n — "
                "the whole search alone — versus O(log n) under fair "

@@ -88,7 +88,7 @@ int main() {
     }
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: exact_match must be yes everywhere; the "
                "steps ratio shows the synchronizer's scheduling overhead "
                "(1.0 = perfect interleaving under round robin; random "

@@ -55,7 +55,7 @@ int main() {
                    Table::cell(4.0 / alpha, 1)});
   }
 
-  table.print(std::cout);
+  print_table(table);
   std::cout << "\nshape check: the late joiner's probes scale like 1/alpha "
                "and stay within the Lemma 6 envelope — independent of m "
                "and of how long the crowd has been gone.\n";

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "acp/obs/timer.hpp"
+
 namespace acp {
 
 Billboard::Billboard(std::size_t num_players, std::size_t num_objects,
@@ -13,6 +15,7 @@ Billboard::Billboard(std::size_t num_players, std::size_t num_objects,
 }
 
 void Billboard::commit_round(Round round, std::vector<Post> posts) {
+  ACP_OBS_TIMED_SCOPE("billboard.commit_round");
   ACP_EXPECTS(round > last_round_);
   std::vector<std::size_t> authors;
   authors.reserve(posts.size());

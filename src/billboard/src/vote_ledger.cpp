@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "acp/obs/timer.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {
@@ -25,6 +26,7 @@ VoteLedger::VoteLedger(VotePolicy policy, std::size_t num_players,
 }
 
 void VoteLedger::ingest(const Billboard& billboard) {
+  ACP_OBS_TIMED_SCOPE("ledger.ingest");
   ACP_EXPECTS(billboard.num_players() == num_players_);
   ACP_EXPECTS(billboard.num_objects() == num_objects_);
   const auto& posts = billboard.posts();
@@ -123,6 +125,7 @@ Count VoteLedger::total_votes(ObjectId object) const {
 
 std::vector<ObjectId> VoteLedger::objects_with_votes_in_window(
     Round begin, Round end, Count min_count) const {
+  ACP_OBS_TIMED_SCOPE("ledger.window_query");
   ACP_EXPECTS(begin <= end);
   ACP_EXPECTS(min_count >= 1);
   // Walk only the events inside the window (cheap: windows are a few rounds

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "acp/obs/timer.hpp"
 #include "acp/util/contracts.hpp"
 #include "acp/util/math.hpp"
 
@@ -132,6 +133,7 @@ void DistillProtocol::apply_veto(std::vector<ObjectId>& objects, Round begin,
 }
 
 void DistillProtocol::on_round_begin(Round round, const Billboard& billboard) {
+  ACP_OBS_TIMED_SCOPE("distill.rule_eval");
   ACP_EXPECTS(ledger_.has_value());
   ledger_->ingest(billboard);
   if (negative_ledger_.has_value()) negative_ledger_->ingest(billboard);

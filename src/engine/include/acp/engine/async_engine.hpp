@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "acp/engine/adversary.hpp"
+#include "acp/engine/observer.hpp"
 #include "acp/engine/protocol.hpp"
 #include "acp/engine/run_result.hpp"
 #include "acp/world/population.hpp"
@@ -86,6 +87,10 @@ struct AsyncRunConfig {
   /// Hard stop on the number of honest steps.
   Count max_steps = 10000000;
   std::uint64_t seed = 1;
+  /// Optional measurement hook; not owned. In the asynchronous model a
+  /// "round" is one basic step: on_round_end fires per step with the step
+  /// stamp, so the same observers work on every engine.
+  RunObserver* observer = nullptr;
 };
 
 class AsyncEngine {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "acp/engine/async_engine.hpp"
+#include "acp/engine/observer.hpp"
 #include "acp/engine/protocol.hpp"
 
 namespace acp {
@@ -46,6 +47,11 @@ class LockstepAdapter final : public AsyncProtocol {
   /// protocol (the honest count); each virtual round closes only after
   /// every live participant has taken its step.
   LockstepAdapter(Protocol& inner, std::size_t expected_participants);
+
+  /// Optional measurement hook; not owned. Receives on_round_end once per
+  /// *virtual* round (at close), with the virtual billboard — i.e. the
+  /// same view a SyncEngine observer of the simulated run would get.
+  void set_observer(RunObserver* observer) noexcept { observer_ = observer; }
 
   void initialize(const WorldView& world, std::size_t num_players) override;
   [[nodiscard]] std::optional<ObjectId> choose_probe(
@@ -83,6 +89,32 @@ class LockstepAdapter final : public AsyncProtocol {
   std::vector<bool> foreign_posted_;  // dishonest dedupe per virtual round
 
   std::size_t real_cursor_ = 0;
+
+  RunObserver* observer_ = nullptr;
+  std::size_t halted_count_ = 0;
+  std::size_t probes_in_round_ = 0;
+};
+
+/// Convenience façade running a synchronous Protocol over the asynchronous
+/// engine through a LockstepAdapter — the third engine configuration, with
+/// the same observer slot as SyncRunConfig/AsyncRunConfig. The observer
+/// sees *virtual* rounds, so any observer (TraceRecorder, JSONL writer)
+/// works identically across all three engines.
+struct LockstepRunConfig {
+  /// Hard stop on the number of honest *steps* (not virtual rounds).
+  Count max_steps = 10000000;
+  std::uint64_t seed = 1;
+  /// Optional measurement hook; not owned.
+  RunObserver* observer = nullptr;
+};
+
+class LockstepEngine {
+ public:
+  /// Execute one run. `protocol` and `adversary` must be freshly
+  /// constructed (or otherwise reset) for each run.
+  static RunResult run(const World& world, const Population& population,
+                       Protocol& protocol, Adversary& adversary,
+                       Scheduler& scheduler, const LockstepRunConfig& config);
 };
 
 }  // namespace acp

@@ -7,11 +7,22 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "acp/billboard/billboard.hpp"
+#include "acp/engine/run_result.hpp"
 #include "acp/util/types.hpp"
 
 namespace acp {
+
+/// Static facts about the run an observer is attached to, delivered once
+/// before the first round (or step) executes.
+struct RunContext {
+  std::size_t num_players = 0;
+  std::size_t num_honest = 0;
+  std::size_t num_objects = 0;
+  std::uint64_t seed = 0;
+};
 
 class RunObserver {
  public:
@@ -21,14 +32,25 @@ class RunObserver {
   RunObserver(const RunObserver&) = delete;
   RunObserver& operator=(const RunObserver&) = delete;
 
+  /// Before the first round executes. Default: no-op.
+  virtual void on_run_begin(const RunContext& /*context*/) {}
+
   /// After round `round` committed. `billboard` includes this round's
   /// posts; `active_honest` / `satisfied_honest` count honest players
   /// still searching / already halted; `probes_this_round` counts honest
   /// probes executed this round.
+  ///
+  /// Every engine delivers this with the same semantics: the synchronous
+  /// engine per round, the asynchronous engine per basic step (round ==
+  /// step stamp), and the lockstep engine per *virtual* round with the
+  /// virtual billboard.
   virtual void on_round_end(Round round, const Billboard& billboard,
                             std::size_t active_honest,
                             std::size_t satisfied_honest,
                             std::size_t probes_this_round) = 0;
+
+  /// After the run finished, with the final accounting. Default: no-op.
+  virtual void on_run_end(const RunResult& /*result*/) {}
 };
 
 }  // namespace acp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "acp/obs/timer.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {
@@ -56,8 +57,16 @@ RunResult AsyncEngine::run(const World& world, const Population& population,
   std::vector<PlayerId> active = population.honest_players();
   std::vector<Post> step_posts;
 
+  if (config.observer != nullptr) {
+    config.observer->on_run_begin(RunContext{n, population.num_honest(),
+                                             world.num_objects(),
+                                             config.seed});
+  }
+  std::size_t satisfied_honest = 0;
+
   Count step = 0;
   for (; step < config.max_steps && !active.empty(); ++step) {
+    ACP_OBS_TIMED_SCOPE("engine.async.step");
     const Round stamp = static_cast<Round>(step);
 
     // The adversary may interleave dishonest posts at every step — in the
@@ -109,12 +118,20 @@ RunResult AsyncEngine::run(const World& world, const Population& population,
     if (halted) {
       active.erase(std::remove(active.begin(), active.end(), p),
                    active.end());
+      ++satisfied_honest;
+    }
+
+    if (config.observer != nullptr) {
+      config.observer->on_round_end(stamp, billboard, active.size(),
+                                    satisfied_honest,
+                                    choice.has_value() ? 1 : 0);
     }
   }
 
   result.rounds_executed = static_cast<Round>(step);
   result.all_honest_satisfied = active.empty();
   result.total_posts = billboard.size();
+  if (config.observer != nullptr) config.observer->on_run_end(result);
   return result;
 }
 

@@ -25,6 +25,8 @@ void LockstepAdapter::initialize(const WorldView& world,
   local_round_.assign(n_, 0);
   foreign_posted_.assign(n_, false);
   real_cursor_ = 0;
+  halted_count_ = 0;
+  probes_in_round_ = 0;
 }
 
 const Billboard& LockstepAdapter::virtual_billboard() const {
@@ -65,6 +67,14 @@ void LockstepAdapter::close_round_if_done() {
   }
   virtual_bb_->commit_round(vround_, std::move(staged_));
   staged_ = {};
+  if (observer_ != nullptr) {
+    // The virtual billboard now includes this round's posts — exactly what
+    // a SyncEngine observer sees after the round's commit.
+    observer_->on_round_end(vround_, *virtual_bb_,
+                            expected_participants_ - halted_count_,
+                            halted_count_, probes_in_round_);
+  }
+  probes_in_round_ = 0;
   ++vround_;
   round_open_ = false;
   foreign_posted_.assign(n_, false);
@@ -112,9 +122,34 @@ StepOutcome LockstepAdapter::on_probe_result(PlayerId player, ObjectId object,
     staged_.push_back(Post{player, vround_, out.post->object,
                            out.post->reported_value, out.post->positive});
   }
-  if (out.halt) halted_[player.value()] = true;
+  if (out.halt && !halted_[player.value()]) {
+    halted_[player.value()] = true;
+    ++halted_count_;
+  }
+  ++probes_in_round_;
   complete_step(player);
   return out;
+}
+
+RunResult LockstepEngine::run(const World& world, const Population& population,
+                              Protocol& protocol, Adversary& adversary,
+                              Scheduler& scheduler,
+                              const LockstepRunConfig& config) {
+  LockstepAdapter adapter(protocol, population.num_honest());
+  adapter.set_observer(config.observer);
+  if (config.observer != nullptr) {
+    config.observer->on_run_begin(RunContext{population.num_players(),
+                                             population.num_honest(),
+                                             world.num_objects(),
+                                             config.seed});
+  }
+  // The async engine gets no observer of its own: the attached observer
+  // sees the simulated synchronous run (virtual rounds), not raw steps.
+  RunResult result =
+      AsyncEngine::run(world, population, adapter, adversary, scheduler,
+                       AsyncRunConfig{config.max_steps, config.seed, nullptr});
+  if (config.observer != nullptr) config.observer->on_run_end(result);
+  return result;
 }
 
 }  // namespace acp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "acp/obs/timer.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {
@@ -60,12 +61,19 @@ RunResult SyncEngine::run(const World& world, const Population& population,
   std::size_t next_pending = 0;
   std::size_t satisfied_honest = 0;
 
+  if (config.observer != nullptr) {
+    config.observer->on_run_begin(RunContext{n, population.num_honest(),
+                                             world.num_objects(),
+                                             config.seed});
+  }
+
   std::vector<Post> round_posts;
 
   Round round = 0;
   for (; round < config.max_rounds &&
          (!active.empty() || next_pending < pending.size());
        ++round) {
+    ACP_OBS_TIMED_SCOPE("engine.sync.round");
     // Admit arrivals due this round.
     while (next_pending < pending.size() &&
            config.arrivals[pending[next_pending].value()] <= round) {
@@ -150,12 +158,21 @@ RunResult SyncEngine::run(const World& world, const Population& population,
       config.observer->on_round_end(round, billboard, active.size(),
                                     satisfied_honest, probes_this_round);
     }
+    if (obs::MetricsRegistry::enabled()) {
+      static obs::Counter& rounds_counter =
+          obs::MetricsRegistry::global().counter("engine.sync.rounds");
+      static obs::Counter& probes_counter =
+          obs::MetricsRegistry::global().counter("engine.sync.probes");
+      rounds_counter.add(1);
+      probes_counter.add(probes_this_round);
+    }
   }
 
   result.rounds_executed = round;
   result.all_honest_satisfied =
       active.empty() && next_pending >= pending.size();
   result.total_posts = billboard.size();
+  if (config.observer != nullptr) config.observer->on_run_end(result);
   return result;
 }
 

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer — just enough for the observability
+// outputs (run reports, JSONL traces, bench dumps). No external
+// dependencies; emits compact one-line-friendly JSON with deterministic
+// number formatting (shortest round-trip form via std::to_chars), so
+// golden-file tests are stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acp::obs {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer. Nothing is
+  /// emitted until the first begin_object()/begin_array()/value().
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  // Note: no std::size_t overload — on LP64 it IS std::uint64_t.
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand for key(name) followed by value(v).
+  template <class T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// JSON string escaping (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  /// Emit the separating comma if this is not the first element at the
+  /// current nesting level.
+  void pre_value();
+
+  std::ostream* os_;
+  std::vector<bool> needs_comma_;  // one flag per open container
+  bool after_key_ = false;
+};
+
+}  // namespace acp::obs

@@ -1,0 +1,36 @@
+// JsonlTraceWriter — a RunObserver that streams one JSON object per line
+// (JSONL): a run_begin header, one round record per committed round, and a
+// run_end summary. Unlike TraceRecorder it buffers nothing, so it scales
+// to arbitrarily long runs.
+//
+// Schema ("acp.trace.v1"):
+//   {"schema":"acp.trace.v1","type":"run_begin","players":N,
+//    "honest":H,"objects":M,"seed":S}
+//   {"type":"round","round":R,"active":A,"satisfied":S,"probes":P,
+//    "posts":B}                              // B = cumulative billboard size
+//   {"type":"run_end","rounds":R,"all_satisfied":true|false,
+//    "total_posts":B,"total_probes":K,"mean_probes":X,"max_probes":Y}
+#pragma once
+
+#include <iosfwd>
+
+#include "acp/engine/observer.hpp"
+
+namespace acp::obs {
+
+class JsonlTraceWriter final : public RunObserver {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit JsonlTraceWriter(std::ostream& os) : os_(&os) {}
+
+  void on_run_begin(const RunContext& context) override;
+  void on_round_end(Round round, const Billboard& billboard,
+                    std::size_t active_honest, std::size_t satisfied_honest,
+                    std::size_t probes_this_round) override;
+  void on_run_end(const RunResult& result) override;
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace acp::obs

@@ -1,0 +1,184 @@
+// Metrics registry — named counters, gauges, fixed-bucket histograms and
+// wall-clock timer accumulators for instrumenting the simulator's hot
+// paths (engine round loops, billboard scans, ledger tallies, DISTILL rule
+// evaluation).
+//
+// Collection is *off by default*: a single process-global atomic flag
+// gates every recording site, so an uninstrumented run pays one relaxed
+// load per site and nothing else. Enable with MetricsRegistry::set_enabled
+// (acpsim does this when --report-json is given) and read everything back
+// with snapshot(). Metric objects returned by the registry have stable
+// addresses for the registry's lifetime, so call sites cache a reference
+// in a function-local static and skip the name lookup thereafter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "acp/stats/histogram.hpp"
+
+namespace acp::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (thin thread-safe wrapper over acp::Histogram).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins), histogram_(lo, hi, bins) {}
+
+  void observe(double x) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(x);
+  }
+  /// Copy of the current state (for rendering / export).
+  [[nodiscard]] Histogram snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_ = Histogram(lo_, hi_, bins_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
+
+/// Accumulated wall-clock time of a named scope (see acp/obs/timer.hpp).
+class TimerStat {
+ public:
+  void record(std::uint64_t elapsed_ns) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct TimerSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+};
+
+/// Point-in-time copy of every registered metric, names sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<TimerSample> timers;
+  std::vector<HistogramSample> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the built-in instrumentation.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Whether recording sites should collect. One relaxed load; safe (and
+  /// cheap) to consult on hot paths.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. The returned reference stays valid for the registry's
+  /// lifetime; histogram() returns the existing metric regardless of
+  /// bounds if the name is already registered.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] TimerStat& timer(const std::string& name);
+  [[nodiscard]] HistogramMetric& histogram(const std::string& name, double lo,
+                                           double hi, std::size_t bins);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (registrations are kept).
+  void reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;
+  // node-based maps: values have stable addresses across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace acp::obs

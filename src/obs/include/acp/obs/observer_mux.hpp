@@ -1,0 +1,49 @@
+// ObserverMux — fans one engine observer slot out to N observers.
+//
+// The engines carry a single RunObserver*; the mux makes that slot
+// composable: register a TraceRecorder, a JsonlTraceWriter, and an
+// invariant checker at once, and each receives the identical callback
+// sequence in registration order.
+#pragma once
+
+#include <vector>
+
+#include "acp/engine/observer.hpp"
+
+namespace acp::obs {
+
+class ObserverMux final : public RunObserver {
+ public:
+  /// Register an observer (not owned; must outlive the mux). Null is
+  /// ignored, so optional observers can be added unconditionally.
+  void add(RunObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return observers_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return observers_.empty(); }
+
+  void on_run_begin(const RunContext& context) override {
+    for (RunObserver* observer : observers_) observer->on_run_begin(context);
+  }
+
+  void on_round_end(Round round, const Billboard& billboard,
+                    std::size_t active_honest, std::size_t satisfied_honest,
+                    std::size_t probes_this_round) override {
+    for (RunObserver* observer : observers_) {
+      observer->on_round_end(round, billboard, active_honest,
+                             satisfied_honest, probes_this_round);
+    }
+  }
+
+  void on_run_end(const RunResult& result) override {
+    for (RunObserver* observer : observers_) observer->on_run_end(result);
+  }
+
+ private:
+  std::vector<RunObserver*> observers_;
+};
+
+}  // namespace acp::obs

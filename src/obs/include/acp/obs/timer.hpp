@@ -1,0 +1,52 @@
+// RAII wall-clock timers for hot paths.
+//
+// ACP_OBS_TIMED_SCOPE("engine.sync.round") expands to a function-local
+// static registration (one name lookup ever) plus a scoped timer whose
+// constructor and destructor reduce to a relaxed atomic load when metrics
+// are disabled — cheap enough for per-round engine loops.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "acp/obs/metrics.hpp"
+
+namespace acp::obs {
+
+/// Accumulates the lifetime of the scope into `stat` when metrics are
+/// enabled at construction time; otherwise never touches the clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat) noexcept
+      : stat_(&stat), armed_(MetricsRegistry::enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stat_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  TimerStat* stat_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace acp::obs
+
+#define ACP_OBS_CONCAT_IMPL(a, b) a##b
+#define ACP_OBS_CONCAT(a, b) ACP_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope under `name` in the global registry.
+#define ACP_OBS_TIMED_SCOPE(name)                                         \
+  static ::acp::obs::TimerStat& ACP_OBS_CONCAT(acp_obs_stat_, __LINE__) = \
+      ::acp::obs::MetricsRegistry::global().timer(name);                  \
+  const ::acp::obs::ScopedTimer ACP_OBS_CONCAT(acp_obs_timer_, __LINE__)( \
+      ACP_OBS_CONCAT(acp_obs_stat_, __LINE__))

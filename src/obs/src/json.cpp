@@ -1,0 +1,137 @@
+#include "acp/obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp::obs {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) *os_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  *os_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ACP_EXPECTS(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  *os_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ACP_EXPECTS(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  ACP_EXPECTS(!needs_comma_.empty());
+  ACP_EXPECTS(!after_key_);
+  if (needs_comma_.back()) *os_ << ',';
+  needs_comma_.back() = true;
+  *os_ << '"' << escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  pre_value();
+  *os_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  pre_value();
+  std::array<char, 64> buf{};
+  const auto result =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  ACP_ASSERT(result.ec == std::errc{});
+  os_->write(buf.data(), result.ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  pre_value();
+  *os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  pre_value();
+  *os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  pre_value();
+  *os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  *os_ << "null";
+  return *this;
+}
+
+}  // namespace acp::obs

@@ -1,0 +1,54 @@
+#include "acp/obs/jsonl_trace.hpp"
+
+#include <ostream>
+
+#include "acp/obs/json.hpp"
+
+namespace acp::obs {
+
+void JsonlTraceWriter::on_run_begin(const RunContext& context) {
+  JsonWriter json(*os_);
+  json.begin_object()
+      .member("schema", "acp.trace.v1")
+      .member("type", "run_begin")
+      .member("players", context.num_players)
+      .member("honest", context.num_honest)
+      .member("objects", context.num_objects)
+      .member("seed", context.seed)
+      .end_object();
+  *os_ << '\n';
+}
+
+void JsonlTraceWriter::on_round_end(Round round, const Billboard& billboard,
+                                    std::size_t active_honest,
+                                    std::size_t satisfied_honest,
+                                    std::size_t probes_this_round) {
+  JsonWriter json(*os_);
+  json.begin_object()
+      .member("type", "round")
+      .member("round", static_cast<std::int64_t>(round))
+      .member("active", active_honest)
+      .member("satisfied", satisfied_honest)
+      .member("probes", probes_this_round)
+      .member("posts", billboard.size())
+      .end_object();
+  *os_ << '\n';
+}
+
+void JsonlTraceWriter::on_run_end(const RunResult& result) {
+  JsonWriter json(*os_);
+  json.begin_object()
+      .member("type", "run_end")
+      .member("rounds", static_cast<std::int64_t>(result.rounds_executed))
+      .member("all_satisfied", result.all_honest_satisfied)
+      .member("total_posts", result.total_posts)
+      .member("total_probes",
+              static_cast<std::uint64_t>(result.total_honest_probes()))
+      .member("mean_probes", result.mean_honest_probes())
+      .member("max_probes",
+              static_cast<std::uint64_t>(result.max_honest_probes()))
+      .end_object();
+  *os_ << '\n';
+}
+
+}  // namespace acp::obs

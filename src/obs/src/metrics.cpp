@@ -1,0 +1,84 @@
+#include "acp/obs/metrics.hpp"
+
+namespace acp::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+TimerStat& MetricsRegistry::timer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back(CounterSample{name, counter->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back(GaugeSample{name, gauge->value()});
+  }
+  out.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    out.timers.push_back(
+        TimerSample{name, timer->count(), timer->total_ns()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram snap = histogram->snapshot();
+    HistogramSample sample;
+    sample.name = name;
+    sample.lo = snap.num_bins() > 0 ? snap.bin_low(0) : 0.0;
+    sample.hi =
+        snap.num_bins() > 0 ? snap.bin_high(snap.num_bins() - 1) : 0.0;
+    sample.bucket_counts.reserve(snap.num_bins());
+    for (std::size_t b = 0; b < snap.num_bins(); ++b) {
+      sample.bucket_counts.push_back(snap.bin_count(b));
+    }
+    sample.underflow = snap.underflow();
+    sample.overflow = snap.overflow();
+    out.histograms.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, timer] : timers_) timer->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace acp::obs

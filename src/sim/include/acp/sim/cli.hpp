@@ -74,6 +74,16 @@ struct CliConfig {
   /// (shared-billboard engine only). Empty = no trace.
   std::string trace_path;
 
+  /// Write a per-round JSONL trace ("acp.trace.v1") of the FIRST trial to
+  /// this path (shared-billboard engine only). Empty = no trace.
+  std::string trace_jsonl_path;
+
+  /// Write a machine-readable JSON run report ("acp.report.v1") — config
+  /// echo, per-metric summaries, metrics-registry counters and timer
+  /// totals — to this path. Enables metrics collection for the run.
+  /// Empty = no report. Not available with --sweep.
+  std::string report_json_path;
+
   /// Optional one-dimensional parameter sweep (--sweep name=lo:hi:step).
   /// Supported names: alpha, n, good, f, err, veto. Empty = no sweep.
   std::string sweep_param;

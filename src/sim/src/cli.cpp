@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -21,6 +22,10 @@
 #include "acp/engine/sync_engine.hpp"
 #include "acp/engine/trace.hpp"
 #include "acp/gossip/gossip_engine.hpp"
+#include "acp/obs/jsonl_trace.hpp"
+#include "acp/obs/metrics.hpp"
+#include "acp/obs/observer_mux.hpp"
+#include "acp/obs/report.hpp"
 #include "acp/sim/runner.hpp"
 #include "acp/stats/table.hpp"
 #include "acp/world/builders.hpp"
@@ -28,6 +33,31 @@
 namespace acp::cli {
 
 namespace {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDistill: return "distill";
+    case ProtocolKind::kDistillHp: return "distill-hp";
+    case ProtocolKind::kGuessAlpha: return "guess-alpha";
+    case ProtocolKind::kCostClasses: return "cost-classes";
+    case ProtocolKind::kNoLocalTesting: return "no-lt";
+    case ProtocolKind::kCollab: return "collab";
+    case ProtocolKind::kTrivial: return "trivial";
+  }
+  return "?";
+}
+
+const char* adversary_name(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kSilent: return "silent";
+    case AdversaryKind::kSlander: return "slander";
+    case AdversaryKind::kEager: return "eager";
+    case AdversaryKind::kCollude: return "collude";
+    case AdversaryKind::kSplitVote: return "splitvote";
+    case AdversaryKind::kValueLiar: return "liar";
+  }
+  return "?";
+}
 
 ProtocolKind parse_protocol(const std::string& name) {
   static const std::map<std::string, ProtocolKind> kinds = {
@@ -103,6 +133,11 @@ execution:
   --max-rounds R   per-trial round cap (default 500000)
   --csv            machine-readable output
   --trace FILE     write a per-round trace CSV of the first trial
+  --trace-jsonl FILE   write a per-round JSONL trace (acp.trace.v1) of the
+                       first trial
+  --report-json FILE   write a machine-readable run report (acp.report.v1):
+                       config echo, metric summaries, and internal
+                       counters/timers (not available with --sweep)
   --help           this text
 )";
 }
@@ -149,6 +184,12 @@ CliConfig parse_args(const std::vector<std::string>& args) {
       ++i;
     } else if (arg == "--trace") {
       config.trace_path = need_value(i);
+      ++i;
+    } else if (arg == "--trace-jsonl") {
+      config.trace_jsonl_path = need_value(i);
+      ++i;
+    } else if (arg == "--report-json") {
+      config.report_json_path = need_value(i);
       ++i;
     } else if (arg == "--n") {
       config.n = to_size(arg, need_value(i));
@@ -238,6 +279,11 @@ CliConfig parse_args(const std::vector<std::string>& args) {
     }
     if (config.sweep_step <= 0.0 || config.sweep_hi < config.sweep_lo) {
       throw std::invalid_argument("--sweep: need lo <= hi and step > 0");
+    }
+    if (!config.report_json_path.empty()) {
+      throw std::invalid_argument(
+          "--report-json is not available with --sweep (one report "
+          "describes one configuration point)");
     }
   }
   return config;
@@ -375,10 +421,25 @@ std::vector<Summary> measure_point(const CliConfig& config) {
           SyncRunConfig run_config;
           run_config.max_rounds = config.max_rounds;
           run_config.seed = seed ^ 0x2545F491;
+          // Traces cover the FIRST trial only; the mux lets the CSV and
+          // JSONL recorders share the engine's single observer slot.
+          const bool first_trial = seed == config.seed;
+          obs::ObserverMux mux;
           TraceRecorder trace;
-          const bool want_trace =
-              !config.trace_path.empty() && seed == config.seed;
-          if (want_trace) run_config.observer = &trace;
+          const bool want_trace = !config.trace_path.empty() && first_trial;
+          if (want_trace) mux.add(&trace);
+          std::ofstream jsonl_file;
+          std::optional<obs::JsonlTraceWriter> jsonl;
+          if (!config.trace_jsonl_path.empty() && first_trial) {
+            jsonl_file.open(config.trace_jsonl_path);
+            if (!jsonl_file) {
+              throw std::invalid_argument("--trace-jsonl: cannot open " +
+                                          config.trace_jsonl_path);
+            }
+            jsonl.emplace(jsonl_file);
+            mux.add(&*jsonl);
+          }
+          if (!mux.empty()) run_config.observer = &mux;
           result = SyncEngine::run(world, population, *protocol, *adversary,
                                    run_config);
           if (want_trace) {
@@ -455,7 +516,48 @@ int run(const CliConfig& config, std::ostream& out) {
     return exit_code;
   }
 
+  // --report-json turns on the process-global metrics registry so the
+  // report can include engine counters and hot-path timer totals.
+  const bool want_report = !config.report_json_path.empty();
+  if (want_report) {
+    obs::MetricsRegistry::global().reset();
+    obs::MetricsRegistry::set_enabled(true);
+  }
   const auto summaries = measure_point(config);
+  if (want_report) {
+    obs::MetricsRegistry::set_enabled(false);
+    obs::RunReport report;
+    report.set_config("n", config.n);
+    report.set_config("m", config.m);
+    report.set_config("good", config.good);
+    report.set_config("alpha", config.alpha);
+    report.set_config("protocol", protocol_name(config.protocol));
+    report.set_config("adversary", adversary_name(config.adversary));
+    report.set_config("trials", config.trials);
+    report.set_config("seed", static_cast<std::uint64_t>(config.seed));
+    report.set_config("max_rounds",
+                      static_cast<std::uint64_t>(config.max_rounds));
+    report.set_config("f", config.votes_per_player);
+    report.set_config("err", config.error_vote_prob);
+    report.set_config("veto", config.veto_fraction);
+    report.set_config("use_advice", config.use_advice);
+    report.set_config("trust_advice", config.trust_advice);
+    report.set_config("gossip", config.gossip);
+    if (config.gossip) report.set_config("fanout", config.fanout);
+    report.add_metric("probes_per_player", summaries[0]);
+    report.add_metric("worst_player_probes", summaries[1]);
+    report.add_metric("cost_per_player", summaries[2]);
+    report.add_metric("rounds", summaries[3]);
+    report.add_metric("success_fraction", summaries[4]);
+    report.add_metric("run_completed", summaries[5]);
+    report.set_metrics_snapshot(obs::MetricsRegistry::global().snapshot());
+    std::ofstream file(config.report_json_path);
+    if (!file) {
+      throw std::invalid_argument("--report-json: cannot open " +
+                                  config.report_json_path);
+    }
+    report.write_json(file);
+  }
   Table table({"metric", "mean", "p50", "p90", "min", "max"});
   const std::vector<std::string> names = {
       "probes/player",  "worst player probes", "cost/player",

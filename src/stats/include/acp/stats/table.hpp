@@ -25,6 +25,14 @@ class Table {
     return headers_.size();
   }
 
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Aligned, boxed-header text rendering.
   void print(std::ostream& os) const;
   /// RFC-4180-ish CSV (cells containing commas/quotes get quoted).

@@ -162,5 +162,58 @@ TEST(AsyncEngine, DishonestPostsInterleaved) {
             static_cast<std::size_t>(result.rounds_executed));
 }
 
+/// Counts observer callbacks and checks stamp monotonicity.
+class StepObserver final : public RunObserver {
+ public:
+  void on_run_begin(const RunContext& context) override {
+    ++begins;
+    last_context = context;
+  }
+  void on_round_end(Round round, const Billboard&, std::size_t,
+                    std::size_t satisfied, std::size_t) override {
+    EXPECT_EQ(round, static_cast<Round>(rounds));  // consecutive stamps
+    ++rounds;
+    last_satisfied = satisfied;
+  }
+  void on_run_end(const RunResult& result) override {
+    ++ends;
+    rounds_executed = result.rounds_executed;
+  }
+
+  std::size_t begins = 0;
+  std::size_t rounds = 0;
+  std::size_t ends = 0;
+  std::size_t last_satisfied = 0;
+  Round rounds_executed = -1;
+  RunContext last_context;
+};
+
+TEST(AsyncEngine, ObserverSlotMatchesSyncEngineSemantics) {
+  // AsyncRunConfig carries the same observer slot as SyncRunConfig; the
+  // async engine fires on_round_end once per basic step (round == step
+  // stamp), bracketed by on_run_begin / on_run_end.
+  Rng rng(6);
+  const World world = make_simple_world(32, 4, rng);
+  const auto pop = Population::with_prefix_honest(4, 4);
+  AsyncTrivialRandomProtocol protocol;
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  StepObserver observer;
+  AsyncRunConfig config;
+  config.seed = 7;
+  config.observer = &observer;
+  const RunResult result = AsyncEngine::run(world, pop, protocol, adversary,
+                                            scheduler, config);
+  EXPECT_EQ(observer.begins, 1u);
+  EXPECT_EQ(observer.ends, 1u);
+  EXPECT_EQ(observer.rounds, static_cast<std::size_t>(result.rounds_executed));
+  EXPECT_EQ(observer.rounds_executed, result.rounds_executed);
+  EXPECT_EQ(observer.last_context.num_players, 4u);
+  EXPECT_EQ(observer.last_context.num_honest, 4u);
+  EXPECT_EQ(observer.last_context.num_objects, 32u);
+  EXPECT_EQ(observer.last_context.seed, 7u);
+  EXPECT_EQ(observer.last_satisfied, 4u);  // all honest players halted
+}
+
 }  // namespace
 }  // namespace acp

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 namespace acp::cli {
@@ -223,6 +226,74 @@ TEST(CliRun, SplitVoteRequiresDistill) {
   config.protocol = ProtocolKind::kCollab;
   config.adversary = AdversaryKind::kSplitVote;
   config.trials = 1;
+  std::ostringstream out;
+  EXPECT_THROW(run(config, out), std::invalid_argument);
+}
+
+TEST(CliParse, ObservabilityFlags) {
+  const CliConfig config = parse_args(
+      {"--trace-jsonl", "trace.jsonl", "--report-json", "report.json"});
+  EXPECT_EQ(config.trace_jsonl_path, "trace.jsonl");
+  EXPECT_EQ(config.report_json_path, "report.json");
+}
+
+TEST(CliParse, ReportJsonRejectedWithSweep) {
+  EXPECT_THROW((void)parse_args({"--report-json", "r.json", "--sweep",
+                                 "alpha=0.5:0.9:0.1"}),
+               std::invalid_argument);
+  // The JSONL trace is a first-trial artifact and stays legal with --sweep.
+  EXPECT_NO_THROW((void)parse_args(
+      {"--trace-jsonl", "t.jsonl", "--sweep", "alpha=0.5:0.9:0.1"}));
+}
+
+TEST(CliRun, ReportJsonAndTraceJsonlWritten) {
+  const std::string report_path =
+      testing::TempDir() + "acp_cli_report_test.json";
+  const std::string trace_path =
+      testing::TempDir() + "acp_cli_trace_test.jsonl";
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.report_json_path = report_path;
+  config.trace_jsonl_path = trace_path;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+
+  std::ifstream report(report_path);
+  ASSERT_TRUE(report.good());
+  std::string report_text((std::istreambuf_iterator<char>(report)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(report_text.rfind("{\"schema\":\"acp.report.v1\"", 0), 0u);
+  EXPECT_NE(report_text.find("\"probes_per_player\""), std::string::npos);
+  EXPECT_NE(report_text.find("\"engine.sync.rounds\""), std::string::npos);
+  EXPECT_NE(report_text.find("\"timers\""), std::string::npos);
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::string first_line;
+  ASSERT_TRUE(std::getline(trace, first_line));
+  EXPECT_EQ(first_line.rfind("{\"schema\":\"acp.trace.v1\"", 0), 0u);
+  std::string line;
+  std::string last_line = first_line;
+  std::size_t lines = 1;
+  while (std::getline(trace, line)) {
+    ++lines;
+    last_line = line;
+  }
+  EXPECT_GE(lines, 3u);  // run_begin, >=1 round, run_end
+  EXPECT_NE(last_line.find("\"type\":\"run_end\""), std::string::npos);
+
+  std::remove(report_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliRun, ReportJsonUnwritablePathThrows) {
+  CliConfig config;
+  config.n = 16;
+  config.m = 16;
+  config.trials = 1;
+  config.report_json_path = "/nonexistent-dir/report.json";
   std::ostringstream out;
   EXPECT_THROW(run(config, out), std::invalid_argument);
 }

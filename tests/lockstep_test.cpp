@@ -4,6 +4,7 @@
 
 #include "acp/adversary/strategies.hpp"
 #include "acp/engine/lockstep.hpp"
+#include "acp/engine/trace.hpp"
 #include "test_support.hpp"
 
 namespace acp::test {
@@ -168,6 +169,85 @@ TEST(Lockstep, VirtualBillboardRespectsContract) {
   for (const Post& post : adapter.virtual_billboard().posts()) {
     EXPECT_GE(post.round, last);
     last = std::max(last, post.round);
+  }
+}
+
+TEST(Lockstep, ObserverSeesVirtualRoundsMatchingSyncTrace) {
+  // An observer attached to the lockstep adapter must see the very rows a
+  // SyncEngine observer of the simulated run sees: same virtual round
+  // numbers, same active/satisfied/probe counts, same billboard growth.
+  auto scenario = Scenario::make(32, 32, 32, 1, 148);
+  TraceRecorder sync_trace;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    SyncRunConfig config;
+    config.seed = 21;
+    config.observer = &sync_trace;
+    (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, config);
+  }
+  TraceRecorder lockstep_trace;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    LockstepAdapter adapter(protocol, scenario.population.num_honest());
+    adapter.set_observer(&lockstep_trace);
+    SilentAdversary adversary;
+    RoundRobinScheduler scheduler;
+    (void)AsyncEngine::run(scenario.world, scenario.population, adapter,
+                           adversary, scheduler,
+                           {.max_steps = 10000000, .seed = 21});
+  }
+  ASSERT_FALSE(sync_trace.rows().empty());
+  // The final partial virtual round may never close (see
+  // VirtualRoundsMatchSyncRounds), so the lockstep trace may be one row
+  // short; every common row must match exactly.
+  ASSERT_LE(sync_trace.rows().size() - lockstep_trace.rows().size(), 1u);
+  for (std::size_t r = 0; r < lockstep_trace.rows().size(); ++r) {
+    EXPECT_EQ(lockstep_trace.rows()[r], sync_trace.rows()[r]) << "row " << r;
+  }
+}
+
+TEST(LockstepEngineFacade, ObserverConfigSlotMatchesSync) {
+  // The third engine configuration: LockstepEngine carries the same
+  // RunObserver* config slot as SyncRunConfig / AsyncRunConfig, and its
+  // observer receives the synchronous (virtual-round) view bracketed by
+  // on_run_begin / on_run_end.
+  auto scenario = Scenario::make(24, 24, 24, 1, 149);
+
+  TraceRecorder sync_trace;
+  RunResult sync_result;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    SyncRunConfig config;
+    config.seed = 22;
+    config.observer = &sync_trace;
+    sync_result = SyncEngine::run(scenario.world, scenario.population,
+                                  protocol, adversary, config);
+  }
+
+  TraceRecorder lockstep_trace;
+  RunResult lockstep_result;
+  {
+    DistillProtocol protocol(basic_params(1.0));
+    SilentAdversary adversary;
+    RoundRobinScheduler scheduler;
+    LockstepRunConfig config;
+    config.seed = 22;
+    config.observer = &lockstep_trace;
+    lockstep_result =
+        LockstepEngine::run(scenario.world, scenario.population, protocol,
+                            adversary, scheduler, config);
+  }
+
+  ASSERT_TRUE(lockstep_result.all_honest_satisfied);
+  for (std::size_t p = 0; p < 24; ++p) {
+    EXPECT_EQ(sync_result.players[p].probes, lockstep_result.players[p].probes);
+  }
+  ASSERT_LE(sync_trace.rows().size() - lockstep_trace.rows().size(), 1u);
+  for (std::size_t r = 0; r < lockstep_trace.rows().size(); ++r) {
+    EXPECT_EQ(lockstep_trace.rows()[r], sync_trace.rows()[r]) << "row " << r;
   }
 }
 
