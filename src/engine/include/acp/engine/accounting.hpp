@@ -1,0 +1,61 @@
+// RunAccounting — per-run measurement state shared by every engine.
+//
+// Owns the RunResult under assembly (PlayerStats, satisfied counts),
+// drives the RunObserver callbacks with identical semantics everywhere,
+// and emits the `engine.<name>.<slices>` / `engine.<name>.probes`
+// counters into the global metrics registry when collection is enabled.
+// Engines report events (probe executed, player satisfied, slice ended)
+// and never touch stats, observers, or counters directly.
+#pragma once
+
+#include <cstdint>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/engine/observer.hpp"
+#include "acp/engine/run_result.hpp"
+#include "acp/obs/metrics.hpp"
+#include "acp/util/types.hpp"
+#include "acp/world/population.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+class RunAccounting {
+ public:
+  /// Fires observer->on_run_begin. `slices_counter` / `probes_counter`
+  /// name the metrics emitted per slice (nullptr disables emission).
+  RunAccounting(const Population& population, std::size_t num_objects,
+                std::uint64_t seed, RunObserver* observer,
+                const char* slices_counter, const char* probes_counter);
+
+  /// One probe executed by player p (cost and ground-truth goodness).
+  void record_probe(PlayerId p, double cost, bool probed_good);
+
+  /// Player p halted satisfied at time `stamp` (round or step).
+  void record_satisfied(PlayerId p, Round stamp);
+
+  [[nodiscard]] std::size_t satisfied_honest() const noexcept {
+    return satisfied_honest_;
+  }
+
+  /// One slice (round or step) finished and its posts committed:
+  /// observer on_round_end plus metrics counters.
+  void end_slice(Round stamp, const Billboard& billboard,
+                 std::size_t active_honest, std::size_t probes_this_slice);
+
+  /// Final assembly: fires observer->on_run_end and returns the result.
+  [[nodiscard]] RunResult finish(Round slices_executed,
+                                 bool all_honest_satisfied,
+                                 const Billboard& billboard);
+
+ private:
+  RunResult result_;
+  RunObserver* observer_;
+  const char* slices_name_;
+  const char* probes_name_;
+  obs::Counter* slices_counter_ = nullptr;  // resolved lazily when enabled
+  obs::Counter* probes_counter_ = nullptr;
+  std::size_t satisfied_honest_ = 0;
+};
+
+}  // namespace acp

@@ -8,15 +8,24 @@
 // alone forces it to search solo) and why the paper moves to the
 // synchronous model. We keep the async engine to reproduce the prior
 // work's total-cost behavior and to demonstrate the schedule attack.
+//
+// The engine is a thin configuration of the shared run kernel
+// (acp/engine/kernel.hpp): one scheduler-picked player per slice, slice
+// stamp == step index. That brings the full kernel feature set to the
+// asynchronous model — staggered arrivals, fail-stop departures,
+// wants_halt_all horizons, and engine.async.* metrics — with the same
+// semantics as the synchronous engine.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "acp/engine/adversary.hpp"
 #include "acp/engine/observer.hpp"
 #include "acp/engine/protocol.hpp"
 #include "acp/engine/run_result.hpp"
+#include "acp/engine/scheduler.hpp"
 #include "acp/world/population.hpp"
 #include "acp/world/world.hpp"
 
@@ -40,53 +49,38 @@ class AsyncProtocol {
   virtual StepOutcome on_probe_result(PlayerId player, ObjectId object,
                                       double value, double cost,
                                       bool locally_good, Rng& rng) = 0;
-};
 
-/// Adversarial schedule: picks which active honest player takes the next
-/// step. (Dishonest posts are interleaved by the Adversary each step.)
-class Scheduler {
- public:
-  virtual ~Scheduler() = default;
+  /// Asynchronous counterpart of Protocol::wants_halt_all: once true, the
+  /// engine halts every remaining active player after this step's commit.
+  [[nodiscard]] virtual bool wants_halt_all(Round /*stamp*/) const {
+    return false;
+  }
 
-  Scheduler() = default;
-  Scheduler(const Scheduler&) = delete;
-  Scheduler& operator=(const Scheduler&) = delete;
+  /// The clock that arrival/departure times in AsyncRunConfig are measured
+  /// on. Plain async protocols live in step time (churn times are step
+  /// stamps); the LockstepAdapter overrides this with its virtual round so
+  /// churn under lockstep means the same thing as under SyncEngine.
+  [[nodiscard]] virtual Round churn_clock(Round stamp) const { return stamp; }
 
-  /// `active` is non-empty and sorted by player id.
-  [[nodiscard]] virtual PlayerId next(const std::vector<PlayerId>& active,
-                                      Rng& rng) = 0;
-};
-
-/// Cycles through the active players — the "fair" schedule under which the
-/// paper evaluates the prior algorithm's individual cost.
-class RoundRobinScheduler final : public Scheduler {
- public:
-  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
-                              Rng& rng) override;
-
- private:
-  std::size_t cursor_ = 0;
-};
-
-/// Uniformly random active player each step.
-class RandomScheduler final : public Scheduler {
- public:
-  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
-                              Rng& rng) override;
-};
-
-/// Always schedules the lowest-id active player — the schedule attack from
-/// §1.2 that forces one player to find a good object essentially alone.
-class StarveScheduler final : public Scheduler {
- public:
-  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
-                              Rng& rng) override;
+  /// Fail-stop notification: `player` crash-stopped and will never be
+  /// scheduled again. Default: no-op. The LockstepAdapter uses this to
+  /// keep virtual rounds closable.
+  virtual void on_departure(PlayerId /*player*/) {}
 };
 
 struct AsyncRunConfig {
   /// Hard stop on the number of honest steps.
   Count max_steps = 10000000;
   std::uint64_t seed = 1;
+  /// Optional per-player arrival times (indexed by PlayerId), measured on
+  /// the protocol's churn_clock — step stamps for plain async protocols.
+  /// Empty means everyone starts at step 0. Only honest entries are used.
+  std::vector<Round> arrivals = {};
+  /// Optional per-player fail-stop departure times (same clock as
+  /// arrivals): a player still active at its departure time crash-stops —
+  /// it leaves unsatisfied, its posts remain. -1 = never. Empty means
+  /// nobody departs.
+  std::vector<Round> departures = {};
   /// Optional measurement hook; not owned. In the asynchronous model a
   /// "round" is one basic step: on_round_end fires per step with the step
   /// stamp, so the same observers work on every engine.

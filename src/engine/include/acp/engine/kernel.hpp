@@ -1,0 +1,217 @@
+// RunKernel — the single simulation loop behind every engine.
+//
+// The paper describes one execution semantics viewed through different
+// schedulers: Theorem 4's synchronous rounds, the §6 asynchronous
+// round-robin baseline, and the §1.2 lockstep synchronizer. The kernel
+// owns everything those views share — the per-run invariants:
+//
+//  * seeded RNG stream derivation (EngineStreams: players, adversary,
+//    scheduler);
+//  * honest-player membership under churn (PlayerRoster: arrivals,
+//    fail-stop departures, halts);
+//  * stats, observer callbacks and metrics emission (RunAccounting);
+//  * adversary post validation and the atomic billboard commit;
+//  * the honest step body: probe, cost accounting, local-testability
+//    masking, post staging, halt handling, wants_halt_all horizons.
+//
+// Engines are thin configurations: a *Stepper* adapts the protocol
+// interface (synchronous Protocol or AsyncProtocol) and a *SchedulePolicy*
+// decides who steps in a slice — every active player per slice for the
+// synchronous engine, one scheduler-picked player per slice for the
+// asynchronous one. A "slice" is the kernel's commit unit: a round in the
+// synchronous engine, a basic step in the asynchronous one.
+//
+// Stepper concept:
+//   void initialize(const WorldView&, std::size_t n);
+//   Round churn_clock(Round slice);          // clock arrivals/departures run on
+//   void on_departure(PlayerId);             // fail-stop notification
+//   void begin_slice(Round slice, const Billboard&);
+//   std::optional<ObjectId> choose_probe(PlayerId, Round slice,
+//                                        const Billboard&, Rng&);
+//   StepOutcome on_probe_result(PlayerId, Round slice, ObjectId, double value,
+//                               double cost, bool locally_good, Rng&);
+//   bool wants_halt_all(Round slice);
+//
+// SchedulePolicy concept:
+//   template <class Body> void run_slice(PlayerRoster&, Rng& scheduler_rng,
+//                                        Body&& step);   // step(p) -> halted?
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/engine/accounting.hpp"
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/observer.hpp"
+#include "acp/engine/protocol.hpp"
+#include "acp/engine/roster.hpp"
+#include "acp/engine/run_result.hpp"
+#include "acp/engine/scheduler.hpp"
+#include "acp/engine/streams.hpp"
+#include "acp/obs/timer.hpp"
+#include "acp/util/contracts.hpp"
+#include "acp/world/population.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp {
+
+/// Engine-independent per-run parameters plus the engine's observability
+/// names (a timer for the slice scope and the two emitted counters).
+struct KernelSpec {
+  Round max_slices = 0;
+  std::uint64_t seed = 1;
+  std::span<const Round> arrivals;
+  std::span<const Round> departures;
+  RunObserver* observer = nullptr;
+  const char* slice_timer = nullptr;
+  const char* slices_counter = nullptr;
+  const char* probes_counter = nullptr;
+};
+
+/// Steps every active player once per slice — the synchronous round.
+class AllActivePolicy {
+ public:
+  template <class Body>
+  void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/, Body&& step) {
+    still_active_.clear();
+    still_active_.reserve(roster.active().size());
+    for (PlayerId p : roster.active()) {
+      if (!step(p)) still_active_.push_back(p);  // survivors keep order
+    }
+    roster.swap_active(still_active_);
+  }
+
+ private:
+  std::vector<PlayerId> still_active_;
+};
+
+/// One scheduler-picked player per slice — the asynchronous basic step.
+class OneScheduledPolicy {
+ public:
+  explicit OneScheduledPolicy(Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  template <class Body>
+  void run_slice(PlayerRoster& roster, Rng& scheduler_rng, Body&& step) {
+    // All current players may have halted while arrivals are still
+    // pending: time passes (the adversary already posted) but nobody
+    // moves.
+    if (roster.active().empty()) return;
+    const PlayerId p = scheduler_->next(roster.active(), scheduler_rng);
+    ACP_ASSERT(roster.is_active(p));
+    if (step(p)) roster.remove(p);
+  }
+
+ private:
+  Scheduler* scheduler_;
+};
+
+namespace kernel_detail {
+
+/// Billboard guarantees on fabricated posts: the adversary speaks only
+/// for dishonest players and cannot backdate.
+inline void validate_adversary_posts(const Population& population,
+                                     const std::vector<Post>& posts,
+                                     Round slice) {
+  for (const Post& post : posts) {
+    ACP_EXPECTS(!population.is_honest(post.author));
+    ACP_EXPECTS(post.round == slice);
+  }
+}
+
+}  // namespace kernel_detail
+
+template <class Stepper, class SchedulePolicy>
+RunResult run_kernel(const World& world, const Population& population,
+                     Adversary& adversary, Stepper&& stepper,
+                     SchedulePolicy&& policy, const KernelSpec& spec) {
+  ACP_EXPECTS(spec.max_slices > 0);
+
+  const std::size_t n = population.num_players();
+  Billboard billboard(n, world.num_objects());
+  const WorldView world_view(world);
+
+  stepper.initialize(world_view, n);
+  adversary.initialize(world, population);
+
+  EngineStreams streams(spec.seed, n);
+  PlayerRoster roster(population, spec.arrivals, spec.departures);
+  RunAccounting accounting(population, world.num_objects(), spec.seed,
+                           spec.observer, spec.slices_counter,
+                           spec.probes_counter);
+
+  obs::TimerStat& slice_timer =
+      obs::MetricsRegistry::global().timer(spec.slice_timer);
+
+  std::vector<Post> slice_posts;
+
+  Round slice = 0;
+  for (; slice < spec.max_slices && !roster.done(); ++slice) {
+    const obs::ScopedTimer timed(slice_timer);
+
+    // Churn runs on the stepper's clock (round == slice for sync, step
+    // stamp for async, virtual round under lockstep). Iterate to a
+    // fixpoint: under lockstep, a departure can close the virtual round
+    // and advance the clock, making further churn due within this slice.
+    Round now = stepper.churn_clock(slice);
+    for (;;) {
+      roster.admit_arrivals(now);
+      for (PlayerId p : roster.apply_departures(now)) stepper.on_departure(p);
+      const Round after = stepper.churn_clock(slice);
+      if (after == now) break;
+      now = after;
+    }
+
+    stepper.begin_slice(slice, billboard);
+
+    slice_posts.clear();
+    adversary.plan_round(
+        AdversaryContext{world, population, slice, billboard}, slice_posts,
+        streams.adversary);
+    kernel_detail::validate_adversary_posts(population, slice_posts, slice);
+
+    std::size_t probes_this_slice = 0;
+    policy.run_slice(roster, streams.scheduler, [&](PlayerId p) {
+      Rng& rng = streams.player(p);
+      const auto choice = stepper.choose_probe(p, slice, billboard, rng);
+      if (!choice.has_value()) {
+        return false;  // idle step: no probe, no cost
+      }
+      const ObjectId object = *choice;
+      const ProbeOutcome outcome = world.probe(object);
+      ++probes_this_slice;
+      accounting.record_probe(p, outcome.cost, world.is_good(object));
+
+      // Local testability is a property of the object model (§2.2): under
+      // TopBeta a prober cannot tell good from bad, so the flag is masked.
+      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
+                                    ? outcome.locally_good
+                                    : false;
+      const StepOutcome step = stepper.on_probe_result(
+          p, slice, object, outcome.value, outcome.cost, locally_good, rng);
+      if (step.post.has_value()) {
+        slice_posts.push_back(Post{p, slice, step.post->object,
+                                   step.post->reported_value,
+                                   step.post->positive});
+      }
+      if (step.halt) accounting.record_satisfied(p, slice);
+      return step.halt;
+    });
+
+    billboard.commit_round(slice, std::move(slice_posts));
+    slice_posts = {};
+
+    if (stepper.wants_halt_all(slice)) {
+      for (PlayerId p : roster.active()) accounting.record_satisfied(p, slice);
+      roster.halt_all();
+    }
+
+    accounting.end_slice(slice, billboard, roster.active().size(),
+                         probes_this_slice);
+  }
+
+  return accounting.finish(slice, roster.done(), billboard);
+}
+
+}  // namespace acp

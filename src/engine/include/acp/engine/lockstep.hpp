@@ -19,24 +19,35 @@
 //    into the current virtual round, at most one per author per round, as
 //    the billboard contract requires.
 //
-// The adapter is told how many players participate (the honest player
-// count — in a deployment, the number of identities that registered for
-// the protocol). Under any schedule that keeps scheduling every active
-// player (round robin, uniform random, arbitrary fair bias), it reproduces
-// the synchronous execution *exactly*. Under an unfair schedule that
-// starves a participant forever, the virtual round cannot close and the
-// scheduled players wait — the classic synchronizer liveness condition:
-// simulation of synchrony needs every nonfaulty process scheduled
-// infinitely often. (That is precisely why the paper's lower-bound
-// discussion dismisses unrestricted asynchronous schedules, §1.2.)
+// Membership comes in two flavors. By default the adapter is told only how
+// many players participate (the honest player count — in a deployment, the
+// number of identities that registered for the protocol) and discovers
+// them as the scheduler first runs each one. set_participants switches to
+// *informed* membership — the exact participant set plus per-player
+// arrival times in virtual rounds — which is what churn needs: rounds can
+// close while a late arrival is still pending, and empty virtual rounds
+// auto-close so the virtual clock reaches the arrival. LockstepEngine
+// always uses informed membership.
+//
+// Under any schedule that keeps scheduling every active player (round
+// robin, uniform random, arbitrary fair bias), the adapter reproduces the
+// synchronous execution *exactly*. Under an unfair schedule that starves a
+// participant forever, the virtual round cannot close and the scheduled
+// players wait — the classic synchronizer liveness condition: simulation
+// of synchrony needs every nonfaulty process scheduled infinitely often.
+// (That is precisely why the paper's lower-bound discussion dismisses
+// unrestricted asynchronous schedules, §1.2.)
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "acp/engine/async_engine.hpp"
 #include "acp/engine/observer.hpp"
 #include "acp/engine/protocol.hpp"
+#include "acp/obs/metrics.hpp"
+#include "acp/world/population.hpp"
 
 namespace acp {
 
@@ -53,12 +64,33 @@ class LockstepAdapter final : public AsyncProtocol {
   /// same view a SyncEngine observer of the simulated run would get.
   void set_observer(RunObserver* observer) noexcept { observer_ = observer; }
 
+  /// Informed membership: the participants are exactly the honest players
+  /// of `population`, and player p joins at virtual round `arrivals[p]`
+  /// (empty span: everyone joins at round 0). Must be called before the
+  /// run; required whenever the run has arrivals or departures. The
+  /// honest count must equal the constructor's expected_participants.
+  void set_participants(const Population& population,
+                        std::span<const Round> arrivals);
+
   void initialize(const WorldView& world, std::size_t num_players) override;
   [[nodiscard]] std::optional<ObjectId> choose_probe(
       PlayerId player, const Billboard& billboard, Rng& rng) override;
   StepOutcome on_probe_result(PlayerId player, ObjectId object, double value,
                               double cost, bool locally_good,
                               Rng& rng) override;
+
+  /// Churn times under lockstep are measured in virtual rounds, so the
+  /// engine's arrival/departure clock is the virtual round.
+  [[nodiscard]] Round churn_clock(Round /*stamp*/) const override {
+    return vround_;
+  }
+  /// Set once the inner protocol's wants_halt_all horizon fires at a
+  /// virtual round close; the engine then halts everyone, as the
+  /// synchronous engine would.
+  [[nodiscard]] bool wants_halt_all(Round /*stamp*/) const override {
+    return halt_all_;
+  }
+  void on_departure(PlayerId player) override;
 
   /// The current virtual (synchronous) round.
   [[nodiscard]] Round virtual_round() const noexcept { return vround_; }
@@ -72,6 +104,9 @@ class LockstepAdapter final : public AsyncProtocol {
   /// still active has finished it.
   void complete_step(PlayerId player);
   void close_round_if_done();
+  /// p has joined by round r and neither halted nor departed.
+  [[nodiscard]] bool live_at(std::size_t p, Round r) const;
+  [[nodiscard]] std::size_t live_count() const;
 
   Protocol* inner_;
   std::size_t n_ = 0;
@@ -85,12 +120,23 @@ class LockstepAdapter final : public AsyncProtocol {
   std::size_t seen_participants_ = 0;
   std::vector<bool> participant_;
   std::vector<bool> halted_;
+  std::vector<bool> departed_;
   std::vector<Round> local_round_;
   std::vector<bool> foreign_posted_;  // dishonest dedupe per virtual round
+
+  // Informed membership (set_participants): exact participant set and
+  // virtual-round arrivals, declared before the run, applied at initialize.
+  bool informed_ = false;
+  std::vector<bool> declared_participant_;
+  std::vector<Round> declared_arrival_;
+  std::vector<Round> arrival_;
+
+  bool halt_all_ = false;
 
   std::size_t real_cursor_ = 0;
 
   RunObserver* observer_ = nullptr;
+  obs::Counter* rounds_counter_ = nullptr;  // resolved lazily when enabled
   std::size_t halted_count_ = 0;
   std::size_t probes_in_round_ = 0;
 };
@@ -104,6 +150,16 @@ struct LockstepRunConfig {
   /// Hard stop on the number of honest *steps* (not virtual rounds).
   Count max_steps = 10000000;
   std::uint64_t seed = 1;
+  /// Optional per-player arrival times in *virtual rounds* (indexed by
+  /// PlayerId) — the same semantics as SyncRunConfig::arrivals, so a
+  /// churned scenario means the same thing natively and under the
+  /// synchronizer. Empty means everyone starts at round 0.
+  std::vector<Round> arrivals = {};
+  /// Optional per-player fail-stop departure times in *virtual rounds*
+  /// (same semantics as SyncRunConfig::departures): a player still active
+  /// at its departure round crash-stops — it leaves unsatisfied, its posts
+  /// remain. -1 = never. Empty means nobody departs.
+  std::vector<Round> departures = {};
   /// Optional measurement hook; not owned.
   RunObserver* observer = nullptr;
 };

@@ -1,0 +1,77 @@
+// PlayerRoster — the honest-player membership state of one run.
+//
+// Owns the three churn sets of the execution model: *active* players
+// (searching right now), *pending* players (arrival round not reached),
+// and implicitly the departed/halted ones (no longer tracked). Arrival
+// admission and fail-stop departures are driven by a caller-supplied
+// clock value — the round number in the synchronous engine, the step
+// stamp in the asynchronous engine, and the virtual round under the
+// lockstep synchronizer — so every engine gets identical churn semantics
+// from the single implementation.
+//
+// Ordering contract: `active()` preserves admission order (honest-id
+// order for round-0 players, then arrivals in arrival order); removals
+// keep the relative order. Schedulers and the synchronous step pass both
+// rely on this for reproducibility.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "acp/util/types.hpp"
+#include "acp/world/population.hpp"
+
+namespace acp {
+
+class PlayerRoster {
+ public:
+  /// `arrivals` / `departures` are indexed by PlayerId and may be empty
+  /// (nobody arrives late / nobody departs). Only honest players' entries
+  /// are used. Non-empty vectors must have one entry per player; honest
+  /// arrivals must be >= 0; departures use -1 for "never".
+  PlayerRoster(const Population& population, std::span<const Round> arrivals,
+               std::span<const Round> departures);
+
+  /// Move pending players whose arrival round is <= now into the active
+  /// set (in arrival order, stable by id).
+  void admit_arrivals(Round now);
+
+  /// Fail-stop churn: remove active players whose departure round is
+  /// <= now (a player crash-stops *before* taking that round's step).
+  /// Returns the players removed by this call, in roster order.
+  const std::vector<PlayerId>& apply_departures(Round now);
+
+  /// Remove one active player (it halted satisfied). Preserves order.
+  void remove(PlayerId p);
+
+  /// Replace the whole active set (the synchronous step pass rebuilds it
+  /// while iterating). Swaps, so `next` holds the old set afterwards.
+  void swap_active(std::vector<PlayerId>& next) { active_.swap(next); }
+
+  /// Everyone stops: clears the active set and drops pending arrivals
+  /// (used by Protocol::wants_halt_all horizons).
+  void halt_all();
+
+  [[nodiscard]] const std::vector<PlayerId>& active() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] bool is_active(PlayerId p) const;
+  [[nodiscard]] bool has_pending() const noexcept {
+    return next_pending_ < pending_.size();
+  }
+  /// True when no player is active and none will ever arrive — the run
+  /// is over (all_honest_satisfied in RunResult terms).
+  [[nodiscard]] bool done() const noexcept {
+    return active_.empty() && !has_pending();
+  }
+
+ private:
+  std::span<const Round> arrivals_;
+  std::span<const Round> departures_;
+  std::vector<PlayerId> active_;
+  std::vector<PlayerId> pending_;  // sorted by arrival (stable by id)
+  std::size_t next_pending_ = 0;
+  std::vector<PlayerId> departed_scratch_;
+};
+
+}  // namespace acp

@@ -1,0 +1,68 @@
+// Schedulers — who takes the next basic step in the asynchronous model.
+//
+// The schedule is under adversarial control in the model (§1.2), which is
+// exactly why individual cost is meaningless there; the fair schedules
+// below are the benchmarks' reference points and StarveScheduler is the
+// §1.2 schedule attack.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "acp/rng/rng.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+/// Adversarial schedule: picks which active honest player takes the next
+/// step. (Dishonest posts are interleaved by the Adversary each step.)
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// `active` is non-empty, in roster order (honest-id order, then
+  /// arrivals in arrival order); it may shrink (halts, departures) or
+  /// grow (arrivals) between calls.
+  [[nodiscard]] virtual PlayerId next(const std::vector<PlayerId>& active,
+                                      Rng& rng) = 0;
+};
+
+/// Cycles through the active players — the "fair" schedule under which the
+/// paper evaluates the prior algorithm's individual cost.
+///
+/// Fairness contract: every player active at the start of a cycle is
+/// served exactly once before the next cycle begins, even when players
+/// halt or depart mid-cycle (they are skipped, nobody else loses a turn).
+/// Players arriving mid-cycle wait for the next cycle. (The previous
+/// index-cursor implementation violated this: erasing the just-served
+/// player shifted indices under a stale cursor and skipped the next
+/// player's turn.)
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+
+ private:
+  std::deque<PlayerId> cycle_;  // players still owed a turn this cycle
+};
+
+/// Uniformly random active player each step.
+class RandomScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+};
+
+/// Always schedules the lowest-id active player — the schedule attack from
+/// §1.2 that forces one player to find a good object essentially alone.
+class StarveScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] PlayerId next(const std::vector<PlayerId>& active,
+                              Rng& rng) override;
+};
+
+}  // namespace acp

@@ -1,0 +1,57 @@
+// EngineStreams — the per-run RNG stream layout shared by every engine.
+//
+// One trial seed expands into independent derived streams: one per player
+// (stream index == player id), one for the adversary, one for the
+// scheduler, one for the gossip substrate. Streams are derived, not
+// sequentially drawn, so the adversary cannot influence honest randomness
+// (and vice versa), and so every engine maps the same seed onto the same
+// per-player randomness — the property the lockstep-equivalence tests
+// rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acp/rng/rng.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+class EngineStreams {
+ public:
+  /// Fixed stream-index layout relative to the player count n. Player p
+  /// uses stream p; the remaining actors use offsets past the players.
+  /// (Index n is reserved/unused, kept for seed compatibility with the
+  /// original engines.)
+  static constexpr std::uint64_t kAdversaryOffset = 1;
+  static constexpr std::uint64_t kSchedulerOffset = 2;
+  static constexpr std::uint64_t kGossipOffset = 3;
+
+  EngineStreams(std::uint64_t seed, std::size_t num_players)
+      : adversary(derive_stream(seed, num_players + kAdversaryOffset)),
+        scheduler(derive_stream(seed, num_players + kSchedulerOffset)) {
+    players_.reserve(num_players);
+    for (std::size_t p = 0; p < num_players; ++p) {
+      players_.push_back(derive_stream(seed, p));
+    }
+    seed_ = seed;
+    n_ = num_players;
+  }
+
+  [[nodiscard]] Rng& player(PlayerId p) { return players_[p.value()]; }
+
+  /// An extra named stream past the standard layout (e.g. gossip).
+  [[nodiscard]] Rng extra(std::uint64_t offset) const {
+    return derive_stream(seed_, n_ + offset);
+  }
+
+  Rng adversary;
+  Rng scheduler;
+
+ private:
+  std::vector<Rng> players_;
+  std::uint64_t seed_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace acp

@@ -1,0 +1,62 @@
+#include "acp/engine/accounting.hpp"
+
+namespace acp {
+
+RunAccounting::RunAccounting(const Population& population,
+                             std::size_t num_objects, std::uint64_t seed,
+                             RunObserver* observer,
+                             const char* slices_counter,
+                             const char* probes_counter)
+    : observer_(observer),
+      slices_name_(slices_counter),
+      probes_name_(probes_counter) {
+  const std::size_t n = population.num_players();
+  result_.players.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    result_.players[p].honest = population.is_honest(PlayerId{p});
+  }
+  if (observer_ != nullptr) {
+    observer_->on_run_begin(
+        RunContext{n, population.num_honest(), num_objects, seed});
+  }
+}
+
+void RunAccounting::record_probe(PlayerId p, double cost, bool probed_good) {
+  PlayerStats& stats = result_.players[p.value()];
+  ++stats.probes;
+  stats.cost_paid += cost;
+  if (probed_good) stats.probed_good = true;
+}
+
+void RunAccounting::record_satisfied(PlayerId p, Round stamp) {
+  result_.players[p.value()].satisfied_round = stamp;
+  ++satisfied_honest_;
+}
+
+void RunAccounting::end_slice(Round stamp, const Billboard& billboard,
+                              std::size_t active_honest,
+                              std::size_t probes_this_slice) {
+  if (observer_ != nullptr) {
+    observer_->on_round_end(stamp, billboard, active_honest,
+                            satisfied_honest_, probes_this_slice);
+  }
+  if (!obs::MetricsRegistry::enabled() || slices_name_ == nullptr) return;
+  if (slices_counter_ == nullptr) {
+    slices_counter_ = &obs::MetricsRegistry::global().counter(slices_name_);
+    probes_counter_ = &obs::MetricsRegistry::global().counter(probes_name_);
+  }
+  slices_counter_->add(1);
+  probes_counter_->add(probes_this_slice);
+}
+
+RunResult RunAccounting::finish(Round slices_executed,
+                                bool all_honest_satisfied,
+                                const Billboard& billboard) {
+  result_.rounds_executed = slices_executed;
+  result_.all_honest_satisfied = all_honest_satisfied;
+  result_.total_posts = billboard.size();
+  if (observer_ != nullptr) observer_->on_run_end(result_);
+  return std::move(result_);
+}
+
+}  // namespace acp

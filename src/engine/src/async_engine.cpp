@@ -1,138 +1,64 @@
 #include "acp/engine/async_engine.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "acp/obs/timer.hpp"
-#include "acp/util/contracts.hpp"
+#include "acp/engine/kernel.hpp"
 
 namespace acp {
 
-PlayerId RoundRobinScheduler::next(const std::vector<PlayerId>& active,
-                                   Rng& /*rng*/) {
-  ACP_EXPECTS(!active.empty());
-  if (cursor_ >= active.size()) cursor_ = 0;
-  return active[cursor_++];
-}
+namespace {
 
-PlayerId RandomScheduler::next(const std::vector<PlayerId>& active,
-                               Rng& rng) {
-  ACP_EXPECTS(!active.empty());
-  return active[rng.index(active.size())];
-}
+/// Kernel stepper for AsyncProtocol: the slice index is the basic-step
+/// stamp. Round-begin has no async counterpart (the billboard is passed to
+/// choose_probe instead), and churn/halt hooks delegate to the protocol so
+/// the LockstepAdapter can redirect them to its virtual round.
+class AsyncStepper {
+ public:
+  explicit AsyncStepper(AsyncProtocol& protocol) : protocol_(&protocol) {}
 
-PlayerId StarveScheduler::next(const std::vector<PlayerId>& active,
-                               Rng& /*rng*/) {
-  ACP_EXPECTS(!active.empty());
-  return active.front();
-}
+  void initialize(const WorldView& world, std::size_t num_players) {
+    protocol_->initialize(world, num_players);
+  }
+  [[nodiscard]] Round churn_clock(Round slice) const {
+    return protocol_->churn_clock(slice);
+  }
+  void on_departure(PlayerId p) { protocol_->on_departure(p); }
+  void begin_slice(Round /*slice*/, const Billboard& /*billboard*/) {}
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId p,
+                                                     Round /*slice*/,
+                                                     const Billboard& billboard,
+                                                     Rng& rng) {
+    return protocol_->choose_probe(p, billboard, rng);
+  }
+  StepOutcome on_probe_result(PlayerId p, Round /*slice*/, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) {
+    return protocol_->on_probe_result(p, object, value, cost, locally_good,
+                                      rng);
+  }
+  [[nodiscard]] bool wants_halt_all(Round slice) const {
+    return protocol_->wants_halt_all(slice);
+  }
+
+ private:
+  AsyncProtocol* protocol_;
+};
+
+}  // namespace
 
 RunResult AsyncEngine::run(const World& world, const Population& population,
                            AsyncProtocol& protocol, Adversary& adversary,
                            Scheduler& scheduler,
                            const AsyncRunConfig& config) {
-  ACP_EXPECTS(config.max_steps > 0);
-
-  const std::size_t n = population.num_players();
-  Billboard billboard(n, world.num_objects());
-  const WorldView world_view(world);
-
-  protocol.initialize(world_view, n);
-  adversary.initialize(world, population);
-
-  std::vector<Rng> player_rng;
-  player_rng.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    player_rng.push_back(derive_stream(config.seed, p));
-  }
-  Rng adversary_rng = derive_stream(config.seed, n + 1);
-  Rng scheduler_rng = derive_stream(config.seed, n + 2);
-
-  RunResult result;
-  result.players.resize(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    result.players[p].honest = population.is_honest(PlayerId{p});
-  }
-
-  std::vector<PlayerId> active = population.honest_players();
-  std::vector<Post> step_posts;
-
-  if (config.observer != nullptr) {
-    config.observer->on_run_begin(RunContext{n, population.num_honest(),
-                                             world.num_objects(),
-                                             config.seed});
-  }
-  std::size_t satisfied_honest = 0;
-
-  Count step = 0;
-  for (; step < config.max_steps && !active.empty(); ++step) {
-    ACP_OBS_TIMED_SCOPE("engine.async.step");
-    const Round stamp = static_cast<Round>(step);
-
-    // The adversary may interleave dishonest posts at every step — in the
-    // async model dishonest players can be scheduled arbitrarily often, and
-    // the one-vote rule on the read side is what limits their influence.
-    step_posts.clear();
-    adversary.plan_round(
-        AdversaryContext{world, population, stamp, billboard}, step_posts,
-        adversary_rng);
-    for (const Post& post : step_posts) {
-      ACP_EXPECTS(!population.is_honest(post.author));
-      ACP_EXPECTS(post.round == stamp);
-    }
-
-    const PlayerId p = scheduler.next(active, scheduler_rng);
-    ACP_ASSERT(std::find(active.begin(), active.end(), p) != active.end());
-
-    const auto choice =
-        protocol.choose_probe(p, billboard, player_rng[p.value()]);
-    bool halted = false;
-    if (choice.has_value()) {
-      const ObjectId object = *choice;
-      const ProbeOutcome outcome = world.probe(object);
-
-      PlayerStats& stats = result.players[p.value()];
-      ++stats.probes;
-      stats.cost_paid += outcome.cost;
-      if (world.is_good(object)) stats.probed_good = true;
-
-      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
-                                    ? outcome.locally_good
-                                    : false;
-      const StepOutcome out = protocol.on_probe_result(
-          p, object, outcome.value, outcome.cost, locally_good,
-          player_rng[p.value()]);
-      if (out.post.has_value()) {
-        step_posts.push_back(Post{p, stamp, out.post->object,
-                                  out.post->reported_value,
-                                  out.post->positive});
-      }
-      if (out.halt) {
-        stats.satisfied_round = stamp;
-        halted = true;
-      }
-    }
-
-    billboard.commit_round(stamp, std::move(step_posts));
-    step_posts = {};
-    if (halted) {
-      active.erase(std::remove(active.begin(), active.end(), p),
-                   active.end());
-      ++satisfied_honest;
-    }
-
-    if (config.observer != nullptr) {
-      config.observer->on_round_end(stamp, billboard, active.size(),
-                                    satisfied_honest,
-                                    choice.has_value() ? 1 : 0);
-    }
-  }
-
-  result.rounds_executed = static_cast<Round>(step);
-  result.all_honest_satisfied = active.empty();
-  result.total_posts = billboard.size();
-  if (config.observer != nullptr) config.observer->on_run_end(result);
-  return result;
+  KernelSpec spec;
+  spec.max_slices = static_cast<Round>(config.max_steps);
+  spec.seed = config.seed;
+  spec.arrivals = config.arrivals;
+  spec.departures = config.departures;
+  spec.observer = config.observer;
+  spec.slice_timer = "engine.async.step";
+  spec.slices_counter = "engine.async.steps";
+  spec.probes_counter = "engine.async.probes";
+  return run_kernel(world, population, adversary, AsyncStepper(protocol),
+                    OneScheduledPolicy(scheduler), spec);
 }
 
 }  // namespace acp

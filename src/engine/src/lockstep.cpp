@@ -10,6 +10,19 @@ LockstepAdapter::LockstepAdapter(Protocol& inner,
   ACP_EXPECTS(expected_participants_ >= 1);
 }
 
+void LockstepAdapter::set_participants(const Population& population,
+                                       std::span<const Round> arrivals) {
+  const std::size_t n = population.num_players();
+  ACP_EXPECTS(arrivals.empty() || arrivals.size() == n);
+  ACP_EXPECTS(population.num_honest() == expected_participants_);
+  declared_participant_.assign(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    declared_participant_[p] = population.is_honest(PlayerId{p});
+  }
+  declared_arrival_.assign(arrivals.begin(), arrivals.end());
+  informed_ = true;
+}
+
 void LockstepAdapter::initialize(const WorldView& world,
                                  std::size_t num_players) {
   n_ = num_players;
@@ -19,12 +32,25 @@ void LockstepAdapter::initialize(const WorldView& world,
   vround_ = 0;
   round_open_ = false;
   ACP_EXPECTS(expected_participants_ <= n_);
-  seen_participants_ = 0;
-  participant_.assign(n_, false);
   halted_.assign(n_, false);
-  local_round_.assign(n_, 0);
+  departed_.assign(n_, false);
   foreign_posted_.assign(n_, false);
+  arrival_.assign(n_, 0);
+  halt_all_ = false;
+  if (informed_) {
+    ACP_EXPECTS(declared_participant_.size() == n_);
+    participant_ = declared_participant_;
+    if (!declared_arrival_.empty()) arrival_ = declared_arrival_;
+    // Membership is known upfront; nothing is discovered by scheduling.
+    seen_participants_ = expected_participants_;
+    local_round_ = arrival_;
+  } else {
+    seen_participants_ = 0;
+    participant_.assign(n_, false);
+    local_round_.assign(n_, 0);
+  }
   real_cursor_ = 0;
+  rounds_counter_ = nullptr;
   halted_count_ = 0;
   probes_in_round_ = 0;
 }
@@ -32,6 +58,19 @@ void LockstepAdapter::initialize(const WorldView& world,
 const Billboard& LockstepAdapter::virtual_billboard() const {
   ACP_EXPECTS(virtual_bb_.has_value());
   return *virtual_bb_;
+}
+
+bool LockstepAdapter::live_at(std::size_t p, Round r) const {
+  if (!participant_[p] || halted_[p] || departed_[p]) return false;
+  return !informed_ || arrival_[p] <= r;
+}
+
+std::size_t LockstepAdapter::live_count() const {
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (live_at(p, vround_)) ++count;
+  }
+  return count;
 }
 
 void LockstepAdapter::ingest_real(const Billboard& real) {
@@ -57,27 +96,83 @@ void LockstepAdapter::complete_step(PlayerId player) {
 }
 
 void LockstepAdapter::close_round_if_done() {
-  // A round cannot close while some participant has not even been
-  // scheduled for the first time.
-  if (seen_participants_ < expected_participants_) return;
-  for (std::size_t p = 0; p < n_; ++p) {
-    if (participant_[p] && !halted_[p] && local_round_[p] == vround_) {
-      return;  // someone still owes this round a step
+  for (;;) {
+    // A round cannot close while some participant has not even been
+    // scheduled for the first time (lazy-discovery mode only).
+    if (!informed_ && seen_participants_ < expected_participants_) return;
+    for (std::size_t p = 0; p < n_; ++p) {
+      if (participant_[p] && !halted_[p] && !departed_[p] &&
+          local_round_[p] == vround_) {
+        return;  // someone still owes this round a step
+      }
     }
+    // Mirror the synchronous round order: begin, commit, halt-all check,
+    // observer. If nobody stepped this round (auto-closed while waiting
+    // for an arrival), the inner protocol still sees on_round_begin so its
+    // billboard-driven schedule matches a native synchronous run.
+    if (!round_open_) inner_->on_round_begin(vround_, *virtual_bb_);
+    virtual_bb_->commit_round(vround_, std::move(staged_));
+    staged_ = {};
+    if (!halt_all_ && inner_->wants_halt_all(vround_)) {
+      // The synchronous engine would halt every remaining active player
+      // after this round's commit; mark them satisfied here so observer
+      // counts match, and let wants_halt_all() tell the engine.
+      halt_all_ = true;
+      for (std::size_t p = 0; p < n_; ++p) {
+        if (live_at(p, vround_)) {
+          halted_[p] = true;
+          ++halted_count_;
+        }
+      }
+    }
+    if (observer_ != nullptr) {
+      // The virtual billboard now includes this round's posts — exactly
+      // what a SyncEngine observer sees after the round's commit.
+      observer_->on_round_end(vround_, *virtual_bb_, live_count(),
+                              halted_count_, probes_in_round_);
+    }
+    if (obs::MetricsRegistry::enabled()) {
+      if (rounds_counter_ == nullptr) {
+        rounds_counter_ =
+            &obs::MetricsRegistry::global().counter("engine.lockstep.rounds");
+      }
+      rounds_counter_->add(1);
+    }
+    probes_in_round_ = 0;
+    ++vround_;
+    round_open_ = false;
+    foreign_posted_.assign(n_, false);
+    if (halt_all_ || !informed_) return;
+    // The new round may have nobody in it (everyone present halted or
+    // departed) while arrivals are still pending: close it empty so the
+    // virtual clock reaches the next arrival, exactly as the synchronous
+    // engine's empty rounds pass by.
+    bool anyone_here = false;
+    bool future_arrival = false;
+    for (std::size_t p = 0; p < n_; ++p) {
+      if (!participant_[p] || halted_[p] || departed_[p]) continue;
+      if (arrival_[p] <= vround_) {
+        anyone_here = true;
+      } else {
+        future_arrival = true;
+      }
+    }
+    if (anyone_here || !future_arrival) return;
   }
-  virtual_bb_->commit_round(vround_, std::move(staged_));
-  staged_ = {};
-  if (observer_ != nullptr) {
-    // The virtual billboard now includes this round's posts — exactly what
-    // a SyncEngine observer sees after the round's commit.
-    observer_->on_round_end(vround_, *virtual_bb_,
-                            expected_participants_ - halted_count_,
-                            halted_count_, probes_in_round_);
+}
+
+void LockstepAdapter::on_departure(PlayerId player) {
+  const std::size_t pv = player.value();
+  ACP_EXPECTS(pv < n_);
+  if (departed_[pv]) return;
+  departed_[pv] = true;
+  if (!informed_ && !participant_[pv]) {
+    // Departed before ever being scheduled: it no longer gates closure.
+    ACP_EXPECTS(expected_participants_ > 0);
+    --expected_participants_;
   }
-  probes_in_round_ = 0;
-  ++vround_;
-  round_open_ = false;
-  foreign_posted_.assign(n_, false);
+  // Losing a participant can complete the current virtual round.
+  close_round_if_done();
 }
 
 std::optional<ObjectId> LockstepAdapter::choose_probe(
@@ -85,6 +180,9 @@ std::optional<ObjectId> LockstepAdapter::choose_probe(
   const std::size_t pv = player.value();
   ACP_EXPECTS(pv < n_);
   if (!participant_[pv]) {
+    // Lazy discovery: first time the scheduler runs this player. Informed
+    // membership covers every player the engine can schedule.
+    ACP_EXPECTS(!informed_);
     ACP_EXPECTS(seen_participants_ < expected_participants_);
     participant_[pv] = true;
     ++seen_participants_;
@@ -137,17 +235,22 @@ RunResult LockstepEngine::run(const World& world, const Population& population,
                               const LockstepRunConfig& config) {
   LockstepAdapter adapter(protocol, population.num_honest());
   adapter.set_observer(config.observer);
+  adapter.set_participants(population, config.arrivals);
   if (config.observer != nullptr) {
     config.observer->on_run_begin(RunContext{population.num_players(),
                                              population.num_honest(),
                                              world.num_objects(),
                                              config.seed});
   }
+  AsyncRunConfig async_config;
+  async_config.max_steps = config.max_steps;
+  async_config.seed = config.seed;
+  async_config.arrivals = config.arrivals;
+  async_config.departures = config.departures;
   // The async engine gets no observer of its own: the attached observer
   // sees the simulated synchronous run (virtual rounds), not raw steps.
-  RunResult result =
-      AsyncEngine::run(world, population, adapter, adversary, scheduler,
-                       AsyncRunConfig{config.max_steps, config.seed, nullptr});
+  RunResult result = AsyncEngine::run(world, population, adapter, adversary,
+                                      scheduler, async_config);
   if (config.observer != nullptr) config.observer->on_run_end(result);
   return result;
 }

@@ -1,0 +1,70 @@
+#include "acp/engine/roster.hpp"
+
+#include <algorithm>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+PlayerRoster::PlayerRoster(const Population& population,
+                           std::span<const Round> arrivals,
+                           std::span<const Round> departures)
+    : arrivals_(arrivals), departures_(departures) {
+  ACP_EXPECTS(arrivals_.empty() ||
+              arrivals_.size() == population.num_players());
+  ACP_EXPECTS(departures_.empty() ||
+              departures_.size() == population.num_players());
+
+  for (PlayerId p : population.honest_players()) {
+    const Round arrival = arrivals_.empty() ? 0 : arrivals_[p.value()];
+    ACP_EXPECTS(arrival >= 0);
+    if (arrival == 0) {
+      active_.push_back(p);
+    } else {
+      pending_.push_back(p);
+    }
+  }
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [&](PlayerId a, PlayerId b) {
+                     return arrivals_[a.value()] < arrivals_[b.value()];
+                   });
+}
+
+void PlayerRoster::admit_arrivals(Round now) {
+  while (next_pending_ < pending_.size() &&
+         arrivals_[pending_[next_pending_].value()] <= now) {
+    active_.push_back(pending_[next_pending_]);
+    ++next_pending_;
+  }
+}
+
+const std::vector<PlayerId>& PlayerRoster::apply_departures(Round now) {
+  departed_scratch_.clear();
+  if (!departures_.empty()) {
+    std::erase_if(active_, [&](PlayerId p) {
+      const Round depart = departures_[p.value()];
+      if (depart >= 0 && now >= depart) {
+        departed_scratch_.push_back(p);
+        return true;
+      }
+      return false;
+    });
+  }
+  return departed_scratch_;
+}
+
+void PlayerRoster::remove(PlayerId p) {
+  active_.erase(std::remove(active_.begin(), active_.end(), p),
+                active_.end());
+}
+
+void PlayerRoster::halt_all() {
+  active_.clear();
+  next_pending_ = pending_.size();
+}
+
+bool PlayerRoster::is_active(PlayerId p) const {
+  return std::find(active_.begin(), active_.end(), p) != active_.end();
+}
+
+}  // namespace acp

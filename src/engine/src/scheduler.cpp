@@ -1,0 +1,36 @@
+#include "acp/engine/scheduler.hpp"
+
+#include <algorithm>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+PlayerId RoundRobinScheduler::next(const std::vector<PlayerId>& active,
+                                   Rng& /*rng*/) {
+  ACP_EXPECTS(!active.empty());
+  for (;;) {
+    if (cycle_.empty()) cycle_.assign(active.begin(), active.end());
+    const PlayerId p = cycle_.front();
+    cycle_.pop_front();
+    // Players that halted or departed since the cycle snapshot are
+    // skipped; everyone else keeps its turn.
+    if (std::find(active.begin(), active.end(), p) != active.end()) {
+      return p;
+    }
+  }
+}
+
+PlayerId RandomScheduler::next(const std::vector<PlayerId>& active,
+                               Rng& rng) {
+  ACP_EXPECTS(!active.empty());
+  return active[rng.index(active.size())];
+}
+
+PlayerId StarveScheduler::next(const std::vector<PlayerId>& active,
+                               Rng& /*rng*/) {
+  ACP_EXPECTS(!active.empty());
+  return active.front();
+}
+
+}  // namespace acp

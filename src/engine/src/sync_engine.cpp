@@ -1,179 +1,60 @@
 #include "acp/engine/sync_engine.hpp"
 
-#include <algorithm>
-#include <vector>
-
-#include "acp/obs/timer.hpp"
-#include "acp/util/contracts.hpp"
+#include "acp/engine/kernel.hpp"
 
 namespace acp {
+
+namespace {
+
+/// Kernel stepper for the synchronous Protocol interface: the slice index
+/// *is* the round, and churn runs on it directly.
+class SyncStepper {
+ public:
+  explicit SyncStepper(Protocol& protocol) : protocol_(&protocol) {}
+
+  void initialize(const WorldView& world, std::size_t num_players) {
+    protocol_->initialize(world, num_players);
+  }
+  [[nodiscard]] Round churn_clock(Round slice) const { return slice; }
+  void on_departure(PlayerId /*p*/) {}
+  void begin_slice(Round slice, const Billboard& billboard) {
+    protocol_->on_round_begin(slice, billboard);
+  }
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId p, Round slice,
+                                                     const Billboard&,
+                                                     Rng& rng) {
+    return protocol_->choose_probe(p, slice, rng);
+  }
+  StepOutcome on_probe_result(PlayerId p, Round slice, ObjectId object,
+                              double value, double cost, bool locally_good,
+                              Rng& rng) {
+    return protocol_->on_probe_result(p, slice, object, value, cost,
+                                      locally_good, rng);
+  }
+  [[nodiscard]] bool wants_halt_all(Round slice) const {
+    return protocol_->wants_halt_all(slice);
+  }
+
+ private:
+  Protocol* protocol_;
+};
+
+}  // namespace
 
 RunResult SyncEngine::run(const World& world, const Population& population,
                           Protocol& protocol, Adversary& adversary,
                           const SyncRunConfig& config) {
-  ACP_EXPECTS(config.max_rounds > 0);
-  ACP_EXPECTS(config.arrivals.empty() ||
-              config.arrivals.size() == population.num_players());
-  ACP_EXPECTS(config.departures.empty() ||
-              config.departures.size() == population.num_players());
-
-  const std::size_t n = population.num_players();
-  Billboard billboard(n, world.num_objects());
-  const WorldView world_view(world);
-
-  protocol.initialize(world_view, n);
-  adversary.initialize(world, population);
-
-  // Independent streams: one per player plus one for the adversary. Streams
-  // are derived, not sequentially drawn, so the adversary cannot influence
-  // honest randomness (and vice versa).
-  std::vector<Rng> player_rng;
-  player_rng.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    player_rng.push_back(derive_stream(config.seed, p));
-  }
-  Rng adversary_rng = derive_stream(config.seed, n + 1);
-
-  RunResult result;
-  result.players.resize(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    result.players[p].honest = population.is_honest(PlayerId{p});
-  }
-
-  // Split honest players into already-active and yet-to-arrive.
-  std::vector<PlayerId> active;
-  std::vector<PlayerId> pending;  // sorted by arrival (stable by id)
-  for (PlayerId p : population.honest_players()) {
-    const Round arrival =
-        config.arrivals.empty() ? 0 : config.arrivals[p.value()];
-    ACP_EXPECTS(arrival >= 0);
-    if (arrival == 0) {
-      active.push_back(p);
-    } else {
-      pending.push_back(p);
-    }
-  }
-  std::stable_sort(pending.begin(), pending.end(),
-                   [&](PlayerId a, PlayerId b) {
-                     return config.arrivals[a.value()] <
-                            config.arrivals[b.value()];
-                   });
-  std::size_t next_pending = 0;
-  std::size_t satisfied_honest = 0;
-
-  if (config.observer != nullptr) {
-    config.observer->on_run_begin(RunContext{n, population.num_honest(),
-                                             world.num_objects(),
-                                             config.seed});
-  }
-
-  std::vector<Post> round_posts;
-
-  Round round = 0;
-  for (; round < config.max_rounds &&
-         (!active.empty() || next_pending < pending.size());
-       ++round) {
-    ACP_OBS_TIMED_SCOPE("engine.sync.round");
-    // Admit arrivals due this round.
-    while (next_pending < pending.size() &&
-           config.arrivals[pending[next_pending].value()] <= round) {
-      active.push_back(pending[next_pending]);
-      ++next_pending;
-    }
-    // Fail-stop departures: crash before taking this round's step.
-    if (!config.departures.empty()) {
-      std::erase_if(active, [&](PlayerId p) {
-        const Round depart = config.departures[p.value()];
-        return depart >= 0 && round >= depart;
-      });
-    }
-
-    protocol.on_round_begin(round, billboard);
-
-    round_posts.clear();
-    adversary.plan_round(
-        AdversaryContext{world, population, round, billboard}, round_posts,
-        adversary_rng);
-    for (const Post& post : round_posts) {
-      // Billboard guarantees: the adversary speaks only for dishonest
-      // players and cannot backdate.
-      ACP_EXPECTS(!population.is_honest(post.author));
-      ACP_EXPECTS(post.round == round);
-    }
-
-    std::size_t probes_this_round = 0;
-    std::vector<PlayerId> still_active;
-    still_active.reserve(active.size());
-    for (PlayerId p : active) {
-      const auto choice =
-          protocol.choose_probe(p, round, player_rng[p.value()]);
-      if (!choice.has_value()) {
-        still_active.push_back(p);  // idle step: no probe, no cost
-        continue;
-      }
-      const ObjectId object = *choice;
-      const ProbeOutcome outcome = world.probe(object);
-      ++probes_this_round;
-
-      PlayerStats& stats = result.players[p.value()];
-      ++stats.probes;
-      stats.cost_paid += outcome.cost;
-      if (world.is_good(object)) stats.probed_good = true;
-
-      // Local testability is a property of the object model (§2.2): under
-      // TopBeta a prober cannot tell good from bad, so the flag is masked.
-      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
-                                    ? outcome.locally_good
-                                    : false;
-      const StepOutcome step = protocol.on_probe_result(
-          p, round, object, outcome.value, outcome.cost, locally_good,
-          player_rng[p.value()]);
-      if (step.post.has_value()) {
-        round_posts.push_back(Post{p, round, step.post->object,
-                                   step.post->reported_value,
-                                   step.post->positive});
-      }
-      if (step.halt) {
-        stats.satisfied_round = round;
-        ++satisfied_honest;
-      } else {
-        still_active.push_back(p);
-      }
-    }
-
-    billboard.commit_round(round, std::move(round_posts));
-    round_posts = {};
-    active = std::move(still_active);
-
-    if (protocol.wants_halt_all(round)) {
-      for (PlayerId p : active) {
-        result.players[p.value()].satisfied_round = round;
-        ++satisfied_honest;
-      }
-      active.clear();
-      next_pending = pending.size();
-    }
-
-    if (config.observer != nullptr) {
-      config.observer->on_round_end(round, billboard, active.size(),
-                                    satisfied_honest, probes_this_round);
-    }
-    if (obs::MetricsRegistry::enabled()) {
-      static obs::Counter& rounds_counter =
-          obs::MetricsRegistry::global().counter("engine.sync.rounds");
-      static obs::Counter& probes_counter =
-          obs::MetricsRegistry::global().counter("engine.sync.probes");
-      rounds_counter.add(1);
-      probes_counter.add(probes_this_round);
-    }
-  }
-
-  result.rounds_executed = round;
-  result.all_honest_satisfied =
-      active.empty() && next_pending >= pending.size();
-  result.total_posts = billboard.size();
-  if (config.observer != nullptr) config.observer->on_run_end(result);
-  return result;
+  KernelSpec spec;
+  spec.max_slices = config.max_rounds;
+  spec.seed = config.seed;
+  spec.arrivals = config.arrivals;
+  spec.departures = config.departures;
+  spec.observer = config.observer;
+  spec.slice_timer = "engine.sync.round";
+  spec.slices_counter = "engine.sync.rounds";
+  spec.probes_counter = "engine.sync.probes";
+  return run_kernel(world, population, adversary, SyncStepper(protocol),
+                    AllActivePolicy{}, spec);
 }
 
 }  // namespace acp

@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "acp/engine/adversary.hpp"
+#include "acp/engine/observer.hpp"
 #include "acp/engine/protocol.hpp"
 #include "acp/engine/run_result.hpp"
 #include "acp/world/population.hpp"
@@ -65,6 +67,19 @@ struct GossipConfig {
   double loss_prob = 0.0;
   Round max_rounds = 100000;
   std::uint64_t seed = 1;
+  /// Optional per-player arrival rounds (indexed by PlayerId), same
+  /// semantics as SyncRunConfig::arrivals: the node neither probes nor
+  /// relays before its arrival round. Empty means everyone starts at 0.
+  std::vector<Round> arrivals = {};
+  /// Optional per-player fail-stop departure rounds (-1 = never), same
+  /// semantics as SyncRunConfig::departures: the node crash-stops at that
+  /// round — it stops probing *and* relaying; already-delivered posts
+  /// survive on other replicas. Empty means nobody departs.
+  std::vector<Round> departures = {};
+  /// Optional measurement hook; not owned. on_round_end receives the
+  /// adversary's omniscient union log as the billboard argument (there is
+  /// no shared billboard under gossip).
+  RunObserver* observer = nullptr;
 };
 
 /// Builds one protocol instance per honest node (no shared state).

@@ -4,6 +4,10 @@
 #include <vector>
 
 #include "acp/billboard/billboard.hpp"
+#include "acp/engine/accounting.hpp"
+#include "acp/engine/roster.hpp"
+#include "acp/engine/streams.hpp"
+#include "acp/obs/timer.hpp"
 #include "acp/rng/rng.hpp"
 #include "acp/util/contracts.hpp"
 
@@ -28,8 +32,8 @@ struct Node {
   std::vector<Post> inbox;  // arrived this round; committed at round end
   std::vector<Post> fresh;  // learned last round; pushed this round
   std::vector<Post> next_fresh;
-  bool probing = false;  // active honest searcher
   bool honest = false;
+  bool present = false;  // arrived and not crash-stopped: probes + relays
 };
 
 }  // namespace
@@ -47,6 +51,17 @@ RunResult GossipEngine::run(const World& world, const Population& population,
 
   adversary.initialize(world, population);
 
+  // The same per-run invariants every engine shares: derived RNG streams,
+  // arrival/departure membership, stats + observer + metrics.
+  EngineStreams streams(config.seed, n);
+  Rng gossip_rng = streams.extra(EngineStreams::kGossipOffset);
+  PlayerRoster roster(population, config.arrivals, config.departures);
+  RunAccounting accounting(population, world.num_objects(), config.seed,
+                           config.observer, "engine.gossip.rounds",
+                           "engine.gossip.probes");
+  obs::TimerStat& round_timer =
+      obs::MetricsRegistry::global().timer("engine.gossip.round");
+
   std::vector<Node> nodes(n);
   for (std::size_t p = 0; p < n; ++p) {
     Node& node = nodes[p];
@@ -56,20 +71,13 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     node.protocol->initialize(world_view, n);
     node.replica = std::make_unique<Billboard>(n, world.num_objects(),
                                                Billboard::Mode::kReplica);
-    node.probing = true;
+    node.present =
+        config.arrivals.empty() || config.arrivals[p] <= 0;
   }
 
   // The adversary's omniscient union log (also the run's post count).
   Billboard global(n, world.num_objects(), Billboard::Mode::kReplica);
   std::vector<Post> global_inbox;
-
-  std::vector<Rng> player_rng;
-  player_rng.reserve(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    player_rng.push_back(derive_stream(config.seed, p));
-  }
-  Rng adversary_rng = derive_stream(config.seed, n + 1);
-  Rng gossip_rng = derive_stream(config.seed, n + 3);
 
   // Static overlay links for the non-complete topologies, fixed per run.
   std::vector<std::vector<std::size_t>> neighbors;
@@ -90,31 +98,46 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     }
   }
 
-  RunResult result;
-  result.players.resize(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    result.players[p].honest = nodes[p].honest;
-  }
-
   auto deliver = [&](std::size_t target, const Post& post) {
     Node& node = nodes[target];
-    if (!node.honest) return;  // Byzantine nodes absorb
+    if (!node.present) return;  // Byzantine and absent nodes absorb
     if (!node.seen.insert(post_key(post)).second) return;
     node.inbox.push_back(post);
     node.next_fresh.push_back(post);
   };
 
-  std::size_t searching = population.num_honest();
+  std::vector<PlayerId> halted_this_round;
 
   Round round = 0;
-  for (; round < config.max_rounds && searching > 0; ++round) {
+  for (; round < config.max_rounds && !roster.done(); ++round) {
+    const obs::ScopedTimer timed(round_timer);
+
+    // --- Churn (same round semantics as the synchronous engine): joiners
+    // start relaying and probing this round; a departing node crash-stops
+    // before taking this round's step and goes silent on the overlay.
+    roster.admit_arrivals(round);
+    for (PlayerId p : roster.apply_departures(round)) {
+      nodes[p.value()].present = false;
+    }
+    if (!config.arrivals.empty()) {
+      for (std::size_t p = 0; p < n; ++p) {
+        Node& node = nodes[p];
+        if (!node.honest || node.present) continue;
+        const bool arrived = config.arrivals[p] <= round;
+        const bool departed = !config.departures.empty() &&
+                              config.departures[p] >= 0 &&
+                              round >= config.departures[p];
+        if (arrived && !departed) node.present = true;
+      }
+    }
+
     // --- Gossip exchange: push last round's news to fanout random nodes;
     // with pull enabled, also fetch fanout random peers' news. Every
     // exchange is independently lost with loss_prob.
     if (config.fanout > 0) {
       for (std::size_t p = 0; p < n; ++p) {
         Node& node = nodes[p];
-        if (!node.honest) continue;
+        if (!node.present) continue;
         if (!node.fresh.empty()) {
           for (std::size_t k = 0; k < config.fanout; ++k) {
             const std::size_t target =
@@ -130,9 +153,9 @@ RunResult GossipEngine::run(const World& world, const Population& population,
           for (std::size_t k = 0; k < config.fanout; ++k) {
             const std::size_t source =
                 neighbors.empty() ? gossip_rng.index(n) : neighbors[p][k];
-            // Byzantine nodes return nothing; a pull of an empty peer is
-            // a no-op.
-            if (!nodes[source].honest || nodes[source].fresh.empty()) {
+            // Absent nodes return nothing; a pull of an empty peer is a
+            // no-op.
+            if (!nodes[source].present || nodes[source].fresh.empty()) {
               continue;
             }
             if (config.loss_prob > 0.0 &&
@@ -150,7 +173,7 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     global_inbox.clear();
     std::vector<Post> lies;
     adversary.plan_round(AdversaryContext{world, population, round, global},
-                         lies, adversary_rng);
+                         lies, streams.adversary);
     for (const Post& post : lies) {
       ACP_EXPECTS(!population.is_honest(post.author));
       ACP_EXPECTS(post.round == round);
@@ -161,29 +184,30 @@ RunResult GossipEngine::run(const World& world, const Population& population,
       }
     }
 
-    // --- Honest steps against each node's own replica.
-    for (std::size_t p = 0; p < n; ++p) {
+    // --- Honest steps against each node's own replica. roster.active()
+    // is the searching set: honest, arrived, not departed, not satisfied,
+    // in honest-id admission order.
+    std::size_t probes_this_round = 0;
+    halted_this_round.clear();
+    for (PlayerId pid : roster.active()) {
+      const std::size_t p = pid.value();
       Node& node = nodes[p];
-      if (!node.honest || !node.probing) continue;
-      const PlayerId pid{p};
       node.protocol->on_round_begin(round, *node.replica);
       const auto choice =
-          node.protocol->choose_probe(pid, round, player_rng[p]);
+          node.protocol->choose_probe(pid, round, streams.player(pid));
       if (!choice.has_value()) continue;
 
       const ObjectId object = *choice;
       const ProbeOutcome outcome = world.probe(object);
-      PlayerStats& stats = result.players[p];
-      ++stats.probes;
-      stats.cost_paid += outcome.cost;
-      if (world.is_good(object)) stats.probed_good = true;
+      ++probes_this_round;
+      accounting.record_probe(pid, outcome.cost, world.is_good(object));
 
       const bool locally_good = world.model() == GoodnessModel::kLocalTesting
                                     ? outcome.locally_good
                                     : false;
       const StepOutcome step = node.protocol->on_probe_result(
           pid, round, object, outcome.value, outcome.cost, locally_good,
-          player_rng[p]);
+          streams.player(pid));
       if (step.post.has_value()) {
         const Post post{pid, round, step.post->object,
                         step.post->reported_value, step.post->positive};
@@ -193,11 +217,11 @@ RunResult GossipEngine::run(const World& world, const Population& population,
         global_inbox.push_back(post);
       }
       if (step.halt) {
-        stats.satisfied_round = round;
-        node.probing = false;  // keeps relaying, stops probing
-        --searching;
+        accounting.record_satisfied(pid, round);
+        halted_this_round.push_back(pid);  // keeps relaying, stops probing
       }
     }
+    for (PlayerId pid : halted_this_round) roster.remove(pid);
 
     // --- Commit the round everywhere.
     for (std::size_t p = 0; p < n; ++p) {
@@ -210,12 +234,12 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     }
     global.commit_round(round, std::move(global_inbox));
     global_inbox = {};
+
+    accounting.end_slice(round, global, roster.active().size(),
+                         probes_this_round);
   }
 
-  result.rounds_executed = round;
-  result.all_honest_satisfied = searching == 0;
-  result.total_posts = global.size();
-  return result;
+  return accounting.finish(round, roster.done(), global);
 }
 
 }  // namespace acp

@@ -38,6 +38,27 @@ enum class AdversaryKind {
   kValueLiar,
 };
 
+/// Which execution substrate runs the trial. All four share the simulation
+/// kernel (docs/architecture.md), so churn and metrics behave uniformly.
+enum class EngineKind {
+  /// The paper's synchronous shared-billboard model (default).
+  kSync,
+  /// Asynchronous basic steps under a scheduler; restricted to the
+  /// natively asynchronous protocols (collab, trivial).
+  kAsync,
+  /// Any synchronous protocol over the asynchronous engine through the
+  /// timestamp synchronizer (LockstepAdapter).
+  kLockstep,
+  /// Per-node replicas synchronized by push gossip.
+  kGossip,
+};
+
+/// Asynchronous schedule (engines async and lockstep).
+enum class SchedulerKind {
+  kRoundRobin,
+  kRandom,
+};
+
 struct CliConfig {
   std::size_t n = 256;
   std::size_t m = 256;
@@ -59,10 +80,25 @@ struct CliConfig {
   std::size_t cost_classes = 4;
   std::size_t cheapest_good_class = 0;
 
-  /// Engine: the paper's idealized shared billboard, or the gossip-
-  /// replicated P2P substrate.
+  /// Execution substrate (--engine). `gossip` is kept in sync with
+  /// `engine == kGossip` (the historical --gossip flag is an alias).
+  EngineKind engine = EngineKind::kSync;
   bool gossip = false;
   std::size_t fanout = 2;
+
+  /// Schedule for the asynchronous engines (async, lockstep).
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  /// Hard stop on honest basic steps (async, lockstep).
+  Count max_steps = 10000000;
+
+  /// Churn. arrival_window W staggers honest arrivals over [0, W) on the
+  /// engine's churn clock (rounds for sync/lockstep/gossip, steps for
+  /// async): the i-th honest player joins at floor(i*W/h). 0 = everyone
+  /// at 0. depart_frac F makes the last ceil(F*h) honest players
+  /// crash-stop at depart_round.
+  Round arrival_window = 0;
+  double depart_frac = 0.0;
+  Round depart_round = 0;
 
   /// Trust-weighted SeekAdvice (§6 exploration; distill/distill-hp only).
   bool trust_advice = false;

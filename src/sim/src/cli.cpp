@@ -1,6 +1,7 @@
 #include "acp/sim/cli.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "acp/core/theory.hpp"
 #include <fstream>
 
+#include "acp/engine/lockstep.hpp"
 #include "acp/engine/sync_engine.hpp"
 #include "acp/engine/trace.hpp"
 #include "acp/gossip/gossip_engine.hpp"
@@ -76,6 +78,50 @@ ProtocolKind parse_protocol(const std::string& name) {
   return it->second;
 }
 
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSync: return "sync";
+    case EngineKind::kAsync: return "async";
+    case EngineKind::kLockstep: return "lockstep";
+    case EngineKind::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin: return "rr";
+    case SchedulerKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+EngineKind parse_engine(const std::string& name) {
+  static const std::map<std::string, EngineKind> kinds = {
+      {"sync", EngineKind::kSync},
+      {"async", EngineKind::kAsync},
+      {"lockstep", EngineKind::kLockstep},
+      {"gossip", EngineKind::kGossip},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) {
+    throw std::invalid_argument("unknown engine: " + name);
+  }
+  return it->second;
+}
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  static const std::map<std::string, SchedulerKind> kinds = {
+      {"rr", SchedulerKind::kRoundRobin},
+      {"random", SchedulerKind::kRandom},
+  };
+  const auto it = kinds.find(name);
+  if (it == kinds.end()) {
+    throw std::invalid_argument("unknown scheduler: " + name);
+  }
+  return it->second;
+}
+
 AdversaryKind parse_adversary(const std::string& name) {
   static const std::map<std::string, AdversaryKind> kinds = {
       {"silent", AdversaryKind::kSilent},
@@ -121,20 +167,37 @@ adversary:
                    (default silent)
 
 substrate:
-  --gossip         replace the shared billboard with per-node replicas
+  --engine E       sync | async | lockstep | gossip (default sync):
+                   the shared-billboard round model; asynchronous basic
+                   steps under a scheduler (protocols collab/trivial only);
+                   a synchronous protocol over the asynchronous engine via
+                   the timestamp synchronizer; or per-node replicas
                    synchronized by push gossip
+  --gossip         alias for --engine gossip
   --fanout F       gossip push fanout (default 2)
+  --scheduler S    rr | random — async/lockstep schedule (default rr)
+
+churn:
+  --arrival-window W   stagger honest arrivals over [0, W) on the engine's
+                       churn clock (rounds; basic steps for --engine
+                       async); the i-th honest player joins at i*W/h
+  --depart-frac F      fraction of honest players that crash-stop mid-run
+  --depart-round R     round (or step) at which the departing fraction
+                       leaves (requires --depart-frac)
 
 execution:
   --sweep P=LO:HI:STEP   sweep one parameter (alpha|n|good|f|err|veto),
                          printing one row per value
   --trials T       independent seeded trials (default 20)
   --seed S         base seed (default 1)
-  --max-rounds R   per-trial round cap (default 500000)
+  --max-rounds R   per-trial round cap, sync/gossip (default 500000)
+  --max-steps S    per-trial honest-step cap, async/lockstep
+                   (default 10000000)
   --csv            machine-readable output
   --trace FILE     write a per-round trace CSV of the first trial
+                   (engines sync and lockstep)
   --trace-jsonl FILE   write a per-round JSONL trace (acp.trace.v1) of the
-                       first trial
+                       first trial (engines sync and lockstep)
   --report-json FILE   write a machine-readable run report (acp.report.v1):
                        config echo, metric summaries, and internal
                        counters/timers (not available with --sweep)
@@ -176,7 +239,25 @@ CliConfig parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--no-advice") {
       config.use_advice = false;
     } else if (arg == "--gossip") {
-      config.gossip = true;
+      config.engine = EngineKind::kGossip;
+    } else if (arg == "--engine") {
+      config.engine = parse_engine(need_value(i));
+      ++i;
+    } else if (arg == "--scheduler") {
+      config.scheduler = parse_scheduler(need_value(i));
+      ++i;
+    } else if (arg == "--max-steps") {
+      config.max_steps = static_cast<Count>(to_size(arg, need_value(i)));
+      ++i;
+    } else if (arg == "--arrival-window") {
+      config.arrival_window = static_cast<Round>(to_size(arg, need_value(i)));
+      ++i;
+    } else if (arg == "--depart-frac") {
+      config.depart_frac = to_double(arg, need_value(i));
+      ++i;
+    } else if (arg == "--depart-round") {
+      config.depart_round = static_cast<Round>(to_size(arg, need_value(i)));
+      ++i;
     } else if (arg == "--trust") {
       config.trust_advice = true;
     } else if (arg == "--fanout") {
@@ -269,6 +350,18 @@ CliConfig parse_args(const std::vector<std::string>& args) {
   if (config.max_rounds < 1) {
     throw std::invalid_argument("--max-rounds must be >= 1");
   }
+  if (config.max_steps < 1) {
+    throw std::invalid_argument("--max-steps must be >= 1");
+  }
+  if (config.depart_frac < 0.0 || config.depart_frac > 1.0) {
+    throw std::invalid_argument("--depart-frac must be in [0, 1]");
+  }
+  if (config.depart_frac > 0.0 && config.depart_round < 1) {
+    throw std::invalid_argument(
+        "--depart-frac needs --depart-round >= 1 (a departure at round 0 "
+        "would remove the player before it ever acts)");
+  }
+  config.gossip = config.engine == EngineKind::kGossip;
   if (!config.sweep_param.empty()) {
     static const std::vector<std::string> kSweepable = {
         "alpha", "n", "good", "f", "err", "veto"};
@@ -377,6 +470,50 @@ std::unique_ptr<Adversary> make_adversary(const CliConfig& config,
   throw std::logic_error("unreachable adversary kind");
 }
 
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>();
+  }
+  throw std::logic_error("unreachable scheduler kind");
+}
+
+/// Staircase arrivals over [0, W): the i-th honest player (ascending id)
+/// joins at floor(i*W/h). Empty when no window is configured.
+std::vector<Round> build_arrivals(const CliConfig& config,
+                                  const Population& population) {
+  if (config.arrival_window <= 0) return {};
+  const auto& honest = population.honest_players();
+  const std::size_t h = honest.size();
+  std::vector<Round> arrivals(population.num_players(), 0);
+  for (std::size_t i = 0; i < h; ++i) {
+    arrivals[honest[i].value()] = static_cast<Round>(
+        (static_cast<std::uint64_t>(i) *
+         static_cast<std::uint64_t>(config.arrival_window)) /
+        h);
+  }
+  return arrivals;
+}
+
+/// The last ceil(F*h) honest players crash-stop at depart_round. Empty
+/// when no departures are configured.
+std::vector<Round> build_departures(const CliConfig& config,
+                                    const Population& population) {
+  if (config.depart_frac <= 0.0) return {};
+  const auto& honest = population.honest_players();
+  const std::size_t h = honest.size();
+  const std::size_t leavers = std::min(
+      h, static_cast<std::size_t>(
+             std::ceil(config.depart_frac * static_cast<double>(h))));
+  std::vector<Round> departures(population.num_players(), -1);
+  for (std::size_t i = h - leavers; i < h; ++i) {
+    departures[honest[i].value()] = config.depart_round;
+  }
+  return departures;
+}
+
 }  // namespace
 
 namespace {
@@ -397,59 +534,128 @@ std::vector<Summary> measure_point(const CliConfig& config) {
                                         static_cast<double>(config.n)));
         const Population population =
             Population::with_random_honest(config.n, honest, rng);
+        // `config.gossip` may have been set directly (bypassing
+        // parse_args); treat it as the alias it is.
+        const EngineKind engine =
+            config.gossip ? EngineKind::kGossip : config.engine;
+        const std::vector<Round> arrivals = build_arrivals(config, population);
+        const std::vector<Round> departures =
+            build_departures(config, population);
+
+        // Traces cover the FIRST trial only, on the engines whose observer
+        // sees synchronous rounds (lockstep observers see virtual rounds —
+        // the same shape). The mux lets the CSV and JSONL recorders share
+        // the engine's single observer slot.
+        const bool first_trial = seed == config.seed;
+        const bool traces_ok =
+            engine == EngineKind::kSync || engine == EngineKind::kLockstep;
+        obs::ObserverMux mux;
+        TraceRecorder trace;
+        const bool want_trace =
+            traces_ok && !config.trace_path.empty() && first_trial;
+        if (want_trace) mux.add(&trace);
+        std::ofstream jsonl_file;
+        std::optional<obs::JsonlTraceWriter> jsonl;
+        if (traces_ok && !config.trace_jsonl_path.empty() && first_trial) {
+          jsonl_file.open(config.trace_jsonl_path);
+          if (!jsonl_file) {
+            throw std::invalid_argument("--trace-jsonl: cannot open " +
+                                        config.trace_jsonl_path);
+          }
+          jsonl.emplace(jsonl_file);
+          mux.add(&*jsonl);
+        }
+        RunObserver* observer = mux.empty() ? nullptr : &mux;
+
         RunResult result;
-        if (config.gossip) {
-          // Per-node protocol instances over the gossip substrate. The
-          // split-vote adversary needs a single observed instance, which
-          // does not exist here; make_adversary rejects it below.
-          auto probe_protocol = make_protocol(config, world);  // validation
-          auto adversary = make_adversary(config, *probe_protocol);
-          if (config.adversary == AdversaryKind::kSplitVote) {
-            throw std::invalid_argument(
-                "--adversary splitvote is not available with --gossip "
-                "(there is no single protocol instance to observe)");
-          }
-          result = GossipEngine::run(
-              world, population,
-              [&] { return make_protocol(config, world); }, *adversary,
-              {.fanout = config.fanout,
-               .max_rounds = config.max_rounds,
-               .seed = seed ^ 0x2545F491});
-        } else {
-          auto protocol = make_protocol(config, world);
-          auto adversary = make_adversary(config, *protocol);
-          SyncRunConfig run_config;
-          run_config.max_rounds = config.max_rounds;
-          run_config.seed = seed ^ 0x2545F491;
-          // Traces cover the FIRST trial only; the mux lets the CSV and
-          // JSONL recorders share the engine's single observer slot.
-          const bool first_trial = seed == config.seed;
-          obs::ObserverMux mux;
-          TraceRecorder trace;
-          const bool want_trace = !config.trace_path.empty() && first_trial;
-          if (want_trace) mux.add(&trace);
-          std::ofstream jsonl_file;
-          std::optional<obs::JsonlTraceWriter> jsonl;
-          if (!config.trace_jsonl_path.empty() && first_trial) {
-            jsonl_file.open(config.trace_jsonl_path);
-            if (!jsonl_file) {
-              throw std::invalid_argument("--trace-jsonl: cannot open " +
-                                          config.trace_jsonl_path);
+        switch (engine) {
+          case EngineKind::kGossip: {
+            // Per-node protocol instances over the gossip substrate. The
+            // split-vote adversary needs a single observed instance, which
+            // does not exist here; make_adversary rejects it below.
+            auto probe_protocol = make_protocol(config, world);  // validation
+            auto adversary = make_adversary(config, *probe_protocol);
+            if (config.adversary == AdversaryKind::kSplitVote) {
+              throw std::invalid_argument(
+                  "--adversary splitvote is not available with --engine "
+                  "gossip (there is no single protocol instance to observe)");
             }
-            jsonl.emplace(jsonl_file);
-            mux.add(&*jsonl);
+            GossipConfig gossip_config;
+            gossip_config.fanout = config.fanout;
+            gossip_config.max_rounds = config.max_rounds;
+            gossip_config.seed = seed ^ 0x2545F491;
+            gossip_config.arrivals = arrivals;
+            gossip_config.departures = departures;
+            result = GossipEngine::run(
+                world, population,
+                [&] { return make_protocol(config, world); }, *adversary,
+                gossip_config);
+            break;
           }
-          if (!mux.empty()) run_config.observer = &mux;
-          result = SyncEngine::run(world, population, *protocol, *adversary,
-                                   run_config);
-          if (want_trace) {
-            std::ofstream file(config.trace_path);
-            if (!file) {
-              throw std::invalid_argument("--trace: cannot open " +
-                                          config.trace_path);
+          case EngineKind::kSync: {
+            auto protocol = make_protocol(config, world);
+            auto adversary = make_adversary(config, *protocol);
+            SyncRunConfig run_config;
+            run_config.max_rounds = config.max_rounds;
+            run_config.seed = seed ^ 0x2545F491;
+            run_config.arrivals = arrivals;
+            run_config.departures = departures;
+            run_config.observer = observer;
+            result = SyncEngine::run(world, population, *protocol, *adversary,
+                                     run_config);
+            break;
+          }
+          case EngineKind::kLockstep: {
+            auto protocol = make_protocol(config, world);
+            auto adversary = make_adversary(config, *protocol);
+            auto scheduler = make_scheduler(config.scheduler);
+            LockstepRunConfig run_config;
+            run_config.max_steps = config.max_steps;
+            run_config.seed = seed ^ 0x2545F491;
+            run_config.arrivals = arrivals;
+            run_config.departures = departures;
+            run_config.observer = observer;
+            result =
+                LockstepEngine::run(world, population, *protocol, *adversary,
+                                    *scheduler, run_config);
+            break;
+          }
+          case EngineKind::kAsync: {
+            // Only the natively asynchronous protocols run here; the
+            // synchronous ones go through --engine lockstep instead.
+            std::unique_ptr<AsyncProtocol> protocol;
+            switch (config.protocol) {
+              case ProtocolKind::kCollab:
+                protocol = std::make_unique<AsyncCollabProtocol>();
+                break;
+              case ProtocolKind::kTrivial:
+                protocol = std::make_unique<AsyncTrivialRandomProtocol>();
+                break;
+              default:
+                throw std::invalid_argument(
+                    "--engine async supports --protocol collab or trivial; "
+                    "run synchronous protocols with --engine lockstep");
             }
-            trace.write_csv(file);
+            auto probe_protocol = make_protocol(config, world);  // validation
+            auto adversary = make_adversary(config, *probe_protocol);
+            auto scheduler = make_scheduler(config.scheduler);
+            AsyncRunConfig run_config;
+            run_config.max_steps = config.max_steps;
+            run_config.seed = seed ^ 0x2545F491;
+            run_config.arrivals = arrivals;
+            run_config.departures = departures;
+            result = AsyncEngine::run(world, population, *protocol,
+                                      *adversary, *scheduler, run_config);
+            break;
           }
+        }
+        if (want_trace) {
+          std::ofstream file(config.trace_path);
+          if (!file) {
+            throw std::invalid_argument("--trace: cannot open " +
+                                        config.trace_path);
+          }
+          trace.write_csv(file);
         }
         return std::vector<double>{
             result.mean_honest_probes(),
@@ -542,8 +748,27 @@ int run(const CliConfig& config, std::ostream& out) {
     report.set_config("veto", config.veto_fraction);
     report.set_config("use_advice", config.use_advice);
     report.set_config("trust_advice", config.trust_advice);
-    report.set_config("gossip", config.gossip);
-    if (config.gossip) report.set_config("fanout", config.fanout);
+    const EngineKind engine =
+        config.gossip ? EngineKind::kGossip : config.engine;
+    report.set_config("engine", engine_name(engine));
+    report.set_config("gossip", engine == EngineKind::kGossip);
+    if (engine == EngineKind::kGossip) {
+      report.set_config("fanout", config.fanout);
+    }
+    if (engine == EngineKind::kAsync || engine == EngineKind::kLockstep) {
+      report.set_config("scheduler", scheduler_name(config.scheduler));
+      report.set_config("max_steps",
+                        static_cast<std::uint64_t>(config.max_steps));
+    }
+    if (config.arrival_window > 0) {
+      report.set_config("arrival_window",
+                        static_cast<std::uint64_t>(config.arrival_window));
+    }
+    if (config.depart_frac > 0.0) {
+      report.set_config("depart_frac", config.depart_frac);
+      report.set_config("depart_round",
+                        static_cast<std::uint64_t>(config.depart_round));
+    }
     report.add_metric("probes_per_player", summaries[0]);
     report.add_metric("worst_player_probes", summaries[1]);
     report.add_metric("cost_per_player", summaries[2]);

@@ -33,6 +33,35 @@ TEST(Schedulers, RoundRobinHandlesShrinkingSet) {
   EXPECT_TRUE(p == PlayerId{0} || p == PlayerId{1});
 }
 
+TEST(Schedulers, RoundRobinServesEveryActiveWithinCycleUnderHalts) {
+  // Fairness contract: everyone active at the start of a cycle is served
+  // exactly once before the next cycle begins, even when players halt
+  // mid-cycle. (The old index-cursor implementation skipped the player
+  // after a halter: erasing the halter shifted indices under the cursor.)
+  RoundRobinScheduler scheduler;
+  Rng rng(1);
+  std::vector<PlayerId> active = {PlayerId{0}, PlayerId{1}, PlayerId{2},
+                                  PlayerId{3}};
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{1});
+  // Player 2 halts before its turn; 3 must still be served this cycle.
+  active = {PlayerId{0}, PlayerId{1}, PlayerId{3}};
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{3});
+  // The next cycle covers exactly the survivors, in order.
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{1});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{3});
+  // A mid-cycle arrival waits for the cycle boundary.
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+  active = {PlayerId{0}, PlayerId{1}, PlayerId{3}, PlayerId{4}};
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{1});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{3});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{0});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{1});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{3});
+  EXPECT_EQ(scheduler.next(active, rng), PlayerId{4});
+}
+
 TEST(Schedulers, StarveAlwaysPicksFront) {
   StarveScheduler scheduler;
   Rng rng(1);

@@ -183,8 +183,99 @@ TEST(CliParse, GossipAndTrustFlags) {
   const CliConfig config =
       parse_args({"--gossip", "--fanout", "4", "--trust"});
   EXPECT_TRUE(config.gossip);
+  EXPECT_EQ(config.engine, EngineKind::kGossip);
   EXPECT_EQ(config.fanout, 4u);
   EXPECT_TRUE(config.trust_advice);
+}
+
+TEST(CliParse, EngineSchedulerAndChurnFlags) {
+  const CliConfig config = parse_args(
+      {"--engine", "lockstep", "--scheduler", "random", "--max-steps",
+       "5000", "--arrival-window", "10", "--depart-frac", "0.25",
+       "--depart-round", "40"});
+  EXPECT_EQ(config.engine, EngineKind::kLockstep);
+  EXPECT_FALSE(config.gossip);
+  EXPECT_EQ(config.scheduler, SchedulerKind::kRandom);
+  EXPECT_EQ(config.max_steps, 5000);
+  EXPECT_EQ(config.arrival_window, 10);
+  EXPECT_DOUBLE_EQ(config.depart_frac, 0.25);
+  EXPECT_EQ(config.depart_round, 40);
+}
+
+TEST(CliParse, EngineGossipSetsAlias) {
+  const CliConfig config = parse_args({"--engine", "gossip"});
+  EXPECT_EQ(config.engine, EngineKind::kGossip);
+  EXPECT_TRUE(config.gossip);
+}
+
+TEST(CliParse, EngineAndChurnRejections) {
+  EXPECT_THROW((void)parse_args({"--engine", "bogus"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--scheduler", "bogus"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--depart-frac", "1.5"}),
+               std::invalid_argument);
+  // Departures need a departure time.
+  EXPECT_THROW((void)parse_args({"--depart-frac", "0.5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--max-steps", "0"}),
+               std::invalid_argument);
+}
+
+TEST(CliRun, LockstepEngineRuns) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 2;
+  config.engine = EngineKind::kLockstep;
+  config.adversary = AdversaryKind::kEager;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(CliRun, AsyncEngineRunsCollabAndTrivial) {
+  for (ProtocolKind kind : {ProtocolKind::kCollab, ProtocolKind::kTrivial}) {
+    CliConfig config;
+    config.n = 32;
+    config.m = 32;
+    config.trials = 2;
+    config.engine = EngineKind::kAsync;
+    config.protocol = kind;
+    std::ostringstream out;
+    EXPECT_EQ(run(config, out), 0) << "protocol " << static_cast<int>(kind);
+  }
+}
+
+TEST(CliRun, AsyncEngineRejectsSyncOnlyProtocol) {
+  CliConfig config;
+  config.n = 32;
+  config.m = 32;
+  config.trials = 1;
+  config.engine = EngineKind::kAsync;
+  config.protocol = ProtocolKind::kDistill;
+  std::ostringstream out;
+  EXPECT_THROW(run(config, out), std::invalid_argument);
+}
+
+TEST(CliRun, ChurnRunsOnEveryEngine) {
+  for (EngineKind engine : {EngineKind::kSync, EngineKind::kLockstep,
+                            EngineKind::kAsync, EngineKind::kGossip}) {
+    CliConfig config;
+    config.n = 32;
+    config.m = 32;
+    config.trials = 2;
+    config.engine = engine;
+    if (engine == EngineKind::kAsync) config.protocol = ProtocolKind::kCollab;
+    config.arrival_window = 8;
+    config.depart_frac = 0.2;
+    config.depart_round = 50;
+    std::ostringstream out;
+    const int code = run(config, out);
+    // Departing players may leave unsatisfied; both exits are legal.
+    EXPECT_TRUE(code == 0 || code == 2) << "engine " << static_cast<int>(engine);
+    EXPECT_FALSE(out.str().empty());
+  }
 }
 
 TEST(CliRun, GossipEngineRuns) {

@@ -1,0 +1,226 @@
+// Churn parity across the engines. All engines share the simulation
+// kernel, so a seeded arrival/departure scenario must mean the same thing
+// everywhere: the lockstep synchronizer reproduces the native synchronous
+// run round for round (churn times are virtual rounds on both sides), and
+// the asynchronous and gossip engines are bit-deterministic under churn.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/engine/lockstep.hpp"
+#include "acp/gossip/gossip_engine.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+struct RoundRecord {
+  Round round = 0;
+  std::size_t active = 0;
+  std::size_t satisfied = 0;
+  std::size_t probes = 0;
+
+  bool operator==(const RoundRecord&) const = default;
+};
+
+/// Records the (round, active, satisfied, probes) stream every engine
+/// delivers through its observer slot — the comparable shape of a run.
+class RoundLog final : public RunObserver {
+ public:
+  void on_round_end(Round round, const Billboard& /*billboard*/,
+                    std::size_t active_honest, std::size_t satisfied_honest,
+                    std::size_t probes_this_round) override {
+    rounds.push_back(
+        RoundRecord{round, active_honest, satisfied_honest, probes_this_round});
+  }
+
+  std::vector<RoundRecord> rounds;
+};
+
+/// Staircase arrivals over [0, window): the i-th honest player joins at
+/// floor(i * window / h). Guarantees someone is present from round 0, so
+/// no empty virtual rounds occur (where the per-step adversary could
+/// diverge from the per-round one).
+std::vector<Round> staircase_arrivals(const Population& population,
+                                      Round window) {
+  const auto& honest = population.honest_players();
+  std::vector<Round> arrivals(population.num_players(), 0);
+  for (std::size_t i = 0; i < honest.size(); ++i) {
+    arrivals[honest[i].value()] =
+        static_cast<Round>(i) * window / static_cast<Round>(honest.size());
+  }
+  return arrivals;
+}
+
+/// The last `leavers` honest players crash-stop at `when`.
+std::vector<Round> tail_departures(const Population& population,
+                                   std::size_t leavers, Round when) {
+  const auto& honest = population.honest_players();
+  std::vector<Round> departures(population.num_players(), -1);
+  for (std::size_t i = honest.size() - leavers; i < honest.size(); ++i) {
+    departures[honest[i].value()] = when;
+  }
+  return departures;
+}
+
+TEST(EngineParity, SyncAndLockstepAgreeUnderChurn) {
+  const std::size_t n = 48;
+  auto scenario = Scenario::make(n, 24, n, 1, 901);
+  const std::uint64_t seed = 77;
+  // The run lasts ~23 rounds: arrivals trickle in over the first 6 and
+  // the leavers crash at round 8, mid-search for everyone.
+  const std::vector<Round> arrivals =
+      staircase_arrivals(scenario.population, 6);
+  const std::vector<Round> departures =
+      tail_departures(scenario.population, 4, 8);
+
+  RunResult sync_result;
+  RoundLog sync_log;
+  {
+    DistillProtocol protocol(basic_params(0.5));
+    EagerVoteAdversary adversary;
+    SyncRunConfig config;
+    config.max_rounds = 300000;
+    config.seed = seed;
+    config.arrivals = arrivals;
+    config.departures = departures;
+    config.observer = &sync_log;
+    sync_result = SyncEngine::run(scenario.world, scenario.population,
+                                  protocol, adversary, config);
+  }
+
+  for (const bool random_schedule : {false, true}) {
+    RunResult lockstep_result;
+    RoundLog lockstep_log;
+    {
+      DistillProtocol protocol(basic_params(0.5));
+      EagerVoteAdversary adversary;
+      std::unique_ptr<Scheduler> scheduler;
+      if (random_schedule) {
+        scheduler = std::make_unique<RandomScheduler>();
+      } else {
+        scheduler = std::make_unique<RoundRobinScheduler>();
+      }
+      LockstepRunConfig config;
+      config.max_steps = 50000000;
+      config.seed = seed;
+      config.arrivals = arrivals;
+      config.departures = departures;
+      config.observer = &lockstep_log;
+      lockstep_result =
+          LockstepEngine::run(scenario.world, scenario.population, protocol,
+                              adversary, *scheduler, config);
+    }
+
+    EXPECT_EQ(sync_result.all_honest_satisfied,
+              lockstep_result.all_honest_satisfied);
+    for (std::size_t p = 0; p < n; ++p) {
+      EXPECT_EQ(sync_result.players[p].probes,
+                lockstep_result.players[p].probes)
+          << "player " << p << " random_schedule=" << random_schedule;
+      EXPECT_EQ(sync_result.players[p].probed_good,
+                lockstep_result.players[p].probed_good)
+          << "player " << p;
+      EXPECT_EQ(sync_result.players[p].satisfied(),
+                lockstep_result.players[p].satisfied())
+          << "player " << p;
+    }
+    // The virtual-round stream matches the native round stream exactly:
+    // same number of rounds, same active/satisfied/probe counts each round.
+    EXPECT_EQ(sync_log.rounds, lockstep_log.rounds)
+        << "random_schedule=" << random_schedule;
+  }
+
+  // The churn actually bit: departing players left unsatisfied.
+  std::size_t unsatisfied = 0;
+  for (const auto& player : sync_result.players) {
+    if (player.honest && !player.satisfied()) ++unsatisfied;
+  }
+  EXPECT_EQ(unsatisfied, 4u);
+}
+
+TEST(EngineParity, AsyncChurnIsDeterministic) {
+  const std::size_t n = 32;
+  auto scenario = Scenario::make(n, 16, n, 2, 902);
+  // Async churn times are basic-step stamps; the run lasts ~150 steps.
+  const std::vector<Round> arrivals =
+      staircase_arrivals(scenario.population, 30);
+  const std::vector<Round> departures =
+      tail_departures(scenario.population, 3, 60);
+
+  auto run_once = [&](std::uint64_t seed) {
+    AsyncCollabProtocol protocol;
+    SlandererAdversary adversary;
+    RandomScheduler scheduler;
+    AsyncRunConfig config;
+    config.max_steps = 2000000;
+    config.seed = seed;
+    config.arrivals = arrivals;
+    config.departures = departures;
+    return AsyncEngine::run(scenario.world, scenario.population, protocol,
+                            adversary, scheduler, config);
+  };
+
+  const RunResult first = run_once(5);
+  const RunResult second = run_once(5);
+  EXPECT_EQ(first.rounds_executed, second.rounds_executed);
+  EXPECT_EQ(first.total_posts, second.total_posts);
+  EXPECT_EQ(first.all_honest_satisfied, second.all_honest_satisfied);
+  ASSERT_EQ(first.players.size(), second.players.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(first.players[p].probes, second.players[p].probes)
+        << "player " << p;
+    EXPECT_EQ(first.players[p].satisfied_round,
+              second.players[p].satisfied_round)
+        << "player " << p;
+  }
+
+  // Departed players crash-stopped unsatisfied; the run still completes
+  // (the roster drained), so the scenario exercised real churn.
+  EXPECT_TRUE(first.all_honest_satisfied);
+  std::size_t unsatisfied = 0;
+  for (const auto& player : first.players) {
+    if (player.honest && !player.satisfied()) ++unsatisfied;
+  }
+  EXPECT_GE(unsatisfied, 1u);
+}
+
+TEST(EngineParity, GossipChurnIsDeterministic) {
+  const std::size_t n = 32;
+  auto scenario = Scenario::make(n, 16, n, 1, 903);
+  const std::vector<Round> arrivals =
+      staircase_arrivals(scenario.population, 6);
+  const std::vector<Round> departures =
+      tail_departures(scenario.population, 2, 20);
+
+  auto run_once = [&] {
+    EagerVoteAdversary adversary;
+    GossipConfig config;
+    config.fanout = 3;
+    config.max_rounds = 100000;
+    config.seed = 11;
+    config.arrivals = arrivals;
+    config.departures = departures;
+    return GossipEngine::run(
+        scenario.world, scenario.population,
+        [&] {
+          return std::make_unique<DistillProtocol>(basic_params(0.5));
+        },
+        adversary, config);
+  };
+
+  const RunResult first = run_once();
+  const RunResult second = run_once();
+  EXPECT_EQ(first.rounds_executed, second.rounds_executed);
+  EXPECT_EQ(first.total_posts, second.total_posts);
+  for (std::size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(first.players[p].probes, second.players[p].probes)
+        << "player " << p;
+  }
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "acp/adversary/strategies.hpp"
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/engine/lockstep.hpp"
 #include "acp/engine/trace.hpp"
 #include "acp/obs/json.hpp"
 #include "acp/obs/jsonl_trace.hpp"
@@ -118,6 +120,57 @@ TEST(Metrics, TimedScopeRespectsGlobalGate) {
   }
   MetricsRegistry::set_enabled(false);
   EXPECT_EQ(stat.count(), 1u);
+}
+
+TEST(Metrics, EveryEngineRegistersItsCounters) {
+  // All engines run on the shared kernel, so each registers its slice and
+  // probe counters under the same naming scheme when collection is on.
+  ASSERT_FALSE(MetricsRegistry::enabled());
+  MetricsRegistry::global().reset();
+  MetricsRegistry::set_enabled(true);
+
+  auto scenario = Scenario::make(24, 12, 24, 1, 41);
+  {
+    DistillProtocol protocol(basic_params(0.5));
+    SilentAdversary adversary;
+    SyncRunConfig config;
+    config.seed = 3;
+    (void)SyncEngine::run(scenario.world, scenario.population, protocol,
+                          adversary, config);
+  }
+  {
+    AsyncCollabProtocol protocol;
+    SilentAdversary adversary;
+    RoundRobinScheduler scheduler;
+    AsyncRunConfig config;
+    config.seed = 3;
+    (void)AsyncEngine::run(scenario.world, scenario.population, protocol,
+                           adversary, scheduler, config);
+  }
+  {
+    DistillProtocol protocol(basic_params(0.5));
+    SilentAdversary adversary;
+    RoundRobinScheduler scheduler;
+    LockstepRunConfig config;
+    config.seed = 3;
+    (void)LockstepEngine::run(scenario.world, scenario.population, protocol,
+                              adversary, scheduler, config);
+  }
+  MetricsRegistry::set_enabled(false);
+
+  const obs::MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  auto counter_value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& counter : snap.counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return 0;
+  };
+  EXPECT_GT(counter_value("engine.sync.rounds"), 0u);
+  EXPECT_GT(counter_value("engine.sync.probes"), 0u);
+  EXPECT_GT(counter_value("engine.async.steps"), 0u);
+  EXPECT_GT(counter_value("engine.async.probes"), 0u);
+  EXPECT_GT(counter_value("engine.lockstep.rounds"), 0u);
+  MetricsRegistry::global().reset();
 }
 
 // ------------------------------------------------------------ JSON writer
