@@ -8,6 +8,9 @@
 // trial count.
 #pragma once
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -28,24 +31,50 @@
 
 namespace acp::bench {
 
+namespace detail {
+/// Strict positive-integer parse of an environment variable. The whole
+/// value must be a plain positive decimal ("8", not "8x" or "abc" or
+/// "-3"); anything else warns on stderr and falls back to the default —
+/// silently running a bench at the wrong trial count is how config typos
+/// turn into wrong tables.
+inline std::size_t positive_count_from_env(const char* name,
+                                           std::size_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    std::cerr << name << ": invalid value '" << env << "', using default "
+              << default_value << "\n";
+    return default_value;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+}  // namespace detail
+
 /// Trial count from ACP_BENCH_TRIALS, else the bench's default.
 inline std::size_t trials_from_env(std::size_t default_trials) {
-  if (const char* env = std::getenv("ACP_BENCH_TRIALS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return default_trials;
+  return detail::positive_count_from_env("ACP_BENCH_TRIALS", default_trials);
 }
 
 /// Trial-runner worker threads from ACP_BENCH_THREADS (default 1). Any
 /// value is deterministic: trials are independently seeded and results are
 /// stored by trial index, so only wall-clock time changes.
 inline std::size_t threads_from_env(std::size_t default_threads = 1) {
-  if (const char* env = std::getenv("ACP_BENCH_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return default_threads;
+  return detail::positive_count_from_env("ACP_BENCH_THREADS",
+                                         default_threads);
+}
+
+/// Honest-player count for a target fraction alpha, rounded half-up and
+/// clamped to [0, n]. A plain static_cast truncates — alpha=0.7, n=10
+/// used to run at 6 honest players, i.e. at alpha=0.6, not the
+/// configured fraction.
+inline std::size_t honest_count(double alpha, std::size_t n) {
+  const long long rounded =
+      std::llround(alpha * static_cast<double>(n));
+  if (rounded <= 0) return 0;
+  return std::min(n, static_cast<std::size_t>(rounded));
 }
 
 /// One experiment point: a world/population shape plus run limits.
@@ -93,8 +122,7 @@ inline std::vector<Summary> run_point(const PointConfig& config,
       plan, kNumMetrics, [&](std::uint64_t seed) {
         Rng rng(seed);
         const World world = make_simple_world(config.m, config.good, rng);
-        const auto honest = static_cast<std::size_t>(
-            config.alpha * static_cast<double>(config.n));
+        const std::size_t honest = honest_count(config.alpha, config.n);
         const Population population =
             Population::with_random_honest(config.n, honest, rng);
         auto protocol = make_protocol();

@@ -1,10 +1,30 @@
-// PERF — google-benchmark microbenchmarks of the substrates: billboard
-// commit/ingest throughput, ledger window queries, engine round rate.
-// These justify the simulator's scalability claims (millions of probes
-// per second on one core).
-#include <benchmark/benchmark.h>
-
+// PERF — microbenchmark suite of the simulation substrate: billboard
+// commit throughput, ledger ingest (in-order and gossip-replica
+// out-of-order), window queries at production scale (n=10k players,
+// m=100k objects), a full DISTILL round at that scale, and a gossip
+// round. These are the hot paths every protocol pays once per player per
+// round; the suite justifies the simulator's scalability claims and CI
+// gates gross regressions against the checked-in baseline
+// (bench/BENCH_PERF.json, compared by scripts/check_perf.py).
+//
+// For the two paths this repo rewrote — the O(m)-scratch window query and
+// the O(events) mid-vector insert for late replica posts — the suite also
+// times a faithful reimplementation of the pre-rewrite code ("legacy_*"
+// rows) and records the speedup, so the gain itself is a tested,
+// machine-checked number rather than a claim in a commit message.
+//
+// Output: a table on stdout; under ACP_BENCH_JSON=<dir>, additionally
+// <dir>/BENCH_PERF.json ("acp.perf.v1" — see docs/architecture.md,
+// "Performance baseline"). ACP_PERF_REPS overrides the repetition count
+// (median-of-reps is reported; strict parsing, like all ACP_BENCH_*
+// knobs).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -13,170 +33,464 @@
 #include "acp/billboard/vote_ledger.hpp"
 #include "acp/core/distill.hpp"
 #include "acp/engine/sync_engine.hpp"
+#include "acp/gossip/gossip_engine.hpp"
+#include "acp/obs/json.hpp"
+#include "acp/rng/rng.hpp"
+#include "acp/stats/table.hpp"
 #include "acp/world/builders.hpp"
 #include "acp/world/population.hpp"
+#include "bench_support.hpp"
 
 namespace {
 
 using namespace acp;
 
-void BM_BillboardCommit(benchmark::State& state) {
-  const auto posts_per_round = static_cast<std::size_t>(state.range(0));
-  Billboard billboard(posts_per_round, 1024);
-  Round round = 0;
-  for (auto _ : state) {
-    std::vector<Post> posts;
-    posts.reserve(posts_per_round);
-    for (std::size_t p = 0; p < posts_per_round; ++p) {
-      posts.push_back(Post{PlayerId{p}, round,
-                           ObjectId{p % 1024}, 0.5, (p % 3) == 0});
-    }
-    billboard.commit_round(round, std::move(posts));
-    ++round;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(posts_per_round));
-}
-BENCHMARK(BM_BillboardCommit)->Arg(64)->Arg(1024);
+/// Optimization barrier for computed results (hand-rolled harness — no
+/// google-benchmark dependency).
+volatile std::uint64_t g_sink = 0;
 
-void BM_LedgerIngest(benchmark::State& state) {
-  const std::size_t n = 4096;
-  Billboard billboard(n, n);
-  for (Round r = 0; r < 64; ++r) {
-    std::vector<Post> posts;
-    for (std::size_t p = 0; p < n / 64; ++p) {
-      const std::size_t author = static_cast<std::size_t>(r) * (n / 64) + p;
-      posts.push_back(Post{PlayerId{author}, r, ObjectId{author % n}, 0.9,
-                           true});
-    }
-    billboard.commit_round(r, std::move(posts));
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+struct BenchResult {
+  std::string name;
+  std::size_t reps = 0;
+  std::int64_t items = 0;     // per repetition
+  double ns_per_op = 0.0;     // median repetition / items
+  double items_per_sec = 0.0;
+  double total_ms = 0.0;      // wall time across all repetitions
+};
+
+/// Times `fn` `reps` times and reports the median repetition, normalized
+/// by `items` operations per repetition.
+BenchResult run_bench(const std::string& name, std::int64_t items,
+                      std::size_t reps, const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double, std::nano>(
+                          Clock::now() - start)
+                          .count());
   }
-  for (auto _ : state) {
-    VoteLedger ledger(VotePolicy::kFirstPositive, n, n, 1);
+  std::sort(samples.begin(), samples.end());
+  const double median = samples[samples.size() / 2];
+  BenchResult result;
+  result.name = name;
+  result.reps = reps;
+  result.items = items;
+  result.ns_per_op = median / static_cast<double>(items);
+  result.items_per_sec = 1e9 * static_cast<double>(items) / median;
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  result.total_ms = total / 1e6;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy reference implementations (the pre-rewrite substrate, verbatim in
+// structure): these exist only to measure the speedup of the new paths.
+
+/// Pre-rewrite objects_with_votes_in_window: a fresh O(m) scratch vector
+/// allocated and zeroed on every call.
+std::vector<ObjectId> legacy_objects_with_votes_in_window(
+    const std::vector<VoteEvent>& events, const std::vector<Round>& rounds,
+    std::size_t num_objects, Round begin, Round end, Count min_count) {
+  const auto lo =
+      std::lower_bound(rounds.begin(), rounds.end(), begin) - rounds.begin();
+  const auto hi = std::lower_bound(rounds.begin() +
+                                       static_cast<std::ptrdiff_t>(lo),
+                                   rounds.end(), end) -
+                  rounds.begin();
+  std::vector<ObjectId> touched;
+  std::vector<Count> scratch(num_objects, 0);
+  for (auto idx = static_cast<std::size_t>(lo);
+       idx < static_cast<std::size_t>(hi); ++idx) {
+    const ObjectId obj = events[idx].object;
+    if (scratch[obj.value()] == 0) touched.push_back(obj);
+    ++scratch[obj.value()];
+  }
+  std::vector<ObjectId> result;
+  for (const ObjectId obj : touched) {
+    if (scratch[obj.value()] >= min_count) result.push_back(obj);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+/// Pre-rewrite record_vote event-log maintenance: an out-of-order post
+/// pays an O(events) mid-vector insert into the global log (plus the
+/// per-object list and voter dedup, kept for faithfulness).
+struct LegacyVoteLog {
+  std::vector<VoteEvent> events;
+  std::vector<Round> event_rounds;
+  std::vector<std::vector<Round>> object_rounds;
+  std::vector<std::vector<PlayerId>> object_voters;
+
+  explicit LegacyVoteLog(std::size_t num_objects)
+      : object_rounds(num_objects), object_voters(num_objects) {}
+
+  void record(PlayerId voter, ObjectId object, Round round) {
+    if (events.empty() || round >= events.back().round) {
+      events.push_back(VoteEvent{voter, object, round});
+      event_rounds.push_back(round);
+    } else {
+      const auto at = std::upper_bound(event_rounds.begin(),
+                                       event_rounds.end(), round) -
+                      event_rounds.begin();
+      events.insert(events.begin() + at, VoteEvent{voter, object, round});
+      event_rounds.insert(event_rounds.begin() + at, round);
+    }
+    auto& rounds = object_rounds[object.value()];
+    if (rounds.empty() || round >= rounds.back()) {
+      rounds.push_back(round);
+    } else {
+      rounds.insert(std::upper_bound(rounds.begin(), rounds.end(), round),
+                    round);
+    }
+    auto& voters = object_voters[object.value()];
+    if (std::find(voters.begin(), voters.end(), voter) == voters.end()) {
+      voters.push_back(voter);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fixtures.
+
+/// Production-scale ledger: n=10k players, f=10 votes each, m=100k
+/// objects, 100k vote events spread over a 10k-round horizon (one object
+/// per event). Narrow windows over a long sparse history is the shape
+/// DISTILL's phase transitions query — and the shape where the
+/// pre-rewrite per-call O(m) scratch allocation, not the window scan,
+/// dominates.
+struct WindowQueryFixture {
+  static constexpr std::size_t kPlayers = 10000;
+  static constexpr std::size_t kObjects = 100000;
+  static constexpr Round kRounds = 10000;
+  static constexpr std::size_t kPostsPerRound = 10;
+
+  Billboard billboard{kPlayers, kObjects};
+  VoteLedger ledger{VotePolicy::kFirstPositive, kPlayers, kObjects,
+                    /*votes_per_player=*/10};
+
+  WindowQueryFixture() {
+    for (Round r = 0; r < kRounds; ++r) {
+      std::vector<Post> posts;
+      posts.reserve(kPostsPerRound);
+      for (std::size_t j = 0; j < kPostsPerRound; ++j) {
+        const std::size_t id =
+            static_cast<std::size_t>(r) * kPostsPerRound + j;
+        posts.push_back(
+            Post{PlayerId{id % kPlayers}, r, ObjectId{id % kObjects}, 0.9,
+                 true});
+      }
+      billboard.commit_round(r, std::move(posts));
+    }
     ledger.ingest(billboard);
-    benchmark::DoNotOptimize(ledger.events().size());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(billboard.size()));
-}
-BENCHMARK(BM_LedgerIngest);
+};
 
-void BM_LedgerWindowQuery(benchmark::State& state) {
-  const std::size_t n = 4096;
-  Billboard billboard(n, n);
-  for (Round r = 0; r < 64; ++r) {
-    std::vector<Post> posts;
-    for (std::size_t p = 0; p < n / 64; ++p) {
-      const std::size_t author = static_cast<std::size_t>(r) * (n / 64) + p;
-      posts.push_back(Post{PlayerId{author}, r, ObjectId{author % 128}, 0.9,
-                           true});
+/// The gossip-replica workload of the acceptance bar: 1e5 late-stamped
+/// posts (origin rounds 0..99, shuffled arrival) committed in 100 batches
+/// to a kReplica billboard, ingested batch-by-batch like the engine does.
+struct ReplicaOutOfOrderFixture {
+  static constexpr std::size_t kPlayers = 10000;
+  static constexpr std::size_t kObjects = 100000;
+  static constexpr std::size_t kPosts = 100000;
+  static constexpr std::size_t kBatch = 1000;
+  static constexpr Round kOriginRounds = 100;
+
+  std::vector<Post> arrival_order;
+
+  ReplicaOutOfOrderFixture() {
+    arrival_order.reserve(kPosts);
+    for (std::size_t id = 0; id < kPosts; ++id) {
+      arrival_order.push_back(Post{PlayerId{id % kPlayers},
+                                   static_cast<Round>(id / kBatch),
+                                   ObjectId{id % kObjects}, 0.9, true});
     }
-    billboard.commit_round(r, std::move(posts));
-  }
-  VoteLedger ledger(VotePolicy::kFirstPositive, n, n, 1);
-  ledger.ingest(billboard);
-  for (auto _ : state) {
-    const auto objects = ledger.objects_with_votes_in_window(16, 48, 2);
-    benchmark::DoNotOptimize(objects.size());
-  }
-}
-BENCHMARK(BM_LedgerWindowQuery);
-
-void BM_DistillFullRun(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(7);
-  const World world = make_simple_world(n, 1, rng);
-  const Population population =
-      Population::with_prefix_honest(n, n * 9 / 10);
-  std::uint64_t seed = 1;
-  std::int64_t probes = 0;
-  for (auto _ : state) {
-    DistillParams params;
-    params.alpha = 0.9;
-    DistillProtocol protocol(params);
-    SilentAdversary adversary;
-    const RunResult result = SyncEngine::run(
-        world, population, protocol, adversary,
-        {.max_rounds = 100000, .seed = seed++});
-    probes += result.total_honest_probes();
-    benchmark::DoNotOptimize(result.rounds_executed);
-  }
-  state.SetItemsProcessed(probes);
-  state.SetLabel("items = probes simulated");
-}
-BENCHMARK(BM_DistillFullRun)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_EngineRoundRate(benchmark::State& state) {
-  // Trivial-probe protocol isolates engine overhead per player-round.
-  class NoopProtocol : public Protocol {
-   public:
-    void initialize(const WorldView& world, std::size_t) override {
-      m_ = world.num_objects();
+    Rng rng(1234);
+    for (std::size_t i = arrival_order.size(); i > 1; --i) {
+      std::swap(arrival_order[i - 1], arrival_order[rng.index(i)]);
     }
-    void on_round_begin(Round, const Billboard&) override {}
-    std::optional<ObjectId> choose_probe(PlayerId, Round, Rng& rng) override {
-      return ObjectId{rng.index(m_)};
-    }
-    StepOutcome on_probe_result(PlayerId, Round, ObjectId object,
-                                double value, double, bool, Rng&) override {
-      return StepOutcome{ProbeReport{object, value, false}, false};
-    }
-
-   private:
-    std::size_t m_ = 0;
-  };
-
-  const std::size_t n = 1024;
-  Rng rng(9);
-  const World world = make_simple_world(n, 1, rng);
-  const Population population = Population::with_prefix_honest(n, n);
-  const auto rounds = static_cast<Round>(state.range(0));
-  for (auto _ : state) {
-    NoopProtocol protocol;
-    SilentAdversary adversary;
-    const RunResult result = SyncEngine::run(
-        world, population, protocol, adversary,
-        {.max_rounds = rounds, .seed = 3});
-    benchmark::DoNotOptimize(result.total_posts);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(rounds) *
-                          static_cast<std::int64_t>(n));
-  state.SetLabel("items = player-rounds");
+
+  /// One full replica ingestion through the real VoteLedger.
+  void run_new() const {
+    Billboard board(kPlayers, kObjects, Billboard::Mode::kReplica);
+    board.reserve(kPosts);
+    VoteLedger ledger(VotePolicy::kFirstPositive, kPlayers, kObjects,
+                      /*votes_per_player=*/10);
+    Round commit_round = kOriginRounds;
+    for (std::size_t begin = 0; begin < kPosts; begin += kBatch) {
+      board.commit_round_from(
+          commit_round++,
+          std::span<const Post>(arrival_order.data() + begin, kBatch));
+      ledger.ingest(board);
+    }
+    sink(ledger.events().size());
+  }
+
+  /// The same stream through the pre-rewrite per-post insert path.
+  void run_legacy() const {
+    LegacyVoteLog log(kObjects);
+    for (const Post& post : arrival_order) {
+      log.record(post.author, post.object, post.round);
+    }
+    sink(log.events.size());
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+std::size_t reps_from_env(std::size_t default_reps) {
+  return bench::detail::positive_count_from_env("ACP_PERF_REPS",
+                                                default_reps);
 }
-BENCHMARK(BM_EngineRoundRate)->Arg(16)->Arg(64);
+
+struct SpeedupRecord {
+  std::string name;      // the fast (new) bench
+  std::string baseline;  // the legacy reference bench
+  double speedup = 0.0;
+};
+
+void write_perf_json(const std::vector<BenchResult>& results,
+                     const std::vector<SpeedupRecord>& speedups) {
+  const char* dir = std::getenv("ACP_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_PERF.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "ACP_BENCH_JSON: cannot open " << path << "\n";
+    return;
+  }
+  obs::JsonWriter json(file);
+  json.begin_object();
+  json.member("schema", "acp.perf.v1");
+  json.member("id", "PERF");
+  json.member("claim",
+              "Substrate hot paths at production scale; legacy_* rows "
+              "re-measure the pre-rewrite implementations");
+  json.key("benches").begin_array();
+  for (const BenchResult& r : results) {
+    json.begin_object();
+    json.member("name", r.name);
+    json.member("reps", static_cast<std::uint64_t>(r.reps));
+    json.member("items", static_cast<std::int64_t>(r.items));
+    json.member("ns_per_op", r.ns_per_op);
+    json.member("items_per_sec", r.items_per_sec);
+    json.member("total_ms", r.total_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedups").begin_array();
+  for (const SpeedupRecord& s : speedups) {
+    json.begin_object();
+    json.member("name", s.name);
+    json.member("baseline", s.baseline);
+    json.member("speedup", s.speedup);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  file << "\n";
+}
 
 }  // namespace
 
-// Hand-rolled main (instead of BENCHMARK_MAIN) so ACP_BENCH_JSON=<dir>
-// routes google-benchmark's own JSON reporter to the same place the table
-// benches dump theirs: <dir>/BENCH_perf_substrate.json. Explicit
-// --benchmark_out flags on the command line still win — injected flags
-// come first and google-benchmark takes the last occurrence.
-int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  args.reserve(static_cast<std::size_t>(argc) + 2);
-  args.emplace_back(argv[0]);
-  if (const char* dir = std::getenv("ACP_BENCH_JSON"); dir != nullptr &&
-                                                       *dir != '\0') {
-    args.push_back(std::string("--benchmark_out=") + dir +
-                   "/BENCH_perf_substrate.json");
-    args.emplace_back("--benchmark_out_format=json");
-  }
-  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+int main() {
+  bench::print_header(
+      "PERF substrate microbenchmarks",
+      "Hot-path throughput of billboard/ledger/engine substrates; "
+      "legacy_* rows are the pre-rewrite implementations (speedup table "
+      "below).");
 
-  std::vector<char*> arg_ptrs;
-  arg_ptrs.reserve(args.size() + 1);
-  for (std::string& arg : args) arg_ptrs.push_back(arg.data());
-  arg_ptrs.push_back(nullptr);
-  int patched_argc = static_cast<int>(args.size());
+  const std::size_t reps = reps_from_env(5);
+  std::vector<BenchResult> results;
+  const auto record = [&](BenchResult r) {
+    std::cout << "  " << r.name << ": " << r.ns_per_op << " ns/op, "
+              << r.items_per_sec / 1e6 << " M items/s\n";
+    results.push_back(std::move(r));
+    return results.back();
+  };
 
-  benchmark::Initialize(&patched_argc, arg_ptrs.data());
-  if (benchmark::ReportUnrecognizedArguments(patched_argc,
-                                             arg_ptrs.data())) {
-    return 1;
+  // --- Billboard commit throughput: 256 rounds x 1024 posts.
+  {
+    constexpr std::size_t kPostsPerRound = 1024;
+    constexpr Round kRounds = 256;
+    record(run_bench(
+        "billboard_commit_1k",
+        static_cast<std::int64_t>(kPostsPerRound) * kRounds, reps, [&] {
+          Billboard billboard(kPostsPerRound, 1024);
+          billboard.reserve(kPostsPerRound * static_cast<std::size_t>(kRounds));
+          std::vector<Post> posts;
+          for (Round round = 0; round < kRounds; ++round) {
+            posts.clear();
+            for (std::size_t p = 0; p < kPostsPerRound; ++p) {
+              posts.push_back(Post{PlayerId{p}, round, ObjectId{p % 1024},
+                                   0.5, (p % 3) == 0});
+            }
+            billboard.commit_round_from(round, posts);
+          }
+          sink(billboard.size());
+        }));
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  // --- In-order (authoritative) ledger ingest.
+  {
+    constexpr std::size_t kPlayers = 4096;
+    Billboard billboard(kPlayers, kPlayers);
+    for (Round r = 0; r < 64; ++r) {
+      std::vector<Post> posts;
+      for (std::size_t p = 0; p < kPlayers / 64; ++p) {
+        const std::size_t author =
+            static_cast<std::size_t>(r) * (kPlayers / 64) + p;
+        posts.push_back(
+            Post{PlayerId{author}, r, ObjectId{author % kPlayers}, 0.9,
+                 true});
+      }
+      billboard.commit_round(r, std::move(posts));
+    }
+    record(run_bench("ledger_ingest_inorder",
+                     static_cast<std::int64_t>(billboard.size()), reps, [&] {
+                       VoteLedger ledger(VotePolicy::kFirstPositive, kPlayers,
+                                         kPlayers, 1);
+                       ledger.ingest(billboard);
+                       sink(ledger.events().size());
+                     }));
+  }
+
+  // --- Window queries at n=10k/m=100k (the acceptance benchmark), new
+  // vs legacy. 997 sliding windows of width 2 per repetition.
+  {
+    const WindowQueryFixture fixture;
+    std::vector<Round> event_rounds;
+    event_rounds.reserve(fixture.ledger.events().size());
+    for (const VoteEvent& e : fixture.ledger.events()) {
+      event_rounds.push_back(e.round);
+    }
+    constexpr std::int64_t kQueries = 997;
+    const BenchResult fast = record(run_bench(
+        "window_query_n10k_m100k", kQueries, reps, [&] {
+          for (Round r = 0; r < kQueries; ++r) {
+            const auto objects =
+                fixture.ledger.objects_with_votes_in_window(r, r + 2, 1);
+            sink(objects.size());
+          }
+        }));
+    const BenchResult legacy = record(run_bench(
+        "legacy_window_query_n10k_m100k", kQueries, reps, [&] {
+          for (Round r = 0; r < kQueries; ++r) {
+            const auto objects = legacy_objects_with_votes_in_window(
+                fixture.ledger.events(), event_rounds,
+                WindowQueryFixture::kObjects, r, r + 2, 1);
+            sink(objects.size());
+          }
+        }));
+    std::cout << "  -> window query speedup: "
+              << legacy.ns_per_op / fast.ns_per_op << "x\n";
+  }
+
+  // --- Replica out-of-order ingest of 1e5 late posts (the acceptance
+  // benchmark), new vs legacy. The legacy path is quadratic, so it runs
+  // fewer repetitions.
+  {
+    const ReplicaOutOfOrderFixture fixture;
+    const BenchResult fast = record(run_bench(
+        "replica_ooo_ingest_100k", ReplicaOutOfOrderFixture::kPosts, reps,
+        [&] { fixture.run_new(); }));
+    const BenchResult legacy = record(run_bench(
+        "legacy_replica_ooo_ingest_100k", ReplicaOutOfOrderFixture::kPosts,
+        /*reps=*/1, [&] { fixture.run_legacy(); }));
+    std::cout << "  -> replica ingest speedup: "
+              << legacy.ns_per_op / fast.ns_per_op << "x\n";
+  }
+
+  // --- Full DISTILL rounds at n=10k players, m=100k objects.
+  {
+    constexpr std::size_t kPlayers = 10000;
+    constexpr std::size_t kObjects = 100000;
+    constexpr Round kMaxRounds = 32;
+    Rng rng(7);
+    const World world = make_simple_world(kObjects, 1, rng);
+    const Population population =
+        Population::with_prefix_honest(kPlayers, kPlayers * 9 / 10);
+    std::uint64_t seed = 1;
+    record(run_bench(
+        "distill_round_n10k_m100k",
+        static_cast<std::int64_t>(kPlayers) * kMaxRounds, reps, [&] {
+          DistillParams params;
+          params.alpha = 0.9;
+          DistillProtocol protocol(params);
+          SilentAdversary adversary;
+          const RunResult result =
+              SyncEngine::run(world, population, protocol, adversary,
+                              {.max_rounds = kMaxRounds, .seed = seed++});
+          sink(static_cast<std::uint64_t>(result.total_posts));
+        }));
+  }
+
+  // --- Gossip rounds: n=512 replicas, fanout 2, DISTILL on top.
+  {
+    constexpr std::size_t kPlayers = 512;
+    constexpr Round kMaxRounds = 64;
+    Rng rng(9);
+    const World world = make_simple_world(kPlayers, 1, rng);
+    const Population population =
+        Population::with_prefix_honest(kPlayers, kPlayers * 9 / 10);
+    std::uint64_t seed = 11;
+    record(run_bench(
+        "gossip_round_n512",
+        static_cast<std::int64_t>(kPlayers) * kMaxRounds, reps, [&] {
+          DistillParams params;
+          params.alpha = 0.9;
+          SilentAdversary adversary;
+          GossipConfig config;
+          config.fanout = 2;
+          config.max_rounds = kMaxRounds;
+          config.seed = seed++;
+          const RunResult result = GossipEngine::run(
+              world, population,
+              [&] { return std::make_unique<DistillProtocol>(params); },
+              adversary, config);
+          sink(static_cast<std::uint64_t>(result.total_posts));
+        }));
+  }
+
+  // --- Results table + speedups.
+  Table table({"bench", "reps", "items", "ns/op", "items/s", "total ms"});
+  for (const BenchResult& r : results) {
+    table.add_row({r.name, Table::cell(r.reps),
+                   Table::cell(static_cast<std::size_t>(r.items)),
+                   Table::cell(r.ns_per_op, 1), Table::cell(r.items_per_sec, 0),
+                   Table::cell(r.total_ms, 1)});
+  }
+  table.print(std::cout);
+
+  const auto find_result = [&](const std::string& name) -> const BenchResult& {
+    for (const BenchResult& r : results) {
+      if (r.name == name) return r;
+    }
+    std::cerr << "missing bench result: " << name << "\n";
+    std::exit(1);
+  };
+  std::vector<SpeedupRecord> speedups;
+  for (const auto& [fast, legacy] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"window_query_n10k_m100k", "legacy_window_query_n10k_m100k"},
+           {"replica_ooo_ingest_100k", "legacy_replica_ooo_ingest_100k"}}) {
+    speedups.push_back(SpeedupRecord{
+        fast, legacy,
+        find_result(legacy).ns_per_op / find_result(fast).ns_per_op});
+  }
+  Table speedup_table({"bench", "vs legacy", "speedup"});
+  for (const SpeedupRecord& s : speedups) {
+    speedup_table.add_row({s.name, s.baseline, Table::cell(s.speedup, 1)});
+  }
+  speedup_table.print(std::cout);
+
+  write_perf_json(results, speedups);
   return 0;
 }

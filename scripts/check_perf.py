@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_PERF.json produced by bench/perf_substrate.
+
+Two gates, both deliberately coarse (CI machines are noisy; this is a
+smoke test against gross regressions, not a profiler):
+
+  1. schema + speedups: the file must be "acp.perf.v1", every bench row
+     must carry sane positive numbers, and every recorded speedup (new
+     path vs in-bench legacy reimplementation) must stay >= --min-speedup
+     (default 5.0). Speedups are a *ratio measured in the same process on
+     the same machine*, so they are hardware-independent and get a hard
+     floor.
+  2. baseline comparison (optional, --baseline): each bench's ns_per_op
+     must not exceed the checked-in baseline by more than --max-ratio
+     (default 3.0). Absolute times vary across machines, hence the
+     generous multiplier; a >3x slowdown on any substrate path is a real
+     regression, not noise.
+
+Exit code 0 = pass, 1 = regression/invalid input. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+REQUIRED_BENCH_KEYS = ("name", "reps", "items", "ns_per_op", "items_per_sec",
+                       "total_ms")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"check_perf: cannot read {path}: {err}")
+
+
+def validate_schema(doc, path):
+    errors = []
+    if doc.get("schema") != "acp.perf.v1":
+        errors.append(f"schema is {doc.get('schema')!r}, want 'acp.perf.v1'")
+    benches = doc.get("benches")
+    if not isinstance(benches, list) or not benches:
+        errors.append("benches[] missing or empty")
+        benches = []
+    for bench in benches:
+        name = bench.get("name", "<unnamed>")
+        for key in REQUIRED_BENCH_KEYS:
+            if key not in bench:
+                errors.append(f"bench {name}: missing key {key!r}")
+        for key in ("reps", "items", "ns_per_op", "items_per_sec"):
+            value = bench.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                errors.append(f"bench {name}: {key} = {value} (must be > 0)")
+    if not isinstance(doc.get("speedups"), list):
+        errors.append("speedups[] missing")
+    for error in errors:
+        print(f"check_perf: {path}: {error}", file=sys.stderr)
+    return not errors
+
+
+def check_speedups(doc, min_speedup):
+    ok = True
+    speedups = doc.get("speedups") or []
+    if not speedups:
+        print("check_perf: no speedup records found", file=sys.stderr)
+        return False
+    for record in speedups:
+        name = record.get("name", "<unnamed>")
+        speedup = record.get("speedup", 0.0)
+        status = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"  speedup {name} vs {record.get('baseline')}: "
+              f"{speedup:.1f}x (floor {min_speedup}x) {status}")
+        if speedup < min_speedup:
+            ok = False
+    return ok
+
+
+def check_against_baseline(doc, baseline, max_ratio):
+    current = {b["name"]: b for b in doc.get("benches", [])}
+    ok = True
+    for base in baseline.get("benches", []):
+        name = base["name"]
+        if name not in current:
+            print(f"  baseline bench {name}: MISSING from current run",
+                  file=sys.stderr)
+            ok = False
+            continue
+        base_ns = base["ns_per_op"]
+        cur_ns = current[name]["ns_per_op"]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        status = "ok" if ratio <= max_ratio else "FAIL"
+        print(f"  {name}: {cur_ns:.1f} ns/op vs baseline {base_ns:.1f} "
+              f"({ratio:.2f}x, limit {max_ratio}x) {status}")
+        if ratio > max_ratio:
+            ok = False
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("perf_json", help="BENCH_PERF.json from a fresh run")
+    parser.add_argument("--baseline", help="checked-in BENCH_PERF.json")
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--max-ratio", type=float, default=3.0)
+    args = parser.parse_args()
+
+    doc = load(args.perf_json)
+    ok = validate_schema(doc, args.perf_json)
+    if ok:
+        ok = check_speedups(doc, args.min_speedup)
+        if args.baseline:
+            baseline = load(args.baseline)
+            ok = check_against_baseline(doc, baseline, args.max_ratio) and ok
+    print("check_perf: PASS" if ok else "check_perf: FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "acp/billboard/post.hpp"
@@ -48,6 +50,17 @@ class Billboard {
   /// the commit (arrival) round but never newer.
   void commit_round(Round round, std::vector<Post> posts);
 
+  /// Same contract, appending from a caller-owned buffer. Lets engines
+  /// that stage posts in a reusable arena commit without building (and
+  /// then discarding) a fresh vector per round. (Named, not overloaded:
+  /// a braced post list must keep resolving to the vector form above.)
+  void commit_round_from(Round round, std::span<const Post> posts);
+
+  /// Pre-size the post log. Engines that can bound the post volume of a
+  /// run (roughly one vote post per player) call this once up front so
+  /// the log never reallocates mid-run.
+  void reserve(std::size_t expected_posts) { posts_.reserve(expected_posts); }
+
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
   /// All committed posts, in commit order (nondecreasing rounds).
@@ -63,11 +76,20 @@ class Billboard {
   }
 
  private:
+  /// Shared validation for both commit overloads; bumps last_round_.
+  void validate_round(Round round, std::span<const Post> posts);
+
   std::size_t num_players_;
   std::size_t num_objects_;
   Mode mode_;
   std::vector<Post> posts_;
   Round last_round_ = -1;
+
+  // Generation-stamped per-author scratch for the one-post-per-round
+  // check (authoritative mode): O(posts) per commit, allocation-free
+  // after the first, instead of a fresh sort per round.
+  std::vector<std::uint64_t> author_stamp_;
+  std::uint64_t commit_epoch_ = 0;
 };
 
 }  // namespace acp

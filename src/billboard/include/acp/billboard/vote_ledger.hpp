@@ -20,9 +20,24 @@
 // The ledger also answers the windowed count ℓ_t(i) — "votes object i
 // received during iteration t" (Figure 1, shared variables) — via
 // round-interval queries over the vote-event log.
+//
+// Window semantics: every round-interval query takes a *half-open*
+// interval [begin, end) — an event stamped `begin` counts, one stamped
+// `end` does not. DISTILL's phase windows pass (phase_start, current
+// round) and rely on exactly this convention.
+//
+// Hot path: `ingest` + the window queries run once per player per round
+// in every engine, so both are allocation-free in steady state. Queries
+// use generation-stamped scratch buffers (mutable caches), which makes
+// concurrent queries on one ledger instance unsafe — each trial/thread
+// owns its own ledger, as everywhere in this codebase. Late-stamped
+// replica posts (gossip) are staged in a pending batch and merged into
+// the sorted event log once per ingest instead of via per-post
+// mid-vector inserts.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -66,7 +81,9 @@ class VoteLedger {
   /// Convenience for SeekAdvice with f == 1.
   [[nodiscard]] std::optional<ObjectId> current_vote(PlayerId p) const;
 
-  /// Number of vote events for `object` with round in [begin, end).
+  /// Number of vote events for `object` with round in the half-open
+  /// interval [begin, end): a vote at round `begin` counts, one at round
+  /// `end` does not. An empty interval (begin == end) counts nothing.
   [[nodiscard]] Count votes_in_window(ObjectId object, Round begin,
                                       Round end) const;
 
@@ -79,7 +96,9 @@ class VoteLedger {
   [[nodiscard]] const std::vector<PlayerId>& voters_of(
       ObjectId object) const;
 
-  /// Objects with >= min_count vote events in [begin, end), ascending ids.
+  /// Objects with >= min_count vote events in the half-open interval
+  /// [begin, end) — the same boundary convention as votes_in_window —
+  /// in ascending id order.
   [[nodiscard]] std::vector<ObjectId> objects_with_votes_in_window(
       Round begin, Round end, Count min_count) const;
 
@@ -93,6 +112,9 @@ class VoteLedger {
 
  private:
   void record_vote(PlayerId voter, ObjectId object, Round round);
+  /// Merge the pending out-of-order batch into the sorted structures.
+  /// Called once per ingest; a no-op for authoritative (in-order) feeds.
+  void flush_pending();
 
   VotePolicy policy_;
   std::size_t num_players_;
@@ -115,6 +137,22 @@ class VoteLedger {
   std::vector<std::vector<Round>> object_event_rounds_;
   /// Per object: distinct voters, in first-vote order.
   std::vector<std::vector<PlayerId>> object_voters_;
+
+  /// Late-stamped replica events staged for the next flush_pending().
+  std::vector<VoteEvent> pending_events_;
+  /// Per object: length of the sorted prefix of its round list. Equal to
+  /// the list size outside ingest; smaller only while an out-of-order
+  /// batch is staged (the unsorted tail is merged by flush_pending()).
+  std::vector<std::size_t> object_sorted_prefix_;
+  /// Objects with an unsorted tail, each listed once per batch.
+  std::vector<std::size_t> dirty_objects_;
+
+  // Scratch for objects_with_votes_in_window (logically const, hence
+  // mutable): generation-stamped per-object counters, never re-zeroed.
+  mutable std::vector<Count> window_counts_;
+  mutable std::vector<std::uint64_t> window_stamp_;
+  mutable std::vector<ObjectId> window_touched_;
+  mutable std::uint64_t window_epoch_ = 0;
 };
 
 }  // namespace acp

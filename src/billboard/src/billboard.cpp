@@ -1,7 +1,6 @@
 #include "acp/billboard/billboard.hpp"
 
-#include <algorithm>
-#include <utility>
+#include <iterator>
 
 #include "acp/obs/timer.hpp"
 
@@ -14,33 +13,40 @@ Billboard::Billboard(std::size_t num_players, std::size_t num_objects,
   ACP_EXPECTS(num_objects_ >= 1);
 }
 
-void Billboard::commit_round(Round round, std::vector<Post> posts) {
-  ACP_OBS_TIMED_SCOPE("billboard.commit_round");
+void Billboard::validate_round(Round round, std::span<const Post> posts) {
   ACP_EXPECTS(round > last_round_);
-  std::vector<std::size_t> authors;
-  authors.reserve(posts.size());
+  if (mode_ == Mode::kAuthoritative && author_stamp_.size() != num_players_) {
+    author_stamp_.assign(num_players_, 0);
+  }
+  const std::uint64_t epoch = ++commit_epoch_;
   for (const Post& p : posts) {
     ACP_EXPECTS(p.author.value() < num_players_);
     ACP_EXPECTS(p.object.value() < num_objects_);
     ACP_EXPECTS(p.reported_value >= 0.0);
     if (mode_ == Mode::kAuthoritative) {
       ACP_EXPECTS(p.round == round);
-      authors.push_back(p.author.value());
+      // One post per author per round (a player takes one step per round).
+      ACP_EXPECTS(author_stamp_[p.author.value()] != epoch);
+      author_stamp_[p.author.value()] = epoch;
     } else {
       // Replica: the gossip layer cannot deliver posts from the future.
       ACP_EXPECTS(p.round <= round);
     }
   }
-  if (mode_ == Mode::kAuthoritative) {
-    // One post per author per round (a player takes one step per round).
-    std::sort(authors.begin(), authors.end());
-    ACP_EXPECTS(std::adjacent_find(authors.begin(), authors.end()) ==
-                authors.end());
-  }
+  last_round_ = round;
+}
 
+void Billboard::commit_round(Round round, std::vector<Post> posts) {
+  ACP_OBS_TIMED_SCOPE("billboard.commit_round");
+  validate_round(round, posts);
   posts_.insert(posts_.end(), std::make_move_iterator(posts.begin()),
                 std::make_move_iterator(posts.end()));
-  last_round_ = round;
+}
+
+void Billboard::commit_round_from(Round round, std::span<const Post> posts) {
+  ACP_OBS_TIMED_SCOPE("billboard.commit_round");
+  validate_round(round, posts);
+  posts_.insert(posts_.end(), posts.begin(), posts.end());
 }
 
 }  // namespace acp

@@ -17,7 +17,8 @@ VoteLedger::VoteLedger(VotePolicy policy, std::size_t num_players,
       player_best_value_(num_players, 0.0),
       player_has_report_(num_players, false),
       object_event_rounds_(num_objects),
-      object_voters_(num_objects) {
+      object_voters_(num_objects),
+      object_sorted_prefix_(num_objects, 0) {
   ACP_EXPECTS(num_players_ >= 1);
   ACP_EXPECTS(num_objects_ >= 1);
   ACP_EXPECTS(votes_per_player_ >= 1);
@@ -63,33 +64,70 @@ void VoteLedger::ingest(const Billboard& billboard) {
       }
     }
   }
+  flush_pending();
 }
 
 void VoteLedger::record_vote(PlayerId voter, ObjectId object, Round round) {
   // The authoritative engines produce nondecreasing rounds (append); a
-  // gossip replica may deliver an older-stamped post late, in which case
-  // the event is inserted in round order so window queries stay correct.
+  // gossip replica may deliver an older-stamped post late. Late events go
+  // to a pending batch that flush_pending() merges once per ingest —
+  // amortized O(log) per post instead of an O(events) mid-vector insert.
   if (events_.empty() || round >= events_.back().round) {
     events_.push_back(VoteEvent{voter, object, round});
     event_rounds_.push_back(round);
   } else {
-    const auto at = std::upper_bound(event_rounds_.begin(),
-                                     event_rounds_.end(), round) -
-                    event_rounds_.begin();
-    events_.insert(events_.begin() + at, VoteEvent{voter, object, round});
-    event_rounds_.insert(event_rounds_.begin() + at, round);
+    pending_events_.push_back(VoteEvent{voter, object, round});
   }
   auto& rounds = object_event_rounds_[object.value()];
-  if (rounds.empty() || round >= rounds.back()) {
+  auto& sorted_prefix = object_sorted_prefix_[object.value()];
+  if (sorted_prefix == rounds.size() &&
+      (rounds.empty() || round >= rounds.back())) {
     rounds.push_back(round);
+    ++sorted_prefix;
   } else {
-    rounds.insert(std::upper_bound(rounds.begin(), rounds.end(), round),
-                  round);
+    // Out of order (or the tail already is): append now, merge at flush.
+    if (sorted_prefix == rounds.size()) {
+      dirty_objects_.push_back(object.value());
+    }
+    rounds.push_back(round);
   }
   auto& voters = object_voters_[object.value()];
   if (std::find(voters.begin(), voters.end(), voter) == voters.end()) {
     voters.push_back(voter);
   }
+}
+
+void VoteLedger::flush_pending() {
+  if (!pending_events_.empty()) {
+    // Stable by round: within the batch, arrival order breaks ties, and
+    // inplace_merge keeps already-logged events ahead of batched ones at
+    // equal rounds — the same placement the old upper_bound insert gave.
+    std::stable_sort(pending_events_.begin(), pending_events_.end(),
+                     [](const VoteEvent& a, const VoteEvent& b) {
+                       return a.round < b.round;
+                     });
+    const auto mid =
+        static_cast<std::ptrdiff_t>(events_.size());
+    events_.insert(events_.end(), pending_events_.begin(),
+                   pending_events_.end());
+    std::inplace_merge(events_.begin(), events_.begin() + mid, events_.end(),
+                       [](const VoteEvent& a, const VoteEvent& b) {
+                         return a.round < b.round;
+                       });
+    pending_events_.clear();
+    event_rounds_.resize(events_.size());
+    std::transform(events_.begin(), events_.end(), event_rounds_.begin(),
+                   [](const VoteEvent& e) { return e.round; });
+  }
+  for (const std::size_t obj : dirty_objects_) {
+    auto& rounds = object_event_rounds_[obj];
+    const auto mid = rounds.begin() +
+                     static_cast<std::ptrdiff_t>(object_sorted_prefix_[obj]);
+    std::sort(mid, rounds.end());
+    std::inplace_merge(rounds.begin(), mid, rounds.end());
+    object_sorted_prefix_[obj] = rounds.size();
+  }
+  dirty_objects_.clear();
 }
 
 const std::vector<PlayerId>& VoteLedger::voters_of(ObjectId object) const {
@@ -129,7 +167,9 @@ std::vector<ObjectId> VoteLedger::objects_with_votes_in_window(
   ACP_EXPECTS(begin <= end);
   ACP_EXPECTS(min_count >= 1);
   // Walk only the events inside the window (cheap: windows are a few rounds
-  // and each player votes O(f) times total under kFirstPositive).
+  // and each player votes O(f) times total under kFirstPositive). The
+  // per-object counters are generation-stamped members: no O(m) allocation
+  // or zeroing per call, only the touched entries are ever reset.
   const auto lo = std::lower_bound(event_rounds_.begin(), event_rounds_.end(),
                                    begin) -
                   event_rounds_.begin();
@@ -137,18 +177,25 @@ std::vector<ObjectId> VoteLedger::objects_with_votes_in_window(
                                        static_cast<std::ptrdiff_t>(lo),
                                    event_rounds_.end(), end) -
                   event_rounds_.begin();
-  std::vector<ObjectId> touched;
-  std::vector<Count> counts;  // sparse via touched list
-  std::vector<Count> scratch(num_objects_, 0);
+  if (window_stamp_.size() != num_objects_) {
+    window_stamp_.assign(num_objects_, 0);
+    window_counts_.assign(num_objects_, 0);
+  }
+  const std::uint64_t epoch = ++window_epoch_;
+  window_touched_.clear();
   for (auto idx = static_cast<std::size_t>(lo);
        idx < static_cast<std::size_t>(hi); ++idx) {
     const ObjectId obj = events_[idx].object;
-    if (scratch[obj.value()] == 0) touched.push_back(obj);
-    ++scratch[obj.value()];
+    if (window_stamp_[obj.value()] != epoch) {
+      window_stamp_[obj.value()] = epoch;
+      window_counts_[obj.value()] = 0;
+      window_touched_.push_back(obj);
+    }
+    ++window_counts_[obj.value()];
   }
   std::vector<ObjectId> result;
-  for (ObjectId obj : touched) {
-    if (scratch[obj.value()] >= min_count) result.push_back(obj);
+  for (ObjectId obj : window_touched_) {
+    if (window_counts_[obj.value()] >= min_count) result.push_back(obj);
   }
   std::sort(result.begin(), result.end());
   return result;

@@ -1,5 +1,8 @@
 #include "acp/gossip/gossip_engine.hpp"
 
+#include <cstdint>
+#include <limits>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -25,13 +28,19 @@ std::uint64_t post_key(const Post& post) {
          static_cast<std::uint64_t>(post.round);
 }
 
+/// Index into the per-run post arena. Every distinct post of a run is
+/// stored exactly once; inboxes and fresh lists hold 4-byte indices, so
+/// push/pull delivery moves indices instead of copying 40-byte posts
+/// into every replica's buffers.
+using PostIdx = std::uint32_t;
+
 struct Node {
   std::unique_ptr<Protocol> protocol;
   std::unique_ptr<Billboard> replica;
   std::unordered_set<std::uint64_t> seen;
-  std::vector<Post> inbox;  // arrived this round; committed at round end
-  std::vector<Post> fresh;  // learned last round; pushed this round
-  std::vector<Post> next_fresh;
+  std::vector<PostIdx> inbox;  // arrived this round; committed at round end
+  std::vector<PostIdx> fresh;  // learned last round; pushed this round
+  std::vector<PostIdx> next_fresh;
   bool honest = false;
   bool present = false;  // arrived and not crash-stopped: probes + relays
 };
@@ -77,7 +86,32 @@ RunResult GossipEngine::run(const World& world, const Population& population,
 
   // The adversary's omniscient union log (also the run's post count).
   Billboard global(n, world.num_objects(), Billboard::Mode::kReplica);
-  std::vector<Post> global_inbox;
+  global.reserve(n);  // roughly one vote post per player in DISTILL runs
+
+  // Per-run post arena: every post (honest or fabricated) lives here
+  // once; all queues reference it by index.
+  std::vector<Post> arena;
+  arena.reserve(n);
+  std::vector<PostIdx> global_inbox;
+  std::vector<Post> commit_scratch;  // reused across all commits
+
+  const auto intern_post = [&](const Post& post) -> PostIdx {
+    ACP_EXPECTS(arena.size() <
+                std::numeric_limits<std::uint32_t>::max());
+    arena.push_back(post);
+    return static_cast<PostIdx>(arena.size() - 1);
+  };
+
+  // Materialize an index batch into the reusable scratch and commit it;
+  // the batch is cleared (capacity kept) for the next round.
+  const auto commit_indices = [&](Billboard& billboard, Round round,
+                                  std::vector<PostIdx>& indices) {
+    commit_scratch.clear();
+    commit_scratch.reserve(indices.size());
+    for (const PostIdx idx : indices) commit_scratch.push_back(arena[idx]);
+    billboard.commit_round_from(round, commit_scratch);
+    indices.clear();
+  };
 
   // Static overlay links for the non-complete topologies, fixed per run.
   std::vector<std::vector<std::size_t>> neighbors;
@@ -98,12 +132,12 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     }
   }
 
-  auto deliver = [&](std::size_t target, const Post& post) {
+  auto deliver = [&](std::size_t target, PostIdx idx) {
     Node& node = nodes[target];
     if (!node.present) return;  // Byzantine and absent nodes absorb
-    if (!node.seen.insert(post_key(post)).second) return;
-    node.inbox.push_back(post);
-    node.next_fresh.push_back(post);
+    if (!node.seen.insert(post_key(arena[idx])).second) return;
+    node.inbox.push_back(idx);
+    node.next_fresh.push_back(idx);
   };
 
   std::vector<PlayerId> halted_this_round;
@@ -146,7 +180,7 @@ RunResult GossipEngine::run(const World& world, const Population& population,
                 gossip_rng.bernoulli(config.loss_prob)) {
               continue;
             }
-            for (const Post& post : node.fresh) deliver(target, post);
+            for (const PostIdx idx : node.fresh) deliver(target, idx);
           }
         }
         if (config.pull) {
@@ -162,7 +196,7 @@ RunResult GossipEngine::run(const World& world, const Population& population,
                 gossip_rng.bernoulli(config.loss_prob)) {
               continue;
             }
-            for (const Post& post : nodes[source].fresh) deliver(p, post);
+            for (const PostIdx idx : nodes[source].fresh) deliver(p, idx);
           }
         }
       }
@@ -177,10 +211,11 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     for (const Post& post : lies) {
       ACP_EXPECTS(!population.is_honest(post.author));
       ACP_EXPECTS(post.round == round);
-      global_inbox.push_back(post);
+      const PostIdx idx = intern_post(post);
+      global_inbox.push_back(idx);
       for (std::size_t k = 0; k < std::max<std::size_t>(config.fanout, 1);
            ++k) {
-        deliver(gossip_rng.index(n), post);
+        deliver(gossip_rng.index(n), idx);
       }
     }
 
@@ -211,10 +246,11 @@ RunResult GossipEngine::run(const World& world, const Population& population,
       if (step.post.has_value()) {
         const Post post{pid, round, step.post->object,
                         step.post->reported_value, step.post->positive};
+        const PostIdx idx = intern_post(post);
         node.seen.insert(post_key(post));
-        node.inbox.push_back(post);  // own replica, visible next round
-        node.next_fresh.push_back(post);
-        global_inbox.push_back(post);
+        node.inbox.push_back(idx);  // own replica, visible next round
+        node.next_fresh.push_back(idx);
+        global_inbox.push_back(idx);
       }
       if (step.halt) {
         accounting.record_satisfied(pid, round);
@@ -223,17 +259,16 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     }
     for (PlayerId pid : halted_this_round) roster.remove(pid);
 
-    // --- Commit the round everywhere.
+    // --- Commit the round everywhere. Queues are swapped/cleared, never
+    // reallocated: the whole exchange is allocation-free in steady state.
     for (std::size_t p = 0; p < n; ++p) {
       Node& node = nodes[p];
       if (!node.honest) continue;
-      node.replica->commit_round(round, std::move(node.inbox));
-      node.inbox = {};
-      node.fresh = std::move(node.next_fresh);
-      node.next_fresh = {};
+      commit_indices(*node.replica, round, node.inbox);
+      std::swap(node.fresh, node.next_fresh);
+      node.next_fresh.clear();
     }
-    global.commit_round(round, std::move(global_inbox));
-    global_inbox = {};
+    commit_indices(global, round, global_inbox);
 
     accounting.end_slice(round, global, roster.active().size(),
                          probes_this_round);

@@ -1,0 +1,147 @@
+// Regression tests for the bench infrastructure itself: the honest-count
+// conversion (a truncating cast used to run every bench below the
+// configured alpha) and the strict parsing of the ACP_BENCH_* environment
+// knobs (a typo like "8x" used to silently parse as 8, and garbage fell
+// back to the default without a word).
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_support.hpp"
+
+namespace acp::bench {
+namespace {
+
+/// RAII environment override, restored on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(HonestCount, RoundsHalfUpNotDown) {
+  // The motivating case: alpha=0.7, n=10 must give 7 honest players, not
+  // the 6 a truncating cast of 0.7*10 == 6.999... produced.
+  EXPECT_EQ(honest_count(0.7, 10), 7u);
+  EXPECT_EQ(honest_count(0.9, 10), 9u);
+  EXPECT_EQ(honest_count(0.3, 10), 3u);
+}
+
+TEST(HonestCount, MatchesRoundingOnAGrid) {
+  const double alphas[] = {0.0,  0.1,  0.25, 1.0 / 3.0, 0.5, 0.51,
+                           0.66, 0.7,  0.75, 0.9,       0.99, 1.0};
+  for (const double alpha : alphas) {
+    for (std::size_t n = 1; n <= 128; ++n) {
+      const auto expected = static_cast<std::size_t>(
+          std::llround(alpha * static_cast<double>(n)));
+      EXPECT_EQ(honest_count(alpha, n), std::min(n, expected))
+          << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(HonestCount, ClampsToPopulation) {
+  EXPECT_EQ(honest_count(1.0, 10), 10u);
+  EXPECT_EQ(honest_count(1.2, 10), 10u);  // never more honest than players
+  EXPECT_EQ(honest_count(0.0, 10), 0u);
+  EXPECT_EQ(honest_count(0.04, 10), 0u);  // rounds to zero
+}
+
+TEST(EnvTrials, AcceptsPlainPositiveIntegers) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", "8");
+  EXPECT_EQ(trials_from_env(25), 8u);
+}
+
+TEST(EnvTrials, UnsetUsesDefault) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", nullptr);
+  EXPECT_EQ(trials_from_env(25), 25u);
+}
+
+TEST(EnvTrials, RejectsTrailingGarbage) {
+  // "8x" used to strtol-parse as 8; now it is rejected as a whole.
+  const ScopedEnv env("ACP_BENCH_TRIALS", "8x");
+  EXPECT_EQ(trials_from_env(25), 25u);
+}
+
+TEST(EnvTrials, RejectsNonNumeric) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", "abc");
+  EXPECT_EQ(trials_from_env(25), 25u);
+}
+
+TEST(EnvTrials, RejectsNonPositive) {
+  {
+    const ScopedEnv env("ACP_BENCH_TRIALS", "-3");
+    EXPECT_EQ(trials_from_env(25), 25u);
+  }
+  {
+    const ScopedEnv env("ACP_BENCH_TRIALS", "0");
+    EXPECT_EQ(trials_from_env(25), 25u);
+  }
+}
+
+TEST(EnvTrials, RejectsOverflow) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", "99999999999999999999999999");
+  EXPECT_EQ(trials_from_env(25), 25u);
+}
+
+TEST(EnvTrials, EmptyStringUsesDefault) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", "");
+  EXPECT_EQ(trials_from_env(25), 25u);
+}
+
+TEST(EnvThreads, SameStrictParsing) {
+  {
+    const ScopedEnv env("ACP_BENCH_THREADS", "4");
+    EXPECT_EQ(threads_from_env(), 4u);
+  }
+  {
+    const ScopedEnv env("ACP_BENCH_THREADS", "4 threads");
+    EXPECT_EQ(threads_from_env(), 1u);
+  }
+  {
+    const ScopedEnv env("ACP_BENCH_THREADS", "two");
+    EXPECT_EQ(threads_from_env(), 1u);
+  }
+  {
+    const ScopedEnv env("ACP_BENCH_THREADS", "-1");
+    EXPECT_EQ(threads_from_env(), 1u);
+  }
+}
+
+TEST(EnvParsing, InvalidValueWarnsOnStderr) {
+  const ScopedEnv env("ACP_BENCH_TRIALS", "8x");
+  ::testing::internal::CaptureStderr();
+  const std::size_t trials = trials_from_env(25);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(trials, 25u);
+  EXPECT_NE(warning.find("ACP_BENCH_TRIALS"), std::string::npos);
+  EXPECT_NE(warning.find("8x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acp::bench

@@ -92,6 +92,55 @@ TEST(Billboard, SamePlayerAcrossRoundsAllowed) {
   EXPECT_NO_THROW(bb.commit_round(1, {make_post(1, 1, 3)}));
 }
 
+TEST(Billboard, CommitFromSpanAppends) {
+  Billboard bb(4, 8);
+  const std::vector<Post> batch = {make_post(0, 0, 3), make_post(1, 0, 5)};
+  bb.commit_round_from(0, batch);
+  EXPECT_EQ(bb.size(), 2u);
+  EXPECT_EQ(bb.last_committed_round(), 0);
+  EXPECT_EQ(bb.posts()[1].object, ObjectId{5});
+  // The caller's buffer is untouched and reusable.
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Billboard, CommitFromSpanEnforcesSameContract) {
+  Billboard bb(4, 8);
+  const std::vector<Post> dup = {make_post(1, 0, 2), make_post(1, 0, 3)};
+  EXPECT_THROW(bb.commit_round_from(0, dup), ContractViolation);
+  const std::vector<Post> stale = {make_post(0, 1, 2)};
+  EXPECT_THROW(bb.commit_round_from(0, stale), ContractViolation);
+  EXPECT_EQ(bb.size(), 0u);
+  EXPECT_EQ(bb.last_committed_round(), -1);
+}
+
+TEST(Billboard, CommitOverloadsInterleave) {
+  // The one-post-per-author check must reset between commits regardless
+  // of which overload committed the previous round.
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(1, 0, 2)});
+  const std::vector<Post> batch = {make_post(1, 1, 3)};
+  EXPECT_NO_THROW(bb.commit_round_from(1, batch));
+  EXPECT_NO_THROW(bb.commit_round(2, {make_post(1, 2, 4)}));
+  EXPECT_EQ(bb.size(), 3u);
+}
+
+TEST(Billboard, ReplicaSpanCommitKeepsOriginStamps) {
+  Billboard bb(4, 8, Billboard::Mode::kReplica);
+  const std::vector<Post> late = {make_post(0, 2, 1), make_post(1, 5, 2)};
+  bb.commit_round_from(5, late);
+  EXPECT_EQ(bb.posts()[0].round, 2);
+  const std::vector<Post> future = {make_post(2, 7, 3)};
+  EXPECT_THROW(bb.commit_round_from(6, future), ContractViolation);
+}
+
+TEST(Billboard, ReserveKeepsContents) {
+  Billboard bb(4, 8);
+  bb.commit_round(0, {make_post(0, 0, 1)});
+  bb.reserve(1024);
+  EXPECT_EQ(bb.size(), 1u);
+  EXPECT_EQ(bb.posts()[0].object, ObjectId{1});
+}
+
 TEST(Billboard, FailedCommitLeavesLogUnchanged) {
   Billboard bb(4, 8);
   bb.commit_round(0, {make_post(0, 0, 1)});

@@ -112,6 +112,45 @@ TEST_F(FirstPositiveLedgerTest, ObjectsWithVotesWindowExcludesOutside) {
   EXPECT_EQ(in_late_window[0], ObjectId{2});
 }
 
+// Pins the documented half-open [begin, end) convention so the indexed
+// rewrite of the window structures can never silently drift: an event at
+// round `begin` is inside the window, one at round `end` is outside.
+TEST_F(FirstPositiveLedgerTest, ObjectsWithVotesWindowHalfOpenBoundary) {
+  bb_.commit_round(3, {make_post(0, 3, 1, 1.0, true)});
+  bb_.commit_round(7, {make_post(1, 7, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  // begin is inclusive: the round-3 event is inside [3, 4).
+  EXPECT_EQ(ledger_.objects_with_votes_in_window(3, 4, 1),
+            std::vector<ObjectId>{ObjectId{1}});
+  // end is exclusive: the round-7 event is outside [3, 7).
+  EXPECT_EQ(ledger_.objects_with_votes_in_window(3, 7, 1),
+            std::vector<ObjectId>{ObjectId{1}});
+  // ...and inside once end passes it.
+  const auto both = ledger_.objects_with_votes_in_window(3, 8, 1);
+  EXPECT_EQ(both, (std::vector<ObjectId>{ObjectId{1}, ObjectId{2}}));
+  // Empty interval matches nothing, even with an event exactly at begin.
+  EXPECT_TRUE(ledger_.objects_with_votes_in_window(3, 3, 1).empty());
+}
+
+TEST_F(FirstPositiveLedgerTest, RepeatedWindowQueriesAreIndependent) {
+  // The query uses generation-stamped member scratch; back-to-back calls
+  // with different windows must not leak counts into each other.
+  bb_.commit_round(0, {make_post(0, 0, 1, 1.0, true),
+                       make_post(1, 0, 1, 1.0, true)});
+  bb_.commit_round(4, {make_post(2, 4, 1, 1.0, true),
+                       make_post(3, 4, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  const auto first = ledger_.objects_with_votes_in_window(0, 1, 2);
+  EXPECT_EQ(first, std::vector<ObjectId>{ObjectId{1}});
+  // Object 1 has only one vote in [4, 5); the two counted above must not
+  // carry over.
+  EXPECT_TRUE(ledger_.objects_with_votes_in_window(4, 5, 2).empty());
+  EXPECT_EQ(ledger_.objects_with_votes_in_window(4, 5, 1),
+            (std::vector<ObjectId>{ObjectId{1}, ObjectId{2}}));
+  // And the original window still answers the same afterwards.
+  EXPECT_EQ(ledger_.objects_with_votes_in_window(0, 1, 2), first);
+}
+
 TEST_F(FirstPositiveLedgerTest, ObjectsWithAnyVoteSorted) {
   bb_.commit_round(0, {make_post(0, 0, 7, 1.0, true),
                        make_post(1, 0, 2, 1.0, true)});
