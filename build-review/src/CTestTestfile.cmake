@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rng")
+subdirs("obs")
+subdirs("world")
+subdirs("billboard")
+subdirs("engine")
+subdirs("gossip")
+subdirs("adversary")
+subdirs("core")
+subdirs("baseline")
+subdirs("lower_bounds")
+subdirs("stats")
+subdirs("sim")
