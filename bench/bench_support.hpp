@@ -24,7 +24,10 @@
 #include "acp/core/theory.hpp"
 #include "acp/engine/sync_engine.hpp"
 #include "acp/obs/json.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/scenario/spec.hpp"
 #include "acp/sim/runner.hpp"
+#include "acp/sim/scenario_driver.hpp"
 #include "acp/stats/summary.hpp"
 #include "acp/stats/table.hpp"
 #include "acp/world/builders.hpp"
@@ -67,14 +70,10 @@ inline std::size_t threads_from_env(std::size_t default_threads = 1) {
 }
 
 /// Honest-player count for a target fraction alpha, rounded half-up and
-/// clamped to [0, n]. A plain static_cast truncates — alpha=0.7, n=10
-/// used to run at 6 honest players, i.e. at alpha=0.6, not the
-/// configured fraction.
+/// clamped to [0, n]. Delegates to the scenario layer so benches and
+/// spec-driven runs agree on population shape by construction.
 inline std::size_t honest_count(double alpha, std::size_t n) {
-  const long long rounded =
-      std::llround(alpha * static_cast<double>(n));
-  if (rounded <= 0) return 0;
-  return std::min(n, static_cast<std::size_t>(rounded));
+  return scenario::honest_count(alpha, n);
 }
 
 /// One experiment point: a world/population shape plus run limits.
@@ -138,6 +137,40 @@ inline std::vector<Summary> run_point(const PointConfig& config,
             result.honest_success_fraction(),
         };
       });
+}
+
+/// Run one experiment point built declaratively: the protocol and
+/// adversary are constructed by registry name and the trials fan out
+/// through the sharded scenario driver (splitmix64-derived per-trial
+/// seeds, bit-identical at any ACP_BENCH_THREADS). Returns one Summary
+/// per sim::ScenarioMetric — note the order differs from the legacy
+/// bench::Metric enum. Benches that have migrated to scenario files
+/// (fig1/fig2/fig5) run the exact same code path as
+/// `acpsim --scenario`, so a table regenerated either way matches.
+inline std::vector<Summary> run_scenario_point(scenario::ScenarioSpec spec,
+                                               std::size_t trials,
+                                               std::uint64_t base_seed) {
+  spec.trials = trials;
+  spec.seed = base_seed;
+  spec.threads = threads_from_env();
+  return sim::run_scenario_summaries(spec);
+}
+
+/// Worst (maximum) mean-probe cost over the adversary strategy library,
+/// scenario edition: the sweep varies only the adversary registry name.
+inline double worst_case_scenario_mean_probes(
+    const scenario::ScenarioSpec& base, std::size_t trials,
+    std::uint64_t base_seed) {
+  double worst = 0.0;
+  for (const char* adversary : {"silent", "eager", "collude", "splitvote"}) {
+    scenario::ScenarioSpec spec = base;
+    spec.adversary = adversary;
+    spec.adversary_params = {};
+    worst = std::max(
+        worst,
+        run_scenario_point(spec, trials, base_seed)[sim::kMeanProbes].mean());
+  }
+  return worst;
 }
 
 /// Worst (maximum) mean-probe cost over the adversary strategy library —

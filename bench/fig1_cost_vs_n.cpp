@@ -4,10 +4,12 @@
 // Expected shape: DISTILL stays near-constant; the EC'04 baseline under
 // round robin grows like log n; the trivial no-billboard algorithm pays
 // ~1/beta = n and is off the chart.
+//
+// Built declaratively: every point is a ScenarioSpec run through the
+// registry + sharded driver, the same code path as
+//   acpsim --scenario scenarios/fig1_cost_vs_n.json --set n=N --set m=N
 #include <iostream>
 
-#include "acp/baseline/collab_baseline.hpp"
-#include "acp/baseline/trivial_random.hpp"
 #include "bench_support.hpp"
 
 int main() {
@@ -25,31 +27,23 @@ int main() {
                "theory_distill", "theory_collab", "trivial=1/beta"});
 
   for (std::size_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    PointConfig config;
-    config.n = n;
-    config.m = n;
-    config.good = 1;
-    config.alpha = alpha;
+    scenario::ScenarioSpec spec;
+    spec.n = n;
+    spec.m = n;
+    spec.good = 1;
+    spec.alpha = alpha;
+    spec.protocol = "distill";
 
-    const auto params = [&] {
-      DistillParams p;
-      p.alpha = alpha;
-      return p;
-    };
     const double distill_worst =
-        worst_case_mean_probes(config, params, trials, /*base_seed=*/n);
+        worst_case_scenario_mean_probes(spec, trials, /*base_seed=*/n);
 
-    const auto distill_silent =
-        run_point(config,
-                  [&] { return std::make_unique<DistillProtocol>(params()); },
-                  silent_adversary(), trials, n)[kMeanProbes]
-            .mean();
+    const double distill_silent =
+        run_scenario_point(spec, trials, n)[sim::kMeanProbes].mean();
 
-    const auto collab =
-        run_point(config,
-                  [] { return std::make_unique<CollabBaselineProtocol>(); },
-                  silent_adversary(), trials, n)[kMeanProbes]
-            .mean();
+    scenario::ScenarioSpec collab_spec = spec;
+    collab_spec.protocol = "collab";
+    const double collab =
+        run_scenario_point(collab_spec, trials, n)[sim::kMeanProbes].mean();
 
     const double beta = 1.0 / static_cast<double>(n);
     table.add_row({Table::cell(n), Table::cell(distill_worst),

@@ -4,6 +4,9 @@
 // Expected shape: cost tracks (1/alpha) * log n / Delta — rising sharply
 // as alpha shrinks — and stays within a constant factor of the theory
 // curve across the sweep.
+//
+// Built declaratively (registry + sharded driver), the same code path as
+//   acpsim --scenario scenarios/fig2_cost_vs_alpha.json --set alpha=A
 #include <iostream>
 
 #include "bench_support.hpp"
@@ -23,25 +26,18 @@ int main() {
                "ratio_worst/theory"});
 
   for (double alpha : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
-    PointConfig config;
-    config.n = n;
-    config.m = n;
-    config.good = 1;
-    config.alpha = alpha;
+    scenario::ScenarioSpec spec;
+    spec.n = n;
+    spec.m = n;
+    spec.good = 1;
+    spec.alpha = alpha;
+    spec.protocol = "distill";
 
-    const auto params = [&] {
-      DistillParams p;
-      p.alpha = alpha;
-      return p;
-    };
-    const double worst = worst_case_mean_probes(
-        config, params, trials, static_cast<std::uint64_t>(alpha * 1000));
+    const std::uint64_t base_seed = static_cast<std::uint64_t>(alpha * 1000);
+    const double worst =
+        worst_case_scenario_mean_probes(spec, trials, base_seed);
     const double silent =
-        run_point(config,
-                  [&] { return std::make_unique<DistillProtocol>(params()); },
-                  silent_adversary(), trials,
-                  static_cast<std::uint64_t>(alpha * 1000))[kMeanProbes]
-            .mean();
+        run_scenario_point(spec, trials, base_seed)[sim::kMeanProbes].mean();
     const double theory_value =
         theory::distill_expected_rounds(alpha, 1.0 / n, n);
     table.add_row({Table::cell(alpha), Table::cell(worst),

@@ -1,6 +1,10 @@
 // FIG-5 — Robustness decomposition: DISTILL's cost per adversary strategy
 // at two honesty levels. The Theorem 4 guarantee is adversary-independent;
 // this figure shows which strategies actually extract cost.
+//
+// Built declaratively: each row is the base spec with a different
+// adversary registry name — the same code path as
+//   acpsim --scenario scenarios/fig5_adversaries.json --set adversary=X
 #include <iostream>
 
 #include "bench_support.hpp"
@@ -19,41 +23,24 @@ int main() {
                "rounds", "theory"});
 
   for (double alpha : {0.9, 0.5, 0.25}) {
-    PointConfig config;
-    config.n = n;
-    config.m = n;
-    config.good = 1;
-    config.alpha = alpha;
+    scenario::ScenarioSpec base;
+    base.n = n;
+    base.m = n;
+    base.good = 1;
+    base.alpha = alpha;
+    base.protocol = "distill";
 
-    const auto factory = [&]() -> std::unique_ptr<Protocol> {
-      DistillParams p;
-      p.alpha = alpha;
-      return std::make_unique<DistillProtocol>(p);
-    };
-
-    const std::vector<std::pair<std::string, AdversaryFactory>> strategies = {
-        {"silent", silent_adversary()},
-        {"slander",
-         [](Protocol&) { return std::make_unique<SlandererAdversary>(); }},
-        {"eager-flood",
-         [](Protocol&) { return std::make_unique<EagerVoteAdversary>(); }},
-        {"collude-4",
-         [](Protocol&) { return std::make_unique<CollusionAdversary>(4); }},
-        {"split-vote",
-         [](Protocol& p) {
-           return std::make_unique<SplitVoteAdversary>(
-               dynamic_cast<DistillProtocol&>(p));
-         }},
-    };
-
-    for (const auto& [name, adversary] : strategies) {
-      const auto summaries = run_point(
-          config, factory, adversary, trials,
-          static_cast<std::uint64_t>(alpha * 1000) + 7);
+    for (const char* adversary :
+         {"silent", "slander", "eager", "collude", "splitvote"}) {
+      scenario::ScenarioSpec spec = base;
+      spec.adversary = adversary;
+      const auto summaries = run_scenario_point(
+          spec, trials, static_cast<std::uint64_t>(alpha * 1000) + 7);
       table.add_row(
-          {Table::cell(alpha), name, Table::cell(summaries[kMeanProbes].mean()),
-           Table::cell(summaries[kMaxProbes].mean()),
-           Table::cell(summaries[kRounds].mean()),
+          {Table::cell(alpha), adversary,
+           Table::cell(summaries[sim::kMeanProbes].mean()),
+           Table::cell(summaries[sim::kMaxProbes].mean()),
+           Table::cell(summaries[sim::kRounds].mean()),
            Table::cell(theory::distill_expected_rounds(alpha, 1.0 / n, n))});
     }
   }

@@ -1,54 +1,37 @@
-// Quickstart: the smallest complete use of the library.
+// Quickstart: the smallest complete use of the library — load a scenario
+// file and run it.
 //
-// 1000 players — 900 honest, 100 Byzantine — search 1000 objects for the
-// single good one using Algorithm DISTILL over a shared billboard. Run:
+// 1000 players — 900 honest, 100 Byzantine colluders — search 1000
+// objects for the single good one using Algorithm DISTILL over a shared
+// billboard. The whole experiment is data (scenarios/quickstart.json);
+// protocol and adversary are constructed by registry name. Run:
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [path/to/scenario.json]
 #include <iostream>
 
-#include "acp/adversary/strategies.hpp"
-#include "acp/core/distill.hpp"
-#include "acp/engine/sync_engine.hpp"
-#include "acp/world/builders.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/sim/scenario_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acp;
-
-  // A world of 1000 unit-cost objects, exactly one of them good, with
-  // local testing: probing reveals goodness (paper §2.2).
-  Rng rng(/*seed=*/2005);
-  const World world = make_simple_world(/*m=*/1000, /*good=*/1, rng);
-
-  // 1000 players, 900 honest at random positions (alpha = 0.9).
-  const Population population =
-      Population::with_random_honest(/*n=*/1000, /*num_honest=*/900, rng);
-
-  // The honest players run DISTILL; alpha is assumed known (see the
-  // GuessAlphaProtocol example for the unknown-alpha wrapper).
-  DistillParams params;
-  params.alpha = population.alpha();
-  DistillProtocol protocol(params);
-
-  // The 100 Byzantine players collude: every one of them votes for one of
-  // four bad "decoy" objects to trick honest players into probing them.
-  CollusionAdversary adversary(/*num_decoys=*/4);
-
-  const RunResult result = SyncEngine::run(world, population, protocol,
-                                           adversary, {.seed = 42});
-
-  std::cout << "all honest players satisfied: "
-            << (result.all_honest_satisfied ? "yes" : "no") << '\n'
-            << "rounds executed:              " << result.rounds_executed
-            << '\n'
-            << "mean probes per honest player: "
-            << result.mean_honest_probes() << '\n'
-            << "max probes by one player:      "
-            << result.max_honest_probes() << '\n'
-            << "found a good object:           "
-            << result.honest_success_fraction() * 100.0 << "%\n";
-
-  // Compare with the no-collaboration floor: random probing needs about
-  // 1/beta = 1000 probes per player. The billboard pays for itself.
-  std::cout << "(random search would need ~1000 probes per player)\n";
+  const char* path = argc > 1 ? argv[1] : "scenarios/quickstart.json";
+  try {
+    const scenario::ScenarioSpec spec = scenario::ScenarioSpec::load_file(path);
+    const auto stats = sim::run_scenario_stats(spec);
+    std::cout << "scenario:                      " << spec.name << '\n'
+              << "trials:                        " << spec.trials << '\n'
+              << "mean probes per honest player: "
+              << stats[sim::kMeanProbes].mean() << '\n'
+              << "max probes by one player:      "
+              << stats[sim::kMaxProbes].max() << '\n'
+              << "all trials completed:          "
+              << (stats[sim::kCompleted].min() >= 1.0 ? "yes" : "no") << '\n'
+              << "(random search would need ~" << spec.m
+              << " probes per player; the billboard pays for itself)\n";
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n(run from the repository root, or pass the "
+              << "scenario path explicitly)\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,47 @@
+// Scenario-registry factories for the non-collaborative and naive
+// baselines (§3 comparisons). See acp/scenario/modules.hpp for how these
+// registrations reach the process-wide registry.
+
+#include "acp/baseline/collab_baseline.hpp"
+#include "acp/baseline/full_coop_oracle.hpp"
+#include "acp/baseline/popularity.hpp"
+#include "acp/baseline/trivial_random.hpp"
+#include "acp/scenario/modules.hpp"
+#include "acp/scenario/registry.hpp"
+
+namespace acp::scenario {
+
+namespace {
+
+std::unique_ptr<Protocol> make_collab(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'collab'", {"follow_prob"});
+  return std::make_unique<CollabBaselineProtocol>(p.get("follow_prob", 0.5));
+}
+
+std::unique_ptr<Protocol> make_trivial(const ProtocolBuildContext& ctx) {
+  ctx.spec.protocol_params.require_known("protocol 'trivial'", {});
+  return std::make_unique<TrivialRandomProtocol>();
+}
+
+std::unique_ptr<Protocol> make_popularity(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'popularity'", {"follow_prob"});
+  return std::make_unique<PopularityProtocol>(p.get("follow_prob", 0.5));
+}
+
+std::unique_ptr<Protocol> make_full_coop(const ProtocolBuildContext& ctx) {
+  ctx.spec.protocol_params.require_known("protocol 'full-coop'", {});
+  return std::make_unique<FullCoopOracle>();
+}
+
+}  // namespace
+
+void register_builtin_baseline_protocols(ProtocolRegistry& registry) {
+  registry.add("collab", make_collab);
+  registry.add("trivial", make_trivial);
+  registry.add("popularity", make_popularity);
+  registry.add("full-coop", make_full_coop);
+}
+
+}  // namespace acp::scenario

@@ -1,0 +1,99 @@
+// Scenario-registry factories for the paper's protocols (§4–§5).
+//
+// Lives in acp_core (next to the classes it builds) and is pulled into any
+// binary that uses the scenario layer via the strong reference from
+// acp::scenario::registries() — see acp/scenario/modules.hpp.
+
+#include "acp/core/cost_classes.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/core/guess_alpha.hpp"
+#include "acp/scenario/modules.hpp"
+#include "acp/scenario/registry.hpp"
+
+namespace acp::scenario {
+
+namespace {
+
+/// The §4.1 extension knobs shared by every DISTILL flavor.
+void apply_common_distill_knobs(DistillParams& params, const ParamMap& p) {
+  params.votes_per_player = p.get_size("f", params.votes_per_player);
+  params.error_vote_prob = p.get("err", params.error_vote_prob);
+  params.veto_fraction = p.get("veto", params.veto_fraction);
+  params.negative_votes_per_player =
+      p.get_size("f_neg", params.negative_votes_per_player);
+  params.use_advice = p.get_bool("use_advice", params.use_advice);
+  params.trust_weighted_advice =
+      p.get_bool("trust", params.trust_weighted_advice);
+}
+
+std::unique_ptr<Protocol> make_distill(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'distill'",
+                  {"alpha", "k1", "k2", "f", "err", "veto", "f_neg",
+                   "survival_divisor", "c0_vote_fraction", "use_advice",
+                   "trust"});
+  DistillParams params;
+  params.alpha = p.get("alpha", ctx.spec.alpha);
+  params.k1 = p.get("k1", params.k1);
+  params.k2 = p.get("k2", params.k2);
+  params.survival_divisor =
+      p.get("survival_divisor", params.survival_divisor);
+  params.c0_vote_fraction =
+      p.get("c0_vote_fraction", params.c0_vote_fraction);
+  apply_common_distill_knobs(params, p);
+  return std::make_unique<DistillProtocol>(params);
+}
+
+std::unique_ptr<Protocol> make_distill_hp(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'distill-hp'",
+                  {"alpha", "c1", "c2", "f", "err", "veto", "f_neg",
+                   "use_advice", "trust"});
+  const double alpha = p.get("alpha", ctx.spec.alpha);
+  DistillParams params = make_hp_params(alpha, ctx.spec.n, p.get("c1", 2.0),
+                                        p.get("c2", 8.0));
+  apply_common_distill_knobs(params, p);
+  return std::make_unique<DistillProtocol>(params);
+}
+
+std::unique_ptr<Protocol> make_guess_alpha(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'guess-alpha'", {"k3", "c1", "c2"});
+  GuessAlphaParams params;
+  params.k3 = p.get("k3", params.k3);
+  params.c1 = p.get("c1", params.c1);
+  params.c2 = p.get("c2", params.c2);
+  return std::make_unique<GuessAlphaProtocol>(params);
+}
+
+std::unique_ptr<Protocol> make_cost_classes(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'cost-classes'", {"alpha", "k_h", "c1", "c2"});
+  CostClassParams params;
+  params.alpha = p.get("alpha", ctx.spec.alpha);
+  params.k_h = p.get("k_h", params.k_h);
+  params.c1 = p.get("c1", params.c1);
+  params.c2 = p.get("c2", params.c2);
+  return std::make_unique<CostClassProtocol>(params);
+}
+
+std::unique_ptr<Protocol> make_no_lt(const ProtocolBuildContext& ctx) {
+  const ParamMap& p = ctx.spec.protocol_params;
+  p.require_known("protocol 'no-lt'", {"alpha", "k_h"});
+  const DistillParams params = make_no_local_testing_params(
+      p.get("alpha", ctx.spec.alpha), ctx.world.beta(), ctx.spec.n,
+      p.get("k_h", 8.0));
+  return std::make_unique<DistillProtocol>(params);
+}
+
+}  // namespace
+
+void register_builtin_core_protocols(ProtocolRegistry& registry) {
+  registry.add("distill", make_distill);
+  registry.add("distill-hp", make_distill_hp);
+  registry.add("guess-alpha", make_guess_alpha);
+  registry.add("cost-classes", make_cost_classes);
+  registry.add("no-lt", make_no_lt);
+}
+
+}  // namespace acp::scenario

@@ -1,0 +1,113 @@
+// Minimal JSON document model and recursive-descent parser — the read-side
+// counterpart of JsonWriter. Powers the declarative scenario layer
+// (scenarios/*.json) and any tool that needs to read back the JSON the
+// writer produced. No external dependencies.
+//
+// Design notes:
+//  * Objects preserve insertion order (a vector of pairs), matching the
+//    writer's deterministic output so load→save round-trips are stable.
+//  * Numbers are stored as double, but unsigned integer tokens (no sign,
+//    fraction or exponent) additionally keep their exact 64-bit value, so
+//    as_u64() round-trips the full seed range — 2^53+1 is not silently
+//    rounded. Everything else is accepted via as_u64() with an exactness
+//    check.
+//  * Errors throw JsonParseError with 1-based line:column and a message
+//    that names what was expected — parse errors surface to users running
+//    `acpsim --scenario`, so they must be actionable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acp::obs {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t line, std::size_t column,
+                 const std::string& message);
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() noexcept : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) noexcept : kind_(Kind::kNumber), number_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  /// Number that remembers its exact unsigned-integer source value (the
+  /// parser uses this for plain integer tokens; as_number() still works).
+  [[nodiscard]] static JsonValue exact_u64(std::uint64_t value) noexcept {
+    JsonValue v(static_cast<double>(value));
+    v.exact_u64_valid_ = true;
+    v.u64_ = value;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; throw std::runtime_error naming the actual kind on
+  /// mismatch so callers can wrap with field context.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// Number that must be a non-negative integer representable exactly.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Human-readable kind name ("object", "number", ...).
+  [[nodiscard]] static const char* kind_name(Kind kind) noexcept;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool exact_u64_valid_ = false;
+  std::uint64_t u64_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error. Throws
+/// JsonParseError on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace acp::obs

@@ -1,0 +1,25 @@
+// Registration entry points implemented by the algorithm modules.
+//
+// Each module registers its own classes (the factory code lives next to
+// the types it constructs):
+//   register_builtin_core_protocols      src/core/src/scenario_protocols.cpp
+//   register_builtin_baseline_protocols  src/baseline/src/scenario_protocols.cpp
+//   register_builtin_adversaries         src/adversary/src/scenario_adversaries.cpp
+//
+// registries() calls all three on first use. The calls are ordinary
+// strong symbol references, so the linker is forced to pull the
+// registration objects out of the static archives — unlike
+// static-initializer self-registration, which silently drops unreferenced
+// translation units.
+#pragma once
+
+namespace acp::scenario {
+
+class ProtocolRegistry;
+class AdversaryRegistry;
+
+void register_builtin_core_protocols(ProtocolRegistry& registry);
+void register_builtin_baseline_protocols(ProtocolRegistry& registry);
+void register_builtin_adversaries(AdversaryRegistry& registry);
+
+}  // namespace acp::scenario

@@ -1,0 +1,61 @@
+// ParamMap — the open-ended knob bag of a scenario's protocol/adversary
+// section.
+//
+// Registered factories read their knobs from here by name, so a scenario
+// file can configure any protocol the registry knows without the spec type
+// enumerating every parameter of every algorithm. Values are doubles
+// (covers every numeric and boolean knob in this codebase); factories
+// declare their known keys and reject unknown ones with a message listing
+// what is valid — a typo in a scenario file must not silently run the
+// default configuration.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace acp::scenario {
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<const std::string, double>> init)
+      : values_(init) {}
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return values_.find(std::string(key)) != values_.end();
+  }
+
+  void set(std::string key, double value) {
+    values_[std::move(key)] = value;
+  }
+
+  /// Value of `key`, or `fallback` when absent.
+  [[nodiscard]] double get(std::string_view key, double fallback) const;
+  /// get() rounded to size_t; throws std::invalid_argument when negative.
+  [[nodiscard]] std::size_t get_size(std::string_view key,
+                                     std::size_t fallback) const;
+  /// get() != 0.
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Throws std::invalid_argument if any stored key is not in `known`.
+  /// `owner` names the protocol/adversary for the error message, e.g.
+  /// "protocol 'distill'".
+  void require_known(std::string_view owner,
+                     std::initializer_list<std::string_view> known) const;
+
+  [[nodiscard]] const std::map<std::string, double>& values() const noexcept {
+    return values_;
+  }
+
+  friend bool operator==(const ParamMap&, const ParamMap&) = default;
+
+ private:
+  std::map<std::string, double> values_;  // ordered: deterministic JSON
+};
+
+}  // namespace acp::scenario

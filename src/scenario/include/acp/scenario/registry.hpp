@@ -1,0 +1,93 @@
+// String-keyed factories for protocols and adversaries.
+//
+// Every algorithm in the reproduction — DISTILL and its paper variants
+// (HP, the alpha-halving wrapper, cost-class scheduling, NOLT), the
+// baselines, and the whole Byzantine strategy library — registers a
+// factory under its scenario name, so a ScenarioSpec can construct any of
+// them without the construction code knowing the concrete types. The
+// factories themselves live next to the classes they build
+// (src/core/src/scenario_protocols.cpp, src/baseline/...,
+// src/adversary/...); registries().* pulls them in at first use via
+// register_builtin_* (modules.hpp), avoiding the static-initializer
+// dead-stripping that plagues self-registration in static libraries.
+//
+// Unknown names throw std::invalid_argument listing every registered name
+// — a typo must read like a typo, not like a crash.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/protocol.hpp"
+#include "acp/scenario/spec.hpp"
+#include "acp/world/world.hpp"
+
+namespace acp::scenario {
+
+/// Everything a protocol factory may need: the spec (alpha, n, params)
+/// and the already-built world (no-lt derives its horizon from beta).
+struct ProtocolBuildContext {
+  const ScenarioSpec& spec;
+  const World& world;
+};
+
+/// Adversary factories additionally see the trial's protocol instance so
+/// observer strategies (split-vote) can attach to it.
+struct AdversaryBuildContext {
+  const ScenarioSpec& spec;
+  Protocol& protocol;
+};
+
+class ProtocolRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Protocol>(const ProtocolBuildContext&)>;
+
+  /// Last registration wins (tests may shadow a builtin).
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Throws std::invalid_argument listing the registered names when
+  /// `name` is unknown; otherwise invokes the factory (which validates
+  /// its parameters).
+  [[nodiscard]] std::unique_ptr<Protocol> make(
+      const std::string& name, const ProtocolBuildContext& context) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+class AdversaryRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Adversary>(const AdversaryBuildContext&)>;
+
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::unique_ptr<Adversary> make(
+      const std::string& name, const AdversaryBuildContext& context) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+struct Registries {
+  ProtocolRegistry protocols;
+  AdversaryRegistry adversaries;
+};
+
+/// The process-wide registries, populated with every builtin on first
+/// use. Not synchronized: registration and lookup happen on the driver
+/// thread before trials fan out.
+[[nodiscard]] Registries& registries();
+
+}  // namespace acp::scenario

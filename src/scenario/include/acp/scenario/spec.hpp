@@ -1,0 +1,101 @@
+// ScenarioSpec — one experiment as data.
+//
+// A spec captures everything needed to reproduce a run: the world shape,
+// the execution substrate, the protocol and adversary (by registry name,
+// with open-ended parameter maps), churn, and the trial plan. Specs load
+// from and save to versioned JSON ("acp.scenario.v1" — the checked-in
+// scenarios/*.json files pin the paper's headline configurations), can be
+// overridden key-by-key (`acpsim --set n=256`), and validate with
+// actionable error messages before anything runs.
+//
+// The spec layer deliberately knows nothing about concrete protocol
+// classes; construction goes through the registries (registry.hpp), which
+// the core/baseline/adversary modules populate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "acp/scenario/params.hpp"
+#include "acp/util/types.hpp"
+
+namespace acp::scenario {
+
+struct ScenarioSpec {
+  static constexpr std::string_view kSchema = "acp.scenario.v1";
+
+  /// Identification (optional; echoed in reports and error messages).
+  std::string name;
+  std::string description;
+
+  // -- World ---------------------------------------------------------------
+  std::size_t n = 256;  ///< players
+  std::size_t m = 256;  ///< objects
+  std::size_t good = 1;
+  double alpha = 0.5;  ///< honest fraction in (0, 1]
+  /// World builder: "auto" (derived from the protocol: cost-classes ->
+  /// cost-class world, no-lt -> top-beta world, else simple), "simple",
+  /// "cost-classes", or "top-beta".
+  std::string world = "auto";
+  /// Cost-class world shape (world == "cost-classes" or auto+cost-classes).
+  std::size_t cost_classes = 4;
+  std::size_t cheapest_good_class = 0;
+
+  // -- Protocol & adversary (registry names + open parameter maps) ---------
+  std::string protocol = "distill";
+  ParamMap protocol_params;
+  std::string adversary = "silent";
+  ParamMap adversary_params;
+
+  // -- Execution substrate -------------------------------------------------
+  std::string engine = "sync";  ///< sync | async | lockstep | gossip
+  std::string scheduler = "rr";  ///< rr | random (async/lockstep)
+  std::size_t fanout = 2;        ///< gossip push fanout
+  Round max_rounds = 500000;     ///< sync/gossip per-trial cap
+  Count max_steps = 10000000;    ///< async/lockstep honest-step cap
+
+  // -- Churn ---------------------------------------------------------------
+  /// Stagger honest arrivals over [0, W) on the engine's churn clock; the
+  /// i-th honest player joins at floor(i*W/h). 0 = everyone at round 0.
+  Round arrival_window = 0;
+  /// Fraction of honest players that crash-stop at depart_round.
+  double depart_frac = 0.0;
+  Round depart_round = 0;
+
+  // -- Trial plan ----------------------------------------------------------
+  std::size_t trials = 20;
+  std::uint64_t seed = 1;
+  /// Trial-driver worker threads; 0 = hardware concurrency. Results are
+  /// bit-identical at any thread count (see acp/sim/runner.hpp).
+  std::size_t threads = 1;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  /// The world kind after resolving "auto" against the protocol name.
+  [[nodiscard]] std::string resolved_world() const;
+
+  /// Throws std::invalid_argument with a field-named message on any
+  /// out-of-range or inconsistent value. Registry names are validated at
+  /// construction time (registry.hpp), not here.
+  void validate() const;
+
+  // -- JSON ----------------------------------------------------------------
+  [[nodiscard]] static ScenarioSpec from_json(std::string_view text);
+  [[nodiscard]] static ScenarioSpec load_file(const std::string& path);
+  void to_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json_string() const;
+  void save_file(const std::string& path) const;
+};
+
+/// Apply one `key=value` override (the --set flag). Keys are the flat
+/// spec fields (n, m, good, alpha, world, protocol, adversary, engine,
+/// scheduler, fanout, max_rounds, max_steps, arrival_window, depart_frac,
+/// depart_round, trials, seed, threads, cost_classes, cheapest_good_class,
+/// name) plus dotted parameter paths: protocol.<param> and
+/// adversary.<param>. Throws std::invalid_argument on unknown keys or
+/// unparsable values.
+void apply_override(ScenarioSpec& spec, std::string_view assignment);
+
+}  // namespace acp::scenario

@@ -1,0 +1,51 @@
+#include "acp/scenario/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acp::scenario {
+
+double ParamMap::get(std::string_view key, double fallback) const {
+  const auto it = values_.find(std::string(key));
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::size_t ParamMap::get_size(std::string_view key,
+                               std::size_t fallback) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return fallback;
+  const double value = it->second;
+  if (value < 0.0 || value != std::floor(value)) {
+    throw std::invalid_argument("parameter '" + std::string(key) +
+                                "' must be a non-negative integer, got " +
+                                std::to_string(value));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+bool ParamMap::get_bool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(std::string(key));
+  return it == values_.end() ? fallback : it->second != 0.0;
+}
+
+void ParamMap::require_known(
+    std::string_view owner,
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string message = "unknown parameter '" + key + "' for " +
+                          std::string(owner) + " (known:";
+    bool first = true;
+    for (const std::string_view k : known) {
+      message += first ? " " : ", ";
+      message += std::string(k);
+      first = false;
+    }
+    if (known.size() == 0) message += " none";
+    message += ")";
+    throw std::invalid_argument(message);
+  }
+}
+
+}  // namespace acp::scenario

@@ -1,0 +1,83 @@
+#include "acp/scenario/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "acp/scenario/modules.hpp"
+
+namespace acp::scenario {
+
+namespace {
+
+[[noreturn]] void unknown_name(const char* what, const std::string& name,
+                               const std::vector<std::string>& known) {
+  std::string message = std::string("unknown ") + what + " '" + name +
+                        "' (registered:";
+  bool first = true;
+  for (const std::string& k : known) {
+    message += first ? " " : ", ";
+    message += k;
+    first = false;
+  }
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+void ProtocolRegistry::add(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Protocol> ProtocolRegistry::make(
+    const std::string& name, const ProtocolBuildContext& context) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) unknown_name("protocol", name, names());
+  return it->second(context);
+}
+
+void AdversaryRegistry::add(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool AdversaryRegistry::contains(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> AdversaryRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Adversary> AdversaryRegistry::make(
+    const std::string& name, const AdversaryBuildContext& context) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) unknown_name("adversary", name, names());
+  return it->second(context);
+}
+
+Registries& registries() {
+  static Registries instance = [] {
+    Registries r;
+    register_builtin_core_protocols(r.protocols);
+    register_builtin_baseline_protocols(r.protocols);
+    register_builtin_adversaries(r.adversaries);
+    return r;
+  }();
+  return instance;
+}
+
+}  // namespace acp::scenario

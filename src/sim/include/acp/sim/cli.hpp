@@ -1,117 +1,41 @@
 // Command-line experiment runner (the `acpsim` tool).
 //
-// Lets a user run any protocol/adversary combination from the shell
-// without writing C++:
+// Lets a user run any registered protocol/adversary combination from the
+// shell without writing C++ — either from flags:
 //
 //   acpsim --n 1024 --alpha 0.5 --protocol distill --adversary splitvote
-//   (plus --trials 20, etc.)
 //
-// The parsing and execution logic lives in the library so it is testable;
-// tools/acpsim.cpp is a thin main().
+// or from a checked-in scenario file, with key overrides:
+//
+//   acpsim --scenario scenarios/fig1_cost_vs_n.json --set n=256 --set m=256
+//
+// Precedence is scenario file < flags < --set (left to right within each).
+// The configuration is a ScenarioSpec; flags are just spelling. Parsing
+// and execution live in the library so they are testable; tools/acpsim.cpp
+// is a thin main().
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
-#include "acp/util/types.hpp"
+#include "acp/scenario/spec.hpp"
 
 namespace acp::cli {
 
-enum class ProtocolKind {
-  kDistill,
-  kDistillHp,
-  kGuessAlpha,
-  kCostClasses,
-  kNoLocalTesting,
-  kCollab,
-  kTrivial,
-};
-
-enum class AdversaryKind {
-  kSilent,
-  kSlander,
-  kEager,
-  kCollude,
-  kSplitVote,
-  kValueLiar,
-};
-
-/// Which execution substrate runs the trial. All four share the simulation
-/// kernel (docs/architecture.md), so churn and metrics behave uniformly.
-enum class EngineKind {
-  /// The paper's synchronous shared-billboard model (default).
-  kSync,
-  /// Asynchronous basic steps under a scheduler; restricted to the
-  /// natively asynchronous protocols (collab, trivial).
-  kAsync,
-  /// Any synchronous protocol over the asynchronous engine through the
-  /// timestamp synchronizer (LockstepAdapter).
-  kLockstep,
-  /// Per-node replicas synchronized by push gossip.
-  kGossip,
-};
-
-/// Asynchronous schedule (engines async and lockstep).
-enum class SchedulerKind {
-  kRoundRobin,
-  kRandom,
-};
-
 struct CliConfig {
-  std::size_t n = 256;
-  std::size_t m = 256;
-  std::size_t good = 1;
-  double alpha = 0.5;
-  ProtocolKind protocol = ProtocolKind::kDistill;
-  AdversaryKind adversary = AdversaryKind::kSilent;
-  std::size_t trials = 20;
-  std::uint64_t seed = 1;
-  Round max_rounds = 500000;
-
-  // Protocol knobs.
-  std::size_t votes_per_player = 1;
-  double error_vote_prob = 0.0;
-  double veto_fraction = 0.0;
-  bool use_advice = true;
-
-  // Cost-class worlds (protocol == kCostClasses).
-  std::size_t cost_classes = 4;
-  std::size_t cheapest_good_class = 0;
-
-  /// Execution substrate (--engine). `gossip` is kept in sync with
-  /// `engine == kGossip` (the historical --gossip flag is an alias).
-  EngineKind engine = EngineKind::kSync;
-  bool gossip = false;
-  std::size_t fanout = 2;
-
-  /// Schedule for the asynchronous engines (async, lockstep).
-  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
-  /// Hard stop on honest basic steps (async, lockstep).
-  Count max_steps = 10000000;
-
-  /// Churn. arrival_window W staggers honest arrivals over [0, W) on the
-  /// engine's churn clock (rounds for sync/lockstep/gossip, steps for
-  /// async): the i-th honest player joins at floor(i*W/h). 0 = everyone
-  /// at 0. depart_frac F makes the last ceil(F*h) honest players
-  /// crash-stop at depart_round.
-  Round arrival_window = 0;
-  double depart_frac = 0.0;
-  Round depart_round = 0;
-
-  /// Trust-weighted SeekAdvice (§6 exploration; distill/distill-hp only).
-  bool trust_advice = false;
+  /// The experiment itself — everything a run needs is in the spec.
+  scenario::ScenarioSpec spec;
 
   bool csv = false;
   bool help = false;
 
   /// Write a per-round trace CSV of the FIRST trial to this path
-  /// (shared-billboard engine only). Empty = no trace.
+  /// (engines sync and lockstep). Empty = no trace.
   std::string trace_path;
 
   /// Write a per-round JSONL trace ("acp.trace.v1") of the FIRST trial to
-  /// this path (shared-billboard engine only). Empty = no trace.
+  /// this path (engines sync and lockstep). Empty = no trace.
   std::string trace_jsonl_path;
 
   /// Write a machine-readable JSON run report ("acp.report.v1") — config
@@ -128,8 +52,10 @@ struct CliConfig {
   double sweep_step = 0.0;
 };
 
-/// Parse argv-style arguments (without argv[0]). Throws std::invalid_argument
-/// with a human-readable message on bad input.
+/// Parse argv-style arguments (without argv[0]). Loads --scenario first,
+/// then applies flags, then --set overrides; validates ranges and registry
+/// names. Throws std::invalid_argument with a human-readable message on
+/// bad input.
 [[nodiscard]] CliConfig parse_args(const std::vector<std::string>& args);
 
 /// The --help text.

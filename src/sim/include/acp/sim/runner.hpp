@@ -1,15 +1,25 @@
-// Trial runner: repeat an experiment over independent seeds and summarize.
+// Trial runner: repeat an experiment over independent seeds and reduce.
 //
 // A trial function maps a 64-bit seed to one metric vector (e.g. {mean
-// probes, max probes, success fraction}); the runner fans trials out over a
-// thread pool and returns one Summary per metric. Seeds are base_seed,
-// base_seed+1, ... so every experiment is exactly reproducible.
+// probes, max probes, success fraction}). Seeds are a splitmix64 stream
+// derived from base_seed — NOT base_seed, base_seed+1, ...: sequential
+// seeds land in adjacent xoshiro basins and correlate the trials they are
+// supposed to make independent. derive_trial_seeds() is the single source
+// of truth, so every experiment is exactly reproducible from (base_seed,
+// trials).
+//
+// Execution is sharded, not per-trial: the trial range is split into a
+// fixed number of contiguous shards (a function of `trials` only), each
+// shard accumulates its metrics in trial order, and shards merge in shard
+// index order. Worker threads only decide WHICH shard runs where, never
+// the reduction order — results are bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "acp/stats/running_stats.hpp"
 #include "acp/stats/summary.hpp"
 
 namespace acp {
@@ -21,14 +31,28 @@ struct TrialPlan {
   std::size_t threads = 0;
 };
 
-/// Trial returning a single metric.
-[[nodiscard]] Summary run_trials(
-    const TrialPlan& plan, const std::function<double(std::uint64_t)>& trial);
+/// The per-trial seeds for a plan: trial t gets the (t+1)-th output of a
+/// SplitMix64 stream seeded with base_seed.
+[[nodiscard]] std::vector<std::uint64_t> derive_trial_seeds(
+    std::uint64_t base_seed, std::size_t trials);
 
-/// Trial returning `num_metrics` metrics; result has one Summary per
-/// metric, in order. Every trial must return exactly num_metrics values.
+/// Run the plan and stream every trial's metrics into merged accumulators
+/// — one RunningStats per metric, O(num_metrics) memory regardless of
+/// trial count. Every trial must return exactly num_metrics values.
+/// The scenario driver and the benches reduce through this entry point.
+[[nodiscard]] std::vector<RunningStats> run_trials_stats(
+    const TrialPlan& plan, std::size_t num_metrics,
+    const std::function<std::vector<double>(std::uint64_t)>& trial);
+
+/// As run_trials_stats, but materializes per-trial samples and returns one
+/// Summary per metric — for consumers that need quantiles (the acpsim
+/// table, acp.report.v1). Same seeds, same sharded execution.
 [[nodiscard]] std::vector<Summary> run_trials_multi(
     const TrialPlan& plan, std::size_t num_metrics,
     const std::function<std::vector<double>(std::uint64_t)>& trial);
+
+/// Single-metric convenience over run_trials_multi.
+[[nodiscard]] Summary run_trials(
+    const TrialPlan& plan, const std::function<double(std::uint64_t)>& trial);
 
 }  // namespace acp

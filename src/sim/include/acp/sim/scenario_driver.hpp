@@ -1,0 +1,52 @@
+// The scenario-driven trial driver.
+//
+// Bridges the declarative layer (acp/scenario) to the sharded runner
+// (acp/sim/runner.hpp): a ScenarioSpec's trial plan fans out over the
+// thread pool with splitmix64-derived per-trial seeds, each trial is built
+// and executed by acp::scenario::run_scenario_trial, and the fixed metric
+// vector reduces either into streamed RunningStats (benches, smoke) or
+// materialized Summaries (the acpsim table and acp.report.v1, which need
+// quantiles). acpsim, the fig/tab benches and examples/quickstart all sit
+// on these entry points, so a scenario file means the same numbers
+// everywhere.
+#pragma once
+
+#include <vector>
+
+#include "acp/engine/run_result.hpp"
+#include "acp/scenario/spec.hpp"
+#include "acp/sim/runner.hpp"
+#include "acp/stats/running_stats.hpp"
+#include "acp/stats/summary.hpp"
+
+namespace acp::sim {
+
+/// Metric order of every scenario-driven run.
+enum ScenarioMetric : std::size_t {
+  kMeanProbes = 0,       ///< mean probes per honest player
+  kMaxProbes = 1,        ///< worst honest player's probes
+  kMeanCost = 2,         ///< mean probe cost per honest player
+  kRounds = 3,           ///< rounds executed
+  kSuccessFraction = 4,  ///< fraction of honest players satisfied
+  kCompleted = 5,        ///< 1.0 iff every honest player was satisfied
+  kNumScenarioMetrics = 6,
+};
+
+/// One trial's RunResult flattened into the ScenarioMetric order.
+[[nodiscard]] std::vector<double> scenario_metrics(const RunResult& result);
+
+/// The spec's trial plan (trials, seed, threads) as a runner TrialPlan.
+[[nodiscard]] TrialPlan scenario_trial_plan(
+    const scenario::ScenarioSpec& spec);
+
+/// Run the spec's trials and stream into one RunningStats per
+/// ScenarioMetric — O(1) memory in the trial count.
+[[nodiscard]] std::vector<RunningStats> run_scenario_stats(
+    const scenario::ScenarioSpec& spec);
+
+/// As run_scenario_stats but materializes per-trial samples into one
+/// Summary per ScenarioMetric, for consumers that need quantiles.
+[[nodiscard]] std::vector<Summary> run_scenario_summaries(
+    const scenario::ScenarioSpec& spec);
+
+}  // namespace acp::sim

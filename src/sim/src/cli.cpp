@@ -1,161 +1,50 @@
 #include "acp/sim/cli.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
-#include <map>
-#include <memory>
+#include <fstream>
 #include <optional>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
-#include "acp/adversary/split_vote.hpp"
-#include "acp/adversary/strategies.hpp"
-#include "acp/baseline/collab_baseline.hpp"
-#include "acp/baseline/trivial_random.hpp"
-#include "acp/core/cost_classes.hpp"
-#include "acp/core/distill.hpp"
-#include "acp/core/guess_alpha.hpp"
-#include "acp/core/theory.hpp"
-#include <fstream>
-
-#include "acp/engine/lockstep.hpp"
-#include "acp/engine/sync_engine.hpp"
 #include "acp/engine/trace.hpp"
-#include "acp/gossip/gossip_engine.hpp"
 #include "acp/obs/jsonl_trace.hpp"
 #include "acp/obs/metrics.hpp"
 #include "acp/obs/observer_mux.hpp"
 #include "acp/obs/report.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/scenario/registry.hpp"
 #include "acp/sim/runner.hpp"
+#include "acp/sim/scenario_driver.hpp"
 #include "acp/stats/table.hpp"
-#include "acp/world/builders.hpp"
 
 namespace acp::cli {
-
-namespace {
-
-const char* protocol_name(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kDistill: return "distill";
-    case ProtocolKind::kDistillHp: return "distill-hp";
-    case ProtocolKind::kGuessAlpha: return "guess-alpha";
-    case ProtocolKind::kCostClasses: return "cost-classes";
-    case ProtocolKind::kNoLocalTesting: return "no-lt";
-    case ProtocolKind::kCollab: return "collab";
-    case ProtocolKind::kTrivial: return "trivial";
-  }
-  return "?";
-}
-
-const char* adversary_name(AdversaryKind kind) {
-  switch (kind) {
-    case AdversaryKind::kSilent: return "silent";
-    case AdversaryKind::kSlander: return "slander";
-    case AdversaryKind::kEager: return "eager";
-    case AdversaryKind::kCollude: return "collude";
-    case AdversaryKind::kSplitVote: return "splitvote";
-    case AdversaryKind::kValueLiar: return "liar";
-  }
-  return "?";
-}
-
-ProtocolKind parse_protocol(const std::string& name) {
-  static const std::map<std::string, ProtocolKind> kinds = {
-      {"distill", ProtocolKind::kDistill},
-      {"distill-hp", ProtocolKind::kDistillHp},
-      {"guess-alpha", ProtocolKind::kGuessAlpha},
-      {"cost-classes", ProtocolKind::kCostClasses},
-      {"no-lt", ProtocolKind::kNoLocalTesting},
-      {"collab", ProtocolKind::kCollab},
-      {"trivial", ProtocolKind::kTrivial},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) {
-    throw std::invalid_argument("unknown protocol: " + name);
-  }
-  return it->second;
-}
-
-const char* engine_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kSync: return "sync";
-    case EngineKind::kAsync: return "async";
-    case EngineKind::kLockstep: return "lockstep";
-    case EngineKind::kGossip: return "gossip";
-  }
-  return "?";
-}
-
-const char* scheduler_name(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kRoundRobin: return "rr";
-    case SchedulerKind::kRandom: return "random";
-  }
-  return "?";
-}
-
-EngineKind parse_engine(const std::string& name) {
-  static const std::map<std::string, EngineKind> kinds = {
-      {"sync", EngineKind::kSync},
-      {"async", EngineKind::kAsync},
-      {"lockstep", EngineKind::kLockstep},
-      {"gossip", EngineKind::kGossip},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) {
-    throw std::invalid_argument("unknown engine: " + name);
-  }
-  return it->second;
-}
-
-SchedulerKind parse_scheduler(const std::string& name) {
-  static const std::map<std::string, SchedulerKind> kinds = {
-      {"rr", SchedulerKind::kRoundRobin},
-      {"random", SchedulerKind::kRandom},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) {
-    throw std::invalid_argument("unknown scheduler: " + name);
-  }
-  return it->second;
-}
-
-AdversaryKind parse_adversary(const std::string& name) {
-  static const std::map<std::string, AdversaryKind> kinds = {
-      {"silent", AdversaryKind::kSilent},
-      {"slander", AdversaryKind::kSlander},
-      {"eager", AdversaryKind::kEager},
-      {"collude", AdversaryKind::kCollude},
-      {"splitvote", AdversaryKind::kSplitVote},
-      {"liar", AdversaryKind::kValueLiar},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) {
-    throw std::invalid_argument("unknown adversary: " + name);
-  }
-  return it->second;
-}
-
-}  // namespace
 
 std::string usage() {
   return R"(acpsim — billboard collaboration simulator (ICDCS'05 DISTILL)
 
 usage: acpsim [options]
 
+scenario files:
+  --scenario FILE  load an "acp.scenario.v1" JSON spec (see scenarios/);
+                   later flags override the file, --set overrides both
+  --set KEY=VALUE  override one spec key (n, m, alpha, protocol, engine,
+                   seed, ..., plus protocol.<param> and adversary.<param>);
+                   applied last, in order
+
 world:
   --n N            players (default 256)
   --m M            objects (default 256)
   --good G         good objects (default 1)
   --alpha A        honest fraction in (0,1] (default 0.5)
+  --world W        auto | simple | cost-classes | top-beta (default auto:
+                   derived from the protocol)
   --cost-classes C     cost classes for --protocol cost-classes (default 4)
   --cheapest-good K    class of the cheapest good object (default 0)
 
 algorithm:
-  --protocol P     distill | distill-hp | guess-alpha | cost-classes |
-                   no-lt | collab | trivial (default distill)
+  --protocol P     any registered protocol: distill | distill-hp |
+                   guess-alpha | cost-classes | no-lt | collab | trivial |
+                   popularity | full-coop (default distill)
   --f F            positive votes per player (default 1)
   --err E          honest false-positive vote probability (default 0)
   --veto V         negative-vote veto fraction, 0 disables (default 0)
@@ -163,7 +52,8 @@ algorithm:
   --trust          trust-weighted SeekAdvice (distill/distill-hp only)
 
 adversary:
-  --adversary A    silent | slander | eager | collude | splitvote | liar
+  --adversary A    any registered adversary: silent | slander | eager |
+                   collude | spam | splitvote | liar | targeted-slander
                    (default silent)
 
 substrate:
@@ -189,7 +79,10 @@ execution:
   --sweep P=LO:HI:STEP   sweep one parameter (alpha|n|good|f|err|veto),
                          printing one row per value
   --trials T       independent seeded trials (default 20)
-  --seed S         base seed (default 1)
+  --seed S         base seed (default 1); per-trial seeds are a splitmix64
+                   stream derived from it
+  --threads T      trial-driver worker threads, 0 = all cores (default 1);
+                   results are bit-identical at any thread count
   --max-rounds R   per-trial round cap, sync/gossip (default 500000)
   --max-steps S    per-trial honest-step cap, async/lockstep
                    (default 10000000)
@@ -204,6 +97,25 @@ execution:
   --help           this text
 )";
 }
+
+namespace {
+
+[[noreturn]] void unknown_registry_name(const char* what,
+                                        const std::string& name,
+                                        const std::vector<std::string>& known) {
+  std::string message =
+      std::string("unknown ") + what + " '" + name + "' (registered:";
+  bool first = true;
+  for (const std::string& k : known) {
+    message += first ? " " : ", ";
+    message += k;
+    first = false;
+  }
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+}  // namespace
 
 CliConfig parse_args(const std::vector<std::string>& args) {
   CliConfig config;
@@ -230,38 +142,58 @@ CliConfig parse_args(const std::vector<std::string>& args) {
     }
   };
 
+  // The scenario file is the base layer: load it before any flag lands on
+  // the spec, regardless of where --scenario sits on the command line.
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scenario") {
+      config.spec = scenario::ScenarioSpec::load_file(need_value(i));
+      ++i;
+    }
+  }
+
+  scenario::ScenarioSpec& spec = config.spec;
+  std::vector<std::string> overrides;  // --set, applied after all flags
+
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--help" || arg == "-h") {
       config.help = true;
     } else if (arg == "--csv") {
       config.csv = true;
+    } else if (arg == "--scenario") {
+      ++i;  // already loaded above
+    } else if (arg == "--set") {
+      overrides.push_back(need_value(i));
+      ++i;
     } else if (arg == "--no-advice") {
-      config.use_advice = false;
+      spec.protocol_params.set("use_advice", 0.0);
+    } else if (arg == "--trust") {
+      spec.protocol_params.set("trust", 1.0);
     } else if (arg == "--gossip") {
-      config.engine = EngineKind::kGossip;
+      spec.engine = "gossip";
     } else if (arg == "--engine") {
-      config.engine = parse_engine(need_value(i));
+      spec.engine = need_value(i);
       ++i;
     } else if (arg == "--scheduler") {
-      config.scheduler = parse_scheduler(need_value(i));
+      spec.scheduler = need_value(i);
+      ++i;
+    } else if (arg == "--world") {
+      spec.world = need_value(i);
       ++i;
     } else if (arg == "--max-steps") {
-      config.max_steps = static_cast<Count>(to_size(arg, need_value(i)));
+      spec.max_steps = static_cast<Count>(to_size(arg, need_value(i)));
       ++i;
     } else if (arg == "--arrival-window") {
-      config.arrival_window = static_cast<Round>(to_size(arg, need_value(i)));
+      spec.arrival_window = static_cast<Round>(to_size(arg, need_value(i)));
       ++i;
     } else if (arg == "--depart-frac") {
-      config.depart_frac = to_double(arg, need_value(i));
+      spec.depart_frac = to_double(arg, need_value(i));
       ++i;
     } else if (arg == "--depart-round") {
-      config.depart_round = static_cast<Round>(to_size(arg, need_value(i)));
+      spec.depart_round = static_cast<Round>(to_size(arg, need_value(i)));
       ++i;
-    } else if (arg == "--trust") {
-      config.trust_advice = true;
     } else if (arg == "--fanout") {
-      config.fanout = to_size(arg, need_value(i));
+      spec.fanout = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--trace") {
       config.trace_path = need_value(i);
@@ -273,95 +205,92 @@ CliConfig parse_args(const std::vector<std::string>& args) {
       config.report_json_path = need_value(i);
       ++i;
     } else if (arg == "--n") {
-      config.n = to_size(arg, need_value(i));
+      spec.n = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--m") {
-      config.m = to_size(arg, need_value(i));
+      spec.m = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--good") {
-      config.good = to_size(arg, need_value(i));
+      spec.good = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--alpha") {
-      config.alpha = to_double(arg, need_value(i));
+      spec.alpha = to_double(arg, need_value(i));
       ++i;
     } else if (arg == "--protocol") {
-      config.protocol = parse_protocol(need_value(i));
+      spec.protocol = need_value(i);
       ++i;
     } else if (arg == "--adversary") {
-      config.adversary = parse_adversary(need_value(i));
+      spec.adversary = need_value(i);
       ++i;
     } else if (arg == "--trials") {
-      config.trials = to_size(arg, need_value(i));
+      spec.trials = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--seed") {
-      config.seed = to_size(arg, need_value(i));
+      spec.seed = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--threads") {
+      spec.threads = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--max-rounds") {
-      config.max_rounds = static_cast<Round>(to_size(arg, need_value(i)));
+      spec.max_rounds = static_cast<Round>(to_size(arg, need_value(i)));
       ++i;
     } else if (arg == "--f") {
-      config.votes_per_player = to_size(arg, need_value(i));
+      spec.protocol_params.set("f",
+                               static_cast<double>(to_size(arg, need_value(i))));
       ++i;
     } else if (arg == "--err") {
-      config.error_vote_prob = to_double(arg, need_value(i));
+      spec.protocol_params.set("err", to_double(arg, need_value(i)));
       ++i;
     } else if (arg == "--veto") {
-      config.veto_fraction = to_double(arg, need_value(i));
+      spec.protocol_params.set("veto", to_double(arg, need_value(i)));
       ++i;
     } else if (arg == "--cost-classes") {
-      config.cost_classes = to_size(arg, need_value(i));
+      spec.cost_classes = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--cheapest-good") {
-      config.cheapest_good_class = to_size(arg, need_value(i));
+      spec.cheapest_good_class = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--sweep") {
       // name=lo:hi:step
-      const std::string& spec = need_value(i);
+      const std::string& sweep = need_value(i);
       ++i;
-      const auto eq = spec.find('=');
-      const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq);
-      const auto c2 =
-          c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+      const auto eq = sweep.find('=');
+      const auto c1 = sweep.find(':', eq == std::string::npos ? 0 : eq);
+      const auto c2 = c1 == std::string::npos ? std::string::npos
+                                              : sweep.find(':', c1 + 1);
       if (eq == std::string::npos || c1 == std::string::npos ||
           c2 == std::string::npos) {
         throw std::invalid_argument(
-            "--sweep wants name=lo:hi:step, got: " + spec);
+            "--sweep wants name=lo:hi:step, got: " + sweep);
       }
-      config.sweep_param = spec.substr(0, eq);
-      config.sweep_lo = to_double(arg, spec.substr(eq + 1, c1 - eq - 1));
-      config.sweep_hi = to_double(arg, spec.substr(c1 + 1, c2 - c1 - 1));
-      config.sweep_step = to_double(arg, spec.substr(c2 + 1));
+      config.sweep_param = sweep.substr(0, eq);
+      config.sweep_lo = to_double(arg, sweep.substr(eq + 1, c1 - eq - 1));
+      config.sweep_hi = to_double(arg, sweep.substr(c1 + 1, c2 - c1 - 1));
+      config.sweep_step = to_double(arg, sweep.substr(c2 + 1));
     } else {
       throw std::invalid_argument("unknown option: " + arg +
                                   " (try --help)");
     }
   }
 
+  for (const std::string& assignment : overrides) {
+    scenario::apply_override(spec, assignment);
+  }
+
   if (config.help) return config;
-  if (config.n < 1) throw std::invalid_argument("--n must be >= 1");
-  if (config.m < 1) throw std::invalid_argument("--m must be >= 1");
-  if (config.good < 1 || config.good > config.m) {
-    throw std::invalid_argument("--good must be in [1, m]");
+  spec.validate();
+
+  // Fail fast on unknown names — a typo should die in argument parsing,
+  // not in the middle of trial 0.
+  const scenario::Registries& reg = scenario::registries();
+  if (!reg.protocols.contains(spec.protocol)) {
+    unknown_registry_name("protocol", spec.protocol, reg.protocols.names());
   }
-  if (config.alpha <= 0.0 || config.alpha > 1.0) {
-    throw std::invalid_argument("--alpha must be in (0, 1]");
+  if (!reg.adversaries.contains(spec.adversary)) {
+    unknown_registry_name("adversary", spec.adversary,
+                          reg.adversaries.names());
   }
-  if (config.trials < 1) throw std::invalid_argument("--trials must be >= 1");
-  if (config.max_rounds < 1) {
-    throw std::invalid_argument("--max-rounds must be >= 1");
-  }
-  if (config.max_steps < 1) {
-    throw std::invalid_argument("--max-steps must be >= 1");
-  }
-  if (config.depart_frac < 0.0 || config.depart_frac > 1.0) {
-    throw std::invalid_argument("--depart-frac must be in [0, 1]");
-  }
-  if (config.depart_frac > 0.0 && config.depart_round < 1) {
-    throw std::invalid_argument(
-        "--depart-frac needs --depart-round >= 1 (a departure at round 0 "
-        "would remove the player before it ever acts)");
-  }
-  config.gossip = config.engine == EngineKind::kGossip;
+
   if (!config.sweep_param.empty()) {
     static const std::vector<std::string> kSweepable = {
         "alpha", "n", "good", "f", "err", "veto"};
@@ -384,171 +313,23 @@ CliConfig parse_args(const std::vector<std::string>& args) {
 
 namespace {
 
-struct TrialSetup {
-  World world;
-  Population population;
-  std::unique_ptr<Protocol> protocol;
-  std::unique_ptr<Adversary> adversary;
-};
-
-World make_world(const CliConfig& config, Rng& rng) {
-  switch (config.protocol) {
-    case ProtocolKind::kCostClasses: {
-      CostClassWorldOptions opts;
-      opts.num_classes = config.cost_classes;
-      opts.objects_per_class =
-          std::max<std::size_t>(1, config.m / config.cost_classes);
-      opts.cheapest_good_class = config.cheapest_good_class;
-      return make_cost_class_world(opts, rng);
-    }
-    case ProtocolKind::kNoLocalTesting:
-      return make_top_beta_world(config.m, config.good, rng);
-    default:
-      return make_simple_world(config.m, config.good, rng);
-  }
-}
-
-std::unique_ptr<Protocol> make_protocol(const CliConfig& config,
-                                        const World& world) {
-  switch (config.protocol) {
-    case ProtocolKind::kDistill:
-    case ProtocolKind::kDistillHp: {
-      DistillParams params = config.protocol == ProtocolKind::kDistillHp
-                                 ? make_hp_params(config.alpha, config.n)
-                                 : DistillParams{};
-      params.alpha = config.alpha;
-      params.votes_per_player = config.votes_per_player;
-      params.error_vote_prob = config.error_vote_prob;
-      params.veto_fraction = config.veto_fraction;
-      params.use_advice = config.use_advice;
-      params.trust_weighted_advice = config.trust_advice;
-      return std::make_unique<DistillProtocol>(params);
-    }
-    case ProtocolKind::kGuessAlpha:
-      return std::make_unique<GuessAlphaProtocol>();
-    case ProtocolKind::kCostClasses: {
-      CostClassParams params;
-      params.alpha = config.alpha;
-      return std::make_unique<CostClassProtocol>(params);
-    }
-    case ProtocolKind::kNoLocalTesting: {
-      DistillParams params = make_no_local_testing_params(
-          config.alpha, world.beta(), config.n);
-      return std::make_unique<DistillProtocol>(params);
-    }
-    case ProtocolKind::kCollab:
-      return std::make_unique<CollabBaselineProtocol>();
-    case ProtocolKind::kTrivial:
-      return std::make_unique<TrivialRandomProtocol>();
-  }
-  throw std::logic_error("unreachable protocol kind");
-}
-
-std::unique_ptr<Adversary> make_adversary(const CliConfig& config,
-                                          Protocol& protocol) {
-  switch (config.adversary) {
-    case AdversaryKind::kSilent:
-      return std::make_unique<SilentAdversary>();
-    case AdversaryKind::kSlander:
-      return std::make_unique<SlandererAdversary>();
-    case AdversaryKind::kEager:
-      return std::make_unique<EagerVoteAdversary>();
-    case AdversaryKind::kCollude:
-      return std::make_unique<CollusionAdversary>(4);
-    case AdversaryKind::kSplitVote: {
-      auto* distill = dynamic_cast<DistillProtocol*>(&protocol);
-      if (distill == nullptr) {
-        throw std::invalid_argument(
-            "--adversary splitvote requires --protocol distill or "
-            "distill-hp (it observes DISTILL's phase schedule)");
-      }
-      return std::make_unique<SplitVoteAdversary>(*distill);
-    }
-    case AdversaryKind::kValueLiar:
-      return std::make_unique<ValueLiarAdversary>();
-  }
-  throw std::logic_error("unreachable adversary kind");
-}
-
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kRoundRobin:
-      return std::make_unique<RoundRobinScheduler>();
-    case SchedulerKind::kRandom:
-      return std::make_unique<RandomScheduler>();
-  }
-  throw std::logic_error("unreachable scheduler kind");
-}
-
-/// Staircase arrivals over [0, W): the i-th honest player (ascending id)
-/// joins at floor(i*W/h). Empty when no window is configured.
-std::vector<Round> build_arrivals(const CliConfig& config,
-                                  const Population& population) {
-  if (config.arrival_window <= 0) return {};
-  const auto& honest = population.honest_players();
-  const std::size_t h = honest.size();
-  std::vector<Round> arrivals(population.num_players(), 0);
-  for (std::size_t i = 0; i < h; ++i) {
-    arrivals[honest[i].value()] = static_cast<Round>(
-        (static_cast<std::uint64_t>(i) *
-         static_cast<std::uint64_t>(config.arrival_window)) /
-        h);
-  }
-  return arrivals;
-}
-
-/// The last ceil(F*h) honest players crash-stop at depart_round. Empty
-/// when no departures are configured.
-std::vector<Round> build_departures(const CliConfig& config,
-                                    const Population& population) {
-  if (config.depart_frac <= 0.0) return {};
-  const auto& honest = population.honest_players();
-  const std::size_t h = honest.size();
-  const std::size_t leavers = std::min(
-      h, static_cast<std::size_t>(
-             std::ceil(config.depart_frac * static_cast<double>(h))));
-  std::vector<Round> departures(population.num_players(), -1);
-  for (std::size_t i = h - leavers; i < h; ++i) {
-    departures[honest[i].value()] = config.depart_round;
-  }
-  return departures;
-}
-
-}  // namespace
-
-namespace {
-
-/// Six metric summaries for one configuration point.
+/// Six metric summaries for one configuration point, honoring the
+/// first-trial trace options.
 std::vector<Summary> measure_point(const CliConfig& config) {
-  TrialPlan plan;
-  plan.trials = config.trials;
-  plan.base_seed = config.seed;
-  plan.threads = 1;
+  const scenario::ScenarioSpec& spec = config.spec;
+  const TrialPlan plan = sim::scenario_trial_plan(spec);
+  const std::uint64_t first_seed =
+      derive_trial_seeds(plan.base_seed, plan.trials).front();
 
-  const auto summaries = run_trials_multi(
-      plan, 6, [&](std::uint64_t seed) {
-        Rng rng(seed);
-        const World world = make_world(config, rng);
-        const auto honest = std::max<std::size_t>(
-            1, static_cast<std::size_t>(config.alpha *
-                                        static_cast<double>(config.n)));
-        const Population population =
-            Population::with_random_honest(config.n, honest, rng);
-        // `config.gossip` may have been set directly (bypassing
-        // parse_args); treat it as the alias it is.
-        const EngineKind engine =
-            config.gossip ? EngineKind::kGossip : config.engine;
-        const std::vector<Round> arrivals = build_arrivals(config, population);
-        const std::vector<Round> departures =
-            build_departures(config, population);
-
+  return run_trials_multi(
+      plan, sim::kNumScenarioMetrics, [&](std::uint64_t seed) {
         // Traces cover the FIRST trial only, on the engines whose observer
         // sees synchronous rounds (lockstep observers see virtual rounds —
         // the same shape). The mux lets the CSV and JSONL recorders share
         // the engine's single observer slot.
-        const bool first_trial = seed == config.seed;
+        const bool first_trial = seed == first_seed;
         const bool traces_ok =
-            engine == EngineKind::kSync || engine == EngineKind::kLockstep;
+            spec.engine == "sync" || spec.engine == "lockstep";
         obs::ObserverMux mux;
         TraceRecorder trace;
         const bool want_trace =
@@ -567,88 +348,8 @@ std::vector<Summary> measure_point(const CliConfig& config) {
         }
         RunObserver* observer = mux.empty() ? nullptr : &mux;
 
-        RunResult result;
-        switch (engine) {
-          case EngineKind::kGossip: {
-            // Per-node protocol instances over the gossip substrate. The
-            // split-vote adversary needs a single observed instance, which
-            // does not exist here; make_adversary rejects it below.
-            auto probe_protocol = make_protocol(config, world);  // validation
-            auto adversary = make_adversary(config, *probe_protocol);
-            if (config.adversary == AdversaryKind::kSplitVote) {
-              throw std::invalid_argument(
-                  "--adversary splitvote is not available with --engine "
-                  "gossip (there is no single protocol instance to observe)");
-            }
-            GossipConfig gossip_config;
-            gossip_config.fanout = config.fanout;
-            gossip_config.max_rounds = config.max_rounds;
-            gossip_config.seed = seed ^ 0x2545F491;
-            gossip_config.arrivals = arrivals;
-            gossip_config.departures = departures;
-            result = GossipEngine::run(
-                world, population,
-                [&] { return make_protocol(config, world); }, *adversary,
-                gossip_config);
-            break;
-          }
-          case EngineKind::kSync: {
-            auto protocol = make_protocol(config, world);
-            auto adversary = make_adversary(config, *protocol);
-            SyncRunConfig run_config;
-            run_config.max_rounds = config.max_rounds;
-            run_config.seed = seed ^ 0x2545F491;
-            run_config.arrivals = arrivals;
-            run_config.departures = departures;
-            run_config.observer = observer;
-            result = SyncEngine::run(world, population, *protocol, *adversary,
-                                     run_config);
-            break;
-          }
-          case EngineKind::kLockstep: {
-            auto protocol = make_protocol(config, world);
-            auto adversary = make_adversary(config, *protocol);
-            auto scheduler = make_scheduler(config.scheduler);
-            LockstepRunConfig run_config;
-            run_config.max_steps = config.max_steps;
-            run_config.seed = seed ^ 0x2545F491;
-            run_config.arrivals = arrivals;
-            run_config.departures = departures;
-            run_config.observer = observer;
-            result =
-                LockstepEngine::run(world, population, *protocol, *adversary,
-                                    *scheduler, run_config);
-            break;
-          }
-          case EngineKind::kAsync: {
-            // Only the natively asynchronous protocols run here; the
-            // synchronous ones go through --engine lockstep instead.
-            std::unique_ptr<AsyncProtocol> protocol;
-            switch (config.protocol) {
-              case ProtocolKind::kCollab:
-                protocol = std::make_unique<AsyncCollabProtocol>();
-                break;
-              case ProtocolKind::kTrivial:
-                protocol = std::make_unique<AsyncTrivialRandomProtocol>();
-                break;
-              default:
-                throw std::invalid_argument(
-                    "--engine async supports --protocol collab or trivial; "
-                    "run synchronous protocols with --engine lockstep");
-            }
-            auto probe_protocol = make_protocol(config, world);  // validation
-            auto adversary = make_adversary(config, *probe_protocol);
-            auto scheduler = make_scheduler(config.scheduler);
-            AsyncRunConfig run_config;
-            run_config.max_steps = config.max_steps;
-            run_config.seed = seed ^ 0x2545F491;
-            run_config.arrivals = arrivals;
-            run_config.departures = departures;
-            result = AsyncEngine::run(world, population, *protocol,
-                                      *adversary, *scheduler, run_config);
-            break;
-          }
-        }
+        const RunResult result =
+            scenario::run_scenario_trial(spec, seed, observer);
         if (want_trace) {
           std::ofstream file(config.trace_path);
           if (!file) {
@@ -657,34 +358,26 @@ std::vector<Summary> measure_point(const CliConfig& config) {
           }
           trace.write_csv(file);
         }
-        return std::vector<double>{
-            result.mean_honest_probes(),
-            static_cast<double>(result.max_honest_probes()),
-            result.mean_honest_cost(),
-            static_cast<double>(result.rounds_executed),
-            result.honest_success_fraction(),
-            result.all_honest_satisfied ? 1.0 : 0.0,
-        };
+        return sim::scenario_metrics(result);
       });
-
-  return summaries;
 }
 
 /// Apply a sweep value to a copy of the configuration.
 CliConfig with_sweep_value(const CliConfig& base, double value) {
   CliConfig config = base;
   if (base.sweep_param == "alpha") {
-    config.alpha = value;
+    config.spec.alpha = value;
   } else if (base.sweep_param == "n") {
-    config.n = static_cast<std::size_t>(value);
+    config.spec.n = static_cast<std::size_t>(value);
   } else if (base.sweep_param == "good") {
-    config.good = static_cast<std::size_t>(value);
+    config.spec.good = static_cast<std::size_t>(value);
   } else if (base.sweep_param == "f") {
-    config.votes_per_player = static_cast<std::size_t>(value);
+    config.spec.protocol_params.set("f", static_cast<double>(
+                                             static_cast<std::size_t>(value)));
   } else if (base.sweep_param == "err") {
-    config.error_vote_prob = value;
+    config.spec.protocol_params.set("err", value);
   } else if (base.sweep_param == "veto") {
-    config.veto_fraction = value;
+    config.spec.protocol_params.set("veto", value);
   }
   return config;
 }
@@ -697,6 +390,8 @@ int run(const CliConfig& config, std::ostream& out) {
     return 0;
   }
 
+  const scenario::ScenarioSpec& spec = config.spec;
+
   if (!config.sweep_param.empty()) {
     Table table({config.sweep_param, "probes/player", "worst", "cost",
                  "rounds", "success", "completed"});
@@ -705,13 +400,13 @@ int run(const CliConfig& config, std::ostream& out) {
          value += config.sweep_step) {
       const auto summaries = measure_point(with_sweep_value(config, value));
       table.add_row({Table::cell(value, 3),
-                     Table::cell(summaries[0].mean()),
-                     Table::cell(summaries[1].mean()),
-                     Table::cell(summaries[2].mean()),
-                     Table::cell(summaries[3].mean()),
-                     Table::cell(summaries[4].mean(), 4),
-                     Table::cell(summaries[5].min(), 0)});
-      if (summaries[5].min() < 1.0) exit_code = 2;
+                     Table::cell(summaries[sim::kMeanProbes].mean()),
+                     Table::cell(summaries[sim::kMaxProbes].mean()),
+                     Table::cell(summaries[sim::kMeanCost].mean()),
+                     Table::cell(summaries[sim::kRounds].mean()),
+                     Table::cell(summaries[sim::kSuccessFraction].mean(), 4),
+                     Table::cell(summaries[sim::kCompleted].min(), 0)});
+      if (summaries[sim::kCompleted].min() < 1.0) exit_code = 2;
     }
     if (config.csv) {
       table.print_csv(out);
@@ -733,48 +428,48 @@ int run(const CliConfig& config, std::ostream& out) {
   if (want_report) {
     obs::MetricsRegistry::set_enabled(false);
     obs::RunReport report;
-    report.set_config("n", config.n);
-    report.set_config("m", config.m);
-    report.set_config("good", config.good);
-    report.set_config("alpha", config.alpha);
-    report.set_config("protocol", protocol_name(config.protocol));
-    report.set_config("adversary", adversary_name(config.adversary));
-    report.set_config("trials", config.trials);
-    report.set_config("seed", static_cast<std::uint64_t>(config.seed));
+    report.set_config("n", spec.n);
+    report.set_config("m", spec.m);
+    report.set_config("good", spec.good);
+    report.set_config("alpha", spec.alpha);
+    report.set_config("protocol", spec.protocol);
+    report.set_config("adversary", spec.adversary);
+    report.set_config("trials", spec.trials);
+    report.set_config("seed", spec.seed);
     report.set_config("max_rounds",
-                      static_cast<std::uint64_t>(config.max_rounds));
-    report.set_config("f", config.votes_per_player);
-    report.set_config("err", config.error_vote_prob);
-    report.set_config("veto", config.veto_fraction);
-    report.set_config("use_advice", config.use_advice);
-    report.set_config("trust_advice", config.trust_advice);
-    const EngineKind engine =
-        config.gossip ? EngineKind::kGossip : config.engine;
-    report.set_config("engine", engine_name(engine));
-    report.set_config("gossip", engine == EngineKind::kGossip);
-    if (engine == EngineKind::kGossip) {
-      report.set_config("fanout", config.fanout);
+                      static_cast<std::uint64_t>(spec.max_rounds));
+    report.set_config("f", spec.protocol_params.get_size("f", 1));
+    report.set_config("err", spec.protocol_params.get("err", 0.0));
+    report.set_config("veto", spec.protocol_params.get("veto", 0.0));
+    report.set_config("use_advice",
+                      spec.protocol_params.get_bool("use_advice", true));
+    report.set_config("trust_advice",
+                      spec.protocol_params.get_bool("trust", false));
+    report.set_config("engine", spec.engine);
+    report.set_config("gossip", spec.engine == "gossip");
+    if (spec.engine == "gossip") {
+      report.set_config("fanout", spec.fanout);
     }
-    if (engine == EngineKind::kAsync || engine == EngineKind::kLockstep) {
-      report.set_config("scheduler", scheduler_name(config.scheduler));
+    if (spec.engine == "async" || spec.engine == "lockstep") {
+      report.set_config("scheduler", spec.scheduler);
       report.set_config("max_steps",
-                        static_cast<std::uint64_t>(config.max_steps));
+                        static_cast<std::uint64_t>(spec.max_steps));
     }
-    if (config.arrival_window > 0) {
+    if (spec.arrival_window > 0) {
       report.set_config("arrival_window",
-                        static_cast<std::uint64_t>(config.arrival_window));
+                        static_cast<std::uint64_t>(spec.arrival_window));
     }
-    if (config.depart_frac > 0.0) {
-      report.set_config("depart_frac", config.depart_frac);
+    if (spec.depart_frac > 0.0) {
+      report.set_config("depart_frac", spec.depart_frac);
       report.set_config("depart_round",
-                        static_cast<std::uint64_t>(config.depart_round));
+                        static_cast<std::uint64_t>(spec.depart_round));
     }
-    report.add_metric("probes_per_player", summaries[0]);
-    report.add_metric("worst_player_probes", summaries[1]);
-    report.add_metric("cost_per_player", summaries[2]);
-    report.add_metric("rounds", summaries[3]);
-    report.add_metric("success_fraction", summaries[4]);
-    report.add_metric("run_completed", summaries[5]);
+    report.add_metric("probes_per_player", summaries[sim::kMeanProbes]);
+    report.add_metric("worst_player_probes", summaries[sim::kMaxProbes]);
+    report.add_metric("cost_per_player", summaries[sim::kMeanCost]);
+    report.add_metric("rounds", summaries[sim::kRounds]);
+    report.add_metric("success_fraction", summaries[sim::kSuccessFraction]);
+    report.add_metric("run_completed", summaries[sim::kCompleted]);
     report.set_metrics_snapshot(obs::MetricsRegistry::global().snapshot());
     std::ofstream file(config.report_json_path);
     if (!file) {
@@ -796,13 +491,13 @@ int run(const CliConfig& config, std::ostream& out) {
   if (config.csv) {
     table.print_csv(out);
   } else {
-    out << "acpsim: n=" << config.n << " m=" << config.m
-        << " good=" << config.good << " alpha=" << config.alpha
-        << " trials=" << config.trials << "\n\n";
+    out << "acpsim: n=" << spec.n << " m=" << spec.m
+        << " good=" << spec.good << " alpha=" << spec.alpha
+        << " trials=" << spec.trials << "\n\n";
     table.print(out);
   }
   // Signal failure if any trial failed to satisfy all honest players.
-  return summaries[5].min() >= 1.0 ? 0 : 2;
+  return summaries[sim::kCompleted].min() >= 1.0 ? 0 : 2;
 }
 
 }  // namespace acp::cli

@@ -1,21 +1,107 @@
 #include "acp/sim/runner.hpp"
 
+#include <algorithm>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "acp/rng/splitmix64.hpp"
 #include "acp/sim/thread_pool.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {
 
 namespace {
+
+/// Shard count is a function of `trials` alone — never of the worker
+/// count — so the shard boundaries (and with them the merge order) are
+/// part of the experiment definition, not of the machine it ran on.
+constexpr std::size_t kMaxShards = 64;
+
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+/// Run `body(t, seed_t)` for every trial, sharded over the pool. Shards
+/// are contiguous trial ranges executed in trial order; the caller's
+/// per-shard state is reduced in shard index order by `finish(shard)`.
+/// The first failure (by shard index, then trial order within the shard —
+/// deterministic, unlike first-to-fail wall-clock order) is rethrown
+/// after all shards drain.
+void for_each_trial_sharded(
+    const TrialPlan& plan,
+    const std::function<void(std::size_t shard, std::size_t trial,
+                             std::uint64_t seed)>& body) {
+  const std::vector<std::uint64_t> seeds =
+      derive_trial_seeds(plan.base_seed, plan.trials);
+  const std::size_t shards = std::min(plan.trials, kMaxShards);
+  std::vector<std::exception_ptr> failures(shards);
+
+  auto run_shard = [&](std::size_t shard) {
+    const std::size_t begin = shard * plan.trials / shards;
+    const std::size_t end = (shard + 1) * plan.trials / shards;
+    try {
+      for (std::size_t t = begin; t < end; ++t) body(shard, t, seeds[t]);
+    } catch (...) {
+      failures[shard] = std::current_exception();
+    }
+  };
+
+  const std::size_t threads = resolve_threads(plan.threads);
+  if (threads == 1) {
+    for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      pool.submit([&run_shard, shard] { run_shard(shard); });
+    }
+    pool.wait_idle();
+  }
+
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+}
+
 }  // namespace
+
+std::vector<std::uint64_t> derive_trial_seeds(std::uint64_t base_seed,
+                                              std::size_t trials) {
+  std::vector<std::uint64_t> seeds(trials);
+  SplitMix64 stream(base_seed);
+  for (std::uint64_t& seed : seeds) seed = stream.next();
+  return seeds;
+}
+
+std::vector<RunningStats> run_trials_stats(
+    const TrialPlan& plan, std::size_t num_metrics,
+    const std::function<std::vector<double>(std::uint64_t)>& trial) {
+  ACP_EXPECTS(plan.trials >= 1);
+  ACP_EXPECTS(num_metrics >= 1);
+  ACP_EXPECTS(trial != nullptr);
+
+  const std::size_t shards = std::min(plan.trials, kMaxShards);
+  std::vector<std::vector<RunningStats>> per_shard(
+      shards, std::vector<RunningStats>(num_metrics));
+
+  for_each_trial_sharded(
+      plan, [&](std::size_t shard, std::size_t, std::uint64_t seed) {
+        const std::vector<double> row = trial(seed);
+        ACP_ENSURES(row.size() == num_metrics);
+        for (std::size_t metric = 0; metric < num_metrics; ++metric) {
+          per_shard[shard][metric].push(row[metric]);
+        }
+      });
+
+  std::vector<RunningStats> merged(num_metrics);
+  for (const auto& shard_stats : per_shard) {
+    for (std::size_t metric = 0; metric < num_metrics; ++metric) {
+      merged[metric].merge(shard_stats[metric]);
+    }
+  }
+  return merged;
+}
 
 std::vector<Summary> run_trials_multi(
     const TrialPlan& plan, std::size_t num_metrics,
@@ -24,30 +110,13 @@ std::vector<Summary> run_trials_multi(
   ACP_EXPECTS(num_metrics >= 1);
   ACP_EXPECTS(trial != nullptr);
 
+  // Samples land at their trial index, so the materialized vectors are
+  // identical no matter which worker ran which shard.
   std::vector<std::vector<double>> results(plan.trials);
-  std::mutex failure_mutex;
-  std::exception_ptr first_failure;
-
-  const std::size_t threads = resolve_threads(plan.threads);
-  if (threads == 1) {
-    for (std::size_t t = 0; t < plan.trials; ++t) {
-      results[t] = trial(plan.base_seed + t);
-    }
-  } else {
-    ThreadPool pool(threads);
-    for (std::size_t t = 0; t < plan.trials; ++t) {
-      pool.submit([&, t] {
-        try {
-          results[t] = trial(plan.base_seed + t);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!first_failure) first_failure = std::current_exception();
-        }
+  for_each_trial_sharded(
+      plan, [&](std::size_t, std::size_t t, std::uint64_t seed) {
+        results[t] = trial(seed);
       });
-    }
-    pool.wait_idle();
-    if (first_failure) std::rethrow_exception(first_failure);
-  }
 
   std::vector<std::vector<double>> per_metric(num_metrics);
   for (auto& samples : per_metric) samples.reserve(plan.trials);

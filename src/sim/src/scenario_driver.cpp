@@ -1,0 +1,46 @@
+#include "acp/sim/scenario_driver.hpp"
+
+#include "acp/scenario/build.hpp"
+
+namespace acp::sim {
+
+std::vector<double> scenario_metrics(const RunResult& result) {
+  return {
+      result.mean_honest_probes(),
+      static_cast<double>(result.max_honest_probes()),
+      result.mean_honest_cost(),
+      static_cast<double>(result.rounds_executed),
+      result.honest_success_fraction(),
+      result.all_honest_satisfied ? 1.0 : 0.0,
+  };
+}
+
+TrialPlan scenario_trial_plan(const scenario::ScenarioSpec& spec) {
+  TrialPlan plan;
+  plan.trials = spec.trials;
+  plan.base_seed = spec.seed;
+  plan.threads = spec.threads;
+  return plan;
+}
+
+std::vector<RunningStats> run_scenario_stats(
+    const scenario::ScenarioSpec& spec) {
+  spec.validate();
+  return run_trials_stats(
+      scenario_trial_plan(spec), kNumScenarioMetrics,
+      [&spec](std::uint64_t seed) {
+        return scenario_metrics(scenario::run_scenario_trial(spec, seed));
+      });
+}
+
+std::vector<Summary> run_scenario_summaries(
+    const scenario::ScenarioSpec& spec) {
+  spec.validate();
+  return run_trials_multi(
+      scenario_trial_plan(spec), kNumScenarioMetrics,
+      [&spec](std::uint64_t seed) {
+        return scenario_metrics(scenario::run_scenario_trial(spec, seed));
+      });
+}
+
+}  // namespace acp::sim

@@ -12,14 +12,14 @@ namespace {
 
 TEST(CliParse, Defaults) {
   const CliConfig config = parse_args({});
-  EXPECT_EQ(config.n, 256u);
-  EXPECT_EQ(config.m, 256u);
-  EXPECT_EQ(config.good, 1u);
-  EXPECT_DOUBLE_EQ(config.alpha, 0.5);
-  EXPECT_EQ(config.protocol, ProtocolKind::kDistill);
-  EXPECT_EQ(config.adversary, AdversaryKind::kSilent);
+  EXPECT_EQ(config.spec.n, 256u);
+  EXPECT_EQ(config.spec.m, 256u);
+  EXPECT_EQ(config.spec.good, 1u);
+  EXPECT_DOUBLE_EQ(config.spec.alpha, 0.5);
+  EXPECT_EQ(config.spec.protocol, "distill");
+  EXPECT_EQ(config.spec.adversary, "silent");
   EXPECT_FALSE(config.csv);
-  EXPECT_TRUE(config.use_advice);
+  EXPECT_TRUE(config.spec.protocol_params.empty());
 }
 
 TEST(CliParse, AllOptions) {
@@ -28,19 +28,19 @@ TEST(CliParse, AllOptions) {
        "--protocol", "distill-hp", "--adversary", "collude", "--trials",
        "7", "--seed", "99", "--max-rounds", "1000", "--f", "2", "--err",
        "0.1", "--veto", "0.25", "--no-advice", "--csv"});
-  EXPECT_EQ(config.n, 128u);
-  EXPECT_EQ(config.m, 512u);
-  EXPECT_EQ(config.good, 3u);
-  EXPECT_DOUBLE_EQ(config.alpha, 0.75);
-  EXPECT_EQ(config.protocol, ProtocolKind::kDistillHp);
-  EXPECT_EQ(config.adversary, AdversaryKind::kCollude);
-  EXPECT_EQ(config.trials, 7u);
-  EXPECT_EQ(config.seed, 99u);
-  EXPECT_EQ(config.max_rounds, 1000);
-  EXPECT_EQ(config.votes_per_player, 2u);
-  EXPECT_DOUBLE_EQ(config.error_vote_prob, 0.1);
-  EXPECT_DOUBLE_EQ(config.veto_fraction, 0.25);
-  EXPECT_FALSE(config.use_advice);
+  EXPECT_EQ(config.spec.n, 128u);
+  EXPECT_EQ(config.spec.m, 512u);
+  EXPECT_EQ(config.spec.good, 3u);
+  EXPECT_DOUBLE_EQ(config.spec.alpha, 0.75);
+  EXPECT_EQ(config.spec.protocol, "distill-hp");
+  EXPECT_EQ(config.spec.adversary, "collude");
+  EXPECT_EQ(config.spec.trials, 7u);
+  EXPECT_EQ(config.spec.seed, 99u);
+  EXPECT_EQ(config.spec.max_rounds, 1000);
+  EXPECT_EQ(config.spec.protocol_params.get_size("f", 1), 2u);
+  EXPECT_DOUBLE_EQ(config.spec.protocol_params.get("err", 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(config.spec.protocol_params.get("veto", 0.0), 0.25);
+  EXPECT_FALSE(config.spec.protocol_params.get_bool("use_advice", true));
   EXPECT_TRUE(config.csv);
 }
 
@@ -67,14 +67,89 @@ TEST(CliParse, RangeChecks) {
 }
 
 TEST(CliParse, UnknownProtocolAdversaryRejected) {
-  EXPECT_THROW((void)parse_args({"--protocol", "magic"}), std::invalid_argument);
-  EXPECT_THROW((void)parse_args({"--adversary", "gremlin"}),
-               std::invalid_argument);
+  // The error message must name what IS registered — a typo should read
+  // like a typo.
+  try {
+    (void)parse_args({"--protocol", "magic"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("distill"), std::string::npos);
+  }
+  try {
+    (void)parse_args({"--adversary", "gremlin"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gremlin"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("splitvote"), std::string::npos);
+  }
 }
 
 TEST(CliParse, HelpSkipsValidation) {
   const CliConfig config = parse_args({"--help"});
   EXPECT_TRUE(config.help);
+}
+
+TEST(CliParse, ScenarioFileLoads) {
+  const std::string path = testing::TempDir() + "acp_cli_scenario.json";
+  {
+    scenario::ScenarioSpec spec;
+    spec.n = 64;
+    spec.m = 48;
+    spec.alpha = 0.75;
+    spec.protocol = "distill-hp";
+    spec.trials = 3;
+    spec.save_file(path);
+  }
+  const CliConfig config = parse_args({"--scenario", path});
+  EXPECT_EQ(config.spec.n, 64u);
+  EXPECT_EQ(config.spec.m, 48u);
+  EXPECT_DOUBLE_EQ(config.spec.alpha, 0.75);
+  EXPECT_EQ(config.spec.protocol, "distill-hp");
+  EXPECT_EQ(config.spec.trials, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CliParse, PrecedenceIsFileThenFlagsThenSet) {
+  const std::string path = testing::TempDir() + "acp_cli_precedence.json";
+  {
+    scenario::ScenarioSpec spec;
+    spec.n = 64;
+    spec.m = 48;
+    spec.trials = 3;
+    spec.save_file(path);
+  }
+  // The file says n=64; the flag overrides to 128; --set wins with 32.
+  // --scenario may sit anywhere on the line — flags still beat the file.
+  const CliConfig config = parse_args(
+      {"--n", "128", "--scenario", path, "--set", "n=32"});
+  EXPECT_EQ(config.spec.n, 32u);
+  EXPECT_EQ(config.spec.m, 48u);      // file value survives
+  EXPECT_EQ(config.spec.trials, 3u);  // file value survives
+
+  // Later --set beats earlier --set.
+  const CliConfig config2 = parse_args(
+      {"--scenario", path, "--set", "n=32", "--set", "n=16"});
+  EXPECT_EQ(config2.spec.n, 16u);
+  std::remove(path.c_str());
+}
+
+TEST(CliParse, SetOverridesProtocolParams) {
+  const CliConfig config = parse_args(
+      {"--f", "2", "--set", "protocol.f=3", "--set", "adversary.decoys=7",
+       "--adversary", "collude"});
+  EXPECT_EQ(config.spec.protocol_params.get_size("f", 1), 3u);
+  EXPECT_EQ(config.spec.adversary_params.get_size("decoys", 4), 7u);
+}
+
+TEST(CliParse, SetUnknownKeyRejected) {
+  EXPECT_THROW((void)parse_args({"--set", "bogus=1"}), std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"--set", "n"}), std::invalid_argument);
+}
+
+TEST(CliParse, MissingScenarioFileRejected) {
+  EXPECT_THROW((void)parse_args({"--scenario", "/nonexistent/spec.json"}),
+               std::invalid_argument);
 }
 
 TEST(CliRun, HelpPrintsUsage) {
@@ -87,9 +162,9 @@ TEST(CliRun, HelpPrintsUsage) {
 
 TEST(CliRun, SmallDistillRunSucceeds) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 3;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 3;
   std::ostringstream out;
   EXPECT_EQ(run(config, out), 0);
   EXPECT_NE(out.str().find("probes/player"), std::string::npos);
@@ -98,9 +173,9 @@ TEST(CliRun, SmallDistillRunSucceeds) {
 
 TEST(CliRun, CsvOutput) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
   config.csv = true;
   std::ostringstream out;
   EXPECT_EQ(run(config, out), 0);
@@ -108,37 +183,33 @@ TEST(CliRun, CsvOutput) {
 }
 
 TEST(CliRun, EveryProtocolRuns) {
-  for (ProtocolKind kind :
-       {ProtocolKind::kDistill, ProtocolKind::kDistillHp,
-        ProtocolKind::kGuessAlpha, ProtocolKind::kCostClasses,
-        ProtocolKind::kNoLocalTesting, ProtocolKind::kCollab,
-        ProtocolKind::kTrivial}) {
+  for (const char* name :
+       {"distill", "distill-hp", "guess-alpha", "cost-classes", "no-lt",
+        "collab", "trivial", "popularity", "full-coop"}) {
     CliConfig config;
-    config.n = 32;
-    config.m = 32;
-    config.good = 2;
-    config.trials = 2;
-    config.protocol = kind;
+    config.spec.n = 32;
+    config.spec.m = 32;
+    config.spec.good = 2;
+    config.spec.trials = 2;
+    config.spec.protocol = name;
     std::ostringstream out;
     const int code = run(config, out);
-    EXPECT_TRUE(code == 0 || code == 2) << "protocol " << static_cast<int>(kind);
+    EXPECT_TRUE(code == 0 || code == 2) << "protocol " << name;
     EXPECT_FALSE(out.str().empty());
   }
 }
 
 TEST(CliRun, EveryAdversaryRuns) {
-  for (AdversaryKind kind :
-       {AdversaryKind::kSilent, AdversaryKind::kSlander,
-        AdversaryKind::kEager, AdversaryKind::kCollude,
-        AdversaryKind::kSplitVote, AdversaryKind::kValueLiar}) {
+  for (const char* name : {"silent", "slander", "eager", "collude", "spam",
+                           "splitvote", "liar", "targeted-slander"}) {
     CliConfig config;
-    config.n = 32;
-    config.m = 32;
-    config.alpha = 0.5;
-    config.trials = 2;
-    config.adversary = kind;
+    config.spec.n = 32;
+    config.spec.m = 32;
+    config.spec.alpha = 0.5;
+    config.spec.trials = 2;
+    config.spec.adversary = name;
     std::ostringstream out;
-    EXPECT_EQ(run(config, out), 0) << "adversary " << static_cast<int>(kind);
+    EXPECT_EQ(run(config, out), 0) << "adversary " << name;
   }
 }
 
@@ -164,9 +235,9 @@ TEST(CliParse, SweepRejectsMalformedSpec) {
 
 TEST(CliRun, SweepPrintsOneRowPerValue) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
   config.sweep_param = "alpha";
   config.sweep_lo = 0.5;
   config.sweep_hi = 1.0;
@@ -182,10 +253,9 @@ TEST(CliRun, SweepPrintsOneRowPerValue) {
 TEST(CliParse, GossipAndTrustFlags) {
   const CliConfig config =
       parse_args({"--gossip", "--fanout", "4", "--trust"});
-  EXPECT_TRUE(config.gossip);
-  EXPECT_EQ(config.engine, EngineKind::kGossip);
-  EXPECT_EQ(config.fanout, 4u);
-  EXPECT_TRUE(config.trust_advice);
+  EXPECT_EQ(config.spec.engine, "gossip");
+  EXPECT_EQ(config.spec.fanout, 4u);
+  EXPECT_TRUE(config.spec.protocol_params.get_bool("trust", false));
 }
 
 TEST(CliParse, EngineSchedulerAndChurnFlags) {
@@ -193,19 +263,12 @@ TEST(CliParse, EngineSchedulerAndChurnFlags) {
       {"--engine", "lockstep", "--scheduler", "random", "--max-steps",
        "5000", "--arrival-window", "10", "--depart-frac", "0.25",
        "--depart-round", "40"});
-  EXPECT_EQ(config.engine, EngineKind::kLockstep);
-  EXPECT_FALSE(config.gossip);
-  EXPECT_EQ(config.scheduler, SchedulerKind::kRandom);
-  EXPECT_EQ(config.max_steps, 5000);
-  EXPECT_EQ(config.arrival_window, 10);
-  EXPECT_DOUBLE_EQ(config.depart_frac, 0.25);
-  EXPECT_EQ(config.depart_round, 40);
-}
-
-TEST(CliParse, EngineGossipSetsAlias) {
-  const CliConfig config = parse_args({"--engine", "gossip"});
-  EXPECT_EQ(config.engine, EngineKind::kGossip);
-  EXPECT_TRUE(config.gossip);
+  EXPECT_EQ(config.spec.engine, "lockstep");
+  EXPECT_EQ(config.spec.scheduler, "random");
+  EXPECT_EQ(config.spec.max_steps, 5000);
+  EXPECT_EQ(config.spec.arrival_window, 10);
+  EXPECT_DOUBLE_EQ(config.spec.depart_frac, 0.25);
+  EXPECT_EQ(config.spec.depart_round, 40);
 }
 
 TEST(CliParse, EngineAndChurnRejections) {
@@ -224,101 +287,117 @@ TEST(CliParse, EngineAndChurnRejections) {
 
 TEST(CliRun, LockstepEngineRuns) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
-  config.engine = EngineKind::kLockstep;
-  config.adversary = AdversaryKind::kEager;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
+  config.spec.engine = "lockstep";
+  config.spec.adversary = "eager";
   std::ostringstream out;
   EXPECT_EQ(run(config, out), 0);
   EXPECT_FALSE(out.str().empty());
 }
 
 TEST(CliRun, AsyncEngineRunsCollabAndTrivial) {
-  for (ProtocolKind kind : {ProtocolKind::kCollab, ProtocolKind::kTrivial}) {
+  for (const char* name : {"collab", "trivial"}) {
     CliConfig config;
-    config.n = 32;
-    config.m = 32;
-    config.trials = 2;
-    config.engine = EngineKind::kAsync;
-    config.protocol = kind;
+    config.spec.n = 32;
+    config.spec.m = 32;
+    config.spec.trials = 2;
+    config.spec.engine = "async";
+    config.spec.protocol = name;
     std::ostringstream out;
-    EXPECT_EQ(run(config, out), 0) << "protocol " << static_cast<int>(kind);
+    EXPECT_EQ(run(config, out), 0) << "protocol " << name;
   }
 }
 
 TEST(CliRun, AsyncEngineRejectsSyncOnlyProtocol) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 1;
-  config.engine = EngineKind::kAsync;
-  config.protocol = ProtocolKind::kDistill;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 1;
+  config.spec.engine = "async";
+  config.spec.protocol = "distill";
   std::ostringstream out;
   EXPECT_THROW(run(config, out), std::invalid_argument);
 }
 
 TEST(CliRun, ChurnRunsOnEveryEngine) {
-  for (EngineKind engine : {EngineKind::kSync, EngineKind::kLockstep,
-                            EngineKind::kAsync, EngineKind::kGossip}) {
+  for (const char* engine : {"sync", "lockstep", "async", "gossip"}) {
     CliConfig config;
-    config.n = 32;
-    config.m = 32;
-    config.trials = 2;
-    config.engine = engine;
-    if (engine == EngineKind::kAsync) config.protocol = ProtocolKind::kCollab;
-    config.arrival_window = 8;
-    config.depart_frac = 0.2;
-    config.depart_round = 50;
+    config.spec.n = 32;
+    config.spec.m = 32;
+    config.spec.trials = 2;
+    config.spec.engine = engine;
+    if (config.spec.engine == "async") config.spec.protocol = "collab";
+    config.spec.arrival_window = 8;
+    config.spec.depart_frac = 0.2;
+    config.spec.depart_round = 50;
     std::ostringstream out;
     const int code = run(config, out);
     // Departing players may leave unsatisfied; both exits are legal.
-    EXPECT_TRUE(code == 0 || code == 2) << "engine " << static_cast<int>(engine);
+    EXPECT_TRUE(code == 0 || code == 2) << "engine " << engine;
     EXPECT_FALSE(out.str().empty());
   }
 }
 
 TEST(CliRun, GossipEngineRuns) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
-  config.gossip = true;
-  config.fanout = 3;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
+  config.spec.engine = "gossip";
+  config.spec.fanout = 3;
   std::ostringstream out;
   EXPECT_EQ(run(config, out), 0);
 }
 
 TEST(CliRun, GossipRejectsSplitVote) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 1;
-  config.gossip = true;
-  config.adversary = AdversaryKind::kSplitVote;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 1;
+  config.spec.engine = "gossip";
+  config.spec.adversary = "splitvote";
   std::ostringstream out;
   EXPECT_THROW(run(config, out), std::invalid_argument);
 }
 
 TEST(CliRun, TrustRuns) {
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
-  config.trust_advice = true;
-  config.adversary = AdversaryKind::kEager;
-  config.alpha = 0.5;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
+  config.spec.protocol_params.set("trust", 1.0);
+  config.spec.adversary = "eager";
+  config.spec.alpha = 0.5;
   std::ostringstream out;
   EXPECT_EQ(run(config, out), 0);
 }
 
 TEST(CliRun, SplitVoteRequiresDistill) {
   CliConfig config;
-  config.protocol = ProtocolKind::kCollab;
-  config.adversary = AdversaryKind::kSplitVote;
-  config.trials = 1;
+  config.spec.protocol = "collab";
+  config.spec.adversary = "splitvote";
+  config.spec.trials = 1;
   std::ostringstream out;
   EXPECT_THROW(run(config, out), std::invalid_argument);
+}
+
+TEST(CliRun, UnknownProtocolParamRejected) {
+  CliConfig config;
+  config.spec.n = 16;
+  config.spec.m = 16;
+  config.spec.trials = 1;
+  config.spec.protocol_params.set("bogus_knob", 1.0);
+  std::ostringstream out;
+  try {
+    (void)run(config, out);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message lists the knobs that DO exist.
+    EXPECT_NE(std::string(e.what()).find("bogus_knob"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("k1"), std::string::npos);
+  }
 }
 
 TEST(CliParse, ObservabilityFlags) {
@@ -343,9 +422,9 @@ TEST(CliRun, ReportJsonAndTraceJsonlWritten) {
   const std::string trace_path =
       testing::TempDir() + "acp_cli_trace_test.jsonl";
   CliConfig config;
-  config.n = 32;
-  config.m = 32;
-  config.trials = 2;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
   config.report_json_path = report_path;
   config.trace_jsonl_path = trace_path;
   std::ostringstream out;
@@ -381,9 +460,9 @@ TEST(CliRun, ReportJsonAndTraceJsonlWritten) {
 
 TEST(CliRun, ReportJsonUnwritablePathThrows) {
   CliConfig config;
-  config.n = 16;
-  config.m = 16;
-  config.trials = 1;
+  config.spec.n = 16;
+  config.spec.m = 16;
+  config.spec.trials = 1;
   config.report_json_path = "/nonexistent-dir/report.json";
   std::ostringstream out;
   EXPECT_THROW(run(config, out), std::invalid_argument);

@@ -1,0 +1,110 @@
+#include "acp/obs/json_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "acp/obs/json.hpp"
+
+namespace acp::obs {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_json("-2e3").as_number(), -2000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, U64RoundTripsExactly) {
+  EXPECT_EQ(parse_json("0").as_u64(), 0u);
+  EXPECT_EQ(parse_json("9007199254740992").as_u64(),
+            9007199254740992ull);  // 2^53
+  EXPECT_THROW((void)parse_json("-1").as_u64(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1.5").as_u64(), std::runtime_error);
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const JsonValue doc = parse_json(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), 3.0);
+  const JsonValue* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->find("c"), nullptr);
+  EXPECT_TRUE(b->find("c")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const JsonValue doc = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");  // é, UTF-8
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)parse_json("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_GE(e.column(), 8u);
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, MalformedInputRejected) {
+  EXPECT_THROW((void)parse_json(""), JsonParseError);
+  EXPECT_THROW((void)parse_json("{"), JsonParseError);
+  EXPECT_THROW((void)parse_json("[1, 2,]"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW((void)parse_json("nul"), JsonParseError);
+  // Trailing content after the document is an error, not ignored.
+  EXPECT_THROW((void)parse_json("{} trailing"), JsonParseError);
+}
+
+TEST(JsonParse, TypeErrorsNameTheActualKind) {
+  try {
+    (void)parse_json("[1]").as_object();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, ReadsBackWhatJsonWriterWrites) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.member("name", "fig1");
+    json.member("alpha", 0.5);
+    json.member("trials", 20.0);
+    json.key("tags").begin_array();
+    json.value("a");
+    json.value("b");
+    json.end_array();
+    json.end_object();
+  }
+  const JsonValue doc = parse_json(out.str());
+  EXPECT_EQ(doc.find("name")->as_string(), "fig1");
+  EXPECT_DOUBLE_EQ(doc.find("alpha")->as_number(), 0.5);
+  EXPECT_EQ(doc.find("trials")->as_u64(), 20u);
+  EXPECT_EQ(doc.find("tags")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace acp::obs

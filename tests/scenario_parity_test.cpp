@@ -1,0 +1,140 @@
+// The scenario layer's contract: a spec-built run is bit-identical to the
+// hand-wired construction it replaced. These tests wire up the legacy
+// recipe — Rng(seed) -> world -> population -> protocol -> adversary ->
+// engine with seed ^ 0x2545F491 — next to scenario::run_scenario_trial on
+// an equivalent spec and require exact equality of every RunResult field,
+// so routing the figures/tables through specs cannot silently change the
+// published numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acp/adversary/strategies.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/engine/adversary.hpp"
+#include "acp/engine/lockstep.hpp"
+#include "acp/engine/scheduler.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/world/builders.hpp"
+#include "acp/world/population.hpp"
+
+namespace acp::scenario {
+namespace {
+
+constexpr std::uint64_t kEngineSeedSalt = 0x2545F491;
+
+void expect_identical(const RunResult& expected, const RunResult& actual) {
+  EXPECT_EQ(expected.rounds_executed, actual.rounds_executed);
+  EXPECT_EQ(expected.all_honest_satisfied, actual.all_honest_satisfied);
+  EXPECT_EQ(expected.total_posts, actual.total_posts);
+  ASSERT_EQ(expected.players.size(), actual.players.size());
+  for (std::size_t i = 0; i < expected.players.size(); ++i) {
+    const PlayerStats& e = expected.players[i];
+    const PlayerStats& a = actual.players[i];
+    EXPECT_EQ(e.honest, a.honest) << "player " << i;
+    EXPECT_EQ(e.probes, a.probes) << "player " << i;
+    // Bit-identical, not nearly-equal: same probes in the same order.
+    EXPECT_EQ(e.cost_paid, a.cost_paid) << "player " << i;
+    EXPECT_EQ(e.satisfied_round, a.satisfied_round) << "player " << i;
+    EXPECT_EQ(e.probed_good, a.probed_good) << "player " << i;
+  }
+}
+
+TEST(ScenarioParity, Fig1PointMatchesHandWiredSync) {
+  // One FIG-1 point: m = n, alpha = 0.5, DISTILL vs the silent adversary.
+  ScenarioSpec spec;
+  spec.n = 64;
+  spec.m = 64;
+  spec.good = 1;
+  spec.alpha = 0.5;
+
+  for (const std::uint64_t seed : {1ull, 12345ull, 0xFEEDFACEull}) {
+    Rng rng(seed);
+    const World world = make_simple_world(64, 1, rng);
+    const Population population =
+        Population::with_random_honest(64, honest_count(0.5, 64), rng);
+    DistillParams params;
+    params.alpha = 0.5;
+    DistillProtocol protocol(params);
+    SilentAdversary adversary;
+    SyncRunConfig config;
+    config.max_rounds = spec.max_rounds;
+    config.seed = seed ^ kEngineSeedSalt;
+    const RunResult expected =
+        SyncEngine::run(world, population, protocol, adversary, config);
+
+    expect_identical(expected, run_scenario_trial(spec, seed));
+  }
+}
+
+TEST(ScenarioParity, ProtocolParamsReachTheProtocol) {
+  // The same point with non-default §4.1 knobs routed through the params
+  // map: f = 2 votes, a 10% veto fraction, slander adversary.
+  ScenarioSpec spec;
+  spec.n = 48;
+  spec.m = 48;
+  spec.good = 2;
+  spec.alpha = 0.6;
+  spec.adversary = "slander";
+  spec.protocol_params.set("f", 2.0);
+  spec.protocol_params.set("veto", 0.1);
+
+  const std::uint64_t seed = 99;
+  Rng rng(seed);
+  const World world = make_simple_world(48, 2, rng);
+  const Population population =
+      Population::with_random_honest(48, honest_count(0.6, 48), rng);
+  DistillParams params;
+  params.alpha = 0.6;
+  params.votes_per_player = 2;
+  params.veto_fraction = 0.1;
+  DistillProtocol protocol(params);
+  SlandererAdversary adversary;
+  SyncRunConfig config;
+  config.max_rounds = spec.max_rounds;
+  config.seed = seed ^ kEngineSeedSalt;
+  const RunResult expected =
+      SyncEngine::run(world, population, protocol, adversary, config);
+
+  expect_identical(expected, run_scenario_trial(spec, seed));
+}
+
+TEST(ScenarioParity, LockstepMatchesHandWiredRoundRobin) {
+  ScenarioSpec spec;
+  spec.n = 32;
+  spec.m = 32;
+  spec.good = 1;
+  spec.alpha = 0.5;
+  spec.engine = "lockstep";
+
+  const std::uint64_t seed = 4242;
+  Rng rng(seed);
+  const World world = make_simple_world(32, 1, rng);
+  const Population population =
+      Population::with_random_honest(32, honest_count(0.5, 32), rng);
+  DistillParams params;
+  params.alpha = 0.5;
+  DistillProtocol protocol(params);
+  SilentAdversary adversary;
+  RoundRobinScheduler scheduler;
+  LockstepRunConfig config;
+  config.max_steps = spec.max_steps;
+  config.seed = seed ^ kEngineSeedSalt;
+  const RunResult expected = LockstepEngine::run(world, population, protocol,
+                                                 adversary, scheduler, config);
+
+  expect_identical(expected, run_scenario_trial(spec, seed));
+}
+
+TEST(ScenarioParity, SameSeedSameResultAcrossCalls) {
+  // run_scenario_trial is a pure function of (spec, seed).
+  ScenarioSpec spec;
+  spec.n = 40;
+  spec.m = 40;
+  spec.adversary = "collude";
+  expect_identical(run_scenario_trial(spec, 5), run_scenario_trial(spec, 5));
+}
+
+}  // namespace
+}  // namespace acp::scenario

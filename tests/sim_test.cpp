@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 
+#include "acp/rng/splitmix64.hpp"
 #include "acp/sim/runner.hpp"
 #include "acp/sim/thread_pool.hpp"
 #include "acp/util/contracts.hpp"
@@ -51,7 +53,20 @@ TEST(ThreadPool, RejectsZeroThreads) {
   EXPECT_THROW(ThreadPool(0), ContractViolation);
 }
 
-TEST(Runner, SeedsAreSequential) {
+TEST(Runner, SeedsAreSplitMixDerived) {
+  // The per-trial seeds are the splitmix64 stream of the base seed — NOT
+  // base_seed, base_seed+1, ...: sequential seeds correlate the xoshiro
+  // states the trials expand them into.
+  const auto seeds = derive_trial_seeds(100, 20);
+  ASSERT_EQ(seeds.size(), 20u);
+  SplitMix64 stream(100);
+  for (const std::uint64_t seed : seeds) EXPECT_EQ(seed, stream.next());
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_EQ(unique.count(100u), 0u);  // the old correlated scheme is gone
+
+  // The runner hands exactly these seeds to the trials, at any thread
+  // count.
   std::mutex mutex;
   std::set<std::uint64_t> seen;
   TrialPlan plan;
@@ -63,9 +78,7 @@ TEST(Runner, SeedsAreSequential) {
     seen.insert(seed);
     return 0.0;
   });
-  EXPECT_EQ(seen.size(), 20u);
-  EXPECT_EQ(*seen.begin(), 100u);
-  EXPECT_EQ(*seen.rbegin(), 119u);
+  EXPECT_EQ(seen, unique);
 }
 
 TEST(Runner, SummaryMatchesSamples) {
@@ -73,8 +86,16 @@ TEST(Runner, SummaryMatchesSamples) {
   plan.trials = 5;
   plan.base_seed = 0;
   plan.threads = 1;
-  const Summary s = run_trials(
-      plan, [](std::uint64_t seed) { return static_cast<double>(seed); });
+  // Remap the derived seeds back to their trial index so the expected
+  // sample set is 0..4 regardless of the seed values.
+  const auto seeds = derive_trial_seeds(plan.base_seed, plan.trials);
+  auto index_of = [&seeds](std::uint64_t seed) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      if (seeds[i] == seed) return static_cast<double>(i);
+    }
+    return -1.0;
+  };
+  const Summary s = run_trials(plan, index_of);
   EXPECT_DOUBLE_EQ(s.mean(), 2.0);
   EXPECT_DOUBLE_EQ(s.min(), 0.0);
   EXPECT_DOUBLE_EQ(s.max(), 4.0);
@@ -108,14 +129,68 @@ TEST(Runner, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
 }
 
+TEST(Runner, StatsBitIdenticalAcrossThreadCounts) {
+  // The streamed reduction must not depend on which worker ran which
+  // shard: shards are a function of the trial count alone, accumulate in
+  // trial order, and merge in shard order. Welford merges are
+  // floating-point non-associative, so this only holds because the merge
+  // ORDER is pinned — the test pins bit-identity, not approximate
+  // equality, across thread counts (including counts that do not divide
+  // the trial count evenly).
+  auto run_with = [](std::size_t threads) {
+    TrialPlan plan;
+    plan.trials = 97;  // prime: shards are uneven on purpose
+    plan.base_seed = 42;
+    plan.threads = threads;
+    return run_trials_stats(plan, 2, [](std::uint64_t seed) {
+      const double x = static_cast<double>(seed % 1009) / 7.0;
+      return std::vector<double>{x, x * x};
+    });
+  };
+  const auto a = run_with(1);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const auto b = run_with(threads);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t metric = 0; metric < a.size(); ++metric) {
+      EXPECT_EQ(a[metric].count(), b[metric].count());
+      // Bit-identical, not nearly-equal.
+      EXPECT_EQ(a[metric].mean(), b[metric].mean()) << "threads " << threads;
+      EXPECT_EQ(a[metric].variance(), b[metric].variance())
+          << "threads " << threads;
+      EXPECT_EQ(a[metric].min(), b[metric].min());
+      EXPECT_EQ(a[metric].max(), b[metric].max());
+    }
+  }
+}
+
+TEST(Runner, StatsMatchSummaryMoments) {
+  TrialPlan plan;
+  plan.trials = 33;
+  plan.base_seed = 5;
+  plan.threads = 2;
+  auto trial = [](std::uint64_t seed) {
+    return std::vector<double>{static_cast<double>(seed % 101)};
+  };
+  const auto stats = run_trials_stats(plan, 1, trial);
+  const auto summaries = run_trials_multi(plan, 1, trial);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count(), 33u);
+  EXPECT_NEAR(stats[0].mean(), summaries[0].mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(stats[0].min(), summaries[0].min());
+  EXPECT_DOUBLE_EQ(stats[0].max(), summaries[0].max());
+}
+
 TEST(Runner, PropagatesTrialFailure) {
   TrialPlan plan;
   plan.trials = 8;
   plan.threads = 2;
+  const std::uint64_t bad_seed = derive_trial_seeds(plan.base_seed, 8)[3];
   EXPECT_THROW(
       (void)run_trials(plan,
-                       [](std::uint64_t seed) -> double {
-                         if (seed == 3) throw std::runtime_error("boom");
+                       [bad_seed](std::uint64_t seed) -> double {
+                         if (seed == bad_seed) {
+                           throw std::runtime_error("boom");
+                         }
                          return 0.0;
                        }),
       std::runtime_error);
