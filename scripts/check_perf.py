@@ -15,6 +15,13 @@ smoke test against gross regressions, not a profiler):
      (default 3.0). Absolute times vary across machines, hence the
      generous multiplier; a >3x slowdown on any substrate path is a real
      regression, not noise.
+  3. parallel scaling: the distill_parallel_round_n100k_t1 / _t4 ratio
+     must stay >= --min-parallel-speedup (default 2.0) — but only when
+     the producing machine recorded hw_threads >= 4. A single- or
+     dual-core machine cannot demonstrate 4-way scaling, so the gate
+     prints SKIP there instead of failing. Parallel rows deliberately do
+     not appear in speedups[] (gate 1): the 5x floor there is for
+     algorithmic rewrites, not thread scaling.
 
 Exit code 0 = pass, 1 = regression/invalid input. Stdlib only.
 """
@@ -77,6 +84,26 @@ def check_speedups(doc, min_speedup):
     return ok
 
 
+def check_parallel_scaling(doc, min_parallel_speedup):
+    benches = {b.get("name"): b for b in doc.get("benches", [])}
+    t1 = benches.get("distill_parallel_round_n100k_t1")
+    t4 = benches.get("distill_parallel_round_n100k_t4")
+    if t1 is None or t4 is None:
+        print("check_perf: parallel scaling rows "
+              "distill_parallel_round_n100k_t{1,4} missing", file=sys.stderr)
+        return False
+    ratio = t1["ns_per_op"] / t4["ns_per_op"] if t4["ns_per_op"] > 0 else 0.0
+    hw = doc.get("hw_threads", 0)
+    if not isinstance(hw, int) or hw < 4:
+        print(f"  parallel scaling t1/t4: {ratio:.2f}x "
+              f"SKIP (hw_threads={hw} < 4, cannot demonstrate 4-way scaling)")
+        return True
+    status = "ok" if ratio >= min_parallel_speedup else "FAIL"
+    print(f"  parallel scaling t1/t4: {ratio:.2f}x "
+          f"(floor {min_parallel_speedup}x, hw_threads={hw}) {status}")
+    return ratio >= min_parallel_speedup
+
+
 def check_against_baseline(doc, baseline, max_ratio):
     current = {b["name"]: b for b in doc.get("benches", [])}
     ok = True
@@ -104,12 +131,14 @@ def main():
     parser.add_argument("--baseline", help="checked-in BENCH_PERF.json")
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--max-ratio", type=float, default=3.0)
+    parser.add_argument("--min-parallel-speedup", type=float, default=2.0)
     args = parser.parse_args()
 
     doc = load(args.perf_json)
     ok = validate_schema(doc, args.perf_json)
     if ok:
         ok = check_speedups(doc, args.min_speedup)
+        ok = check_parallel_scaling(doc, args.min_parallel_speedup) and ok
         if args.baseline:
             baseline = load(args.baseline)
             ok = check_against_baseline(doc, baseline, args.max_ratio) and ok

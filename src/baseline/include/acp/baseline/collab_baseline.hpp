@@ -37,6 +37,10 @@ class CollabBaselineProtocol final : public Protocol {
 
   [[nodiscard]] const VoteLedger& ledger() const;
 
+  /// choose_probe reads only the ledger, which ingests exclusively in
+  /// on_round_begin.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
+
  private:
   double follow_prob_;
   std::size_t n_ = 0;

@@ -38,6 +38,10 @@ class PopularityProtocol final : public Protocol {
   /// Current popularity score (total positive reports ever) of an object.
   [[nodiscard]] Count popularity(ObjectId object) const;
 
+  /// choose_probe reads only the score table, which mutates exclusively
+  /// in on_round_begin.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
+
  private:
   double follow_prob_;
   std::size_t m_ = 0;

@@ -19,6 +19,8 @@ class TrivialRandomProtocol final : public Protocol {
   StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
                               double value, double cost, bool locally_good,
                               Rng& rng) override;
+  /// choose_probe touches nothing but the Rng and the fixed m.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
 
  private:
   std::size_t m_ = 0;

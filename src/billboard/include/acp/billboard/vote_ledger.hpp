@@ -87,6 +87,15 @@ class VoteLedger {
   [[nodiscard]] Count votes_in_window(ObjectId object, Round begin,
                                       Round end) const;
 
+  /// Batched votes_in_window: counts for every object of `objects` over
+  /// the same half-open interval [begin, end), written into `out` (resized
+  /// to objects.size(); out[i] answers objects[i], duplicates allowed).
+  /// One sweep over the window's events instead of a binary search per
+  /// object — the shape of DISTILL's phase transitions, which query every
+  /// candidate over one shared window.
+  void votes_in_window_batch(std::span<const ObjectId> objects, Round begin,
+                             Round end, std::vector<Count>& out) const;
+
   /// Total vote events for `object` over all time.
   [[nodiscard]] Count total_votes(ObjectId object) const;
 

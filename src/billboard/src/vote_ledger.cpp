@@ -156,6 +156,44 @@ Count VoteLedger::votes_in_window(ObjectId object, Round begin,
   return static_cast<Count>(hi - lo);
 }
 
+void VoteLedger::votes_in_window_batch(std::span<const ObjectId> objects,
+                                       Round begin, Round end,
+                                       std::vector<Count>& out) const {
+  ACP_OBS_TIMED_SCOPE("ledger.window_query");
+  ACP_EXPECTS(begin <= end);
+  out.assign(objects.size(), 0);
+  if (objects.empty()) return;
+  // Same epoch-stamped sweep as objects_with_votes_in_window: count every
+  // event inside the window once, then read off the queried objects.
+  const auto lo = std::lower_bound(event_rounds_.begin(), event_rounds_.end(),
+                                   begin) -
+                  event_rounds_.begin();
+  const auto hi = std::lower_bound(event_rounds_.begin() +
+                                       static_cast<std::ptrdiff_t>(lo),
+                                   event_rounds_.end(), end) -
+                  event_rounds_.begin();
+  if (window_stamp_.size() != num_objects_) {
+    window_stamp_.assign(num_objects_, 0);
+    window_counts_.assign(num_objects_, 0);
+  }
+  const std::uint64_t epoch = ++window_epoch_;
+  for (auto idx = static_cast<std::size_t>(lo);
+       idx < static_cast<std::size_t>(hi); ++idx) {
+    const ObjectId obj = events_[idx].object;
+    if (window_stamp_[obj.value()] != epoch) {
+      window_stamp_[obj.value()] = epoch;
+      window_counts_[obj.value()] = 0;
+    }
+    ++window_counts_[obj.value()];
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    ACP_EXPECTS(objects[i].value() < num_objects_);
+    if (window_stamp_[objects[i].value()] == epoch) {
+      out[i] = window_counts_[objects[i].value()];
+    }
+  }
+}
+
 Count VoteLedger::total_votes(ObjectId object) const {
   ACP_EXPECTS(object.value() < num_objects_);
   return static_cast<Count>(object_event_rounds_[object.value()].size());

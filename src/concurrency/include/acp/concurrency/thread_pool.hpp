@@ -1,4 +1,7 @@
-// Minimal fixed-size thread pool for embarrassingly parallel trial fan-out.
+// Minimal fixed-size thread pool, shared by the trial driver (acp/sim —
+// one task per trial shard) and the parallel round kernel (acp/engine —
+// one task per roster shard per round). Both uses follow the same
+// determinism recipe: shard by count only, accumulate in canonical order.
 #pragma once
 
 #include <condition_variable>

@@ -1,4 +1,4 @@
-#include "acp/sim/thread_pool.hpp"
+#include "acp/concurrency/thread_pool.hpp"
 
 #include "acp/util/contracts.hpp"
 

@@ -50,6 +50,10 @@ class CostClassProtocol final : public Protocol {
   [[nodiscard]] const std::vector<ObjectId>& class_objects(
       std::size_t cls) const;
 
+  /// Pure delegation to the inner DISTILL (class transitions happen only
+  /// in on_round_begin), so the inner protocol's safety carries over.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
+
  private:
   void start_class(std::size_t cls, Round round);
 

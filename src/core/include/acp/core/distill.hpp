@@ -47,6 +47,11 @@ class DistillProtocol final : public Protocol {
                               double value, double cost, bool locally_good,
                               Rng& rng) override;
   [[nodiscard]] bool wants_halt_all(Round round) const override;
+  /// choose_probe reads only the round-frozen shared tables (candidate
+  /// set, ledger, phase window) and per-player state that no other
+  /// player's on_probe_result touches (its own trust row), so players may
+  /// evaluate concurrently.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
 
   // -- Introspection (tests, benches, and the wrapper protocols) ----------
   [[nodiscard]] const DistillParams& params() const noexcept {
@@ -94,8 +99,7 @@ class DistillProtocol final : public Protocol {
   void enter_step11(Round round);
   /// Veto rule of the §6 variant: drop candidates whose negative votes in
   /// [begin, end) exceed veto_fraction * n. No-op when veto is disabled.
-  void apply_veto(std::vector<ObjectId>& objects, Round begin,
-                  Round end) const;
+  void apply_veto(std::vector<ObjectId>& objects, Round begin, Round end);
   /// Keep only universe members (no-op without a universe restriction).
   [[nodiscard]] std::vector<ObjectId> filter_universe(
       std::vector<ObjectId> objects) const;
@@ -131,6 +135,11 @@ class DistillProtocol final : public Protocol {
   /// params_.trust_weighted_advice is set.
   std::vector<std::vector<int>> trust_;
   std::vector<std::vector<int>> imported_trust_;
+
+  /// Scratch for the batched window queries of the phase transitions
+  /// (Step 2.2 survivor filter, veto rule). Only touched from
+  /// on_round_begin — never from the concurrency-safe choose_probe.
+  std::vector<Count> batch_counts_;
 };
 
 }  // namespace acp

@@ -42,6 +42,10 @@ class GuessAlphaProtocol final : public Protocol {
   [[nodiscard]] double current_alpha_guess() const;
   [[nodiscard]] const DistillProtocol& inner() const;
 
+  /// Pure delegation to the inner DISTILL (epoch swaps happen only in
+  /// on_round_begin), so the inner protocol's safety carries over.
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
+
  private:
   void start_epoch(std::size_t epoch, Round round);
 

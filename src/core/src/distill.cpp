@@ -121,15 +121,18 @@ void DistillProtocol::enter_step11(Round round) {
 }
 
 void DistillProtocol::apply_veto(std::vector<ObjectId>& objects, Round begin,
-                                 Round end) const {
+                                 Round end) {
   if (!negative_ledger_.has_value()) return;
   const double threshold =
       params_.veto_fraction * static_cast<double>(n_);
-  std::erase_if(objects, [&](ObjectId obj) {
-    return static_cast<double>(
-               negative_ledger_->votes_in_window(obj, begin, end)) >
-           threshold;
-  });
+  negative_ledger_->votes_in_window_batch(objects, begin, end, batch_counts_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (static_cast<double>(batch_counts_[i]) <= threshold) {
+      objects[kept++] = objects[i];
+    }
+  }
+  objects.resize(kept);
 }
 
 void DistillProtocol::on_round_begin(Round round, const Billboard& billboard) {
@@ -180,12 +183,15 @@ void DistillProtocol::on_round_begin(Round round, const Billboard& billboard) {
       const double ct = static_cast<double>(candidates_.size());
       const double threshold =
           static_cast<double>(n_) / (params_.survival_divisor * ct);
-      std::vector<ObjectId> next;
-      for (ObjectId obj : candidates_) {
-        const Count votes = ledger_->votes_in_window(obj, phase_start_, round);
-        if (static_cast<double>(votes) > threshold) next.push_back(obj);
+      ledger_->votes_in_window_batch(candidates_, phase_start_, round,
+                                     batch_counts_);
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        if (static_cast<double>(batch_counts_[i]) > threshold) {
+          candidates_[kept++] = candidates_[i];
+        }
       }
-      candidates_ = std::move(next);
+      candidates_.resize(kept);
       apply_veto(candidates_, phase_start_, round);
       ++iteration_;
       if (candidates_.empty()) {
@@ -237,14 +243,26 @@ std::optional<ObjectId> DistillProtocol::choose_probe(PlayerId player,
         }
       }
     }
+    // Count-then-select over the advisor's (tiny, <= f) vote list: the
+    // same draw sequence as materializing the admissible subset — one
+    // rng.index(count) iff nonempty, picking the k-th admissible vote —
+    // but allocation-free and without mutable scratch, which choose_probe
+    // must not touch (it runs concurrently across players under the
+    // parallel round kernel).
     const auto votes = ledger_->votes_of(j);
-    std::vector<ObjectId> admissible;
-    admissible.reserve(votes.size());
+    std::size_t admissible = 0;
     for (ObjectId obj : votes) {
-      if (in_universe(obj)) admissible.push_back(obj);
+      if (in_universe(obj)) ++admissible;
     }
-    if (admissible.empty()) return std::nullopt;
-    return admissible[rng.index(admissible.size())];
+    if (admissible == 0) return std::nullopt;
+    std::size_t pick = rng.index(admissible);
+    for (ObjectId obj : votes) {
+      if (!in_universe(obj)) continue;
+      if (pick == 0) return obj;
+      --pick;
+    }
+    ACP_ASSERT(false);  // the count above covers every admissible vote
+    return std::nullopt;
   }
 
   // Candidate probe: a uniformly random object of the current set.

@@ -21,6 +21,27 @@
 // asynchronous one. A "slice" is the kernel's commit unit: a round in the
 // synchronous engine, a basic step in the asynchronous one.
 //
+// The honest step is split into two halves so a policy can overlap the
+// expensive part across players:
+//
+//  * evaluate(p) -> ProbeEval — choose_probe plus the World probe and
+//    local-testability masking. Touches only player p's RNG stream and
+//    state that is read-only for the duration of the slice (the protocol's
+//    shared per-round tables, the billboard, the immutable World), so
+//    evaluations of distinct players may run concurrently *when the
+//    protocol's parallel_choose_safe() contract holds*.
+//  * apply(p, eval) -> halted? — on_probe_result, accounting, post
+//    staging, halt handling. Always runs on the kernel thread, in player
+//    order.
+//
+// Sequential policies call apply(p, evaluate(p)) inline, which is exactly
+// the historical interleaved order. ParallelAllActivePolicy evaluates
+// contiguous roster shards on a thread pool and then applies in roster
+// order; because each player's stream sees the same draw sequence
+// (choose_probe, then on_probe_result) and choose_probe may not depend on
+// same-slice on_probe_result mutations, the RunResult is bit-identical to
+// the sequential policy at any thread count.
+//
 // Stepper concept:
 //   void initialize(const WorldView&, std::size_t n);
 //   Round churn_clock(Round slice);          // clock arrivals/departures run on
@@ -33,15 +54,19 @@
 //   bool wants_halt_all(Round slice);
 //
 // SchedulePolicy concept:
-//   template <class Body> void run_slice(PlayerRoster&, Rng& scheduler_rng,
-//                                        Body&& step);   // step(p) -> halted?
+//   template <class Evaluate, class Apply>
+//   void run_slice(PlayerRoster&, Rng& scheduler_rng,
+//                  Evaluate&& evaluate,    // evaluate(p) -> ProbeEval
+//                  Apply&& apply);         // apply(p, eval) -> halted?
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <span>
 #include <vector>
 
 #include "acp/billboard/billboard.hpp"
+#include "acp/concurrency/thread_pool.hpp"
 #include "acp/engine/accounting.hpp"
 #include "acp/engine/adversary.hpp"
 #include "acp/engine/observer.hpp"
@@ -70,15 +95,29 @@ struct KernelSpec {
   const char* probes_counter = nullptr;
 };
 
+/// The read-only half of one player step: the chosen probe (if any) and
+/// the World's answer, produced by a policy's evaluate phase and consumed
+/// by its sequential apply phase.
+struct ProbeEval {
+  std::optional<ObjectId> object;  ///< nullopt: the player idles this slice
+  double value = 0.0;
+  double cost = 0.0;
+  bool good = false;          ///< ground truth (for accounting)
+  bool locally_good = false;  ///< masked by the goodness model (§2.2)
+};
+
 /// Steps every active player once per slice — the synchronous round.
 class AllActivePolicy {
  public:
-  template <class Body>
-  void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/, Body&& step) {
+  template <class Evaluate, class Apply>
+  void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/,
+                 Evaluate&& evaluate, Apply&& apply) {
     still_active_.clear();
     still_active_.reserve(roster.active().size());
     for (PlayerId p : roster.active()) {
-      if (!step(p)) still_active_.push_back(p);  // survivors keep order
+      if (!apply(p, evaluate(p))) {
+        still_active_.push_back(p);  // survivors keep order
+      }
     }
     roster.swap_active(still_active_);
   }
@@ -87,20 +126,79 @@ class AllActivePolicy {
   std::vector<PlayerId> still_active_;
 };
 
+/// The synchronous round with the evaluate phase sharded over a thread
+/// pool: the active roster splits into contiguous chunks (by count only —
+/// the same determinism recipe as the sharded trial driver), each chunk's
+/// players are evaluated on a pool worker into a slot indexed by roster
+/// position, and the apply phase then runs on the calling thread in
+/// roster order. Requires the stepper's evaluate half to be concurrency
+/// safe across players (Protocol::parallel_choose_safe); engines fall
+/// back to AllActivePolicy when it is not.
+class ParallelAllActivePolicy {
+ public:
+  explicit ParallelAllActivePolicy(ThreadPool& pool) : pool_(&pool) {}
+
+  template <class Evaluate, class Apply>
+  void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/,
+                 Evaluate&& evaluate, Apply&& apply) {
+    const std::span<const PlayerId> active = roster.active();
+    const std::size_t count = active.size();
+    evals_.resize(count);
+
+    const std::size_t shards = std::min(pool_->num_threads(), count);
+    if (shards > 0) {
+      errors_.assign(shards, nullptr);
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t begin = s * count / shards;
+        const std::size_t end = (s + 1) * count / shards;
+        pool_->submit([&, s, begin, end] {
+          try {
+            for (std::size_t i = begin; i < end; ++i) {
+              evals_[i] = evaluate(active[i]);
+            }
+          } catch (...) {
+            errors_[s] = std::current_exception();  // pool tasks must not throw
+          }
+        });
+      }
+      pool_->wait_idle();
+      for (const std::exception_ptr& error : errors_) {
+        if (error) std::rethrow_exception(error);
+      }
+    }
+
+    still_active_.clear();
+    still_active_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!apply(active[i], evals_[i])) {
+        still_active_.push_back(active[i]);  // survivors keep order
+      }
+    }
+    roster.swap_active(still_active_);
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<ProbeEval> evals_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<PlayerId> still_active_;
+};
+
 /// One scheduler-picked player per slice — the asynchronous basic step.
 class OneScheduledPolicy {
  public:
   explicit OneScheduledPolicy(Scheduler& scheduler) : scheduler_(&scheduler) {}
 
-  template <class Body>
-  void run_slice(PlayerRoster& roster, Rng& scheduler_rng, Body&& step) {
+  template <class Evaluate, class Apply>
+  void run_slice(PlayerRoster& roster, Rng& scheduler_rng,
+                 Evaluate&& evaluate, Apply&& apply) {
     // All current players may have halted while arrivals are still
     // pending: time passes (the adversary already posted) but nobody
     // moves.
     if (roster.active().empty()) return;
     const PlayerId p = scheduler_->next(roster.active(), scheduler_rng);
     ACP_ASSERT(roster.is_active(p));
-    if (step(p)) roster.remove(p);
+    if (apply(p, evaluate(p))) roster.remove(p);
   }
 
  private:
@@ -172,24 +270,40 @@ RunResult run_kernel(const World& world, const Population& population,
     kernel_detail::validate_adversary_posts(population, slice_posts, slice);
 
     std::size_t probes_this_slice = 0;
-    policy.run_slice(roster, streams.scheduler, [&](PlayerId p) {
-      Rng& rng = streams.player(p);
-      const auto choice = stepper.choose_probe(p, slice, billboard, rng);
+
+    // The read-only half of the step: may run concurrently across players
+    // under ParallelAllActivePolicy (distinct RNG streams, immutable
+    // World, slice-frozen billboard and protocol tables).
+    const auto evaluate = [&](PlayerId p) -> ProbeEval {
+      ProbeEval eval;
+      const auto choice =
+          stepper.choose_probe(p, slice, billboard, streams.player(p));
       if (!choice.has_value()) {
-        return false;  // idle step: no probe, no cost
+        return eval;  // idle step: no probe, no cost
       }
       const ObjectId object = *choice;
       const ProbeOutcome outcome = world.probe(object);
-      ++probes_this_slice;
-      accounting.record_probe(p, outcome.cost, world.is_good(object));
-
+      eval.object = object;
+      eval.value = outcome.value;
+      eval.cost = outcome.cost;
+      eval.good = world.is_good(object);
       // Local testability is a property of the object model (§2.2): under
       // TopBeta a prober cannot tell good from bad, so the flag is masked.
-      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
-                                    ? outcome.locally_good
-                                    : false;
-      const StepOutcome step = stepper.on_probe_result(
-          p, slice, object, outcome.value, outcome.cost, locally_good, rng);
+      eval.locally_good = world.model() == GoodnessModel::kLocalTesting
+                              ? outcome.locally_good
+                              : false;
+      return eval;
+    };
+
+    // The mutating half: always sequential, in player order.
+    const auto apply = [&](PlayerId p, const ProbeEval& eval) -> bool {
+      if (!eval.object.has_value()) return false;
+      ++probes_this_slice;
+      accounting.record_probe(p, eval.cost, eval.good);
+      const StepOutcome step =
+          stepper.on_probe_result(p, slice, *eval.object, eval.value,
+                                  eval.cost, eval.locally_good,
+                                  streams.player(p));
       if (step.post.has_value()) {
         slice_posts.push_back(Post{p, slice, step.post->object,
                                    step.post->reported_value,
@@ -197,7 +311,9 @@ RunResult run_kernel(const World& world, const Population& population,
       }
       if (step.halt) accounting.record_satisfied(p, slice);
       return step.halt;
-    });
+    };
+
+    policy.run_slice(roster, streams.scheduler, evaluate, apply);
 
     billboard.commit_round(slice, std::move(slice_posts));
     slice_posts = {};

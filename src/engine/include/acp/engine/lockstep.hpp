@@ -162,6 +162,11 @@ struct LockstepRunConfig {
   std::vector<Round> departures = {};
   /// Optional measurement hook; not owned.
   RunObserver* observer = nullptr;
+  /// Accepted for knob parity with SyncRunConfig (a scenario can switch
+  /// engines without editing its threads setting), but inherently a no-op
+  /// here: the asynchronous substrate steps exactly one player per slice,
+  /// so there is nothing to shard. Results are identical at any value.
+  std::size_t engine_threads = 1;
 };
 
 class LockstepEngine {

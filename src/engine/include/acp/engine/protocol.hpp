@@ -69,6 +69,17 @@ class Protocol {
   [[nodiscard]] virtual bool wants_halt_all(Round /*round*/) const {
     return false;
   }
+
+  /// Opt-in concurrency contract for the parallel round kernel: return
+  /// true iff choose_probe (i) mutates nothing but the passed Rng, and
+  /// (ii) reads only state that is constant between on_round_begin calls —
+  /// i.e. never state mutated by the same round's on_probe_result of
+  /// *another* player. When true, the engine may evaluate choose_probe
+  /// for distinct players concurrently (each on its own RNG stream);
+  /// results are bit-identical to the sequential order either way. The
+  /// conservative default keeps stateful pickers (e.g. the full-coop
+  /// oracle's shared cursor) on the sequential path.
+  [[nodiscard]] virtual bool parallel_choose_safe() const { return false; }
 };
 
 }  // namespace acp

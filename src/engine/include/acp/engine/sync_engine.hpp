@@ -46,6 +46,14 @@ struct SyncRunConfig {
   std::vector<Round> departures = {};
   /// Optional measurement hook; not owned.
   RunObserver* observer = nullptr;
+  /// Round-kernel worker threads (0 = hardware concurrency). With more
+  /// than one thread *and* a protocol whose parallel_choose_safe() holds,
+  /// each round's choose/probe/evaluate phase shards the active roster
+  /// over a thread pool; results are bit-identical at any thread count
+  /// (see kernel.hpp). Falls back to the sequential policy otherwise.
+  /// Composes multiplicatively with the trial driver's `threads` knob —
+  /// total workers ~= trial threads x engine threads.
+  std::size_t engine_threads = 1;
 };
 
 class SyncEngine {

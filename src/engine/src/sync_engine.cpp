@@ -1,5 +1,9 @@
 #include "acp/engine/sync_engine.hpp"
 
+#include <algorithm>
+#include <thread>
+
+#include "acp/concurrency/thread_pool.hpp"
 #include "acp/engine/kernel.hpp"
 
 namespace acp {
@@ -53,6 +57,16 @@ RunResult SyncEngine::run(const World& world, const Population& population,
   spec.slice_timer = "engine.sync.round";
   spec.slices_counter = "engine.sync.rounds";
   spec.probes_counter = "engine.sync.probes";
+
+  const std::size_t threads =
+      config.engine_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config.engine_threads;
+  if (threads > 1 && protocol.parallel_choose_safe()) {
+    ThreadPool pool(threads);
+    return run_kernel(world, population, adversary, SyncStepper(protocol),
+                      ParallelAllActivePolicy(pool), spec);
+  }
   return run_kernel(world, population, adversary, SyncStepper(protocol),
                     AllActivePolicy{}, spec);
 }

@@ -70,6 +70,15 @@ RunResult GossipEngine::run(const World& world, const Population& population,
                            "engine.gossip.probes");
   obs::TimerStat& round_timer =
       obs::MetricsRegistry::global().timer("engine.gossip.round");
+  // Per-phase breakdown of the round (visible via --report-json): where
+  // does a gossip round actually go? See docs/architecture.md,
+  // "Performance baseline", for the recorded finding.
+  obs::TimerStat& exchange_timer =
+      obs::MetricsRegistry::global().timer("engine.gossip.exchange");
+  obs::TimerStat& step_timer =
+      obs::MetricsRegistry::global().timer("engine.gossip.step");
+  obs::TimerStat& commit_timer =
+      obs::MetricsRegistry::global().timer("engine.gossip.commit");
 
   std::vector<Node> nodes(n);
   for (std::size_t p = 0; p < n; ++p) {
@@ -169,6 +178,7 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     // with pull enabled, also fetch fanout random peers' news. Every
     // exchange is independently lost with loss_prob.
     if (config.fanout > 0) {
+      const obs::ScopedTimer timed_exchange(exchange_timer);
       for (std::size_t p = 0; p < n; ++p) {
         Node& node = nodes[p];
         if (!node.present) continue;
@@ -224,51 +234,57 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     // in honest-id admission order.
     std::size_t probes_this_round = 0;
     halted_this_round.clear();
-    for (PlayerId pid : roster.active()) {
-      const std::size_t p = pid.value();
-      Node& node = nodes[p];
-      node.protocol->on_round_begin(round, *node.replica);
-      const auto choice =
-          node.protocol->choose_probe(pid, round, streams.player(pid));
-      if (!choice.has_value()) continue;
+    {
+      const obs::ScopedTimer timed_step(step_timer);
+      for (PlayerId pid : roster.active()) {
+        const std::size_t p = pid.value();
+        Node& node = nodes[p];
+        node.protocol->on_round_begin(round, *node.replica);
+        const auto choice =
+            node.protocol->choose_probe(pid, round, streams.player(pid));
+        if (!choice.has_value()) continue;
 
-      const ObjectId object = *choice;
-      const ProbeOutcome outcome = world.probe(object);
-      ++probes_this_round;
-      accounting.record_probe(pid, outcome.cost, world.is_good(object));
+        const ObjectId object = *choice;
+        const ProbeOutcome outcome = world.probe(object);
+        ++probes_this_round;
+        accounting.record_probe(pid, outcome.cost, world.is_good(object));
 
-      const bool locally_good = world.model() == GoodnessModel::kLocalTesting
-                                    ? outcome.locally_good
-                                    : false;
-      const StepOutcome step = node.protocol->on_probe_result(
-          pid, round, object, outcome.value, outcome.cost, locally_good,
-          streams.player(pid));
-      if (step.post.has_value()) {
-        const Post post{pid, round, step.post->object,
-                        step.post->reported_value, step.post->positive};
-        const PostIdx idx = intern_post(post);
-        node.seen.insert(post_key(post));
-        node.inbox.push_back(idx);  // own replica, visible next round
-        node.next_fresh.push_back(idx);
-        global_inbox.push_back(idx);
-      }
-      if (step.halt) {
-        accounting.record_satisfied(pid, round);
-        halted_this_round.push_back(pid);  // keeps relaying, stops probing
+        const bool locally_good = world.model() == GoodnessModel::kLocalTesting
+                                      ? outcome.locally_good
+                                      : false;
+        const StepOutcome step = node.protocol->on_probe_result(
+            pid, round, object, outcome.value, outcome.cost, locally_good,
+            streams.player(pid));
+        if (step.post.has_value()) {
+          const Post post{pid, round, step.post->object,
+                          step.post->reported_value, step.post->positive};
+          const PostIdx idx = intern_post(post);
+          node.seen.insert(post_key(post));
+          node.inbox.push_back(idx);  // own replica, visible next round
+          node.next_fresh.push_back(idx);
+          global_inbox.push_back(idx);
+        }
+        if (step.halt) {
+          accounting.record_satisfied(pid, round);
+          halted_this_round.push_back(pid);  // keeps relaying, stops probing
+        }
       }
     }
     for (PlayerId pid : halted_this_round) roster.remove(pid);
 
     // --- Commit the round everywhere. Queues are swapped/cleared, never
     // reallocated: the whole exchange is allocation-free in steady state.
-    for (std::size_t p = 0; p < n; ++p) {
-      Node& node = nodes[p];
-      if (!node.honest) continue;
-      commit_indices(*node.replica, round, node.inbox);
-      std::swap(node.fresh, node.next_fresh);
-      node.next_fresh.clear();
+    {
+      const obs::ScopedTimer timed_commit(commit_timer);
+      for (std::size_t p = 0; p < n; ++p) {
+        Node& node = nodes[p];
+        if (!node.honest) continue;
+        commit_indices(*node.replica, round, node.inbox);
+        std::swap(node.fresh, node.next_fresh);
+        node.next_fresh.clear();
+      }
+      commit_indices(global, round, global_inbox);
     }
-    commit_indices(global, round, global_inbox);
 
     accounting.end_slice(round, global, roster.active().size(),
                          probes_this_round);

@@ -55,6 +55,11 @@ struct ScenarioSpec {
   std::size_t fanout = 2;        ///< gossip push fanout
   Round max_rounds = 500000;     ///< sync/gossip per-trial cap
   Count max_steps = 10000000;    ///< async/lockstep honest-step cap
+  /// Round-kernel worker threads inside each trial (sync engine; 0 =
+  /// hardware concurrency). Bit-identical results at any value; falls
+  /// back to sequential when the protocol is not parallel_choose_safe.
+  /// Composes multiplicatively with the trial-driver `threads` knob.
+  std::size_t engine_threads = 1;
 
   // -- Churn ---------------------------------------------------------------
   /// Stagger honest arrivals over [0, W) on the engine's churn clock; the
@@ -91,8 +96,9 @@ struct ScenarioSpec {
 
 /// Apply one `key=value` override (the --set flag). Keys are the flat
 /// spec fields (n, m, good, alpha, world, protocol, adversary, engine,
-/// scheduler, fanout, max_rounds, max_steps, arrival_window, depart_frac,
-/// depart_round, trials, seed, threads, cost_classes, cheapest_good_class,
+/// scheduler, fanout, max_rounds, max_steps, engine_threads,
+/// arrival_window, depart_frac, depart_round, trials, seed, threads,
+/// cost_classes, cheapest_good_class,
 /// name) plus dotted parameter paths: protocol.<param> and
 /// adversary.<param>. Throws std::invalid_argument on unknown keys or
 /// unparsable values.

@@ -141,6 +141,7 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.arrivals = arrivals;
     config.departures = departures;
     config.observer = observer;
+    config.engine_threads = spec.engine_threads;
     return SyncEngine::run(world, population, *protocol, *adversary, config);
   }
 
@@ -155,6 +156,7 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.arrivals = arrivals;
     config.departures = departures;
     config.observer = observer;
+    config.engine_threads = spec.engine_threads;
     return LockstepEngine::run(world, population, *protocol, *adversary,
                                *scheduler, config);
   }

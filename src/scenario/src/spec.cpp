@@ -233,7 +233,7 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
     at(std::string("engine"), [&] { return &e->as_object(); });
     require_members(*e, "engine",
                     {"kind", "scheduler", "fanout", "max_rounds",
-                     "max_steps"});
+                     "max_steps", "threads"});
     spec.engine = get_string(*e, "engine", "kind", spec.engine);
     spec.scheduler = get_string(*e, "engine", "scheduler", spec.scheduler);
     spec.fanout = get_u64(*e, "engine", "fanout", spec.fanout);
@@ -241,6 +241,8 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
         *e, "engine", "max_rounds", static_cast<std::uint64_t>(spec.max_rounds)));
     spec.max_steps = static_cast<Count>(get_u64(
         *e, "engine", "max_steps", static_cast<std::uint64_t>(spec.max_steps)));
+    spec.engine_threads =
+        get_u64(*e, "engine", "threads", spec.engine_threads);
   }
 
   if (const JsonValue* c = doc.find("churn")) {
@@ -322,6 +324,7 @@ void ScenarioSpec::to_json(std::ostream& os) const {
   json.member("fanout", static_cast<std::uint64_t>(fanout));
   json.member("max_rounds", static_cast<std::uint64_t>(max_rounds));
   json.member("max_steps", static_cast<std::uint64_t>(max_steps));
+  json.member("threads", static_cast<std::uint64_t>(engine_threads));
   json.end_object();
 
   json.key("churn").begin_object();
@@ -431,6 +434,8 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
     spec.max_rounds = static_cast<Round>(parse_size_value(key, value));
   } else if (key == "max_steps") {
     spec.max_steps = static_cast<Count>(parse_size_value(key, value));
+  } else if (key == "engine_threads") {
+    spec.engine_threads = parse_size_value(key, value);
   } else if (key == "arrival_window") {
     spec.arrival_window = static_cast<Round>(parse_size_value(key, value));
   } else if (key == "depart_frac") {
@@ -458,9 +463,9 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
         "--set: unknown key '" + std::string(key) +
         "' (known: n, m, good, alpha, world, cost_classes, "
         "cheapest_good_class, protocol, adversary, engine, scheduler, "
-        "fanout, max_rounds, max_steps, arrival_window, depart_frac, "
-        "depart_round, trials, seed, threads, name, protocol.<param>, "
-        "adversary.<param>)");
+        "fanout, max_rounds, max_steps, engine_threads, arrival_window, "
+        "depart_frac, depart_round, trials, seed, threads, name, "
+        "protocol.<param>, adversary.<param>)");
   }
 }
 

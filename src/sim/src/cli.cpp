@@ -83,6 +83,10 @@ execution:
                    stream derived from it
   --threads T      trial-driver worker threads, 0 = all cores (default 1);
                    results are bit-identical at any thread count
+  --engine-threads T   round-kernel worker threads inside each trial,
+                       0 = all cores (default 1); sync engine only,
+                       bit-identical at any value, sequential fallback
+                       for protocols without parallel_choose_safe
   --max-rounds R   per-trial round cap, sync/gossip (default 500000)
   --max-steps S    per-trial honest-step cap, async/lockstep
                    (default 10000000)
@@ -230,6 +234,9 @@ CliConfig parse_args(const std::vector<std::string>& args) {
       ++i;
     } else if (arg == "--threads") {
       spec.threads = to_size(arg, need_value(i));
+      ++i;
+    } else if (arg == "--engine-threads") {
+      spec.engine_threads = to_size(arg, need_value(i));
       ++i;
     } else if (arg == "--max-rounds") {
       spec.max_rounds = static_cast<Round>(to_size(arg, need_value(i)));

@@ -5,7 +5,7 @@
 #include <thread>
 
 #include "acp/rng/splitmix64.hpp"
-#include "acp/sim/thread_pool.hpp"
+#include "acp/concurrency/thread_pool.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {

@@ -1,0 +1,161 @@
+// The parallel round kernel's determinism contract: RunResult is
+// bit-identical to the sequential schedule policy at any engine_threads
+// value (kernel.hpp's two-phase argument). Pinned through the scenario
+// layer — so the spec/JSON/--set wiring of engine_threads is covered end
+// to end — for the sync and lockstep engines, under churn, adversaries,
+// and a prime-sized roster (shard boundaries land mid-player), plus the
+// engine-level fallback for protocols without parallel_choose_safe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "acp/adversary/split_vote.hpp"
+#include "acp/adversary/strategies.hpp"
+#include "acp/baseline/full_coop_oracle.hpp"
+#include "acp/core/distill.hpp"
+#include "acp/engine/sync_engine.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/scenario/spec.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.players.size(), b.players.size());
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.all_honest_satisfied, b.all_honest_satisfied);
+  EXPECT_EQ(a.total_posts, b.total_posts);
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    SCOPED_TRACE("player " + std::to_string(p));
+    EXPECT_EQ(a.players[p].honest, b.players[p].honest);
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+    // Exact double equality on purpose: the parallel policy must replay
+    // the identical accounting sequence, not an approximation of it.
+    EXPECT_EQ(a.players[p].cost_paid, b.players[p].cost_paid);
+    EXPECT_EQ(a.players[p].satisfied_round, b.players[p].satisfied_round);
+    EXPECT_EQ(a.players[p].probed_good, b.players[p].probed_good);
+  }
+}
+
+RunResult run_at(scenario::ScenarioSpec spec, std::size_t engine_threads,
+                 std::uint64_t seed = 41) {
+  spec.engine_threads = engine_threads;
+  spec.validate();
+  return scenario::run_scenario_trial(spec, seed, nullptr);
+}
+
+/// Prime roster + churn: shard boundaries cannot align with anything.
+scenario::ScenarioSpec churny_spec() {
+  scenario::ScenarioSpec spec;
+  spec.n = 97;
+  spec.m = 50;
+  spec.good = 2;
+  spec.alpha = 0.72;
+  spec.max_rounds = 5000;
+  spec.arrival_window = 7;
+  spec.depart_frac = 0.1;
+  spec.depart_round = 9;
+  return spec;
+}
+
+TEST(ParallelKernel, SyncDistillSplitVoteChurnBitIdentical) {
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "distill";
+  spec.adversary = "splitvote";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 2));
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+TEST(ParallelKernel, SyncDistillVetoTargetedSlanderBitIdentical) {
+  // The veto variant exercises the negative ledger's batched window
+  // queries under an adversary that concentrates slander.
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "distill";
+  spec.protocol_params.set("veto", 0.25);
+  spec.adversary = "targeted-slander";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 2));
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+TEST(ParallelKernel, SyncTrivialEagerBitIdentical) {
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "trivial";
+  spec.adversary = "eager";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+TEST(ParallelKernel, SyncHardwareConcurrencyBitIdentical) {
+  // engine_threads = 0 resolves to the machine's core count; whatever
+  // that is, the result must not change.
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "distill";
+  spec.adversary = "slander";
+  expect_bit_identical(run_at(spec, 1), run_at(spec, 0));
+}
+
+TEST(ParallelKernel, LockstepChurnAdversaryAcceptsThreads) {
+  // engine_threads is a documented no-op on the one-player-per-slice
+  // substrate, but the knob must be accepted and results pinned.
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.engine = "lockstep";
+  spec.protocol = "distill";
+  spec.adversary = "targeted-slander";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 2));
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+TEST(ParallelKernel, UnsafeProtocolFallsBackToSequential) {
+  // The full-coop oracle's choose_probe mutates a shared cursor, so it
+  // reports parallel_choose_safe() == false and any engine_threads value
+  // must take the sequential policy — identical results, no crash.
+  ASSERT_FALSE(FullCoopOracle().parallel_choose_safe());
+  const Scenario scenario = Scenario::make(97, 70, 50, 2, /*seed=*/5);
+  RunResult results[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    FullCoopOracle protocol;
+    EagerVoteAdversary adversary;
+    SyncRunConfig config;
+    config.seed = 17;
+    config.max_rounds = 5000;
+    config.engine_threads = i == 0 ? 1 : 8;
+    results[i] = SyncEngine::run(scenario.world, scenario.population, protocol,
+                                 adversary, config);
+  }
+  expect_bit_identical(results[0], results[1]);
+}
+
+TEST(ParallelKernel, EngineLevelDistillChurnBitIdentical) {
+  // Registry-free variant pinning the SyncRunConfig knob directly, with
+  // hand-written churn vectors.
+  const Scenario scenario = Scenario::make(97, 70, 50, 2, /*seed=*/23);
+  std::vector<Round> arrivals(97, 0);
+  std::vector<Round> departures(97, -1);
+  for (std::size_t p = 0; p < 97; ++p) {
+    arrivals[p] = static_cast<Round>(p % 5);
+    if (p % 11 == 0) departures[p] = 12;
+  }
+  RunResult results[3];
+  const std::size_t threads[3] = {1, 2, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    DistillProtocol protocol(basic_params(0.72));
+    SplitVoteAdversary adversary(protocol);
+    SyncRunConfig config;
+    config.seed = 29;
+    config.max_rounds = 5000;
+    config.arrivals = arrivals;
+    config.departures = departures;
+    config.engine_threads = threads[i];
+    results[i] = SyncEngine::run(scenario.world, scenario.population, protocol,
+                                 adversary, config);
+  }
+  expect_bit_identical(results[0], results[1]);
+  expect_bit_identical(results[0], results[2]);
+}
+
+}  // namespace
+}  // namespace acp::test

@@ -6,7 +6,7 @@
 
 #include "acp/rng/splitmix64.hpp"
 #include "acp/sim/runner.hpp"
-#include "acp/sim/thread_pool.hpp"
+#include "acp/concurrency/thread_pool.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {

@@ -91,6 +91,44 @@ TEST_F(FirstPositiveLedgerTest, WindowHalfOpenSemantics) {
   EXPECT_EQ(ledger_.votes_in_window(ObjectId{1}, 2, 3), 0);  // excludes end
 }
 
+TEST_F(FirstPositiveLedgerTest, BatchWindowMatchesPerObjectQueries) {
+  bb_.commit_round(0, {make_post(0, 0, 4, 1.0, true)});
+  bb_.commit_round(3, {make_post(1, 3, 2, 1.0, true)});
+  bb_.commit_round(5, {make_post(2, 5, 4, 1.0, true)});
+  bb_.commit_round(9, {make_post(3, 9, 2, 1.0, true)});
+  ledger_.ingest(bb_);
+  // Duplicates in the query span are allowed; ObjectId{7} has no votes.
+  const std::vector<ObjectId> objects = {ObjectId{4}, ObjectId{2}, ObjectId{7},
+                                         ObjectId{4}};
+  std::vector<Count> batch;
+  const Round windows[][2] = {{0, 10}, {3, 4}, {2, 3}, {5, 9}, {9, 9}};
+  for (const auto& w : windows) {
+    SCOPED_TRACE("window [" + std::to_string(w[0]) + ", " +
+                 std::to_string(w[1]) + ")");
+    ledger_.votes_in_window_batch(objects, w[0], w[1], batch);
+    ASSERT_EQ(batch.size(), objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      EXPECT_EQ(batch[i], ledger_.votes_in_window(objects[i], w[0], w[1]));
+    }
+  }
+}
+
+TEST_F(FirstPositiveLedgerTest, BatchWindowBoundaries) {
+  bb_.commit_round(3, {make_post(0, 3, 1, 1.0, true)});
+  ledger_.ingest(bb_);
+  const std::vector<ObjectId> objects = {ObjectId{1}};
+  std::vector<Count> batch;
+  ledger_.votes_in_window_batch(objects, 3, 4, batch);
+  EXPECT_EQ(batch[0], 1);  // includes begin
+  ledger_.votes_in_window_batch(objects, 2, 3, batch);
+  EXPECT_EQ(batch[0], 0);  // excludes end
+  ledger_.votes_in_window_batch(objects, 3, 3, batch);
+  EXPECT_EQ(batch[0], 0);  // empty window
+  // Empty query span: out is resized to zero and nothing is swept.
+  ledger_.votes_in_window_batch({}, 0, 10, batch);
+  EXPECT_TRUE(batch.empty());
+}
+
 TEST_F(FirstPositiveLedgerTest, ObjectsWithVotesInWindowThreshold) {
   bb_.commit_round(0, {make_post(0, 0, 1, 1.0, true),
                        make_post(1, 0, 1, 1.0, true),
