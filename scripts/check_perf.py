@@ -117,9 +117,10 @@ def check_against_baseline(doc, baseline, max_ratio):
         base_ns = base["ns_per_op"]
         cur_ns = current[name]["ns_per_op"]
         ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        delta = 100.0 * (ratio - 1.0)
         status = "ok" if ratio <= max_ratio else "FAIL"
         print(f"  {name}: {cur_ns:.1f} ns/op vs baseline {base_ns:.1f} "
-              f"({ratio:.2f}x, limit {max_ratio}x) {status}")
+              f"({delta:+.1f}%, limit {max_ratio}x) {status}")
         if ratio > max_ratio:
             ok = False
     return ok

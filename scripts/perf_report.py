@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Render an acpsim run report (+ optional bench results) as markdown.
+
+Inputs:
+  --report REPORT.json     an "acp.report.v2" file written by
+                           `acpsim --profile --report-json REPORT.json`.
+                           Validated strictly; exit 1 on schema mismatch.
+  --bench BENCH_PERF.json  optional "acp.perf.v1" file from a fresh
+                           bench/perf_substrate run — rendered as an
+                           ns/op table.
+  --baseline BENCH.json    optional checked-in BENCH_PERF.json — adds a
+                           delta column (current vs baseline ns/op) to
+                           the bench table.
+  -o OUT.md                output path (default: stdout).
+
+The markdown answers "where did the time go": kernel phase percentages
+(evaluate / apply / barrier), per-shard spans with the imbalance
+histogram, thread-pool wake cost, and per-channel bandwidth — plus the
+ns/op trajectory vs the checked-in baseline when bench files are given.
+CI uploads the result as an artifact (see perf-smoke in ci.yml).
+
+Stdlib only. Exit 0 = rendered, 1 = invalid/unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"perf_report: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {path}: {err}")
+
+
+# ---------------------------------------------------------------- schema
+
+def validate_report(doc, path):
+    """Strict acp.report.v2 check: every section the renderer touches
+    must be present with the right shape. Returns a list of problems."""
+    errors = []
+
+    def need(mapping, key, types, where):
+        value = mapping.get(key)
+        if not isinstance(value, types):
+            errors.append(f"{where}.{key}: missing or wrong type")
+            return None
+        return value
+
+    if doc.get("schema") != "acp.report.v2":
+        print(f"perf_report: {path}: schema is {doc.get('schema')!r}, "
+              "want 'acp.report.v2'", file=sys.stderr)
+        return ["schema"]
+    config = need(doc, "config", dict, "$")
+    if config is not None:
+        for key in ("n", "m", "trials", "seed", "engine", "threads",
+                    "engine_threads", "engine_threads_resolved"):
+            need(config, key, (int, float, str), "config")
+    need(doc, "metrics", dict, "$")
+    need(doc, "counters", dict, "$")
+    phases = need(doc, "phases", dict, "$")
+    if phases:  # non-empty: a profiled run — check the full shape
+        rounds = need(phases, "rounds", dict, "phases")
+        if rounds is not None:
+            need(rounds, "parallel", int, "phases.rounds")
+            need(rounds, "sequential", int, "phases.rounds")
+        evaluate = need(phases, "engine.kernel.evaluate", dict, "phases")
+        if evaluate is not None:
+            need(evaluate, "total_ns", int, "phases.engine.kernel.evaluate")
+            shards = need(evaluate, "shards", list,
+                          "phases.engine.kernel.evaluate")
+            for i, shard in enumerate(shards or []):
+                for key in ("shard", "rounds", "evaluate_ns", "wake_ns"):
+                    need(shard, key, int, f"phases.shards[{i}]")
+        for section in ("engine.kernel.apply", "engine.kernel.barrier"):
+            block = need(phases, section, dict, "phases")
+            if block is not None:
+                need(block, "total_ns", int, f"phases.{section}")
+        imbalance = need(phases, "imbalance", dict, "phases")
+        if imbalance is not None:
+            need(imbalance, "slowest_shard_ns", int, "phases.imbalance")
+            need(imbalance, "fastest_shard_ns", int, "phases.imbalance")
+            histogram = need(imbalance, "ratio_histogram", dict,
+                             "phases.imbalance")
+            if histogram is not None:
+                need(histogram, "buckets", list,
+                     "phases.imbalance.ratio_histogram")
+        pool = need(phases, "pool", dict, "phases")
+        if pool is not None:
+            for key in ("tasks", "wake_ns", "max_queue_depth"):
+                need(pool, key, int, "phases.pool")
+    bandwidth = need(doc, "bandwidth", dict, "$")
+    if bandwidth:  # non-empty: metered run
+        need(bandwidth, "engine.io.bits_read", int, "bandwidth")
+        need(bandwidth, "engine.io.bits_written", int, "bandwidth")
+        channels = need(bandwidth, "channels", dict, "bandwidth")
+        for name, channel in (channels or {}).items():
+            for key in ("read_ops", "read_bits", "write_ops", "write_bits"):
+                need(channel, key, int, f"bandwidth.channels.{name}")
+        per_player = need(bandwidth, "per_player", dict, "bandwidth")
+        if per_player is not None:
+            need(per_player, "players", int, "bandwidth.per_player")
+    for error in errors:
+        print(f"perf_report: {path}: {error}", file=sys.stderr)
+    return errors
+
+
+# -------------------------------------------------------------- renderers
+
+def fmt_ns(ns):
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f} µs"
+    return f"{ns} ns"
+
+
+def fmt_bits(bits):
+    if bits >= 8_000_000:
+        return f"{bits / 8e6:.2f} MB"
+    if bits >= 8_000:
+        return f"{bits / 8e3:.2f} KB"
+    return f"{bits} bits"
+
+
+def render_config(config, out):
+    out.append("## Run configuration\n")
+    out.append("| key | value |")
+    out.append("|---|---|")
+    for key in ("protocol", "adversary", "engine", "n", "m", "good", "alpha",
+                "trials", "seed", "threads", "engine_threads",
+                "engine_threads_resolved"):
+        if key in config:
+            out.append(f"| {key} | {config[key]} |")
+    out.append("")
+
+
+def render_phases(phases, out):
+    out.append("## Kernel phases\n")
+    if not phases:
+        out.append("_Profiling was off for this run (no `--profile`)._\n")
+        return
+    rounds = phases["rounds"]
+    evaluate_ns = phases["engine.kernel.evaluate"]["total_ns"]
+    apply_ns = phases["engine.kernel.apply"]["total_ns"]
+    barrier_ns = phases["engine.kernel.barrier"]["total_ns"]
+    total = evaluate_ns + apply_ns + barrier_ns
+    out.append(f"Rounds: **{rounds['parallel']} parallel**, "
+               f"**{rounds['sequential']} sequential**. Accounted kernel "
+               f"time: **{fmt_ns(total)}**.\n")
+    out.append("| phase | time | share |")
+    out.append("|---|---:|---:|")
+    for name, ns in (("evaluate (parallel shards)", evaluate_ns),
+                     ("apply (sequential merge)", apply_ns),
+                     ("barrier (wait_idle)", barrier_ns)):
+        pct = 100.0 * ns / total if total else 0.0
+        out.append(f"| {name} | {fmt_ns(ns)} | {pct:.1f}% |")
+    out.append("")
+
+    shards = phases["engine.kernel.evaluate"]["shards"]
+    if shards:
+        out.append("### Per-shard evaluate spans\n")
+        out.append("| shard | rounds | evaluate | wake latency |")
+        out.append("|---:|---:|---:|---:|")
+        for shard in shards:
+            out.append(f"| {shard['shard']} | {shard['rounds']} | "
+                       f"{fmt_ns(shard['evaluate_ns'])} | "
+                       f"{fmt_ns(shard['wake_ns'])} |")
+        out.append("")
+
+    imbalance = phases["imbalance"]
+    slowest = imbalance["slowest_shard_ns"]
+    fastest = imbalance["fastest_shard_ns"]
+    out.append("### Shard imbalance\n")
+    if fastest > 0:
+        out.append(f"Summed critical path: slowest shard {fmt_ns(slowest)}, "
+                   f"fastest {fmt_ns(fastest)} "
+                   f"({slowest / fastest:.2f}x).\n")
+    histogram = imbalance["ratio_histogram"]
+    buckets = histogram["buckets"]
+    total_samples = sum(buckets) + histogram.get("underflow", 0) \
+        + histogram.get("overflow", 0)
+    if total_samples:
+        lo, hi = histogram["lo"], histogram["hi"]
+        width = (hi - lo) / len(buckets)
+        out.append("Per-round slowest/fastest ratio distribution:\n")
+        out.append("| ratio | rounds | |")
+        out.append("|---|---:|---|")
+        for i, count in enumerate(buckets):
+            if count == 0:
+                continue
+            bar = "█" * max(1, round(20 * count / total_samples))
+            out.append(f"| {lo + i * width:.2f}–{lo + (i + 1) * width:.2f} "
+                       f"| {count} | {bar} |")
+        if histogram.get("overflow"):
+            out.append(f"| > {hi:.1f} | {histogram['overflow']} | |")
+        out.append("")
+
+    pool = phases["pool"]
+    out.append("### Thread pool\n")
+    mean_wake = pool["wake_ns"] / pool["tasks"] if pool["tasks"] else 0
+    out.append(f"{pool['tasks']} tasks, total submit→start latency "
+               f"{fmt_ns(pool['wake_ns'])} "
+               f"(mean {fmt_ns(int(mean_wake))}/task), "
+               f"max queue depth {pool['max_queue_depth']}.\n")
+
+
+def render_bandwidth(bandwidth, out):
+    out.append("## Bandwidth\n")
+    if not bandwidth:
+        out.append("_Bandwidth metering was off for this run._\n")
+        return
+    out.append(f"Engine IO: **{fmt_bits(bandwidth['engine.io.bits_read'])} "
+               f"read**, **{fmt_bits(bandwidth['engine.io.bits_written'])} "
+               f"written**.\n")
+    out.append("| channel | read ops | read | write ops | write |")
+    out.append("|---|---:|---:|---:|---:|")
+    for name, channel in bandwidth["channels"].items():
+        if channel["read_ops"] == 0 and channel["write_ops"] == 0:
+            continue
+        out.append(f"| {name} | {channel['read_ops']} | "
+                   f"{fmt_bits(channel['read_bits'])} | "
+                   f"{channel['write_ops']} | "
+                   f"{fmt_bits(channel['write_bits'])} |")
+    out.append("")
+    per_player = bandwidth["per_player"]
+    if per_player["players"]:
+        out.append(f"Per player ({per_player['players']} with traffic): "
+                   f"read mean {fmt_bits(int(per_player['read_bits_mean']))} "
+                   f"/ max {fmt_bits(per_player['read_bits_max'])}, "
+                   f"write mean "
+                   f"{fmt_bits(int(per_player['write_bits_mean']))} "
+                   f"/ max {fmt_bits(per_player['write_bits_max'])}.\n")
+
+
+def render_bench(bench, baseline, out):
+    out.append("## Microbenchmark trajectory\n")
+    if bench.get("schema") != "acp.perf.v1":
+        fail(f"bench file schema is {bench.get('schema')!r}, "
+             "want 'acp.perf.v1'")
+    base_rows = {}
+    if baseline is not None:
+        base_rows = {b["name"]: b for b in baseline.get("benches", [])}
+        out.append("ns/op for each substrate bench, current run vs the "
+                   "checked-in baseline (negative delta = faster now).\n")
+        out.append("| bench | ns/op | baseline | delta |")
+        out.append("|---|---:|---:|---:|")
+    else:
+        out.append("| bench | ns/op | items/s |")
+        out.append("|---|---:|---:|")
+    for row in bench.get("benches", []):
+        name = row["name"]
+        if baseline is not None:
+            base = base_rows.get(name)
+            if base and base.get("ns_per_op"):
+                delta = 100.0 * (row["ns_per_op"] / base["ns_per_op"] - 1.0)
+                out.append(f"| {name} | {row['ns_per_op']:.1f} | "
+                           f"{base['ns_per_op']:.1f} | {delta:+.1f}% |")
+            else:
+                out.append(f"| {name} | {row['ns_per_op']:.1f} | — | — |")
+        else:
+            out.append(f"| {name} | {row['ns_per_op']:.1f} | "
+                       f"{row['items_per_sec']:.0f} |")
+    out.append("")
+    speedups = bench.get("speedups") or []
+    if speedups:
+        out.append("In-process speedups vs legacy reimplementations: "
+                   + ", ".join(f"{s['name']} {s['speedup']:.1f}x"
+                               for s in speedups) + ".\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--report", help="acp.report.v2 run report")
+    parser.add_argument("--bench", help="acp.perf.v1 BENCH_PERF.json")
+    parser.add_argument("--baseline", help="baseline BENCH_PERF.json for "
+                        "the delta column (requires --bench)")
+    parser.add_argument("-o", "--output", help="output markdown path "
+                        "(default stdout)")
+    args = parser.parse_args()
+    if not args.report and not args.bench:
+        fail("nothing to render: pass --report and/or --bench")
+
+    out = ["# Performance report\n"]
+    if args.report:
+        report = load(args.report)
+        if validate_report(report, args.report):
+            return 1
+        render_config(report["config"], out)
+        render_phases(report["phases"], out)
+        render_bandwidth(report["bandwidth"], out)
+    if args.bench:
+        bench = load(args.bench)
+        baseline = load(args.baseline) if args.baseline else None
+        render_bench(bench, baseline, out)
+
+    text = "\n".join(out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"perf_report: wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,27 @@
 
 #include <iterator>
 
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/timer.hpp"
 
 namespace acp {
+namespace {
+
+// Authoritative commits are the protocol's writes to the shared board,
+// attributed to each post's author. Replica commits are excluded: a
+// replica ingesting gossip would double-count traffic already metered at
+// the gossip exchange.
+void meter_commit(Billboard::Mode mode, std::span<const Post> posts) {
+  if (mode != Billboard::Mode::kAuthoritative || !obs::BandwidthMeter::enabled()) {
+    return;
+  }
+  for (const Post& p : posts) {
+    obs::BandwidthMeter::add_write_for(obs::IoChannel::kBillboardCommit,
+                                       obs::kPostWireBits, p.author);
+  }
+}
+
+}  // namespace
 
 Billboard::Billboard(std::size_t num_players, std::size_t num_objects,
                      Mode mode)
@@ -39,6 +57,7 @@ void Billboard::validate_round(Round round, std::span<const Post> posts) {
 void Billboard::commit_round(Round round, std::vector<Post> posts) {
   ACP_OBS_TIMED_SCOPE("billboard.commit_round");
   validate_round(round, posts);
+  meter_commit(mode_, posts);
   posts_.insert(posts_.end(), std::make_move_iterator(posts.begin()),
                 std::make_move_iterator(posts.end()));
 }
@@ -46,6 +65,7 @@ void Billboard::commit_round(Round round, std::vector<Post> posts) {
 void Billboard::commit_round_from(Round round, std::span<const Post> posts) {
   ACP_OBS_TIMED_SCOPE("billboard.commit_round");
   validate_round(round, posts);
+  meter_commit(mode_, posts);
   posts_.insert(posts_.end(), posts.begin(), posts.end());
 }
 

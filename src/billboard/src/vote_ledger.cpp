@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/timer.hpp"
 #include "acp/util/contracts.hpp"
 
@@ -31,6 +32,12 @@ void VoteLedger::ingest(const Billboard& billboard) {
   ACP_EXPECTS(billboard.num_players() == num_players_);
   ACP_EXPECTS(billboard.num_objects() == num_objects_);
   const auto& posts = billboard.posts();
+  if (obs::BandwidthMeter::enabled() && posts.size() > posts_consumed_) {
+    // Every not-yet-consumed post crosses the board->ledger boundary once.
+    obs::BandwidthMeter::add_read(
+        obs::IoChannel::kLedgerIngest,
+        (posts.size() - posts_consumed_) * obs::kPostWireBits);
+  }
   for (; posts_consumed_ < posts.size(); ++posts_consumed_) {
     const Post& post = posts[posts_consumed_];
     const std::size_t p = post.author.value();
@@ -153,6 +160,11 @@ Count VoteLedger::votes_in_window(ObjectId object, Round begin,
   const auto& rounds = object_event_rounds_[object.value()];
   const auto lo = std::lower_bound(rounds.begin(), rounds.end(), begin);
   const auto hi = std::lower_bound(lo, rounds.end(), end);
+  if (obs::BandwidthMeter::enabled() && hi != lo) {
+    obs::BandwidthMeter::add_read(
+        obs::IoChannel::kWindowQuery,
+        static_cast<std::uint64_t>(hi - lo) * obs::kVoteEventWireBits);
+  }
   return static_cast<Count>(hi - lo);
 }
 
@@ -172,6 +184,11 @@ void VoteLedger::votes_in_window_batch(std::span<const ObjectId> objects,
                                        static_cast<std::ptrdiff_t>(lo),
                                    event_rounds_.end(), end) -
                   event_rounds_.begin();
+  if (obs::BandwidthMeter::enabled() && hi > lo) {
+    obs::BandwidthMeter::add_read(
+        obs::IoChannel::kWindowQuery,
+        static_cast<std::uint64_t>(hi - lo) * obs::kVoteEventWireBits);
+  }
   if (window_stamp_.size() != num_objects_) {
     window_stamp_.assign(num_objects_, 0);
     window_counts_.assign(num_objects_, 0);
@@ -215,6 +232,11 @@ std::vector<ObjectId> VoteLedger::objects_with_votes_in_window(
                                        static_cast<std::ptrdiff_t>(lo),
                                    event_rounds_.end(), end) -
                   event_rounds_.begin();
+  if (obs::BandwidthMeter::enabled() && hi > lo) {
+    obs::BandwidthMeter::add_read(
+        obs::IoChannel::kWindowQuery,
+        static_cast<std::uint64_t>(hi - lo) * obs::kVoteEventWireBits);
+  }
   if (window_stamp_.size() != num_objects_) {
     window_stamp_.assign(num_objects_, 0);
     window_counts_.assign(num_objects_, 0);

@@ -22,8 +22,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Resolve a requested thread count the way every pool user does:
+  /// 0 means "use the hardware", and unknown hardware means 1.
+  [[nodiscard]] static std::size_t resolve(std::size_t requested) noexcept;
+
   /// Enqueue a task. Tasks must not throw (they run detached from any
   /// future; trial runners catch and record their own failures).
+  /// With PhaseProfiler enabled the submit->start latency and queue
+  /// depth are recorded; disabled, the only overhead is a relaxed load.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.

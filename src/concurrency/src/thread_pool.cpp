@@ -1,8 +1,19 @@
 #include "acp/concurrency/thread_pool.hpp"
 
+#include <chrono>
+
+#include "acp/obs/profiler.hpp"
 #include "acp/util/contracts.hpp"
 
 namespace acp {
+
+std::size_t ThreadPool::resolve(std::size_t requested) noexcept {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   ACP_EXPECTS(num_threads >= 1);
@@ -23,10 +34,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   ACP_EXPECTS(task != nullptr);
+  const bool profiled = obs::PhaseProfiler::enabled();
+  if (profiled) {
+    // Stamp the submit time so the worker can report its wake/handoff
+    // latency the moment it picks the task up.
+    const auto submitted = std::chrono::steady_clock::now();
+    task = [submitted, inner = std::move(task)] {
+      const auto started = std::chrono::steady_clock::now();
+      obs::PhaseProfiler::global().record_task_wake(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(started -
+                                                                   submitted)
+                  .count()));
+      inner();
+    };
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ACP_EXPECTS(!stopping_);
     queue_.push(std::move(task));
+    if (profiled) {
+      obs::PhaseProfiler::global().record_queue_depth(queue_.size());
+    }
   }
   work_available_.notify_one();
 }

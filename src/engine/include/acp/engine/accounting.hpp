@@ -23,10 +23,12 @@ namespace acp {
 class RunAccounting {
  public:
   /// Fires observer->on_run_begin. `slices_counter` / `probes_counter`
-  /// name the metrics emitted per slice (nullptr disables emission).
+  /// name the metrics emitted per slice (nullptr disables emission);
+  /// `engine_threads` is the resolved thread count for RunContext.
   RunAccounting(const Population& population, std::size_t num_objects,
                 std::uint64_t seed, RunObserver* observer,
-                const char* slices_counter, const char* probes_counter);
+                const char* slices_counter, const char* probes_counter,
+                std::size_t engine_threads = 1);
 
   /// One probe executed by player p (cost and ground-truth goodness).
   void record_probe(PlayerId p, double cost, bool probed_good);

@@ -60,6 +60,7 @@
 //                  Apply&& apply);         // apply(p, eval) -> halted?
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <span>
@@ -67,6 +68,8 @@
 
 #include "acp/billboard/billboard.hpp"
 #include "acp/concurrency/thread_pool.hpp"
+#include "acp/obs/bandwidth.hpp"
+#include "acp/obs/profiler.hpp"
 #include "acp/engine/accounting.hpp"
 #include "acp/engine/adversary.hpp"
 #include "acp/engine/observer.hpp"
@@ -93,6 +96,12 @@ struct KernelSpec {
   const char* slice_timer = nullptr;
   const char* slices_counter = nullptr;
   const char* probes_counter = nullptr;
+  /// Engine threads actually driving this run (after the 0 -> hardware
+  /// resolution and the parallel_choose_safe fallback): 1 for every
+  /// sequential policy. Surfaced to observers via RunContext so traces
+  /// and reports record what really ran — NOT part of RunResult, which
+  /// stays bit-identical across thread counts.
+  std::size_t engine_threads = 1;
 };
 
 /// The read-only half of one player step: the chosen probe (if any) and
@@ -106,6 +115,17 @@ struct ProbeEval {
   bool locally_good = false;  ///< masked by the goodness model (§2.2)
 };
 
+namespace kernel_detail {
+
+[[nodiscard]] inline std::uint64_t ns_between(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace kernel_detail
+
 /// Steps every active player once per slice — the synchronous round.
 class AllActivePolicy {
  public:
@@ -114,6 +134,10 @@ class AllActivePolicy {
                  Evaluate&& evaluate, Apply&& apply) {
     still_active_.clear();
     still_active_.reserve(roster.active().size());
+    if (obs::PhaseProfiler::enabled()) {
+      run_slice_profiled(roster, evaluate, apply);
+      return;
+    }
     for (PlayerId p : roster.active()) {
       if (!apply(p, evaluate(p))) {
         still_active_.push_back(p);  // survivors keep order
@@ -123,6 +147,31 @@ class AllActivePolicy {
   }
 
  private:
+  /// Profiled variant: identical step order, with the evaluate and apply
+  /// halves of every step clocked separately so the sequential baseline
+  /// shows up in the same phase breakdown as the parallel kernel.
+  template <class Evaluate, class Apply>
+  void run_slice_profiled(PlayerRoster& roster, Evaluate&& evaluate,
+                          Apply&& apply) {
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t evaluate_ns = 0;
+    std::uint64_t apply_ns = 0;
+    for (PlayerId p : roster.active()) {
+      const auto before = Clock::now();
+      const ProbeEval eval = evaluate(p);
+      const auto evaluated = Clock::now();
+      const bool halted = apply(p, eval);
+      apply_ns += kernel_detail::ns_between(evaluated, Clock::now());
+      evaluate_ns += kernel_detail::ns_between(before, evaluated);
+      if (!halted) {
+        still_active_.push_back(p);  // survivors keep order
+      }
+    }
+    roster.swap_active(still_active_);
+    obs::PhaseProfiler::global().record_sequential_round(evaluate_ns,
+                                                         apply_ns);
+  }
+
   std::vector<PlayerId> still_active_;
 };
 
@@ -141,32 +190,62 @@ class ParallelAllActivePolicy {
   template <class Evaluate, class Apply>
   void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/,
                  Evaluate&& evaluate, Apply&& apply) {
+    using Clock = std::chrono::steady_clock;
     const std::span<const PlayerId> active = roster.active();
     const std::size_t count = active.size();
     evals_.resize(count);
 
+    const bool profiled = obs::PhaseProfiler::enabled();
+    // The kernel thread's attribution sink, handed into the workers so
+    // reads metered inside evaluate() land in this run's per-player
+    // slots. Null when bandwidth metering is off.
+    obs::BandwidthMeter::Sink* const io_sink =
+        obs::BandwidthMeter::current_sink();
+
     const std::size_t shards = std::min(pool_->num_threads(), count);
+    std::uint64_t barrier_ns = 0;
     if (shards > 0) {
       errors_.assign(shards, nullptr);
+      shard_spans_.assign(shards, obs::ShardSpan{});
       for (std::size_t s = 0; s < shards; ++s) {
         const std::size_t begin = s * count / shards;
         const std::size_t end = (s + 1) * count / shards;
-        pool_->submit([&, s, begin, end] {
+        const auto submitted = profiled ? Clock::now() : Clock::time_point{};
+        pool_->submit([&, s, begin, end, submitted, io_sink] {
+          const obs::BandwidthMeter::SinkScope io_scope(io_sink);
           try {
-            for (std::size_t i = begin; i < end; ++i) {
-              evals_[i] = evaluate(active[i]);
+            if (profiled) {
+              // shard_spans_[s] has a single writer (this task) and is
+              // read on the kernel thread only after wait_idle().
+              const auto started = Clock::now();
+              for (std::size_t i = begin; i < end; ++i) {
+                evals_[i] = evaluate(active[i]);
+              }
+              shard_spans_[s].evaluate_ns =
+                  kernel_detail::ns_between(started, Clock::now());
+              shard_spans_[s].wake_ns =
+                  kernel_detail::ns_between(submitted, started);
+            } else {
+              for (std::size_t i = begin; i < end; ++i) {
+                evals_[i] = evaluate(active[i]);
+              }
             }
           } catch (...) {
             errors_[s] = std::current_exception();  // pool tasks must not throw
           }
         });
       }
+      const auto barrier_entered = profiled ? Clock::now() : Clock::time_point{};
       pool_->wait_idle();
+      if (profiled) {
+        barrier_ns = kernel_detail::ns_between(barrier_entered, Clock::now());
+      }
       for (const std::exception_ptr& error : errors_) {
         if (error) std::rethrow_exception(error);
       }
     }
 
+    const auto apply_started = profiled ? Clock::now() : Clock::time_point{};
     still_active_.clear();
     still_active_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -175,12 +254,18 @@ class ParallelAllActivePolicy {
       }
     }
     roster.swap_active(still_active_);
+    if (profiled && shards > 0) {
+      obs::PhaseProfiler::global().record_parallel_round(
+          shard_spans_, barrier_ns,
+          kernel_detail::ns_between(apply_started, Clock::now()));
+    }
   }
 
  private:
   ThreadPool* pool_;
   std::vector<ProbeEval> evals_;
   std::vector<std::exception_ptr> errors_;
+  std::vector<obs::ShardSpan> shard_spans_;
   std::vector<PlayerId> still_active_;
 };
 
@@ -237,7 +322,11 @@ RunResult run_kernel(const World& world, const Population& population,
   PlayerRoster roster(population, spec.arrivals, spec.departures);
   RunAccounting accounting(population, world.num_objects(), spec.seed,
                            spec.observer, spec.slices_counter,
-                           spec.probes_counter);
+                           spec.probes_counter, spec.engine_threads);
+
+  // Per-run, per-player bandwidth attribution (no-op when metering is
+  // disabled). Folded into the global meter when the run finishes.
+  const obs::BandwidthMeter::RunScope io_run(n);
 
   obs::TimerStat& slice_timer =
       obs::MetricsRegistry::global().timer(spec.slice_timer);
@@ -276,6 +365,9 @@ RunResult run_kernel(const World& world, const Population& population,
     // World, slice-frozen billboard and protocol tables).
     const auto evaluate = [&](PlayerId p) -> ProbeEval {
       ProbeEval eval;
+      // Billboard/ledger reads inside choose_probe are this player's
+      // traffic (one relaxed load when metering is off).
+      const obs::BandwidthMeter::PlayerScope io_player(p);
       const auto choice =
           stepper.choose_probe(p, slice, billboard, streams.player(p));
       if (!choice.has_value()) {
@@ -300,6 +392,7 @@ RunResult run_kernel(const World& world, const Population& population,
       if (!eval.object.has_value()) return false;
       ++probes_this_slice;
       accounting.record_probe(p, eval.cost, eval.good);
+      const obs::BandwidthMeter::PlayerScope io_player(p);
       const StepOutcome step =
           stepper.on_probe_result(p, slice, *eval.object, eval.value,
                                   eval.cost, eval.locally_good,

@@ -22,6 +22,11 @@ struct RunContext {
   std::size_t num_honest = 0;
   std::size_t num_objects = 0;
   std::uint64_t seed = 0;
+  /// Engine threads actually driving the run, after engine_threads=0 ->
+  /// hardware resolution and the parallel_choose_safe fallback. Always 1
+  /// for sequential policies. Observability only — never part of
+  /// RunResult, which is bit-identical across thread counts.
+  std::size_t engine_threads = 1;
 };
 
 class RunObserver {

@@ -6,7 +6,8 @@ RunAccounting::RunAccounting(const Population& population,
                              std::size_t num_objects, std::uint64_t seed,
                              RunObserver* observer,
                              const char* slices_counter,
-                             const char* probes_counter)
+                             const char* probes_counter,
+                             std::size_t engine_threads)
     : observer_(observer),
       slices_name_(slices_counter),
       probes_name_(probes_counter) {
@@ -16,8 +17,8 @@ RunAccounting::RunAccounting(const Population& population,
     result_.players[p].honest = population.is_honest(PlayerId{p});
   }
   if (observer_ != nullptr) {
-    observer_->on_run_begin(
-        RunContext{n, population.num_honest(), num_objects, seed});
+    observer_->on_run_begin(RunContext{n, population.num_honest(), num_objects,
+                                       seed, engine_threads});
   }
 }
 

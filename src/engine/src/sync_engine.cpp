@@ -58,11 +58,9 @@ RunResult SyncEngine::run(const World& world, const Population& population,
   spec.slices_counter = "engine.sync.rounds";
   spec.probes_counter = "engine.sync.probes";
 
-  const std::size_t threads =
-      config.engine_threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : config.engine_threads;
+  const std::size_t threads = ThreadPool::resolve(config.engine_threads);
   if (threads > 1 && protocol.parallel_choose_safe()) {
+    spec.engine_threads = threads;
     ThreadPool pool(threads);
     return run_kernel(world, population, adversary, SyncStepper(protocol),
                       ParallelAllActivePolicy(pool), spec);

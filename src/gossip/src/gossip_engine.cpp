@@ -10,6 +10,7 @@
 #include "acp/engine/accounting.hpp"
 #include "acp/engine/roster.hpp"
 #include "acp/engine/streams.hpp"
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/timer.hpp"
 #include "acp/rng/rng.hpp"
 #include "acp/util/contracts.hpp"
@@ -68,6 +69,11 @@ RunResult GossipEngine::run(const World& world, const Population& population,
   RunAccounting accounting(population, world.num_objects(), config.seed,
                            config.observer, "engine.gossip.rounds",
                            "engine.gossip.probes");
+  // Per-run, per-player bandwidth attribution (no-op when metering is
+  // off). Gossip traffic is metered per overlay link: a push or pull
+  // transfer charges the sender's bits_written and the receiver's
+  // bits_read, lost messages included at neither end.
+  const obs::BandwidthMeter::RunScope io_run(n);
   obs::TimerStat& round_timer =
       obs::MetricsRegistry::global().timer("engine.gossip.round");
   // Per-phase breakdown of the round (visible via --report-json): where
@@ -190,6 +196,14 @@ RunResult GossipEngine::run(const World& world, const Population& population,
                 gossip_rng.bernoulli(config.loss_prob)) {
               continue;
             }
+            if (obs::BandwidthMeter::enabled()) {
+              const std::uint64_t bits =
+                  node.fresh.size() * obs::kPostWireBits;
+              obs::BandwidthMeter::add_write_for(
+                  obs::IoChannel::kGossipExchange, bits, PlayerId{p});
+              obs::BandwidthMeter::add_read_for(
+                  obs::IoChannel::kGossipExchange, bits, PlayerId{target});
+            }
             for (const PostIdx idx : node.fresh) deliver(target, idx);
           }
         }
@@ -205,6 +219,14 @@ RunResult GossipEngine::run(const World& world, const Population& population,
             if (config.loss_prob > 0.0 &&
                 gossip_rng.bernoulli(config.loss_prob)) {
               continue;
+            }
+            if (obs::BandwidthMeter::enabled()) {
+              const std::uint64_t bits =
+                  nodes[source].fresh.size() * obs::kPostWireBits;
+              obs::BandwidthMeter::add_write_for(
+                  obs::IoChannel::kGossipExchange, bits, PlayerId{source});
+              obs::BandwidthMeter::add_read_for(
+                  obs::IoChannel::kGossipExchange, bits, PlayerId{p});
             }
             for (const PostIdx idx : nodes[source].fresh) deliver(p, idx);
           }
@@ -225,7 +247,15 @@ RunResult GossipEngine::run(const World& world, const Population& population,
       global_inbox.push_back(idx);
       for (std::size_t k = 0; k < std::max<std::size_t>(config.fanout, 1);
            ++k) {
-        deliver(gossip_rng.index(n), idx);
+        const std::size_t target = gossip_rng.index(n);
+        if (obs::BandwidthMeter::enabled()) {
+          obs::BandwidthMeter::add_write_for(obs::IoChannel::kGossipExchange,
+                                             obs::kPostWireBits, post.author);
+          obs::BandwidthMeter::add_read_for(obs::IoChannel::kGossipExchange,
+                                            obs::kPostWireBits,
+                                            PlayerId{target});
+        }
+        deliver(target, idx);
       }
     }
 
@@ -239,6 +269,8 @@ RunResult GossipEngine::run(const World& world, const Population& population,
       for (PlayerId pid : roster.active()) {
         const std::size_t p = pid.value();
         Node& node = nodes[p];
+        // Replica ingest and window queries below are this node's reads.
+        const obs::BandwidthMeter::PlayerScope io_player(pid);
         node.protocol->on_round_begin(round, *node.replica);
         const auto choice =
             node.protocol->choose_probe(pid, round, streams.player(pid));

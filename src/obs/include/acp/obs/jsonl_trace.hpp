@@ -5,7 +5,10 @@
 //
 // Schema ("acp.trace.v1"):
 //   {"schema":"acp.trace.v1","type":"run_begin","players":N,
-//    "honest":H,"objects":M,"seed":S}
+//    "honest":H,"objects":M,"seed":S,"engine_threads":T}
+//   // engine_threads = threads actually driving the run, after the
+//   // engine_threads=0 -> hardware resolution and the sequential
+//   // fallback for protocols without parallel_choose_safe.
 //   {"type":"round","round":R,"active":A,"satisfied":S,"probes":P,
 //    "posts":B}                              // B = cumulative billboard size
 //   {"type":"run_end","rounds":R,"all_satisfied":true|false,

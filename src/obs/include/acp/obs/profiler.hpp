@@ -1,0 +1,142 @@
+// PhaseProfiler — deep wall-clock accounting for the parallel round
+// kernel and the thread pool underneath it.
+//
+// The metrics registry answers "how much, how many" (counters, aggregate
+// timers). The profiler answers "where does the time GO when a round is
+// sharded over a pool": per-shard evaluate spans, ThreadPool task
+// wake/handoff latency (submit -> task start), the kernel thread's
+// barrier wait, the sequential apply span, and a per-round
+// shard-imbalance histogram (slowest/fastest shard span ratio).
+//
+// Collection is off by default behind its own process-global atomic flag
+// (independent of MetricsRegistry so either can be enabled alone): a
+// disabled site pays one relaxed load and nothing else — no clock reads.
+// `acpsim --profile` turns it on.
+//
+// Determinism: workers write their own timing into per-shard slots owned
+// by the schedule policy; the policy merges them into the profiler in
+// canonical shard order on the kernel thread, after the barrier
+// (record_parallel_round). Pool-level wake/queue records are commutative
+// atomic sums. Profiling therefore never perturbs simulation results —
+// a profiled run's RunResult is bit-identical to an unprofiled one
+// (pinned by tests/profiler_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "acp/stats/histogram.hpp"
+
+namespace acp::obs {
+
+/// One shard's share of a parallel round's evaluate phase, recorded by
+/// the worker that ran it (single writer) and read by the kernel thread
+/// after the round barrier.
+struct ShardSpan {
+  std::uint64_t evaluate_ns = 0;  ///< task start -> task end
+  std::uint64_t wake_ns = 0;      ///< submit -> task start (handoff latency)
+};
+
+/// Lifetime totals for one shard index, merged in shard order.
+struct PhaseShardTotals {
+  std::uint64_t rounds = 0;
+  std::uint64_t evaluate_ns = 0;
+  std::uint64_t wake_ns = 0;
+};
+
+/// Point-in-time copy of everything the profiler accumulated.
+struct PhaseProfileSnapshot {
+  // Round-level (parallel kernel).
+  std::uint64_t parallel_rounds = 0;
+  std::uint64_t sequential_rounds = 0;
+  std::uint64_t evaluate_ns = 0;  ///< sum of shard spans + sequential evals
+  std::uint64_t apply_ns = 0;     ///< kernel-thread apply loop
+  std::uint64_t barrier_ns = 0;   ///< kernel-thread wait for the slowest shard
+  /// Imbalance: per parallel round, the slowest and fastest shard spans
+  /// are accumulated separately; their per-round ratio feeds `imbalance`.
+  std::uint64_t slowest_shard_ns = 0;
+  std::uint64_t fastest_shard_ns = 0;
+  std::vector<PhaseShardTotals> shards;  ///< indexed by shard id
+  /// Histogram of slowest/fastest shard-span ratio, one sample per
+  /// parallel round with >= 2 shards. Bucket range [1, 8).
+  Histogram imbalance{1.0, 8.0, 28};
+
+  // Pool-level (any ThreadPool: round kernel or trial driver).
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_wake_ns = 0;
+  std::uint64_t pool_max_queue_depth = 0;
+};
+
+class PhaseProfiler {
+ public:
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// The process-wide profiler used by the built-in instrumentation.
+  [[nodiscard]] static PhaseProfiler& global();
+
+  /// Whether profiling sites should collect. One relaxed load; the only
+  /// cost a disabled site pays.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// One parallel kernel round: per-shard spans in canonical shard order
+  /// (shard i of this round accumulates into lifetime shard i), plus the
+  /// kernel thread's barrier wait and sequential apply span. Called once
+  /// per round from the kernel thread.
+  void record_parallel_round(std::span<const ShardSpan> shards,
+                             std::uint64_t barrier_ns, std::uint64_t apply_ns);
+
+  /// One sequential kernel round (AllActivePolicy with profiling on):
+  /// a single implicit shard, no wake, no barrier.
+  void record_sequential_round(std::uint64_t evaluate_ns,
+                               std::uint64_t apply_ns);
+
+  /// ThreadPool hooks — commutative atomic sums, safe from any thread.
+  void record_task_wake(std::uint64_t wake_ns) noexcept {
+    pool_tasks_.fetch_add(1, std::memory_order_relaxed);
+    pool_wake_ns_.fetch_add(wake_ns, std::memory_order_relaxed);
+  }
+  void record_queue_depth(std::size_t depth) noexcept {
+    std::uint64_t seen = pool_max_queue_depth_.load(std::memory_order_relaxed);
+    while (seen < depth && !pool_max_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] PhaseProfileSnapshot snapshot() const;
+
+  /// Zero every accumulator (shard slots are dropped).
+  void reset();
+
+ private:
+  static std::atomic<bool> enabled_;
+
+  // Round-level accumulators: mutated once per round under the mutex
+  // (concurrent trials may profile simultaneously).
+  mutable std::mutex mutex_;
+  std::uint64_t parallel_rounds_ = 0;
+  std::uint64_t sequential_rounds_ = 0;
+  std::uint64_t evaluate_ns_ = 0;
+  std::uint64_t apply_ns_ = 0;
+  std::uint64_t barrier_ns_ = 0;
+  std::uint64_t slowest_shard_ns_ = 0;
+  std::uint64_t fastest_shard_ns_ = 0;
+  std::vector<PhaseShardTotals> shards_;
+  Histogram imbalance_{1.0, 8.0, 28};
+
+  // Pool-level accumulators: commutative atomics, recorded from workers.
+  std::atomic<std::uint64_t> pool_tasks_{0};
+  std::atomic<std::uint64_t> pool_wake_ns_{0};
+  std::atomic<std::uint64_t> pool_max_queue_depth_{0};
+};
+
+}  // namespace acp::obs

@@ -1,11 +1,12 @@
 // RunReport — a machine-readable summary of one experiment invocation:
 // the configuration that produced it, one stats Summary per measured
-// metric, and the metrics-registry totals (counters, gauges, timers,
-// histograms) accumulated during the run.
+// metric, the metrics-registry totals (counters, gauges, timers,
+// histograms) accumulated during the run, and — when profiling was on —
+// the kernel phase breakdown and bandwidth totals.
 //
-// Serialized as versioned JSON ("acp.report.v1"):
+// Serialized as versioned JSON ("acp.report.v2"):
 //   {
-//     "schema": "acp.report.v1",
+//     "schema": "acp.report.v2",
 //     "config":  {"n": 256, "protocol": "distill", ...},   // echo, insertion order
 //     "metrics": {"probes_per_player": {"count":..,"mean":..,"stddev":..,
 //                 "min":..,"p50":..,"p90":..,"p99":..,"max":..,
@@ -14,26 +15,47 @@
 //     "gauges":   {"name": value, ...},
 //     "timers":   {"name": {"count":..,"total_ns":..}, ...},
 //     "histograms": {"name": {"lo":..,"hi":..,"buckets":[..],
-//                    "underflow":..,"overflow":..}, ...}
+//                    "underflow":..,"overflow":..}, ...},
+//     "phases": {} | {                      // PhaseProfiler snapshot
+//       "rounds": {"parallel":..,"sequential":..},
+//       "engine.kernel.evaluate": {"total_ns":..,
+//         "shards":[{"shard":0,"rounds":..,"evaluate_ns":..,"wake_ns":..},..]},
+//       "engine.kernel.apply":   {"total_ns":..},
+//       "engine.kernel.barrier": {"total_ns":..},
+//       "imbalance": {"slowest_shard_ns":..,"fastest_shard_ns":..,
+//         "ratio_histogram":{"lo":..,"hi":..,"buckets":[..],
+//                            "underflow":..,"overflow":..}},
+//       "pool": {"tasks":..,"wake_ns":..,"max_queue_depth":..}},
+//     "bandwidth": {} | {                   // BandwidthMeter snapshot
+//       "engine.io.bits_read":..,"engine.io.bits_written":..,
+//       "channels": {"billboard.commit": {"read_ops":..,"read_bits":..,
+//                    "write_ops":..,"write_bits":..}, ...},
+//       "per_player": {"players":..,"read_bits_mean":..,"read_bits_max":..,
+//                      "write_bits_mean":..,"write_bits_max":..}}
 //   }
+// v1 -> v2: the two trailing sections are new; they serialize as {} when
+// profiling was off so consumers can rely on the keys existing.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/metrics.hpp"
+#include "acp/obs/profiler.hpp"
 #include "acp/stats/summary.hpp"
 
 namespace acp::obs {
 
 class RunReport {
  public:
-  static constexpr std::string_view kSchema = "acp.report.v1";
+  static constexpr std::string_view kSchema = "acp.report.v2";
 
   /// Config echo; entries serialize in insertion order.
   void set_config(std::string key, std::string value);
@@ -52,6 +74,14 @@ class RunReport {
   /// .snapshot() taken right after the run).
   void set_metrics_snapshot(MetricsSnapshot snapshot);
 
+  /// Attach the kernel phase breakdown (PhaseProfiler snapshot). Unset,
+  /// the "phases" section serializes as {}.
+  void set_phase_profile(PhaseProfileSnapshot profile);
+
+  /// Attach the bandwidth totals (BandwidthMeter snapshot). Unset, the
+  /// "bandwidth" section serializes as {}.
+  void set_bandwidth(BandwidthSnapshot bandwidth);
+
   void write_json(std::ostream& os) const;
 
  private:
@@ -60,6 +90,8 @@ class RunReport {
   std::vector<std::pair<std::string, ConfigValue>> config_;
   std::vector<std::pair<std::string, Summary>> metrics_;
   MetricsSnapshot snapshot_;
+  std::optional<PhaseProfileSnapshot> phases_;
+  std::optional<BandwidthSnapshot> bandwidth_;
 };
 
 }  // namespace acp::obs

@@ -15,6 +15,7 @@ void JsonlTraceWriter::on_run_begin(const RunContext& context) {
       .member("honest", context.num_honest)
       .member("objects", context.num_objects)
       .member("seed", context.seed)
+      .member("engine_threads", context.engine_threads)
       .end_object();
   *os_ << '\n';
 }

@@ -1,0 +1,94 @@
+#include "acp/obs/profiler.hpp"
+
+#include <algorithm>
+
+namespace acp::obs {
+
+std::atomic<bool> PhaseProfiler::enabled_{false};
+
+PhaseProfiler& PhaseProfiler::global() {
+  static PhaseProfiler instance;
+  return instance;
+}
+
+void PhaseProfiler::record_parallel_round(std::span<const ShardSpan> shards,
+                                          std::uint64_t barrier_ns,
+                                          std::uint64_t apply_ns) {
+  if (shards.empty()) {
+    return;
+  }
+  std::uint64_t slowest = 0;
+  std::uint64_t fastest = shards[0].evaluate_ns;
+  std::uint64_t evaluate_total = 0;
+  for (const ShardSpan& span : shards) {
+    evaluate_total += span.evaluate_ns;
+    slowest = std::max(slowest, span.evaluate_ns);
+    fastest = std::min(fastest, span.evaluate_ns);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  parallel_rounds_ += 1;
+  evaluate_ns_ += evaluate_total;
+  apply_ns_ += apply_ns;
+  barrier_ns_ += barrier_ns;
+  slowest_shard_ns_ += slowest;
+  fastest_shard_ns_ += fastest;
+  if (shards_.size() < shards.size()) {
+    shards_.resize(shards.size());
+  }
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards_[s].rounds += 1;
+    shards_[s].evaluate_ns += shards[s].evaluate_ns;
+    shards_[s].wake_ns += shards[s].wake_ns;
+  }
+  if (shards.size() >= 2 && fastest > 0) {
+    imbalance_.add(static_cast<double>(slowest) / static_cast<double>(fastest));
+  }
+}
+
+void PhaseProfiler::record_sequential_round(std::uint64_t evaluate_ns,
+                                            std::uint64_t apply_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sequential_rounds_ += 1;
+  evaluate_ns_ += evaluate_ns;
+  apply_ns_ += apply_ns;
+}
+
+PhaseProfileSnapshot PhaseProfiler::snapshot() const {
+  PhaseProfileSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.parallel_rounds = parallel_rounds_;
+    out.sequential_rounds = sequential_rounds_;
+    out.evaluate_ns = evaluate_ns_;
+    out.apply_ns = apply_ns_;
+    out.barrier_ns = barrier_ns_;
+    out.slowest_shard_ns = slowest_shard_ns_;
+    out.fastest_shard_ns = fastest_shard_ns_;
+    out.shards = shards_;
+    out.imbalance = imbalance_;
+  }
+  out.pool_tasks = pool_tasks_.load(std::memory_order_relaxed);
+  out.pool_wake_ns = pool_wake_ns_.load(std::memory_order_relaxed);
+  out.pool_max_queue_depth =
+      pool_max_queue_depth_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PhaseProfiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  parallel_rounds_ = 0;
+  sequential_rounds_ = 0;
+  evaluate_ns_ = 0;
+  apply_ns_ = 0;
+  barrier_ns_ = 0;
+  slowest_shard_ns_ = 0;
+  fastest_shard_ns_ = 0;
+  shards_.clear();
+  imbalance_ = Histogram(1.0, 8.0, 28);
+  pool_tasks_.store(0, std::memory_order_relaxed);
+  pool_wake_ns_.store(0, std::memory_order_relaxed);
+  pool_max_queue_depth_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace acp::obs

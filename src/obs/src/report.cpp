@@ -30,6 +30,14 @@ void RunReport::set_metrics_snapshot(MetricsSnapshot snapshot) {
   snapshot_ = std::move(snapshot);
 }
 
+void RunReport::set_phase_profile(PhaseProfileSnapshot profile) {
+  phases_ = std::move(profile);
+}
+
+void RunReport::set_bandwidth(BandwidthSnapshot bandwidth) {
+  bandwidth_ = bandwidth;
+}
+
 void RunReport::write_json(std::ostream& os) const {
   JsonWriter json(os);
   json.begin_object();
@@ -90,6 +98,92 @@ void RunReport::write_json(std::ostream& os) const {
     json.end_array();
     json.member("underflow", histogram.underflow)
         .member("overflow", histogram.overflow);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("phases").begin_object();
+  if (phases_.has_value()) {
+    const PhaseProfileSnapshot& p = *phases_;
+    json.key("rounds").begin_object();
+    json.member("parallel", p.parallel_rounds)
+        .member("sequential", p.sequential_rounds);
+    json.end_object();
+
+    json.key("engine.kernel.evaluate").begin_object();
+    json.member("total_ns", p.evaluate_ns);
+    json.key("shards").begin_array();
+    for (std::size_t s = 0; s < p.shards.size(); ++s) {
+      json.begin_object();
+      json.member("shard", s)
+          .member("rounds", p.shards[s].rounds)
+          .member("evaluate_ns", p.shards[s].evaluate_ns)
+          .member("wake_ns", p.shards[s].wake_ns);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    json.key("engine.kernel.apply").begin_object();
+    json.member("total_ns", p.apply_ns);
+    json.end_object();
+
+    json.key("engine.kernel.barrier").begin_object();
+    json.member("total_ns", p.barrier_ns);
+    json.end_object();
+
+    json.key("imbalance").begin_object();
+    json.member("slowest_shard_ns", p.slowest_shard_ns)
+        .member("fastest_shard_ns", p.fastest_shard_ns);
+    json.key("ratio_histogram").begin_object();
+    json.member("lo", p.imbalance.bin_low(0))
+        .member("hi", p.imbalance.bin_high(p.imbalance.num_bins() - 1));
+    json.key("buckets").begin_array();
+    for (std::size_t b = 0; b < p.imbalance.num_bins(); ++b) {
+      json.value(static_cast<std::uint64_t>(p.imbalance.bin_count(b)));
+    }
+    json.end_array();
+    json.member("underflow",
+                static_cast<std::uint64_t>(p.imbalance.underflow()))
+        .member("overflow", static_cast<std::uint64_t>(p.imbalance.overflow()));
+    json.end_object();
+    json.end_object();
+
+    json.key("pool").begin_object();
+    json.member("tasks", p.pool_tasks)
+        .member("wake_ns", p.pool_wake_ns)
+        .member("max_queue_depth", p.pool_max_queue_depth);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("bandwidth").begin_object();
+  if (bandwidth_.has_value()) {
+    const BandwidthSnapshot& b = *bandwidth_;
+    json.member("engine.io.bits_read", b.bits_read)
+        .member("engine.io.bits_written", b.bits_written);
+    json.key("channels").begin_object();
+    for (std::size_t c = 0; c < b.channels.size(); ++c) {
+      const IoChannelSample& channel = b.channels[c];
+      json.key(io_channel_name(static_cast<IoChannel>(c))).begin_object();
+      json.member("read_ops", channel.read_ops)
+          .member("read_bits", channel.read_bits)
+          .member("write_ops", channel.write_ops)
+          .member("write_bits", channel.write_bits);
+      json.end_object();
+    }
+    json.end_object();
+    json.key("per_player").begin_object();
+    const double players = b.per_player.players > 0
+                               ? static_cast<double>(b.per_player.players)
+                               : 1.0;
+    json.member("players", b.per_player.players)
+        .member("read_bits_mean",
+                static_cast<double>(b.per_player.read_bits_sum) / players)
+        .member("read_bits_max", b.per_player.read_bits_max)
+        .member("write_bits_mean",
+                static_cast<double>(b.per_player.write_bits_sum) / players)
+        .member("write_bits_max", b.per_player.write_bits_max);
     json.end_object();
   }
   json.end_object();

@@ -30,6 +30,13 @@ struct CliConfig {
   bool csv = false;
   bool help = false;
 
+  /// Enable deep profiling for the run: PhaseProfiler (kernel phase and
+  /// per-shard timing), BandwidthMeter (bits read/written), and the
+  /// metrics registry. The collected breakdown lands in the report's
+  /// "phases"/"bandwidth" sections (with --report-json) and is printed
+  /// as a summary after the result table. Not available with --sweep.
+  bool profile = false;
+
   /// Write a per-round trace CSV of the FIRST trial to this path
   /// (engines sync and lockstep). Empty = no trace.
   std::string trace_path;
@@ -38,7 +45,7 @@ struct CliConfig {
   /// this path (engines sync and lockstep). Empty = no trace.
   std::string trace_jsonl_path;
 
-  /// Write a machine-readable JSON run report ("acp.report.v1") — config
+  /// Write a machine-readable JSON run report ("acp.report.v2") — config
   /// echo, per-metric summaries, metrics-registry counters and timer
   /// totals — to this path. Enables metrics collection for the run.
   /// Empty = no report. Not available with --sweep.

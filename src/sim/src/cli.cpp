@@ -6,9 +6,12 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "acp/concurrency/thread_pool.hpp"
 #include "acp/engine/trace.hpp"
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/jsonl_trace.hpp"
 #include "acp/obs/metrics.hpp"
+#include "acp/obs/profiler.hpp"
 #include "acp/obs/observer_mux.hpp"
 #include "acp/obs/report.hpp"
 #include "acp/scenario/build.hpp"
@@ -95,9 +98,16 @@ execution:
                    (engines sync and lockstep)
   --trace-jsonl FILE   write a per-round JSONL trace (acp.trace.v1) of the
                        first trial (engines sync and lockstep)
-  --report-json FILE   write a machine-readable run report (acp.report.v1):
-                       config echo, metric summaries, and internal
-                       counters/timers (not available with --sweep)
+  --report-json FILE   write a machine-readable run report (acp.report.v2):
+                       config echo, metric summaries, internal
+                       counters/timers, and — with --profile — kernel
+                       phase and bandwidth breakdowns (not available
+                       with --sweep)
+  --profile        enable deep profiling: per-shard kernel phase timing
+                   (evaluate/apply/barrier, pool wake latency) and
+                   per-player bandwidth metering; prints a profile
+                   summary and fills the report's phases/bandwidth
+                   sections (not available with --sweep)
   --help           this text
 )";
 }
@@ -164,6 +174,8 @@ CliConfig parse_args(const std::vector<std::string>& args) {
       config.help = true;
     } else if (arg == "--csv") {
       config.csv = true;
+    } else if (arg == "--profile") {
+      config.profile = true;
     } else if (arg == "--scenario") {
       ++i;  // already loaded above
     } else if (arg == "--set") {
@@ -314,6 +326,11 @@ CliConfig parse_args(const std::vector<std::string>& args) {
           "--report-json is not available with --sweep (one report "
           "describes one configuration point)");
     }
+    if (config.profile) {
+      throw std::invalid_argument(
+          "--profile is not available with --sweep (the profile "
+          "describes one configuration point)");
+    }
   }
   return config;
 }
@@ -367,6 +384,50 @@ std::vector<Summary> measure_point(const CliConfig& config) {
         }
         return sim::scenario_metrics(result);
       });
+}
+
+/// Human-readable digest of a --profile run: where the kernel time went
+/// and how many bits moved. The full breakdown is in the report JSON.
+void print_profile_summary(const obs::PhaseProfileSnapshot& phases,
+                           const obs::BandwidthSnapshot& bandwidth,
+                           std::ostream& out) {
+  const std::uint64_t kernel_ns =
+      phases.evaluate_ns + phases.apply_ns + phases.barrier_ns;
+  const auto pct = [kernel_ns](std::uint64_t ns) {
+    return kernel_ns == 0 ? 0.0
+                          : 100.0 * static_cast<double>(ns) /
+                                static_cast<double>(kernel_ns);
+  };
+  out << "\nprofile: kernel phases over "
+      << (phases.parallel_rounds + phases.sequential_rounds) << " rounds ("
+      << phases.parallel_rounds << " parallel, " << phases.sequential_rounds
+      << " sequential)\n";
+  out << "  engine.kernel.evaluate  " << phases.evaluate_ns << " ns ("
+      << Table::cell(pct(phases.evaluate_ns), 1) << "%)\n";
+  out << "  engine.kernel.apply     " << phases.apply_ns << " ns ("
+      << Table::cell(pct(phases.apply_ns), 1) << "%)\n";
+  out << "  engine.kernel.barrier   " << phases.barrier_ns << " ns ("
+      << Table::cell(pct(phases.barrier_ns), 1) << "%)\n";
+  if (!phases.shards.empty()) {
+    out << "  shards (evaluate ns | wake ns):\n";
+    for (std::size_t s = 0; s < phases.shards.size(); ++s) {
+      out << "    shard " << s << ": " << phases.shards[s].evaluate_ns
+          << " | " << phases.shards[s].wake_ns << "\n";
+    }
+  }
+  out << "  pool: tasks=" << phases.pool_tasks
+      << " wake_ns=" << phases.pool_wake_ns
+      << " max_queue_depth=" << phases.pool_max_queue_depth << "\n";
+  out << "profile: bandwidth engine.io.bits_read=" << bandwidth.bits_read
+      << " engine.io.bits_written=" << bandwidth.bits_written << "\n";
+  for (std::size_t c = 0; c < bandwidth.channels.size(); ++c) {
+    const obs::IoChannelSample& channel = bandwidth.channels[c];
+    if (channel.read_ops == 0 && channel.write_ops == 0) continue;
+    out << "  " << obs::io_channel_name(static_cast<obs::IoChannel>(c))
+        << ": read " << channel.read_bits << " bits (" << channel.read_ops
+        << " ops), wrote " << channel.write_bits << " bits ("
+        << channel.write_ops << " ops)\n";
+  }
 }
 
 /// Apply a sweep value to a copy of the configuration.
@@ -425,15 +486,32 @@ int run(const CliConfig& config, std::ostream& out) {
   }
 
   // --report-json turns on the process-global metrics registry so the
-  // report can include engine counters and hot-path timer totals.
+  // report can include engine counters and hot-path timer totals;
+  // --profile additionally arms the phase profiler and bandwidth meter.
   const bool want_report = !config.report_json_path.empty();
-  if (want_report) {
+  if (want_report || config.profile) {
     obs::MetricsRegistry::global().reset();
     obs::MetricsRegistry::set_enabled(true);
   }
+  if (config.profile) {
+    obs::PhaseProfiler::global().reset();
+    obs::PhaseProfiler::set_enabled(true);
+    obs::BandwidthMeter::global().reset();
+    obs::BandwidthMeter::set_enabled(true);
+  }
   const auto summaries = measure_point(config);
-  if (want_report) {
+  obs::PhaseProfileSnapshot phases;
+  obs::BandwidthSnapshot bandwidth;
+  if (config.profile) {
+    obs::PhaseProfiler::set_enabled(false);
+    obs::BandwidthMeter::set_enabled(false);
+    phases = obs::PhaseProfiler::global().snapshot();
+    bandwidth = obs::BandwidthMeter::global().snapshot();
+  }
+  if (want_report || config.profile) {
     obs::MetricsRegistry::set_enabled(false);
+  }
+  if (want_report) {
     obs::RunReport report;
     report.set_config("n", spec.n);
     report.set_config("m", spec.m);
@@ -453,6 +531,13 @@ int run(const CliConfig& config, std::ostream& out) {
     report.set_config("trust_advice",
                       spec.protocol_params.get_bool("trust", false));
     report.set_config("engine", spec.engine);
+    report.set_config("threads", spec.threads);
+    // Requested vs hardware-resolved round-kernel threads. The count a
+    // specific run actually used (1 under the sequential fallback) is in
+    // the JSONL trace header's engine_threads field.
+    report.set_config("engine_threads", spec.engine_threads);
+    report.set_config("engine_threads_resolved",
+                      ThreadPool::resolve(spec.engine_threads));
     report.set_config("gossip", spec.engine == "gossip");
     if (spec.engine == "gossip") {
       report.set_config("fanout", spec.fanout);
@@ -478,6 +563,10 @@ int run(const CliConfig& config, std::ostream& out) {
     report.add_metric("success_fraction", summaries[sim::kSuccessFraction]);
     report.add_metric("run_completed", summaries[sim::kCompleted]);
     report.set_metrics_snapshot(obs::MetricsRegistry::global().snapshot());
+    if (config.profile) {
+      report.set_phase_profile(phases);
+      report.set_bandwidth(bandwidth);
+    }
     std::ofstream file(config.report_json_path);
     if (!file) {
       throw std::invalid_argument("--report-json: cannot open " +
@@ -502,6 +591,9 @@ int run(const CliConfig& config, std::ostream& out) {
         << " good=" << spec.good << " alpha=" << spec.alpha
         << " trials=" << spec.trials << "\n\n";
     table.print(out);
+    if (config.profile) {
+      print_profile_summary(phases, bandwidth, out);
+    }
   }
   // Signal failure if any trial failed to satisfy all honest players.
   return summaries[sim::kCompleted].min() >= 1.0 ? 0 : 2;

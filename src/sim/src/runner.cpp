@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 
 #include "acp/rng/splitmix64.hpp"
 #include "acp/concurrency/thread_pool.hpp"
@@ -16,12 +15,6 @@ namespace {
 /// count — so the shard boundaries (and with them the merge order) are
 /// part of the experiment definition, not of the machine it ran on.
 constexpr std::size_t kMaxShards = 64;
-
-std::size_t resolve_threads(std::size_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
 
 /// Run `body(t, seed_t)` for every trial, sharded over the pool. Shards
 /// are contiguous trial ranges executed in trial order; the caller's
@@ -48,7 +41,7 @@ void for_each_trial_sharded(
     }
   };
 
-  const std::size_t threads = resolve_threads(plan.threads);
+  const std::size_t threads = ThreadPool::resolve(plan.threads);
   if (threads == 1) {
     for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
   } else {

@@ -416,6 +416,47 @@ TEST(CliParse, ReportJsonRejectedWithSweep) {
       {"--trace-jsonl", "t.jsonl", "--sweep", "alpha=0.5:0.9:0.1"}));
 }
 
+TEST(CliParse, ProfileFlag) {
+  EXPECT_FALSE(parse_args({"--n", "16"}).profile);
+  EXPECT_TRUE(parse_args({"--profile"}).profile);
+  // One profile describes one configuration point, like one report.
+  EXPECT_THROW(
+      (void)parse_args({"--profile", "--sweep", "alpha=0.5:0.9:0.1"}),
+      std::invalid_argument);
+}
+
+TEST(CliRun, ProfileFillsReportSectionsAndPrintsSummary) {
+  const std::string report_path =
+      testing::TempDir() + "acp_cli_profile_report.json";
+  CliConfig config;
+  config.spec.n = 32;
+  config.spec.m = 32;
+  config.spec.trials = 2;
+  config.spec.engine_threads = 2;
+  config.profile = true;
+  config.report_json_path = report_path;
+  std::ostringstream out;
+  EXPECT_EQ(run(config, out), 0);
+
+  std::ifstream report(report_path);
+  ASSERT_TRUE(report.good());
+  std::string report_text((std::istreambuf_iterator<char>(report)),
+                          std::istreambuf_iterator<char>());
+  // Profiling on: both v2 sections are populated, not the {} placeholder.
+  EXPECT_NE(report_text.find("\"phases\":{\"rounds\""), std::string::npos);
+  EXPECT_NE(report_text.find("\"engine.kernel.evaluate\""),
+            std::string::npos);
+  EXPECT_NE(report_text.find("\"bandwidth\":{\"engine.io.bits_read\""),
+            std::string::npos);
+  EXPECT_NE(report_text.find("\"engine_threads\":2"), std::string::npos);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("profile: kernel phases"), std::string::npos);
+  EXPECT_NE(text.find("profile: bandwidth"), std::string::npos);
+
+  std::remove(report_path.c_str());
+}
+
 TEST(CliRun, ReportJsonAndTraceJsonlWritten) {
   const std::string report_path =
       testing::TempDir() + "acp_cli_report_test.json";
@@ -434,7 +475,7 @@ TEST(CliRun, ReportJsonAndTraceJsonlWritten) {
   ASSERT_TRUE(report.good());
   std::string report_text((std::istreambuf_iterator<char>(report)),
                           std::istreambuf_iterator<char>());
-  EXPECT_EQ(report_text.rfind("{\"schema\":\"acp.report.v1\"", 0), 0u);
+  EXPECT_EQ(report_text.rfind("{\"schema\":\"acp.report.v2\"", 0), 0u);
   EXPECT_NE(report_text.find("\"probes_per_player\""), std::string::npos);
   EXPECT_NE(report_text.find("\"engine.sync.rounds\""), std::string::npos);
   EXPECT_NE(report_text.find("\"timers\""), std::string::npos);

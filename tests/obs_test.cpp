@@ -318,7 +318,8 @@ TEST(JsonlTrace, GoldenLineFormats) {
 
   EXPECT_EQ(os.str(),
             "{\"schema\":\"acp.trace.v1\",\"type\":\"run_begin\","
-            "\"players\":4,\"honest\":3,\"objects\":8,\"seed\":42}\n"
+            "\"players\":4,\"honest\":3,\"objects\":8,\"seed\":42,"
+            "\"engine_threads\":1}\n"
             "{\"type\":\"round\",\"round\":0,\"active\":3,\"satisfied\":1,"
             "\"probes\":5,\"posts\":0}\n"
             "{\"type\":\"run_end\",\"rounds\":6,\"all_satisfied\":true,"
@@ -370,7 +371,7 @@ TEST(RunReport, GoldenJson) {
   report.write_json(os);
   EXPECT_EQ(
       os.str(),
-      "{\"schema\":\"acp.report.v1\","
+      "{\"schema\":\"acp.report.v2\","
       "\"config\":{\"n\":2,\"protocol\":\"distill\",\"alpha\":0.5,"
       "\"gossip\":false},"
       "\"metrics\":{\"rounds\":{\"count\":2,\"mean\":2,\"stddev\":0,"
@@ -379,7 +380,75 @@ TEST(RunReport, GoldenJson) {
       "\"counters\":{\"a\":3},"
       "\"gauges\":{},"
       "\"timers\":{\"t\":{\"count\":1,\"total_ns\":5}},"
-      "\"histograms\":{}}\n");
+      "\"histograms\":{},"
+      "\"phases\":{},"
+      "\"bandwidth\":{}}\n");
+}
+
+TEST(RunReport, GoldenJsonWithProfileSections) {
+  obs::RunReport report;
+  report.set_config("n", std::uint64_t{2});
+
+  obs::PhaseProfileSnapshot phases;
+  phases.parallel_rounds = 2;
+  phases.evaluate_ns = 30;
+  phases.apply_ns = 10;
+  phases.barrier_ns = 5;
+  phases.slowest_shard_ns = 20;
+  phases.fastest_shard_ns = 10;
+  phases.shards.push_back(obs::PhaseShardTotals{2, 20, 3});
+  phases.shards.push_back(obs::PhaseShardTotals{2, 10, 4});
+  phases.imbalance = Histogram(1.0, 3.0, 2);
+  phases.imbalance.add(2.0);
+  phases.pool_tasks = 4;
+  phases.pool_wake_ns = 7;
+  phases.pool_max_queue_depth = 2;
+  report.set_phase_profile(phases);
+
+  obs::BandwidthSnapshot bandwidth;
+  auto& commit = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kBillboardCommit)];
+  commit.write_ops = 2;
+  commit.write_bits = 2 * obs::kPostWireBits;
+  bandwidth.bits_written = commit.write_bits;
+  bandwidth.per_player.players = 2;
+  bandwidth.per_player.write_bits_sum = 2 * obs::kPostWireBits;
+  bandwidth.per_player.write_bits_max = obs::kPostWireBits;
+  report.set_bandwidth(bandwidth);
+
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"schema\":\"acp.report.v2\","
+      "\"config\":{\"n\":2},"
+      "\"metrics\":{},\"counters\":{},\"gauges\":{},\"timers\":{},"
+      "\"histograms\":{},"
+      "\"phases\":{"
+      "\"rounds\":{\"parallel\":2,\"sequential\":0},"
+      "\"engine.kernel.evaluate\":{\"total_ns\":30,\"shards\":["
+      "{\"shard\":0,\"rounds\":2,\"evaluate_ns\":20,\"wake_ns\":3},"
+      "{\"shard\":1,\"rounds\":2,\"evaluate_ns\":10,\"wake_ns\":4}]},"
+      "\"engine.kernel.apply\":{\"total_ns\":10},"
+      "\"engine.kernel.barrier\":{\"total_ns\":5},"
+      "\"imbalance\":{\"slowest_shard_ns\":20,\"fastest_shard_ns\":10,"
+      "\"ratio_histogram\":{\"lo\":1,\"hi\":3,\"buckets\":[0,1],"
+      "\"underflow\":0,\"overflow\":0}},"
+      "\"pool\":{\"tasks\":4,\"wake_ns\":7,\"max_queue_depth\":2}},"
+      "\"bandwidth\":{"
+      "\"engine.io.bits_read\":0,\"engine.io.bits_written\":322,"
+      "\"channels\":{"
+      "\"billboard.commit\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":2,\"write_bits\":322},"
+      "\"ledger.ingest\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"ledger.window_query\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"gossip.exchange\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0}},"
+      "\"per_player\":{\"players\":2,\"read_bits_mean\":0,"
+      "\"read_bits_max\":0,\"write_bits_mean\":161,"
+      "\"write_bits_max\":161}}}\n");
 }
 
 // --------------------------------------------- TraceRecorder edge cases

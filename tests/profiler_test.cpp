@@ -1,0 +1,402 @@
+// The deep profiling layer: PhaseProfiler accounting, BandwidthMeter
+// attribution, and their contract with the kernel — profiling ON must
+// never change a RunResult (bit-identity with the unprofiled run), and
+// profiling OFF must collect nothing. Also pins the trial-driver metrics
+// hygiene guarantee: registry totals are trial-order invariant, so the
+// same totals come out at 1 and 8 driver threads. The concurrency suites
+// (MetricsConcurrency, ParallelKernelProfile, Runner) run under the TSan
+// CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "acp/obs/bandwidth.hpp"
+#include "acp/obs/metrics.hpp"
+#include "acp/obs/profiler.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/scenario/spec.hpp"
+#include "acp/sim/scenario_driver.hpp"
+#include "test_support.hpp"
+
+namespace acp::test {
+namespace {
+
+/// Arms the profiler + meter for one test and guarantees both are
+/// disabled and wiped afterwards, whatever the test does.
+class ProfilingScope {
+ public:
+  ProfilingScope() {
+    obs::PhaseProfiler::global().reset();
+    obs::PhaseProfiler::set_enabled(true);
+    obs::BandwidthMeter::global().reset();
+    obs::BandwidthMeter::set_enabled(true);
+  }
+  ~ProfilingScope() {
+    obs::PhaseProfiler::set_enabled(false);
+    obs::PhaseProfiler::global().reset();
+    obs::BandwidthMeter::set_enabled(false);
+    obs::BandwidthMeter::global().reset();
+  }
+  ProfilingScope(const ProfilingScope&) = delete;
+  ProfilingScope& operator=(const ProfilingScope&) = delete;
+};
+
+// ---------------------------------------------------------- PhaseProfiler
+
+TEST(PhaseProfilerUnit, ParallelRoundsAccumulateInShardOrder) {
+  ProfilingScope scope;
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+
+  const std::vector<obs::ShardSpan> round1 = {{100, 10}, {50, 20}};
+  const std::vector<obs::ShardSpan> round2 = {{200, 1}, {100, 2}};
+  profiler.record_parallel_round(round1, 7, 30);
+  profiler.record_parallel_round(round2, 8, 40);
+
+  const obs::PhaseProfileSnapshot snapshot = profiler.snapshot();
+  EXPECT_EQ(snapshot.parallel_rounds, 2u);
+  EXPECT_EQ(snapshot.sequential_rounds, 0u);
+  EXPECT_EQ(snapshot.evaluate_ns, 450u);
+  EXPECT_EQ(snapshot.apply_ns, 70u);
+  EXPECT_EQ(snapshot.barrier_ns, 15u);
+  EXPECT_EQ(snapshot.slowest_shard_ns, 300u);  // 100 + 200
+  EXPECT_EQ(snapshot.fastest_shard_ns, 150u);  // 50 + 100
+  ASSERT_EQ(snapshot.shards.size(), 2u);
+  EXPECT_EQ(snapshot.shards[0].rounds, 2u);
+  EXPECT_EQ(snapshot.shards[0].evaluate_ns, 300u);
+  EXPECT_EQ(snapshot.shards[0].wake_ns, 11u);
+  EXPECT_EQ(snapshot.shards[1].evaluate_ns, 150u);
+  EXPECT_EQ(snapshot.shards[1].wake_ns, 22u);
+  // Both rounds had ratio 2.0: two samples in the imbalance histogram.
+  EXPECT_EQ(snapshot.imbalance.total(), 2u);
+}
+
+TEST(PhaseProfilerUnit, SequentialRoundsAndPoolStats) {
+  ProfilingScope scope;
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+
+  profiler.record_sequential_round(120, 30);
+  profiler.record_task_wake(40);
+  profiler.record_task_wake(60);
+  profiler.record_queue_depth(3);
+  profiler.record_queue_depth(1);  // smaller: max is kept
+
+  const obs::PhaseProfileSnapshot snapshot = profiler.snapshot();
+  EXPECT_EQ(snapshot.sequential_rounds, 1u);
+  EXPECT_EQ(snapshot.parallel_rounds, 0u);
+  EXPECT_EQ(snapshot.evaluate_ns, 120u);
+  EXPECT_EQ(snapshot.apply_ns, 30u);
+  EXPECT_EQ(snapshot.pool_tasks, 2u);
+  EXPECT_EQ(snapshot.pool_wake_ns, 100u);
+  EXPECT_EQ(snapshot.pool_max_queue_depth, 3u);
+
+  profiler.reset();
+  const obs::PhaseProfileSnapshot wiped = profiler.snapshot();
+  EXPECT_EQ(wiped.sequential_rounds, 0u);
+  EXPECT_EQ(wiped.pool_tasks, 0u);
+  EXPECT_TRUE(wiped.shards.empty());
+}
+
+TEST(PhaseProfilerUnit, GrowingShardCountWidensTheTable) {
+  ProfilingScope scope;
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
+  const std::vector<obs::ShardSpan> two = {{10, 0}, {20, 0}};
+  const std::vector<obs::ShardSpan> three = {{1, 0}, {2, 0}, {3, 0}};
+  profiler.record_parallel_round(two, 0, 0);
+  profiler.record_parallel_round(three, 0, 0);
+  const obs::PhaseProfileSnapshot snapshot = profiler.snapshot();
+  ASSERT_EQ(snapshot.shards.size(), 3u);
+  EXPECT_EQ(snapshot.shards[0].rounds, 2u);
+  EXPECT_EQ(snapshot.shards[2].rounds, 1u);
+  EXPECT_EQ(snapshot.shards[2].evaluate_ns, 3u);
+}
+
+// --------------------------------------------------------- BandwidthMeter
+
+TEST(BandwidthMeterUnit, ChannelsAndPerPlayerAttribution) {
+  ProfilingScope scope;
+  {
+    obs::BandwidthMeter::RunScope run(4);
+    ASSERT_NE(run.sink(), nullptr);
+    {
+      const obs::BandwidthMeter::PlayerScope player(PlayerId{1});
+      obs::BandwidthMeter::add_read(obs::IoChannel::kLedgerIngest, 100);
+    }
+    obs::BandwidthMeter::add_write_for(obs::IoChannel::kBillboardCommit,
+                                       obs::kPostWireBits, PlayerId{2});
+    // No player scope and no explicit player: aggregates only.
+    obs::BandwidthMeter::add_read(obs::IoChannel::kWindowQuery, 50);
+  }  // RunScope folds per-player totals here
+
+  const obs::BandwidthSnapshot snapshot =
+      obs::BandwidthMeter::global().snapshot();
+  EXPECT_EQ(snapshot.bits_read, 150u);
+  EXPECT_EQ(snapshot.bits_written, obs::kPostWireBits);
+  const auto& ingest = snapshot.channels[static_cast<std::size_t>(
+      obs::IoChannel::kLedgerIngest)];
+  EXPECT_EQ(ingest.read_ops, 1u);
+  EXPECT_EQ(ingest.read_bits, 100u);
+  const auto& commit = snapshot.channels[static_cast<std::size_t>(
+      obs::IoChannel::kBillboardCommit)];
+  EXPECT_EQ(commit.write_ops, 1u);
+  EXPECT_EQ(commit.write_bits, obs::kPostWireBits);
+  // Players 1 and 2 had attributed traffic; the scopeless read did not.
+  EXPECT_EQ(snapshot.per_player.players, 2u);
+  EXPECT_EQ(snapshot.per_player.read_bits_sum, 100u);
+  EXPECT_EQ(snapshot.per_player.read_bits_max, 100u);
+  EXPECT_EQ(snapshot.per_player.write_bits_sum, obs::kPostWireBits);
+}
+
+TEST(BandwidthMeterUnit, DisabledMeterCollectsNothing) {
+  obs::BandwidthMeter::global().reset();
+  ASSERT_FALSE(obs::BandwidthMeter::enabled());
+  obs::BandwidthMeter::RunScope run(4);
+  EXPECT_EQ(run.sink(), nullptr);  // disabled: no allocation either
+  obs::BandwidthMeter::add_read(obs::IoChannel::kLedgerIngest, 100);
+  obs::BandwidthMeter::add_write_for(obs::IoChannel::kBillboardCommit, 161,
+                                     PlayerId{0});
+  const obs::BandwidthSnapshot snapshot =
+      obs::BandwidthMeter::global().snapshot();
+  EXPECT_EQ(snapshot.bits_read, 0u);
+  EXPECT_EQ(snapshot.bits_written, 0u);
+  EXPECT_EQ(snapshot.per_player.players, 0u);
+}
+
+// ----------------------------------------- profiled runs stay deterministic
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.players.size(), b.players.size());
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.all_honest_satisfied, b.all_honest_satisfied);
+  EXPECT_EQ(a.total_posts, b.total_posts);
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    SCOPED_TRACE("player " + std::to_string(p));
+    EXPECT_EQ(a.players[p].probes, b.players[p].probes);
+    EXPECT_EQ(a.players[p].cost_paid, b.players[p].cost_paid);
+    EXPECT_EQ(a.players[p].satisfied_round, b.players[p].satisfied_round);
+  }
+}
+
+scenario::ScenarioSpec small_spec(std::size_t engine_threads) {
+  scenario::ScenarioSpec spec;
+  spec.n = 97;  // prime: shard boundaries land mid-roster
+  spec.m = 50;
+  spec.good = 2;
+  spec.alpha = 0.72;
+  spec.max_rounds = 5000;
+  spec.engine_threads = engine_threads;
+  spec.validate();
+  return spec;
+}
+
+TEST(ParallelKernelProfile, ProfiledRunIsBitIdenticalToUnprofiled) {
+  const RunResult plain = scenario::run_scenario_trial(small_spec(2), 41);
+  ProfilingScope scope;
+  const RunResult profiled = scenario::run_scenario_trial(small_spec(2), 41);
+  expect_bit_identical(plain, profiled);
+
+  // And the profiler actually saw the run: parallel rounds with two
+  // shards, pool wake records, a sequential-apply span.
+  const obs::PhaseProfileSnapshot phases =
+      obs::PhaseProfiler::global().snapshot();
+  EXPECT_GT(phases.parallel_rounds, 0u);
+  ASSERT_EQ(phases.shards.size(), 2u);
+  EXPECT_EQ(phases.shards[0].rounds, phases.parallel_rounds);
+  EXPECT_GT(phases.evaluate_ns, 0u);
+  EXPECT_GT(phases.apply_ns, 0u);
+  EXPECT_EQ(phases.pool_tasks, 2 * phases.parallel_rounds);
+}
+
+TEST(ParallelKernelProfile, SequentialEngineRecordsSequentialRounds) {
+  ProfilingScope scope;
+  const RunResult result = scenario::run_scenario_trial(small_spec(1), 41);
+  EXPECT_GT(result.rounds_executed, 0);
+  const obs::PhaseProfileSnapshot phases =
+      obs::PhaseProfiler::global().snapshot();
+  EXPECT_EQ(phases.parallel_rounds, 0u);
+  EXPECT_EQ(static_cast<std::int64_t>(phases.sequential_rounds),
+            result.rounds_executed);
+  EXPECT_GT(phases.evaluate_ns, 0u);
+}
+
+TEST(ParallelKernelProfile, SyncRunMetersBillboardAndLedgerTraffic) {
+  ProfilingScope scope;
+  const RunResult result = scenario::run_scenario_trial(small_spec(2), 41);
+  EXPECT_GT(result.total_posts, 0u);
+  const obs::BandwidthSnapshot bandwidth =
+      obs::BandwidthMeter::global().snapshot();
+  const auto& commit = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kBillboardCommit)];
+  const auto& ingest = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kLedgerIngest)];
+  // Every committed post was written once at kPostWireBits...
+  EXPECT_EQ(commit.write_bits, result.total_posts * obs::kPostWireBits);
+  // ...and the shared DISTILL ledger read each post back at most once
+  // (posts committed in the final round are never ingested).
+  EXPECT_GT(ingest.read_bits, 0u);
+  EXPECT_LE(ingest.read_bits, commit.write_bits);
+  EXPECT_GT(bandwidth.per_player.players, 0u);
+  EXPECT_GT(bandwidth.per_player.write_bits_max, 0u);
+}
+
+TEST(ParallelKernelProfile, GossipRunMetersExchangeTraffic) {
+  scenario::ScenarioSpec spec;
+  spec.n = 64;
+  spec.m = 32;
+  spec.good = 2;
+  spec.engine = "gossip";
+  spec.fanout = 2;
+  spec.max_rounds = 5000;
+  spec.validate();
+
+  const RunResult plain = scenario::run_scenario_trial(spec, 17);
+  ProfilingScope scope;
+  const RunResult profiled = scenario::run_scenario_trial(spec, 17);
+  expect_bit_identical(plain, profiled);
+
+  const obs::BandwidthSnapshot bandwidth =
+      obs::BandwidthMeter::global().snapshot();
+  const auto& exchange = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kGossipExchange)];
+  EXPECT_GT(exchange.write_bits, 0u);
+  // Push gossip: every delivered bit was sent by some node and received
+  // by some node, so the two sides of the channel balance exactly.
+  EXPECT_EQ(exchange.read_bits, exchange.write_bits);
+  EXPECT_GT(bandwidth.per_player.players, 0u);
+}
+
+// ------------------------------------------- trial-driver metrics hygiene
+
+/// Counter totals (not wall-clock timers) from a profiled multi-trial
+/// invocation. Counts are commutative sums of per-trial contributions, so
+/// they must not depend on driver threading or trial execution order.
+std::vector<obs::CounterSample> counter_totals(std::size_t driver_threads) {
+  scenario::ScenarioSpec spec;
+  spec.n = 48;
+  spec.m = 32;
+  spec.good = 2;
+  spec.trials = 16;
+  spec.threads = driver_threads;
+  spec.max_rounds = 5000;
+  spec.validate();
+
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::set_enabled(true);
+  (void)sim::run_scenario_stats(spec);
+  obs::MetricsRegistry::set_enabled(false);
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  obs::MetricsRegistry::global().reset();
+  return snapshot.counters;
+}
+
+TEST(Runner, MetricTotalsAreDriverThreadCountInvariant) {
+  const std::vector<obs::CounterSample> t1 = counter_totals(1);
+  const std::vector<obs::CounterSample> t8 = counter_totals(8);
+  ASSERT_FALSE(t1.empty());
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    SCOPED_TRACE(t1[i].name);
+    EXPECT_EQ(t1[i].name, t8[i].name);
+    // No bleed between trials and no lost updates: the totals are the
+    // same sums in any trial order, at any driver thread count.
+    EXPECT_EQ(t1[i].value, t8[i].value);
+  }
+}
+
+// --------------------------------------------------- metrics concurrency
+
+TEST(MetricsConcurrency, CounterTotalsSurviveConcurrentRecording) {
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::set_enabled(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("test.concurrent.counter");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  obs::MetricsRegistry::set_enabled(false);
+  obs::MetricsRegistry::global().reset();
+}
+
+TEST(MetricsConcurrency, HistogramTotalsSurviveConcurrentRecording) {
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::set_enabled(true);
+  obs::HistogramMetric& histogram = obs::MetricsRegistry::global().histogram(
+      "test.concurrent.histogram", 0.0, 8.0, 8);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::size_t i = 0; i < kObservations; ++i) {
+        histogram.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const Histogram sample = histogram.snapshot();
+  EXPECT_EQ(sample.total(), kThreads * kObservations);
+  EXPECT_EQ(sample.underflow(), 0u);
+  EXPECT_EQ(sample.overflow(), 0u);
+  // Every thread's observations hit exactly one bucket.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sample.bin_count(t), kObservations);
+  }
+  obs::MetricsRegistry::set_enabled(false);
+  obs::MetricsRegistry::global().reset();
+}
+
+TEST(MetricsConcurrency, SnapshotWhileRecordingIsSafe) {
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::set_enabled(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("test.concurrent.snapshot.c");
+  obs::HistogramMetric& histogram = obs::MetricsRegistry::global().histogram(
+      "test.concurrent.snapshot.h", 0.0, 1.0, 4);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.add(1);
+        histogram.observe(0.5);
+      }
+    });
+  }
+  // Snapshots taken mid-recording must be internally consistent (no
+  // torn histogram state) even though the totals are still moving.
+  for (int i = 0; i < 200; ++i) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    for (const obs::HistogramSample& h : snapshot.histograms) {
+      std::uint64_t total = h.underflow + h.overflow;
+      for (const std::uint64_t count : h.bucket_counts) total += count;
+      // All observations land in bucket [0.25, 0.5): one bucket holds
+      // the entire total.
+      EXPECT_EQ(h.bucket_counts[2], total);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  obs::MetricsRegistry::set_enabled(false);
+  obs::MetricsRegistry::global().reset();
+}
+
+}  // namespace
+}  // namespace acp::test
