@@ -35,6 +35,7 @@
 #include "acp/core/distill.hpp"
 #include "acp/engine/sync_engine.hpp"
 #include "acp/gossip/gossip_engine.hpp"
+#include "acp/obs/bandwidth.hpp"
 #include "acp/obs/json.hpp"
 #include "acp/rng/rng.hpp"
 #include "acp/stats/table.hpp"
@@ -157,6 +158,38 @@ struct LegacyVoteLog {
   }
 };
 
+/// Minimal protocol for the gossip substrate benches: the first
+/// `posters` nodes post every round, everyone else idles, and nobody
+/// halts (the run ends at max_rounds) — so the measured cost is pure
+/// dissemination substrate work, not DISTILL phase machinery (whose
+/// per-instance state is O(n + m) and cannot be replicated 100k times).
+class LightFloodProtocol final : public Protocol {
+ public:
+  explicit LightFloodProtocol(std::size_t posters) : posters_(posters) {}
+
+  void initialize(const WorldView&, std::size_t) override {}
+  void on_round_begin(Round, const Billboard&) override {}
+
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player, Round,
+                                                     Rng&) override {
+    if (player.value() >= posters_) return std::nullopt;
+    return ObjectId{0};
+  }
+
+  StepOutcome on_probe_result(PlayerId player, Round round, ObjectId, double,
+                              double, bool, Rng&) override {
+    StepOutcome step;
+    step.post = ProbeReport{
+        ObjectId{0}, static_cast<double>(player.value() * 131 +
+                                         static_cast<std::size_t>(round)),
+        true};
+    return step;
+  }
+
+ private:
+  std::size_t posters_;
+};
+
 // ---------------------------------------------------------------------------
 // Fixtures.
 
@@ -257,8 +290,18 @@ struct SpeedupRecord {
   double speedup = 0.0;
 };
 
+/// Measured gossip wire cost (bits per round, all gossip channels) of the
+/// digest and exchange substrates on the same workload; see the
+/// gossip_wire_n512_f12 block in main().
+struct WireRecord {
+  double digest_bits_per_round = 0.0;
+  double exchange_bits_per_round = 0.0;
+  double reduction = 0.0;
+};
+
 void write_perf_json(const std::vector<BenchResult>& results,
-                     const std::vector<SpeedupRecord>& speedups) {
+                     const std::vector<SpeedupRecord>& speedups,
+                     const WireRecord& wire) {
   const char* dir = std::getenv("ACP_BENCH_JSON");
   if (dir == nullptr || *dir == '\0') return;
   const std::string path = std::string(dir) + "/BENCH_PERF.json";
@@ -300,6 +343,12 @@ void write_perf_json(const std::vector<BenchResult>& results,
     json.end_object();
   }
   json.end_array();
+  json.key("wire").begin_object();
+  json.member("name", "gossip_wire_n512_f12");
+  json.member("digest_bits_per_round", wire.digest_bits_per_round);
+  json.member("exchange_bits_per_round", wire.exchange_bits_per_round);
+  json.member("reduction", wire.reduction);
+  json.end_object();
   json.end_object();
   file << "\n";
 }
@@ -476,31 +525,150 @@ int main() {
     }
   }
 
-  // --- Gossip rounds: n=512 replicas, fanout 2, DISTILL on top.
+  // --- Gossip rounds: n=512 replicas at the substrate's operating
+  // point — 16 posters feeding a push-pull fanout-12 overlay, digest
+  // contacts on the lazy 8-round anti-entropy cadence. The exchange
+  // substrate re-ships every fresh post down every link every round
+  // (2*fanout duplicate deliveries per post per node, each paying a dedup
+  // probe); the digest substrate ships each post once and amortizes its
+  // control traffic over multi-round delta ranges. The legacy_ row runs
+  // the identical workload and config on the retained exchange path, so
+  // the rewrite's gain is a measured in-process ratio. (On saturated
+  // all-post workloads the two substrates converge to within ~1.5x of
+  // each other — every author advancing every round is the digest's
+  // worst case; see docs/architecture.md, "Gossip substrate".)
   {
     constexpr std::size_t kPlayers = 512;
+    constexpr std::size_t kPosters = 16;
     constexpr Round kMaxRounds = 64;
-    Rng rng(9);
-    const World world = make_simple_world(kPlayers, 1, rng);
     const Population population =
         Population::with_prefix_honest(kPlayers, kPlayers * 9 / 10);
-    std::uint64_t seed = 11;
-    record(run_bench(
-        "gossip_round_n512",
-        static_cast<std::int64_t>(kPlayers) * kMaxRounds, reps, [&] {
-          DistillParams params;
-          params.alpha = 0.9;
-          SilentAdversary adversary;
-          GossipConfig config;
-          config.fanout = 2;
-          config.max_rounds = kMaxRounds;
-          config.seed = seed++;
-          const RunResult result = GossipEngine::run(
-              world, population,
-              [&] { return std::make_unique<DistillProtocol>(params); },
-              adversary, config);
-          sink(static_cast<std::uint64_t>(result.total_posts));
-        }));
+    Rng rng(9);
+    const World world = make_simple_world(64, 1, rng);
+    const auto gossip_bench = [&](const std::string& name,
+                                  GossipSubstrate substrate) {
+      std::uint64_t seed = 11;
+      record(run_bench(
+          name, static_cast<std::int64_t>(kPlayers) * kMaxRounds, reps, [&,
+          substrate]() mutable {
+            SilentAdversary adversary;
+            GossipConfig config;
+            config.fanout = 12;
+            config.pull = true;
+            config.substrate = substrate;
+            config.contact_interval = 8;  // digest only; exchange ignores
+            config.max_rounds = kMaxRounds;
+            config.seed = seed++;
+            const RunResult result = GossipEngine::run(
+                world, population,
+                [&] { return std::make_unique<LightFloodProtocol>(kPosters); },
+                adversary, config);
+            sink(static_cast<std::uint64_t>(result.total_posts));
+          }));
+    };
+    gossip_bench("gossip_round_n512", GossipSubstrate::kDigest);
+    gossip_bench("legacy_gossip_round_n512", GossipSubstrate::kExchange);
+  }
+
+  // --- Gossip substrate at n=100k replicas: 256 posters flooding for 8
+  // rounds over 100k nodes. SeqTracker replicas are O(posting authors),
+  // so 100k of them fit easily; the row times pure dissemination and
+  // commit cost per node-round at cluster scale. Repair is off here:
+  // staggered full syncs make the digest substrate deliver far more of
+  // the flood within the 8-round window than exchange ever does, which
+  // is a completeness win but not an overhead comparison.
+  {
+    constexpr std::size_t kPlayers = 100000;
+    constexpr std::size_t kPosters = 256;
+    constexpr Round kMaxRounds = 8;
+    Rng rng(19);
+    const World world = make_simple_world(64, 1, rng);
+    const Population population =
+        Population::with_prefix_honest(kPlayers, kPlayers);
+    const auto gossip_100k = [&](const std::string& name,
+                                 GossipSubstrate substrate) {
+      std::uint64_t seed = 29;
+      return record(run_bench(
+          name, static_cast<std::int64_t>(kPlayers) * kMaxRounds, reps, [&,
+          substrate]() mutable {
+            SilentAdversary adversary;
+            GossipConfig config;
+            config.fanout = 2;
+            config.substrate = substrate;
+            config.repair_interval = 0;
+            config.max_rounds = kMaxRounds;
+            config.seed = seed++;
+            const RunResult result = GossipEngine::run(
+                world, population,
+                [&] { return std::make_unique<LightFloodProtocol>(kPosters); },
+                adversary, config);
+            sink(static_cast<std::uint64_t>(result.total_posts));
+          }));
+    };
+    const BenchResult fast =
+        gossip_100k("gossip_round_n100k", GossipSubstrate::kDigest);
+    const BenchResult legacy =
+        gossip_100k("legacy_gossip_round_n100k", GossipSubstrate::kExchange);
+    std::cout << "  -> gossip n100k digest vs exchange: "
+              << legacy.ns_per_op / fast.ns_per_op << "x\n";
+  }
+
+  // --- Gossip wire cost at the duplication-heavy operating point:
+  // n=512, fanout 12, push-pull, 10% loss, 10% Byzantine absorbers, 32
+  // posters, digest contacts on the lazy 16-round cadence. This is where
+  // exchange-everything hurts — every node re-ships its whole fresh set
+  // ~24x per round, absorbers receive full payloads they drop — and
+  // where digests pay for themselves: a post crosses each link once as a
+  // delta range covering many rounds of advances, everything else is
+  // compact control traffic. Recorded in the "wire" section and gated by
+  // scripts/check_perf.py --min-wire-reduction.
+  WireRecord wire;
+  {
+    constexpr std::size_t kPlayers = 512;
+    constexpr std::size_t kPosters = 32;
+    constexpr Round kMaxRounds = 64;
+    Rng rng(17);
+    const World world = make_simple_world(64, 1, rng);
+    const Population population =
+        Population::with_prefix_honest(kPlayers, kPlayers * 9 / 10);
+    const auto measure_bits = [&](GossipSubstrate substrate) {
+      SilentAdversary adversary;
+      GossipConfig config;
+      config.fanout = 12;
+      config.pull = true;
+      config.loss_prob = 0.1;
+      config.substrate = substrate;
+      config.contact_interval = 16;  // digest only; exchange ignores
+      config.max_rounds = kMaxRounds;
+      config.seed = 23;
+      obs::BandwidthMeter::global().reset();
+      obs::BandwidthMeter::set_enabled(true);
+      const RunResult result = GossipEngine::run(
+          world, population,
+          [&] { return std::make_unique<LightFloodProtocol>(kPosters); },
+          adversary, config);
+      obs::BandwidthMeter::set_enabled(false);
+      const obs::BandwidthSnapshot snap =
+          obs::BandwidthMeter::global().snapshot();
+      obs::BandwidthMeter::global().reset();
+      const auto channel_bits = [&](obs::IoChannel channel) {
+        return snap.channels[static_cast<std::size_t>(channel)].write_bits;
+      };
+      const std::uint64_t bits =
+          channel_bits(obs::IoChannel::kGossipExchange) +
+          channel_bits(obs::IoChannel::kGossipDigest) +
+          channel_bits(obs::IoChannel::kGossipDelta);
+      return static_cast<double>(bits) /
+             static_cast<double>(std::max<Round>(result.rounds_executed, 1));
+    };
+    wire.digest_bits_per_round = measure_bits(GossipSubstrate::kDigest);
+    wire.exchange_bits_per_round = measure_bits(GossipSubstrate::kExchange);
+    wire.reduction = wire.exchange_bits_per_round /
+                     std::max(wire.digest_bits_per_round, 1.0);
+    std::cout << "  gossip_wire_n512_f12: digest "
+              << wire.digest_bits_per_round / 1e3 << " kbit/round, exchange "
+              << wire.exchange_bits_per_round / 1e3
+              << " kbit/round -> reduction " << wire.reduction << "x\n";
   }
 
   // --- Results table + speedups.
@@ -524,7 +692,8 @@ int main() {
   for (const auto& [fast, legacy] :
        std::vector<std::pair<std::string, std::string>>{
            {"window_query_n10k_m100k", "legacy_window_query_n10k_m100k"},
-           {"replica_ooo_ingest_100k", "legacy_replica_ooo_ingest_100k"}}) {
+           {"replica_ooo_ingest_100k", "legacy_replica_ooo_ingest_100k"},
+           {"gossip_round_n512", "legacy_gossip_round_n512"}}) {
     speedups.push_back(SpeedupRecord{
         fast, legacy,
         find_result(legacy).ns_per_op / find_result(fast).ns_per_op});
@@ -535,6 +704,6 @@ int main() {
   }
   speedup_table.print(std::cout);
 
-  write_perf_json(results, speedups);
+  write_perf_json(results, speedups, wire);
   return 0;
 }

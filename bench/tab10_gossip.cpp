@@ -55,18 +55,26 @@ int main() {
                    Table::cell(summaries[3].mean(), 4)});
   }
 
+  // Substrate is pinned per arm: "digest" rows are the versioned
+  // anti-entropy default, "legacy" rows the retained exchange-everything
+  // path — same protocol, same seeds, so any spread is the substrate.
   struct Arm {
     std::string label;
     std::size_t fanout;
     GossipTopology topology;
+    GossipSubstrate substrate;
   };
   const std::vector<Arm> arms = {
-      {"complete", 8, GossipTopology::kComplete},
-      {"complete", 4, GossipTopology::kComplete},
-      {"complete", 2, GossipTopology::kComplete},
-      {"complete", 1, GossipTopology::kComplete},
-      {"rand-graph", 4, GossipTopology::kRandomGraph},
-      {"ring", 4, GossipTopology::kRing},
+      {"digest", 8, GossipTopology::kComplete, GossipSubstrate::kDigest},
+      {"digest", 4, GossipTopology::kComplete, GossipSubstrate::kDigest},
+      {"digest", 2, GossipTopology::kComplete, GossipSubstrate::kDigest},
+      {"digest", 1, GossipTopology::kComplete, GossipSubstrate::kDigest},
+      {"legacy", 4, GossipTopology::kComplete, GossipSubstrate::kExchange},
+      {"legacy", 2, GossipTopology::kComplete, GossipSubstrate::kExchange},
+      {"legacy", 1, GossipTopology::kComplete, GossipSubstrate::kExchange},
+      {"digest/rand-graph", 4, GossipTopology::kRandomGraph,
+       GossipSubstrate::kDigest},
+      {"digest/ring", 4, GossipTopology::kRing, GossipSubstrate::kDigest},
   };
   for (const Arm& arm : arms) {
     TrialPlan plan;
@@ -90,6 +98,7 @@ int main() {
               adversary,
               {.fanout = arm.fanout,
                .topology = arm.topology,
+               .substrate = arm.substrate,
                .max_rounds = 200000,
                .seed = seed ^ 0xaa});
           return std::vector<double>{
@@ -106,17 +115,22 @@ int main() {
   }
 
   print_table(table);
-  std::cout << "\nshape check: success stays 1.0 at every fanout; cost "
-               "approaches the shared-billboard cost from above as fanout "
-               "grows, degrading gracefully down to fanout 2. At fanout 1 "
-               "with alpha = 0.5 the *effective honest* fanout is ~0.5 — "
-               "half the pushes land on Byzantine absorbers — which is "
-               "below the percolation point, so dissemination stalls and "
-               "the tail explodes; the protocol still completes, on raw "
-               "probing. The static overlays tell the sharper story: at "
-               "the SAME fanout where dynamic targets cost 38 probes, "
-               "fixed links cost 4-8x more — with half the nodes Byzantine "
-               "absorbers, a node whose out-neighborhood is mostly "
+  std::cout << "\nshape check: success stays 1.0 at every fanout; digest "
+               "cost approaches the shared-billboard cost from above as "
+               "fanout grows and degrades gracefully all the way down to "
+               "fanout 1. The digest-vs-legacy spread is the anti-entropy "
+               "dividend: at fanout 1 with alpha = 0.5 the *effective "
+               "honest* fanout is ~0.5 — half the pushes land on Byzantine "
+               "absorbers — which is below the percolation point, so the "
+               "legacy substrate's rumor spreading stalls and its tail "
+               "explodes (~15x the mean probes, ~100x the rounds). The "
+               "digest substrate's staggered repair sync detects the "
+               "divergence from the 128-bit summaries and heals exactly "
+               "the missing ranges, so sub-percolation fanouts merely add "
+               "latency instead of stalling. The static overlays tell the "
+               "complementary story: at the SAME fanout where dynamic "
+               "targets track the shared ideal, fixed links cost 10x more "
+               "even WITH repair — a node whose out-neighborhood is mostly "
                "malicious is permanently throttled (and the ring's O(n) "
                "diameter stacks on top). Re-randomizing gossip targets "
                "every round is itself a Byzantine-resilience mechanism.\n";

@@ -22,6 +22,12 @@ smoke test against gross regressions, not a profiler):
      prints SKIP there instead of failing. Parallel rows deliberately do
      not appear in speedups[] (gate 1): the 5x floor there is for
      algorithmic rewrites, not thread scaling.
+  4. gossip wire cost: wire.reduction (legacy exchange bits per round
+     divided by digest+delta bits per round, measured by the in-process
+     BandwidthMeter on the same workload) must stay >=
+     --min-wire-reduction (default 10.0). Like the speedups, this is a
+     same-process ratio under a deterministic wire-size model, so it is
+     machine-independent and gets a hard floor.
 
 Exit code 0 = pass, 1 = regression/invalid input. Stdlib only.
 """
@@ -104,6 +110,26 @@ def check_parallel_scaling(doc, min_parallel_speedup):
     return ratio >= min_parallel_speedup
 
 
+def check_wire_reduction(doc, min_wire_reduction):
+    wire = doc.get("wire")
+    if not isinstance(wire, dict):
+        print("check_perf: wire{} record missing", file=sys.stderr)
+        return False
+    name = wire.get("name", "<unnamed>")
+    digest = wire.get("digest_bits_per_round", 0.0)
+    exchange = wire.get("exchange_bits_per_round", 0.0)
+    reduction = wire.get("reduction", 0.0)
+    if digest <= 0 or exchange <= 0:
+        print(f"check_perf: wire {name}: non-positive bits per round",
+              file=sys.stderr)
+        return False
+    status = "ok" if reduction >= min_wire_reduction else "FAIL"
+    print(f"  wire {name}: digest {digest / 1e3:.0f} kbit/round vs exchange "
+          f"{exchange / 1e3:.0f} kbit/round -> {reduction:.1f}x "
+          f"(floor {min_wire_reduction}x) {status}")
+    return reduction >= min_wire_reduction
+
+
 def check_against_baseline(doc, baseline, max_ratio):
     current = {b["name"]: b for b in doc.get("benches", [])}
     ok = True
@@ -133,6 +159,7 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--max-ratio", type=float, default=3.0)
     parser.add_argument("--min-parallel-speedup", type=float, default=2.0)
+    parser.add_argument("--min-wire-reduction", type=float, default=10.0)
     args = parser.parse_args()
 
     doc = load(args.perf_json)
@@ -140,6 +167,7 @@ def main():
     if ok:
         ok = check_speedups(doc, args.min_speedup)
         ok = check_parallel_scaling(doc, args.min_parallel_speedup) and ok
+        ok = check_wire_reduction(doc, args.min_wire_reduction) and ok
         if args.baseline:
             baseline = load(args.baseline)
             ok = check_against_baseline(doc, baseline, args.max_ratio) and ok

@@ -276,6 +276,13 @@ def render_bench(bench, baseline, out):
         out.append("In-process speedups vs legacy reimplementations: "
                    + ", ".join(f"{s['name']} {s['speedup']:.1f}x"
                                for s in speedups) + ".\n")
+    wire = bench.get("wire")
+    if isinstance(wire, dict) and wire.get("digest_bits_per_round"):
+        out.append(f"Gossip wire cost ({wire.get('name', 'wire')}): digest "
+                   f"{fmt_bits(int(wire['digest_bits_per_round']))}/round vs "
+                   f"exchange "
+                   f"{fmt_bits(int(wire['exchange_bits_per_round']))}/round "
+                   f"— {wire.get('reduction', 0.0):.1f}x less traffic.\n")
 
 
 def main():

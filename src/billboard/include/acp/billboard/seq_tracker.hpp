@@ -1,0 +1,112 @@
+// SeqTracker — per-author post sequence bookkeeping for replicated
+// billboards.
+//
+// The gossip anti-entropy substrate gives every post a monotonic
+// per-author sequence number assigned at creation. A replica then needs
+// exactly three things to stay consistent without a per-round dedup set:
+//
+//  * the contiguous high-water mark per author (seqs [0, hw) are held) —
+//    a duplicate is any seq below it, an extension is the seq equal to it;
+//  * a parking lot for out-of-order arrivals (a Byzantine injection can
+//    reach a node before the same author's earlier lies do) that drains
+//    as soon as the gap fills, so the PR 3 batched out-of-order billboard
+//    merge consumes deltas directly in arrival order;
+//  * an order-independent summary (count + xor-of-mixed-ids checksum) so
+//    two replicas can decide "are we already in sync?" in O(1) wire bits.
+//
+// The tracker is deliberately payload-agnostic: callers associate each
+// (author, seq) with a 32-bit payload (the gossip engine passes indices
+// into its per-run post arena). Storage is a sorted sparse vector of
+// (author, hw) pairs — per-replica memory is O(authors that ever posted),
+// never O(n), which is what lets a 100k-node run keep 100k replicas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "acp/util/types.hpp"
+
+namespace acp {
+
+class SeqTracker {
+ public:
+  /// Sequence number within one author's post stream, starting at 0.
+  using Seq = std::uint32_t;
+  /// Caller-defined 32-bit payload (e.g. an index into a post arena).
+  using Payload = std::uint32_t;
+
+  struct Entry {
+    std::uint32_t author = 0;
+    Seq high_water = 0;  ///< seqs [0, high_water) are held contiguously
+  };
+
+  enum class Offer {
+    kDuplicate,  ///< seq below the high-water mark: already held
+    kAccepted,   ///< extended the contiguous prefix (may drain parked)
+    kParked,     ///< ahead of the prefix: buffered until the gap fills
+  };
+
+  /// Offer (author, seq, payload). On kAccepted the payload — plus any
+  /// parked successors the acceptance unlocked — is appended to
+  /// `accepted` in sequence order. kParked re-offers of a parked seq are
+  /// reported as kDuplicate.
+  Offer offer(std::uint32_t author, Seq seq, Payload payload,
+              std::vector<Payload>& accepted);
+
+  /// Offer the contiguous range [first, first + payloads.size()) of
+  /// `author` in one call — the shape of an anti-entropy delta. One
+  /// entry lookup for the whole range instead of one per post; the
+  /// already-held prefix is skipped without touching the parking lot.
+  /// Returns true iff the high-water mark advanced (newly committed
+  /// payloads, including drained parked successors, are appended to
+  /// `accepted` in sequence order).
+  bool offer_range(std::uint32_t author, Seq first,
+                   std::span<const Payload> payloads,
+                   std::vector<Payload>& accepted);
+
+  /// Contiguous high-water mark for `author` (0 if never seen).
+  [[nodiscard]] Seq high_water(std::uint32_t author) const noexcept;
+
+  /// Committed (contiguous) post count across all authors. Parked posts
+  /// are excluded until their gap fills.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Order-independent checksum over the committed (author, seq) set.
+  /// Equal (count, checksum) pairs identify equal sets up to 64-bit
+  /// collisions — good enough to skip a digest, never used to skip a
+  /// payload a peer explicitly asked for.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+
+  /// Parked (gapped) posts currently buffered.
+  [[nodiscard]] std::size_t parked() const noexcept { return parked_.size(); }
+
+  /// Sparse digest: all authors with a nonzero high-water mark, sorted by
+  /// author id. This is the wire digest of the anti-entropy protocol.
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// The checksum contribution of one (author, seq) pair (splitmix64
+  /// finalizer over the packed id). Exposed so tests and the wire model
+  /// agree on the exact summary semantics.
+  [[nodiscard]] static std::uint64_t mix(std::uint32_t author,
+                                         Seq seq) noexcept;
+
+ private:
+  struct Parked {
+    std::uint32_t author = 0;
+    Seq seq = 0;
+    Payload payload = 0;
+  };
+
+  /// Index of the entry for `author` in entries_, or entries_.size().
+  [[nodiscard]] std::size_t find(std::uint32_t author) const noexcept;
+
+  std::vector<Entry> entries_;  // sorted by author
+  std::vector<Parked> parked_;  // unsorted; scanned on acceptance
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace acp

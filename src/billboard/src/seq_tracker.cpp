@@ -1,0 +1,136 @@
+#include "acp/billboard/seq_tracker.hpp"
+
+#include <algorithm>
+
+namespace acp {
+
+std::uint64_t SeqTracker::mix(std::uint32_t author, Seq seq) noexcept {
+  // splitmix64 finalizer over the packed (author, seq) id: strong enough
+  // that xor-aggregation over distinct ids collides only adversarially.
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(author) << 32) | static_cast<std::uint64_t>(seq);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::size_t SeqTracker::find(std::uint32_t author) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), author,
+      [](const Entry& e, std::uint32_t a) { return e.author < a; });
+  if (it == entries_.end() || it->author != author) return entries_.size();
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+SeqTracker::Seq SeqTracker::high_water(std::uint32_t author) const noexcept {
+  const std::size_t at = find(author);
+  return at == entries_.size() ? 0 : entries_[at].high_water;
+}
+
+SeqTracker::Offer SeqTracker::offer(std::uint32_t author, Seq seq,
+                                    Payload payload,
+                                    std::vector<Payload>& accepted) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), author,
+      [](const Entry& e, std::uint32_t a) { return e.author < a; });
+  if (it == entries_.end() || it->author != author) {
+    it = entries_.insert(it, Entry{author, 0});
+  }
+  if (seq < it->high_water) return Offer::kDuplicate;
+  if (seq > it->high_water) {
+    for (const Parked& p : parked_) {
+      if (p.author == author && p.seq == seq) return Offer::kDuplicate;
+    }
+    parked_.push_back(Parked{author, seq, payload});
+    return Offer::kParked;
+  }
+
+  // Extend the contiguous prefix, then drain any parked successors it
+  // unlocked. Each drained post may unlock the next, so loop to fixpoint;
+  // the parking lot is tiny (gaps come only from lost or out-of-order
+  // Byzantine injections), so the linear rescans are cheap.
+  const auto accept_one = [&](Seq s, Payload pay) {
+    it->high_water = s + 1;
+    checksum_ ^= mix(author, s);
+    ++count_;
+    accepted.push_back(pay);
+  };
+  accept_one(seq, payload);
+  bool drained = true;
+  while (drained && !parked_.empty()) {
+    drained = false;
+    for (std::size_t i = 0; i < parked_.size(); ++i) {
+      if (parked_[i].author == author && parked_[i].seq == it->high_water) {
+        accept_one(parked_[i].seq, parked_[i].payload);
+        parked_[i] = parked_.back();
+        parked_.pop_back();
+        drained = true;
+        break;
+      }
+    }
+  }
+  return Offer::kAccepted;
+}
+
+bool SeqTracker::offer_range(std::uint32_t author, Seq first,
+                             std::span<const Payload> payloads,
+                             std::vector<Payload>& accepted) {
+  if (payloads.empty()) return false;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), author,
+      [](const Entry& e, std::uint32_t a) { return e.author < a; });
+  if (it == entries_.end() || it->author != author) {
+    it = entries_.insert(it, Entry{author, 0});
+  }
+  const Seq end = first + static_cast<Seq>(payloads.size());
+  if (end <= it->high_water) return false;  // whole range already held
+  if (first > it->high_water) {
+    // Range starts ahead of the prefix. Deltas normally start at the
+    // receiver's advertised high-water mark, so this only happens when a
+    // concurrent contact regressed nothing but the advertisement was
+    // stale; fall back to per-post parking.
+    bool advanced = false;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      advanced |= offer(author, first + static_cast<Seq>(i), payloads[i],
+                        accepted) == Offer::kAccepted;
+    }
+    return advanced;
+  }
+
+  // first <= high_water < end: bulk-accept the unseen suffix.
+  for (Seq s = it->high_water; s < end; ++s) {
+    checksum_ ^= mix(author, s);
+    ++count_;
+    accepted.push_back(payloads[s - first]);
+  }
+  it->high_water = end;
+
+  // Drain parked successors, and purge parked posts the bulk accept
+  // jumped over (they are duplicates now). Loop to fixpoint: each drain
+  // may unlock the next parked seq.
+  bool progress = true;
+  while (progress && !parked_.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < parked_.size();) {
+      if (parked_[i].author != author || parked_[i].seq > it->high_water) {
+        ++i;
+        continue;
+      }
+      if (parked_[i].seq == it->high_water) {
+        checksum_ ^= mix(author, parked_[i].seq);
+        ++count_;
+        accepted.push_back(parked_[i].payload);
+        ++it->high_water;
+      }
+      parked_[i] = parked_.back();
+      parked_.pop_back();
+      progress = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace acp

@@ -9,13 +9,27 @@
 //  * every honest node keeps a replica Billboard (posts retain their
 //    origin stamps but arrive late and batched) and its own protocol
 //    instance — there is no shared state between players at all;
-//  * per round, every honest node pushes the posts it learned last round
-//    to `fanout` uniformly random nodes (push gossip: each post floods
-//    the network in O(log n) rounds w.h.p. for fanout >= 1);
 //  * Byzantine nodes absorb — they relay nothing — and inject their
 //    fabricated posts into `fanout` random nodes per round;
 //  * satisfied nodes stop probing but keep relaying (cheap, realistic,
 //    and keeps dissemination alive for stragglers).
+//
+// Two interchangeable dissemination substrates (GossipConfig::substrate):
+//
+//  * kDigest (default) — versioned anti-entropy. Every post carries a
+//    monotonic per-author sequence number; replicas track per-author
+//    high-water marks (SeqTracker). A contact first exchanges a 128-bit
+//    (count, checksum) summary, then compact digests (the initiator's
+//    recently-advanced authors, or the full sparse high-water vector on
+//    staggered repair contacts), and transfers only the missing delta
+//    ranges. There is no per-round dedup set: duplicate suppression is a
+//    sequence-number compare. Wire cost is metered on the gossip.digest
+//    and gossip.delta channels.
+//  * kExchange — the legacy exchange-everything path: each node pushes
+//    the posts it learned last round to `fanout` targets and dedups by a
+//    per-node hash set. Kept for one release as the differential-testing
+//    oracle (tests/gossip_antientropy_test.cpp pins digest ≡ exchange
+//    final replica state); metered on gossip.exchange.
 //
 // The interesting measurement (bench tab10_gossip): DISTILL's phase
 // machinery assumes a consistent view; under gossip, views — and hence
@@ -29,6 +43,8 @@
 #include <functional>
 #include <memory>
 #include <vector>
+
+#include "acp/billboard/billboard.hpp"
 
 #include "acp/engine/adversary.hpp"
 #include "acp/engine/observer.hpp"
@@ -52,11 +68,36 @@ enum class GossipTopology {
   kRandomGraph,
 };
 
+enum class GossipSubstrate {
+  /// Versioned digest anti-entropy: sequence-numbered posts, summary +
+  /// sparse high-water digests, delta-only transfer. The default.
+  kDigest,
+  /// Exchange-everything push with a per-node dedup set. The pre-rewrite
+  /// substrate, kept as the differential-testing oracle.
+  kExchange,
+};
+
 struct GossipConfig {
   /// Push targets per node per round. 0 disables dissemination entirely
   /// (every node searches alone — the degenerate control).
   std::size_t fanout = 2;
   GossipTopology topology = GossipTopology::kComplete;
+  GossipSubstrate substrate = GossipSubstrate::kDigest;
+  /// Digest substrate only: every `repair_interval`-th contact round
+  /// (staggered per node) a contact escalates to a full-digest sync when
+  /// the 128-bit summaries still differ after the hot exchange. This is
+  /// what heals losses and catches up late arrivals without re-flooding;
+  /// 0 disables repair (hot-path rumor spreading only).
+  Round repair_interval = 8;
+  /// Digest substrate only: a node initiates contacts every
+  /// `contact_interval` rounds (staggered per node), accumulating its hot
+  /// authors in between. 1 (default) is eager rumor spreading — advances
+  /// are advertised the round after they happen. Larger values are the
+  /// classic lazy anti-entropy cadence: one digest entry then covers a
+  /// multi-post delta range, so control traffic amortizes toward the
+  /// content floor (each post crossing each link once) at the price of
+  /// proportionally slower dissemination. Exchange substrate ignores it.
+  Round contact_interval = 1;
   /// Push-pull: each node additionally contacts `fanout` random peers and
   /// fetches what they learned last round. Doubles the per-round exchange
   /// budget but, unlike doubling fanout, pull also works for nodes nobody
@@ -80,6 +121,11 @@ struct GossipConfig {
   /// adversary's omniscient union log as the billboard argument (there is
   /// no shared billboard under gossip).
   RunObserver* observer = nullptr;
+  /// Optional end-of-run inspection hook: called once per honest node
+  /// (ascending id, departed nodes included) with its final committed
+  /// replica. This is how the substrate-equivalence tests compare digest
+  /// vs exchange final state without widening RunResult.
+  std::function<void(PlayerId, const Billboard&)> on_final_replica = nullptr;
 };
 
 /// Builds one protocol instance per honest node (no shared state).

@@ -44,13 +44,29 @@ inline constexpr std::uint64_t kPostWireBits = 161;
 /// 32-bit voter + 32-bit object + 32-bit round.
 inline constexpr std::uint64_t kVoteEventWireBits = 96;
 
+/// Wire size of the anti-entropy contact summary: 64-bit post count +
+/// 64-bit order-independent set checksum. Two replicas with equal
+/// summaries skip the digest entirely, so a quiescent contact costs
+/// exactly this much.
+inline constexpr std::uint64_t kGossipSummaryWireBits = 128;
+
+/// Wire size of one digest (or want-list) entry: 32-bit author +
+/// 32-bit per-author sequence high-water mark.
+inline constexpr std::uint64_t kDigestEntryWireBits = 64;
+
+/// Wire size of one delta range header: 32-bit author + 32-bit first
+/// sequence number (the post count is implied by the payload length).
+inline constexpr std::uint64_t kDeltaHeaderWireBits = 64;
+
 /// Where the bits moved. Names are the report keys.
 enum class IoChannel : std::size_t {
   kBillboardCommit = 0,  ///< posts written to the authoritative board
   kLedgerIngest = 1,     ///< posts read into a vote ledger
   kWindowQuery = 2,      ///< vote events scanned by window queries
-  kGossipExchange = 3,   ///< posts pushed/pulled between gossip nodes
-  kCount = 4,
+  kGossipExchange = 3,   ///< posts pushed/pulled by the legacy exchange path
+  kGossipDigest = 4,     ///< anti-entropy summaries, digests and want-lists
+  kGossipDelta = 5,      ///< missing-post ranges transferred by anti-entropy
+  kCount = 6,
 };
 
 [[nodiscard]] const char* io_channel_name(IoChannel channel) noexcept;

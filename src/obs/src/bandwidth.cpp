@@ -23,6 +23,10 @@ const char* io_channel_name(IoChannel channel) noexcept {
       return "ledger.window_query";
     case IoChannel::kGossipExchange:
       return "gossip.exchange";
+    case IoChannel::kGossipDigest:
+      return "gossip.digest";
+    case IoChannel::kGossipDelta:
+      return "gossip.delta";
     case IoChannel::kCount:
       break;
   }

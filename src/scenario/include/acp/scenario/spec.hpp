@@ -53,6 +53,11 @@ struct ScenarioSpec {
   std::string engine = "sync";  ///< sync | async | lockstep | gossip
   std::string scheduler = "rr";  ///< rr | random (async/lockstep)
   std::size_t fanout = 2;        ///< gossip push fanout
+  /// Gossip dissemination substrate: "digest" (versioned anti-entropy,
+  /// the default) or "exchange" (the legacy exchange-everything oracle).
+  std::string substrate = "digest";
+  bool pull = false;       ///< gossip push-pull (see GossipConfig::pull)
+  double loss_prob = 0.0;  ///< gossip per-exchange loss probability
   Round max_rounds = 500000;     ///< sync/gossip per-trial cap
   Count max_steps = 10000000;    ///< async/lockstep honest-step cap
   /// Round-kernel worker threads inside each trial (sync engine; 0 =
@@ -96,7 +101,8 @@ struct ScenarioSpec {
 
 /// Apply one `key=value` override (the --set flag). Keys are the flat
 /// spec fields (n, m, good, alpha, world, protocol, adversary, engine,
-/// scheduler, fanout, max_rounds, max_steps, engine_threads,
+/// scheduler, fanout, substrate, pull, loss_prob, max_rounds, max_steps,
+/// engine_threads,
 /// arrival_window, depart_frac, depart_round, trials, seed, threads,
 /// cost_classes, cheapest_good_class,
 /// name) plus dotted parameter paths: protocol.<param> and

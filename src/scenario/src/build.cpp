@@ -121,6 +121,11 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     }
     GossipConfig config;
     config.fanout = spec.fanout;
+    config.substrate = spec.substrate == "exchange"
+                           ? GossipSubstrate::kExchange
+                           : GossipSubstrate::kDigest;
+    config.pull = spec.pull;
+    config.loss_prob = spec.loss_prob;
     config.max_rounds = spec.max_rounds;
     config.seed = engine_seed;
     config.arrivals = arrivals;

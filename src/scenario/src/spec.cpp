@@ -49,6 +49,14 @@ std::uint64_t get_u64(const JsonValue& section,
             [&] { return v->as_u64(); });
 }
 
+bool get_bool(const JsonValue& section, const std::string& section_name,
+              std::string_view key, bool fallback) {
+  const JsonValue* v = section.find(key);
+  if (v == nullptr) return fallback;
+  return at(section_name + "." + std::string(key),
+            [&] { return v->as_bool(); });
+}
+
 std::string get_string(const JsonValue& section,
                        const std::string& section_name, std::string_view key,
                        std::string fallback) {
@@ -150,6 +158,14 @@ void ScenarioSpec::validate() const {
     field_error("engine.scheduler", "unknown scheduler '" + scheduler +
                                         "' (known: rr, random)");
   }
+  if (substrate != "digest" && substrate != "exchange") {
+    field_error("engine.substrate", "unknown substrate '" + substrate +
+                                        "' (known: digest, exchange)");
+  }
+  if (loss_prob < 0.0 || loss_prob >= 1.0) {
+    field_error("engine.loss_prob",
+                "must be in [0, 1), got " + std::to_string(loss_prob));
+  }
   if (max_rounds < 1) field_error("engine.max_rounds", "must be >= 1");
   if (max_steps < 1) field_error("engine.max_steps", "must be >= 1");
   if (depart_frac < 0.0 || depart_frac > 1.0) {
@@ -232,11 +248,14 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
   if (const JsonValue* e = doc.find("engine")) {
     at(std::string("engine"), [&] { return &e->as_object(); });
     require_members(*e, "engine",
-                    {"kind", "scheduler", "fanout", "max_rounds",
-                     "max_steps", "threads"});
+                    {"kind", "scheduler", "fanout", "substrate", "pull",
+                     "loss_prob", "max_rounds", "max_steps", "threads"});
     spec.engine = get_string(*e, "engine", "kind", spec.engine);
     spec.scheduler = get_string(*e, "engine", "scheduler", spec.scheduler);
     spec.fanout = get_u64(*e, "engine", "fanout", spec.fanout);
+    spec.substrate = get_string(*e, "engine", "substrate", spec.substrate);
+    spec.pull = get_bool(*e, "engine", "pull", spec.pull);
+    spec.loss_prob = get_number(*e, "engine", "loss_prob", spec.loss_prob);
     spec.max_rounds = static_cast<Round>(get_u64(
         *e, "engine", "max_rounds", static_cast<std::uint64_t>(spec.max_rounds)));
     spec.max_steps = static_cast<Count>(get_u64(
@@ -322,6 +341,9 @@ void ScenarioSpec::to_json(std::ostream& os) const {
   json.member("kind", engine);
   json.member("scheduler", scheduler);
   json.member("fanout", static_cast<std::uint64_t>(fanout));
+  json.member("substrate", substrate);
+  json.member("pull", pull);
+  json.member("loss_prob", loss_prob);
   json.member("max_rounds", static_cast<std::uint64_t>(max_rounds));
   json.member("max_steps", static_cast<std::uint64_t>(max_steps));
   json.member("threads", static_cast<std::uint64_t>(engine_threads));
@@ -430,6 +452,12 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
     spec.scheduler = std::string(value);
   } else if (key == "fanout") {
     spec.fanout = parse_size_value(key, value);
+  } else if (key == "substrate") {
+    spec.substrate = std::string(value);
+  } else if (key == "pull") {
+    spec.pull = parse_double_value(key, value) != 0.0;
+  } else if (key == "loss_prob") {
+    spec.loss_prob = parse_double_value(key, value);
   } else if (key == "max_rounds") {
     spec.max_rounds = static_cast<Round>(parse_size_value(key, value));
   } else if (key == "max_steps") {
@@ -463,7 +491,8 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
         "--set: unknown key '" + std::string(key) +
         "' (known: n, m, good, alpha, world, cost_classes, "
         "cheapest_good_class, protocol, adversary, engine, scheduler, "
-        "fanout, max_rounds, max_steps, engine_threads, arrival_window, "
+        "fanout, substrate, pull, loss_prob, max_rounds, max_steps, "
+        "engine_threads, arrival_window, "
         "depart_frac, depart_round, trials, seed, threads, name, "
         "protocol.<param>, adversary.<param>)");
   }

@@ -445,6 +445,10 @@ TEST(RunReport, GoldenJsonWithProfileSections) {
       "\"ledger.window_query\":{\"read_ops\":0,\"read_bits\":0,"
       "\"write_ops\":0,\"write_bits\":0},"
       "\"gossip.exchange\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"gossip.digest\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"gossip.delta\":{\"read_ops\":0,\"read_bits\":0,"
       "\"write_ops\":0,\"write_bits\":0}},"
       "\"per_player\":{\"players\":2,\"read_bits_mean\":0,"
       "\"read_bits_max\":0,\"write_bits_mean\":161,"

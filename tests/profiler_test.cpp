@@ -258,12 +258,23 @@ TEST(ParallelKernelProfile, GossipRunMetersExchangeTraffic) {
 
   const obs::BandwidthSnapshot bandwidth =
       obs::BandwidthMeter::global().snapshot();
+  // The default substrate is digest anti-entropy: control traffic
+  // (summaries, digests, want-lists) on gossip.digest, payload ranges on
+  // gossip.delta, and nothing on the legacy exchange channel.
+  const auto& digest = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kGossipDigest)];
+  const auto& delta = bandwidth.channels[static_cast<std::size_t>(
+      obs::IoChannel::kGossipDelta)];
   const auto& exchange = bandwidth.channels[static_cast<std::size_t>(
       obs::IoChannel::kGossipExchange)];
-  EXPECT_GT(exchange.write_bits, 0u);
-  // Push gossip: every delivered bit was sent by some node and received
-  // by some node, so the two sides of the channel balance exactly.
-  EXPECT_EQ(exchange.read_bits, exchange.write_bits);
+  EXPECT_GT(digest.write_bits, 0u);
+  EXPECT_GT(delta.write_bits, 0u);
+  EXPECT_EQ(exchange.write_bits, 0u);
+  // Every metered bit was sent by some node and received by some node
+  // (absorbed deltas are simply never sent), so the two sides of each
+  // channel balance exactly.
+  EXPECT_EQ(digest.read_bits, digest.write_bits);
+  EXPECT_EQ(delta.read_bits, delta.write_bits);
   EXPECT_GT(bandwidth.per_player.players, 0u);
 }
 
