@@ -14,8 +14,9 @@ Inputs:
   -o OUT.md                output path (default: stdout).
 
 The markdown answers "where did the time go": kernel phase percentages
-(evaluate / apply / barrier), per-shard spans with the imbalance
-histogram, thread-pool wake cost, and per-channel bandwidth — plus the
+(evaluate / stage / merge / apply / barrier), per-shard spans with the
+imbalance histogram, thread-pool wake cost, and per-channel bandwidth —
+plus the
 ns/op trajectory vs the checked-in baseline when bench files are given.
 CI uploads the result as an artifact (see perf-smoke in ci.yml).
 
@@ -77,9 +78,11 @@ def validate_report(doc, path):
             shards = need(evaluate, "shards", list,
                           "phases.engine.kernel.evaluate")
             for i, shard in enumerate(shards or []):
-                for key in ("shard", "rounds", "evaluate_ns", "wake_ns"):
+                for key in ("shard", "rounds", "evaluate_ns", "stage_ns",
+                            "wake_ns"):
                     need(shard, key, int, f"phases.shards[{i}]")
-        for section in ("engine.kernel.apply", "engine.kernel.barrier"):
+        for section in ("engine.kernel.stage", "engine.kernel.apply",
+                        "engine.kernel.merge", "engine.kernel.barrier"):
             block = need(phases, section, dict, "phases")
             if block is not None:
                 need(block, "total_ns", int, f"phases.{section}")
@@ -151,29 +154,34 @@ def render_phases(phases, out):
         return
     rounds = phases["rounds"]
     evaluate_ns = phases["engine.kernel.evaluate"]["total_ns"]
+    stage_ns = phases["engine.kernel.stage"]["total_ns"]
     apply_ns = phases["engine.kernel.apply"]["total_ns"]
+    merge_ns = phases["engine.kernel.merge"]["total_ns"]
     barrier_ns = phases["engine.kernel.barrier"]["total_ns"]
-    total = evaluate_ns + apply_ns + barrier_ns
+    total = evaluate_ns + stage_ns + apply_ns + merge_ns + barrier_ns
     out.append(f"Rounds: **{rounds['parallel']} parallel**, "
                f"**{rounds['sequential']} sequential**. Accounted kernel "
                f"time: **{fmt_ns(total)}**.\n")
     out.append("| phase | time | share |")
     out.append("|---|---:|---:|")
-    for name, ns in (("evaluate (parallel shards)", evaluate_ns),
-                     ("apply (sequential merge)", apply_ns),
-                     ("barrier (wait_idle)", barrier_ns)):
+    for name, ns in (("evaluate (shard workers)", evaluate_ns),
+                     ("stage (shard workers)", stage_ns),
+                     ("apply (sequential rounds)", apply_ns),
+                     ("merge (canonical-order fold)", merge_ns),
+                     ("barrier (leader wait)", barrier_ns)):
         pct = 100.0 * ns / total if total else 0.0
         out.append(f"| {name} | {fmt_ns(ns)} | {pct:.1f}% |")
     out.append("")
 
     shards = phases["engine.kernel.evaluate"]["shards"]
     if shards:
-        out.append("### Per-shard evaluate spans\n")
-        out.append("| shard | rounds | evaluate | wake latency |")
-        out.append("|---:|---:|---:|---:|")
+        out.append("### Per-shard spans\n")
+        out.append("| shard | rounds | evaluate | stage | wake latency |")
+        out.append("|---:|---:|---:|---:|---:|")
         for shard in shards:
             out.append(f"| {shard['shard']} | {shard['rounds']} | "
                        f"{fmt_ns(shard['evaluate_ns'])} | "
+                       f"{fmt_ns(shard['stage_ns'])} | "
                        f"{fmt_ns(shard['wake_ns'])} |")
         out.append("")
 

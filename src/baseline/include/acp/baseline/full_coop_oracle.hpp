@@ -4,8 +4,24 @@
 // urn"), and all stop one round after the first good hit. Not implementable
 // in the real model; used as the measured floor next to the Theorem 1 bound
 // (bench TAB-6).
+//
+// Two modes, one semantics ("everyone follows the discovery next round"):
+//
+//  * Roster mode (synchronous engines): the all-active policies call
+//    on_active_roster once per round, where the oracle promotes any
+//    discovery staged by the previous round (lowest player id wins —
+//    deterministic) and deals each active player its urn slot for this
+//    round. choose_probe is then a pure read and on_probe_result writes
+//    only the probing player's discovery slot plus a commutative flag, so
+//    parallel_choose_safe() holds and the oracle rides the parallel
+//    kernel like every other registry protocol.
+//  * Step mode (lockstep substrate, which never reveals a roster): the
+//    original shared lazy-shuffle cursor, advanced per choose_probe call.
+//    Only ever driven single-threaded (one player per basic step).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "acp/engine/protocol.hpp"
@@ -16,21 +32,39 @@ class FullCoopOracle final : public Protocol {
  public:
   void initialize(const WorldView& world, std::size_t num_players) override;
   void on_round_begin(Round round, const Billboard& billboard) override;
+  void on_active_roster(Round round, std::span<const PlayerId> active,
+                        Rng& rng) override;
   [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId player,
                                                      Round round,
                                                      Rng& rng) override;
   StepOutcome on_probe_result(PlayerId player, Round round, ObjectId object,
                               double value, double cost, bool locally_good,
                               Rng& rng) override;
+  [[nodiscard]] bool parallel_choose_safe() const override { return true; }
 
  private:
+  static constexpr std::uint64_t kNoDiscovery = ~std::uint64_t{0};
+
   /// Globally shuffled probe order; players consume it disjointly.
   std::vector<ObjectId> order_;
   std::size_t cursor_ = 0;
   bool shuffled_ = false;
-  /// Set once any player probes a good object; everyone follows it next
-  /// round (one extra probe each — the "+1" of the oracle).
+  /// Set once a discovery is promoted (step mode: immediately); everyone
+  /// follows it next round (one extra probe each — the oracle's "+1").
   std::optional<ObjectId> found_;
+
+  // Roster mode: latched by the first on_active_roster call.
+  bool roster_mode_ = false;
+  /// Round-constant once dealt: player -> index into order_.
+  std::vector<std::size_t> slot_;
+  /// Per-player staged discovery (object id, kNoDiscovery when none).
+  /// Each on_probe_result writes only the probing player's entry;
+  /// on_active_roster scans in player-id order next round.
+  std::vector<std::uint64_t> found_by_;
+  /// Commutative monotone flag (false -> true only): lets the scan be
+  /// skipped on discovery-free rounds. Relaxed is enough — the round
+  /// barrier between staging and the next round's scan orders the data.
+  std::atomic<bool> any_found_{false};
 };
 
 }  // namespace acp

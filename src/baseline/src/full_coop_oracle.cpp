@@ -7,40 +7,86 @@
 namespace acp {
 
 void FullCoopOracle::initialize(const WorldView& world,
-                                std::size_t /*num_players*/) {
+                                std::size_t num_players) {
   order_.resize(world.num_objects());
   for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = ObjectId{i};
   cursor_ = 0;
   shuffled_ = false;
   found_.reset();
+  roster_mode_ = false;
+  slot_.assign(num_players, 0);
+  found_by_.assign(num_players, kNoDiscovery);
+  any_found_.store(false, std::memory_order_relaxed);
 }
 
 void FullCoopOracle::on_round_begin(Round /*round*/,
                                     const Billboard& /*billboard*/) {}
 
-std::optional<ObjectId> FullCoopOracle::choose_probe(PlayerId /*player*/,
+void FullCoopOracle::on_active_roster(Round /*round*/,
+                                      std::span<const PlayerId> active,
+                                      Rng& rng) {
+  roster_mode_ = true;
+  // Promote a discovery staged by last round's probes: the scan runs in
+  // player-id order, so the winning entry — and the whole run — is
+  // deterministic at any thread count.
+  if (!found_.has_value() && any_found_.load(std::memory_order_relaxed)) {
+    for (const std::uint64_t staged : found_by_) {
+      if (staged != kNoDiscovery) {
+        found_ = ObjectId{staged};
+        break;
+      }
+    }
+  }
+  if (found_.has_value()) return;
+  if (!shuffled_) {
+    // The oracle's shared random order, seeded from the engine's
+    // scheduler stream (deterministic given the trial seed).
+    rng.shuffle(order_);
+    shuffled_ = true;
+  }
+  // Deal this round's urn slots up front; choose_probe becomes a pure
+  // read. Wrapping re-deals from the top (urn exhausted without a hit —
+  // impossible when the world has a good object, but stay total).
+  ACP_ASSERT(!order_.empty());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    slot_[active[i].value()] = (cursor_ + i) % order_.size();
+  }
+  cursor_ = (cursor_ + active.size()) % order_.size();
+}
+
+std::optional<ObjectId> FullCoopOracle::choose_probe(PlayerId player,
                                                      Round /*round*/,
                                                      Rng& rng) {
   if (found_.has_value()) return *found_;  // follow the discovery
+  if (roster_mode_) {
+    return order_[slot_[player.value()]];
+  }
+  // Step mode (lockstep substrate): shared lazy shuffle + cursor, only
+  // ever driven one player at a time.
   if (!shuffled_) {
-    // The oracle's shared random order; the first caller's stream seeds it
-    // (deterministic given the trial seed).
     rng.shuffle(order_);
     shuffled_ = true;
   }
   if (cursor_ >= order_.size()) {
-    // Urn exhausted without a hit (impossible when the world has a good
-    // object, but stay total): start over.
     cursor_ = 0;
   }
   return order_[cursor_++];
 }
 
-StepOutcome FullCoopOracle::on_probe_result(PlayerId /*player*/,
-                                            Round /*round*/, ObjectId object,
-                                            double value, double /*cost*/,
-                                            bool locally_good, Rng& /*rng*/) {
-  if (locally_good && !found_.has_value()) found_ = object;
+StepOutcome FullCoopOracle::on_probe_result(PlayerId player, Round /*round*/,
+                                            ObjectId object, double value,
+                                            double /*cost*/, bool locally_good,
+                                            Rng& /*rng*/) {
+  if (locally_good) {
+    if (roster_mode_) {
+      // Stage into the probing player's own slot; promotion happens at
+      // the next round's roster reveal (the "+1 round" oracle semantics).
+      found_by_[player.value()] = object.value();
+      any_found_.store(true, std::memory_order_relaxed);
+    } else if (!found_.has_value()) {
+      found_ = object;
+    }
+  }
   return StepOutcome{ProbeReport{object, value, locally_good}, locally_good};
 }
 

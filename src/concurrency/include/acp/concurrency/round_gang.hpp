@@ -1,0 +1,92 @@
+// RoundGang — persistent workers parked on a round barrier.
+//
+// The parallel round kernel runs the same fork/join shape thousands of
+// times per run: release every worker once per round, wait for all of
+// them, repeat. Doing that through ThreadPool::submit costs a
+// std::function allocation, a queue push and a condvar wake *per shard
+// per round* — the PR 6 profile attributes ~10% of kernel time to that
+// handoff. A RoundGang keeps its workers alive across rounds: they park
+// on an epoch-numbered barrier and are released together by a single
+// notify, each receiving the same raw function pointer + context (no
+// per-round allocation of any kind).
+//
+// Lanes: a gang of W workers serves W+1 *lanes* — the calling thread
+// (the leader) is lane 0 and participates in the round instead of idling
+// at the barrier. `run()` packages the common case; `begin_round()` /
+// `finish_round()` split it so the leader can clock its own share and
+// the barrier wait separately (the profiled kernel does).
+//
+// Exceptions: a job that throws on a worker lane is captured into that
+// lane's slot and rethrown from finish_round(), first lane wins. The
+// leader's lane-0 call happens on the caller's stack; run() still drains
+// the barrier before letting a leader exception escape, so workers never
+// outlive the context they were handed.
+//
+// Reuse/shutdown: rounds may be issued back to back indefinitely; the
+// destructor releases parked workers with a stop flag and joins. A round
+// in flight at destruction time completes first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acp {
+
+class RoundGang {
+ public:
+  /// One round's work: called once per released lane with the context
+  /// given to begin_round()/run() and the lane index (workers get lanes
+  /// 1..num_workers; the leader calls itself with lane 0).
+  using Job = void (*)(void* ctx, std::size_t lane);
+
+  /// Spawns `num_workers` parked threads. 0 is valid: the gang then has
+  /// a single lane (the leader) and run() degenerates to job(ctx, 0).
+  explicit RoundGang(std::size_t num_workers);
+  ~RoundGang();
+
+  RoundGang(const RoundGang&) = delete;
+  RoundGang& operator=(const RoundGang&) = delete;
+
+  /// Worker lanes plus the leader lane.
+  [[nodiscard]] std::size_t lanes() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Release every parked worker with (ctx, job). The caller should then
+  /// run job(ctx, 0) itself and call finish_round(). At most one round
+  /// may be in flight.
+  void begin_round(void* ctx, Job job);
+
+  /// Block until every worker lane finished this round, then rethrow the
+  /// first captured worker exception (lane order), if any.
+  void finish_round();
+
+  /// begin_round + leader lane 0 + finish_round. A leader exception is
+  /// rethrown only after the barrier drains (worker exceptions, being
+  /// earlier lanes... lane 0 is the leader, so its exception wins).
+  void run(void* ctx, Job job);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::mutex mutex_;
+  std::condition_variable release_;
+  std::condition_variable done_;
+  std::uint64_t epoch_ = 0;      // bumped once per round; workers park on it
+  std::size_t remaining_ = 0;    // workers still running the current round
+  void* ctx_ = nullptr;
+  Job job_ = nullptr;
+  bool stopping_ = false;
+  /// errors_[lane] is written only by that lane's worker and read by the
+  /// leader after the barrier (the remaining_ handshake under mutex_
+  /// orders the accesses).
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace acp

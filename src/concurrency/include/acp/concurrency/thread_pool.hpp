@@ -4,6 +4,7 @@
 // determinism recipe: shard by count only, accumulate in canonical order.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -40,12 +41,21 @@ class ThreadPool {
   }
 
  private:
+  /// Queue entry: the task plus its submit stamp. The stamp rides the
+  /// entry (default time_point when profiling is off) so measuring wake
+  /// latency never re-wraps the task in a second std::function — profiled
+  /// and unprofiled runs do identical allocations.
+  struct Pending {
+    std::function<void()> task;
+    std::chrono::steady_clock::time_point submitted{};
+  };
+
   void worker_loop();
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Pending> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

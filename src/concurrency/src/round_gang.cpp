@@ -1,0 +1,96 @@
+#include "acp/concurrency/round_gang.hpp"
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+RoundGang::RoundGang(std::size_t num_workers) {
+  errors_.assign(num_workers + 1, nullptr);
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
+  }
+}
+
+RoundGang::~RoundGang() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  release_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void RoundGang::begin_round(void* ctx, Job job) {
+  ACP_EXPECTS(job != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ACP_EXPECTS(remaining_ == 0);  // one round in flight at a time
+    ctx_ = ctx;
+    job_ = job;
+    for (auto& error : errors_) error = nullptr;
+    remaining_ = workers_.size();
+    ++epoch_;
+  }
+  release_.notify_all();
+}
+
+void RoundGang::finish_round() {
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    for (auto& error : errors_) {
+      if (error && !first) first = error;
+      error = nullptr;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void RoundGang::run(void* ctx, Job job) {
+  begin_round(ctx, job);
+  std::exception_ptr leader_error;
+  try {
+    job(ctx, 0);
+  } catch (...) {
+    leader_error = std::current_exception();
+  }
+  if (leader_error) {
+    // Drain the barrier before the leader's exception unwinds the stack
+    // the workers' context lives on; worker errors are superseded.
+    try {
+      finish_round();
+    } catch (...) {
+    }
+    std::rethrow_exception(leader_error);
+  }
+  finish_round();
+}
+
+void RoundGang::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    void* ctx = nullptr;
+    Job job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      release_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (epoch_ == seen) return;  // stopping with no round pending
+      seen = epoch_;
+      ctx = ctx_;
+      job = job_;
+    }
+    try {
+      job(ctx, lane);
+    } catch (...) {
+      errors_[lane] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_.notify_all();
+    }
+  }
+}
+
+}  // namespace acp

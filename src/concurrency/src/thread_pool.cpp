@@ -35,24 +35,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   ACP_EXPECTS(task != nullptr);
   const bool profiled = obs::PhaseProfiler::enabled();
-  if (profiled) {
-    // Stamp the submit time so the worker can report its wake/handoff
-    // latency the moment it picks the task up.
-    const auto submitted = std::chrono::steady_clock::now();
-    task = [submitted, inner = std::move(task)] {
-      const auto started = std::chrono::steady_clock::now();
-      obs::PhaseProfiler::global().record_task_wake(
-          static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(started -
-                                                                   submitted)
-                  .count()));
-      inner();
-    };
-  }
+  // The submit stamp travels in the queue entry (default-constructed when
+  // profiling is off); the worker reads the clock again at pop time. No
+  // re-wrapping, so profiling adds no allocation or indirect call to the
+  // task itself.
+  Pending pending{std::move(task), profiled
+                                       ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{}};
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ACP_EXPECTS(!stopping_);
-    queue_.push(std::move(task));
+    queue_.push(std::move(pending));
     if (profiled) {
       obs::PhaseProfiler::global().record_queue_depth(queue_.size());
     }
@@ -67,17 +60,24 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Pending pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping with nothing left to do
-      task = std::move(queue_.front());
+      pending = std::move(queue_.front());
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    if (pending.submitted != std::chrono::steady_clock::time_point{}) {
+      // Stamped at submit with profiling on: report wake/handoff latency.
+      obs::PhaseProfiler::global().record_task_wake(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - pending.submitted)
+              .count()));
+    }
+    pending.task();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

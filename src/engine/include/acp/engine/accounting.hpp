@@ -31,10 +31,27 @@ class RunAccounting {
                 std::size_t engine_threads = 1);
 
   /// One probe executed by player p (cost and ground-truth goodness).
+  /// Sequential spelling of stage_probe — identical effect.
   void record_probe(PlayerId p, double cost, bool probed_good);
 
   /// Player p halted satisfied at time `stamp` (round or step).
+  /// Sequential spelling of stage_satisfied + fold_satisfied(1).
   void record_satisfied(PlayerId p, Round stamp);
+
+  // Staging half for the parallel round kernel: stage_* touch only player
+  // p's PlayerStats slot, so shard workers may call them concurrently for
+  // *distinct* players; the shared satisfied total is folded afterwards on
+  // the kernel thread, in canonical shard order, via fold_satisfied.
+
+  /// Probe accounting into p's slot only — safe across distinct players.
+  void stage_probe(PlayerId p, double cost, bool probed_good);
+
+  /// Satisfied stamp into p's slot only; does NOT bump the shared count.
+  void stage_satisfied(PlayerId p, Round stamp);
+
+  /// Fold a shard's staged-satisfied count into the shared total
+  /// (kernel thread only).
+  void fold_satisfied(std::size_t count) { satisfied_honest_ += count; }
 
   [[nodiscard]] std::size_t satisfied_honest() const noexcept {
     return satisfied_honest_;

@@ -21,32 +21,40 @@
 // asynchronous one. A "slice" is the kernel's commit unit: a round in the
 // synchronous engine, a basic step in the asynchronous one.
 //
-// The honest step is split into two halves so a policy can overlap the
-// expensive part across players:
+// The honest step is split into three phases so a policy can overlap
+// everything per-player across workers and keep only a cheap fold on the
+// kernel thread:
 //
 //  * evaluate(p) -> ProbeEval — choose_probe plus the World probe and
 //    local-testability masking. Touches only player p's RNG stream and
-//    state that is read-only for the duration of the slice (the protocol's
-//    shared per-round tables, the billboard, the immutable World), so
-//    evaluations of distinct players may run concurrently *when the
-//    protocol's parallel_choose_safe() contract holds*.
-//  * apply(p, eval) -> halted? — on_probe_result, accounting, post
-//    staging, halt handling. Always runs on the kernel thread, in player
-//    order.
+//    state that is read-only for the duration of the slice.
+//  * stage(p, eval, sink) -> halted? — the order-independent half of the
+//    old apply: on_probe_result, per-player accounting slots
+//    (RunAccounting::stage_*), the post draft and the halt decision, all
+//    accumulated into the caller-owned StageSink. Touches only player p's
+//    RNG stream and per-player-indexed protocol/accounting state.
+//  * fold(sink) — the order-dependent tail: shared slice totals and the
+//    honest post sequence. Always runs on the kernel thread, folding
+//    sinks in canonical order.
 //
-// Sequential policies call apply(p, evaluate(p)) inline, which is exactly
-// the historical interleaved order. ParallelAllActivePolicy evaluates
-// contiguous roster shards on a thread pool and then applies in roster
-// order; because each player's stream sees the same draw sequence
-// (choose_probe, then on_probe_result) and choose_probe may not depend on
-// same-slice on_probe_result mutations, the RunResult is bit-identical to
-// the sequential policy at any thread count.
+// Sequential policies run stage(p, evaluate(p), sink) per player into one
+// sink and fold it once — exactly the historical interleaved order.
+// ParallelAllActivePolicy splits the roster into contiguous count-only
+// shards (the same determinism recipe as the sharded trial driver),
+// lanes of a persistent RoundGang claim shards and run evaluate+stage
+// into per-shard sinks, and the kernel thread folds the sinks in shard
+// order — which reconstructs roster order, so the RunResult is
+// bit-identical to the sequential policy at any thread count *when the
+// protocol's parallel_choose_safe() contract holds* (both per-player
+// hooks confined to per-player state; see protocol.hpp).
 //
 // Stepper concept:
 //   void initialize(const WorldView&, std::size_t n);
 //   Round churn_clock(Round slice);          // clock arrivals/departures run on
 //   void on_departure(PlayerId);             // fail-stop notification
 //   void begin_slice(Round slice, const Billboard&);
+//   void on_active_roster(Round slice, std::span<const PlayerId>, Rng&);
+//                                            // all-active policies only
 //   std::optional<ObjectId> choose_probe(PlayerId, Round slice,
 //                                        const Billboard&, Rng&);
 //   StepOutcome on_probe_result(PlayerId, Round slice, ObjectId, double value,
@@ -54,20 +62,26 @@
 //   bool wants_halt_all(Round slice);
 //
 // SchedulePolicy concept:
-//   template <class Evaluate, class Apply>
+//   static constexpr bool kAllActive;        // steps every active player?
+//   template <class Evaluate, class Stage, class Fold>
 //   void run_slice(PlayerRoster&, Rng& scheduler_rng,
 //                  Evaluate&& evaluate,    // evaluate(p) -> ProbeEval
-//                  Apply&& apply);         // apply(p, eval) -> halted?
+//                  Stage&& stage,          // stage(p, eval, sink) -> halted?
+//                  Fold&& fold);           // fold(sink), kernel thread,
+//                                          // canonical order
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <new>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "acp/billboard/billboard.hpp"
-#include "acp/concurrency/thread_pool.hpp"
+#include "acp/concurrency/round_gang.hpp"
 #include "acp/obs/bandwidth.hpp"
 #include "acp/obs/profiler.hpp"
 #include "acp/engine/accounting.hpp"
@@ -106,13 +120,54 @@ struct KernelSpec {
 
 /// The read-only half of one player step: the chosen probe (if any) and
 /// the World's answer, produced by a policy's evaluate phase and consumed
-/// by its sequential apply phase.
+/// by its staged-apply phase.
 struct ProbeEval {
   std::optional<ObjectId> object;  ///< nullopt: the player idles this slice
   double value = 0.0;
   double cost = 0.0;
   bool good = false;          ///< ground truth (for accounting)
   bool locally_good = false;  ///< masked by the goodness model (§2.2)
+};
+
+/// Alignment for per-shard staging state. PR 5's parallel policy wrote
+/// adjacent ProbeEval slots of one shared vector from different workers
+/// at every shard boundary; padding each shard's state to the destructive
+/// interference size keeps concurrent writers on disjoint cache lines
+/// (measured on the PR 5 layout: boundary-slot ping-pong was one of the
+/// reasons t8 ran no faster than t1 — see docs/architecture.md,
+/// "Where the 8-thread time goes").
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC flags every use of the constant as ABI-sensitive (-Winterference-
+// size); the value is only a padding hint here, never part of an ABI.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t kStageSinkAlign =
+    std::hardware_destructive_interference_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t kStageSinkAlign = 64;
+#endif
+
+/// Per-shard staging buffer for the staged half of apply. Exactly one
+/// lane writes a given sink per slice (shards are claimed atomically);
+/// the kernel thread folds sinks in canonical shard order afterwards.
+/// Buffers keep their capacity across slices.
+struct alignas(kStageSinkAlign) StageSink {
+  std::vector<Post> posts;          ///< honest post drafts, shard order
+  std::vector<PlayerId> survivors;  ///< non-halted players, shard order
+  std::uint64_t probes = 0;
+  std::uint64_t satisfied = 0;
+
+  void reset() noexcept {
+    posts.clear();
+    survivors.clear();
+    probes = 0;
+    satisfied = 0;
+  }
 };
 
 namespace kernel_detail {
@@ -129,30 +184,35 @@ namespace kernel_detail {
 /// Steps every active player once per slice — the synchronous round.
 class AllActivePolicy {
  public:
-  template <class Evaluate, class Apply>
+  static constexpr bool kAllActive = true;
+
+  template <class Evaluate, class Stage, class Fold>
   void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/,
-                 Evaluate&& evaluate, Apply&& apply) {
+                 Evaluate&& evaluate, Stage&& stage, Fold&& fold) {
     still_active_.clear();
     still_active_.reserve(roster.active().size());
+    sink_.reset();
     if (obs::PhaseProfiler::enabled()) {
-      run_slice_profiled(roster, evaluate, apply);
-      return;
-    }
-    for (PlayerId p : roster.active()) {
-      if (!apply(p, evaluate(p))) {
-        still_active_.push_back(p);  // survivors keep order
+      run_slice_profiled(roster, evaluate, stage);
+    } else {
+      for (PlayerId p : roster.active()) {
+        if (!stage(p, evaluate(p), sink_)) {
+          still_active_.push_back(p);  // survivors keep order
+        }
       }
+      roster.swap_active(still_active_);
     }
-    roster.swap_active(still_active_);
+    fold(sink_);
   }
 
  private:
-  /// Profiled variant: identical step order, with the evaluate and apply
-  /// halves of every step clocked separately so the sequential baseline
-  /// shows up in the same phase breakdown as the parallel kernel.
-  template <class Evaluate, class Apply>
+  /// Profiled variant: identical step order, with the evaluate and
+  /// staged-apply halves of every step clocked separately so the
+  /// sequential baseline shows up in the same phase breakdown as the
+  /// parallel kernel.
+  template <class Evaluate, class Stage>
   void run_slice_profiled(PlayerRoster& roster, Evaluate&& evaluate,
-                          Apply&& apply) {
+                          Stage&& stage) {
     using Clock = std::chrono::steady_clock;
     std::uint64_t evaluate_ns = 0;
     std::uint64_t apply_ns = 0;
@@ -160,7 +220,7 @@ class AllActivePolicy {
       const auto before = Clock::now();
       const ProbeEval eval = evaluate(p);
       const auto evaluated = Clock::now();
-      const bool halted = apply(p, eval);
+      const bool halted = stage(p, eval, sink_);
       apply_ns += kernel_detail::ns_between(evaluated, Clock::now());
       evaluate_ns += kernel_detail::ns_between(before, evaluated);
       if (!halted) {
@@ -172,122 +232,180 @@ class AllActivePolicy {
                                                          apply_ns);
   }
 
+  StageSink sink_;
   std::vector<PlayerId> still_active_;
 };
 
-/// The synchronous round with the evaluate phase sharded over a thread
-/// pool: the active roster splits into contiguous chunks (by count only —
-/// the same determinism recipe as the sharded trial driver), each chunk's
-/// players are evaluated on a pool worker into a slot indexed by roster
-/// position, and the apply phase then runs on the calling thread in
-/// roster order. Requires the stepper's evaluate half to be concurrency
-/// safe across players (Protocol::parallel_choose_safe); engines fall
-/// back to AllActivePolicy when it is not.
+/// The synchronous round fanned out over a persistent RoundGang: the
+/// active roster splits into contiguous shards (by count only — the same
+/// determinism recipe as the sharded trial driver), gang lanes claim
+/// shards from an atomic cursor and run evaluate + staged apply into the
+/// shard's StageSink, and the kernel thread folds the sinks in shard
+/// order after the round barrier. Requires the stepper's per-player hooks
+/// to be concurrency safe across players (Protocol::parallel_choose_safe);
+/// engines fall back to AllActivePolicy when they are not.
 class ParallelAllActivePolicy {
  public:
-  explicit ParallelAllActivePolicy(ThreadPool& pool) : pool_(&pool) {}
+  static constexpr bool kAllActive = true;
 
-  template <class Evaluate, class Apply>
+  explicit ParallelAllActivePolicy(RoundGang& gang) : gang_(&gang) {}
+
+  template <class Evaluate, class Stage, class Fold>
   void run_slice(PlayerRoster& roster, Rng& /*scheduler_rng*/,
-                 Evaluate&& evaluate, Apply&& apply) {
+                 Evaluate&& evaluate, Stage&& stage, Fold&& fold) {
     using Clock = std::chrono::steady_clock;
     const std::span<const PlayerId> active = roster.active();
     const std::size_t count = active.size();
-    evals_.resize(count);
+    still_active_.clear();
+    still_active_.reserve(count);
+    if (count == 0) {
+      roster.swap_active(still_active_);
+      return;
+    }
+
+    // Oversubscribe shards over lanes: idle lanes (including the leader,
+    // which runs lane 0 inline instead of parking) claim work from the
+    // shared cursor, so the barrier waits on at most one shard-sized
+    // tail per lane rather than a static split's slowest straggler.
+    // Which lane runs a shard never matters for results: a shard's sink
+    // depends only on the shard's players, and the fold order is fixed.
+    const std::size_t shards = std::min(count, gang_->lanes() * kShardsPerLane);
 
     const bool profiled = obs::PhaseProfiler::enabled();
-    // The kernel thread's attribution sink, handed into the workers so
-    // reads metered inside evaluate() land in this run's per-player
-    // slots. Null when bandwidth metering is off.
+    // The kernel thread's attribution sink, handed into the lanes so
+    // reads metered inside evaluate()/stage() land in this run's
+    // per-player slots. Null when bandwidth metering is off.
     obs::BandwidthMeter::Sink* const io_sink =
         obs::BandwidthMeter::current_sink();
 
-    const std::size_t shards = std::min(pool_->num_threads(), count);
-    std::uint64_t barrier_ns = 0;
-    if (shards > 0) {
-      errors_.assign(shards, nullptr);
-      shard_spans_.assign(shards, obs::ShardSpan{});
-      for (std::size_t s = 0; s < shards; ++s) {
+    if (sinks_.size() < shards) sinks_.resize(shards);
+    errors_.assign(shards, nullptr);
+    shard_spans_.assign(profiled ? shards : 0, obs::ShardSpan{});
+    next_shard_.store(0, std::memory_order_relaxed);
+
+    const auto released = profiled ? Clock::now() : Clock::time_point{};
+
+    auto work = [&](std::size_t /*lane*/) {
+      const obs::BandwidthMeter::SinkScope io_scope(io_sink);
+      bool first_claim = true;
+      for (;;) {
+        const std::size_t s =
+            next_shard_.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards) return;
+        StageSink& sink = sinks_[s];
+        sink.reset();
         const std::size_t begin = s * count / shards;
         const std::size_t end = (s + 1) * count / shards;
-        const auto submitted = profiled ? Clock::now() : Clock::time_point{};
-        pool_->submit([&, s, begin, end, submitted, io_sink] {
-          const obs::BandwidthMeter::SinkScope io_scope(io_sink);
-          try {
-            if (profiled) {
-              // shard_spans_[s] has a single writer (this task) and is
-              // read on the kernel thread only after wait_idle().
-              const auto started = Clock::now();
-              for (std::size_t i = begin; i < end; ++i) {
-                evals_[i] = evaluate(active[i]);
-              }
-              shard_spans_[s].evaluate_ns =
-                  kernel_detail::ns_between(started, Clock::now());
+        try {
+          if (profiled) {
+            // shard_spans_[s] has a single writer (the claiming lane) and
+            // is read on the kernel thread only after the round barrier.
+            const auto started = Clock::now();
+            if (first_claim) {
               shard_spans_[s].wake_ns =
-                  kernel_detail::ns_between(submitted, started);
-            } else {
-              for (std::size_t i = begin; i < end; ++i) {
-                evals_[i] = evaluate(active[i]);
-              }
+                  kernel_detail::ns_between(released, started);
             }
-          } catch (...) {
-            errors_[s] = std::current_exception();  // pool tasks must not throw
+            std::uint64_t evaluate_ns = 0;
+            std::uint64_t stage_ns = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const PlayerId p = active[i];
+              const auto before = Clock::now();
+              const ProbeEval eval = evaluate(p);
+              const auto evaluated = Clock::now();
+              const bool halted = stage(p, eval, sink);
+              stage_ns += kernel_detail::ns_between(evaluated, Clock::now());
+              evaluate_ns += kernel_detail::ns_between(before, evaluated);
+              if (!halted) sink.survivors.push_back(p);
+            }
+            shard_spans_[s].evaluate_ns = evaluate_ns;
+            shard_spans_[s].stage_ns = stage_ns;
+          } else {
+            for (std::size_t i = begin; i < end; ++i) {
+              const PlayerId p = active[i];
+              if (!stage(p, evaluate(p), sink)) sink.survivors.push_back(p);
+            }
           }
-        });
+        } catch (...) {
+          errors_[s] = std::current_exception();  // gang jobs must not throw
+        }
+        first_claim = false;
       }
-      const auto barrier_entered = profiled ? Clock::now() : Clock::time_point{};
-      pool_->wait_idle();
-      if (profiled) {
-        barrier_ns = kernel_detail::ns_between(barrier_entered, Clock::now());
-      }
-      for (const std::exception_ptr& error : errors_) {
-        if (error) std::rethrow_exception(error);
-      }
+    };
+    using Work = decltype(work);
+
+    gang_->begin_round(&work, [](void* ctx, std::size_t lane) {
+      (*static_cast<Work*>(ctx))(lane);
+    });
+    work(0);  // the leader is lane 0
+    const auto barrier_entered = profiled ? Clock::now() : Clock::time_point{};
+    gang_->finish_round();
+    const std::uint64_t barrier_ns =
+        profiled ? kernel_detail::ns_between(barrier_entered, Clock::now())
+                 : 0;
+
+    for (const std::exception_ptr& error : errors_) {
+      if (error) std::rethrow_exception(error);
     }
 
-    const auto apply_started = profiled ? Clock::now() : Clock::time_point{};
-    still_active_.clear();
-    still_active_.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      if (!apply(active[i], evals_[i])) {
-        still_active_.push_back(active[i]);  // survivors keep order
-      }
+    // Canonical-order merge: folding sinks in shard order reconstructs
+    // roster order (shards are contiguous count-only splits), so shared
+    // totals, the honest post sequence and the survivor list come out
+    // bit-identical to the sequential policy at any thread count.
+    const auto merge_started = profiled ? Clock::now() : Clock::time_point{};
+    for (std::size_t s = 0; s < shards; ++s) {
+      fold(sinks_[s]);
+      still_active_.insert(still_active_.end(), sinks_[s].survivors.begin(),
+                           sinks_[s].survivors.end());
     }
     roster.swap_active(still_active_);
-    if (profiled && shards > 0) {
+    if (profiled) {
       obs::PhaseProfiler::global().record_parallel_round(
           shard_spans_, barrier_ns,
-          kernel_detail::ns_between(apply_started, Clock::now()));
+          kernel_detail::ns_between(merge_started, Clock::now()));
     }
   }
 
  private:
-  ThreadPool* pool_;
-  std::vector<ProbeEval> evals_;
+  /// Claimable shards per lane. 4 keeps the barrier tail at ~1/4 of a
+  /// static split's while the per-shard claim cost (one uncontended
+  /// fetch_add) stays invisible next to thousands of player steps.
+  static constexpr std::size_t kShardsPerLane = 4;
+
+  RoundGang* gang_;
+  std::vector<StageSink> sinks_;
   std::vector<std::exception_ptr> errors_;
   std::vector<obs::ShardSpan> shard_spans_;
   std::vector<PlayerId> still_active_;
+  /// Own cache line: every lane hammers this cursor while the leader's
+  /// other members stay read-mostly.
+  alignas(kStageSinkAlign) std::atomic<std::size_t> next_shard_{0};
 };
 
 /// One scheduler-picked player per slice — the asynchronous basic step.
 class OneScheduledPolicy {
  public:
+  static constexpr bool kAllActive = false;
+
   explicit OneScheduledPolicy(Scheduler& scheduler) : scheduler_(&scheduler) {}
 
-  template <class Evaluate, class Apply>
+  template <class Evaluate, class Stage, class Fold>
   void run_slice(PlayerRoster& roster, Rng& scheduler_rng,
-                 Evaluate&& evaluate, Apply&& apply) {
+                 Evaluate&& evaluate, Stage&& stage, Fold&& fold) {
     // All current players may have halted while arrivals are still
     // pending: time passes (the adversary already posted) but nobody
     // moves.
     if (roster.active().empty()) return;
     const PlayerId p = scheduler_->next(roster.active(), scheduler_rng);
     ACP_ASSERT(roster.is_active(p));
-    if (apply(p, evaluate(p))) roster.remove(p);
+    sink_.reset();
+    const bool halted = stage(p, evaluate(p), sink_);
+    fold(sink_);
+    if (halted) roster.remove(p);
   }
 
  private:
   Scheduler* scheduler_;
+  StageSink sink_;
 };
 
 namespace kernel_detail {
@@ -351,6 +469,15 @@ RunResult run_kernel(const World& world, const Population& population,
     }
 
     stepper.begin_slice(slice, billboard);
+    if constexpr (std::remove_cvref_t<SchedulePolicy>::kAllActive) {
+      // All-active policies reveal the round's roster before any
+      // evaluation — the hook protocols use to pre-partition shared
+      // per-round choices so their per-player hooks become parallel-safe
+      // (see Protocol::on_active_roster). The scheduler stream is unused
+      // by these policies otherwise, so consuming it here is
+      // deterministic at any thread count.
+      stepper.on_active_roster(slice, roster.active(), streams.scheduler);
+    }
 
     slice_posts.clear();
     adversary.plan_round(
@@ -360,9 +487,9 @@ RunResult run_kernel(const World& world, const Population& population,
 
     std::size_t probes_this_slice = 0;
 
-    // The read-only half of the step: may run concurrently across players
-    // under ParallelAllActivePolicy (distinct RNG streams, immutable
-    // World, slice-frozen billboard and protocol tables).
+    // Phase 1 — the read-only half of the step: may run concurrently
+    // across players under ParallelAllActivePolicy (distinct RNG streams,
+    // immutable World, slice-frozen billboard and protocol tables).
     const auto evaluate = [&](PlayerId p) -> ProbeEval {
       ProbeEval eval;
       // Billboard/ledger reads inside choose_probe are this player's
@@ -387,29 +514,51 @@ RunResult run_kernel(const World& world, const Population& population,
       return eval;
     };
 
-    // The mutating half: always sequential, in player order.
-    const auto apply = [&](PlayerId p, const ProbeEval& eval) -> bool {
+    // Phase 2 — the staged half of apply: order-independent per-player
+    // work accumulated into the caller's sink. Under the parallel policy
+    // this runs on gang lanes, concurrently across shards; everything it
+    // touches is indexed by p (accounting slots, the stepper's per-player
+    // state under the parallel_choose_safe contract) or shard-local (the
+    // sink).
+    const auto stage = [&](PlayerId p, const ProbeEval& eval,
+                           StageSink& sink) -> bool {
       if (!eval.object.has_value()) return false;
-      ++probes_this_slice;
-      accounting.record_probe(p, eval.cost, eval.good);
+      ++sink.probes;
+      accounting.stage_probe(p, eval.cost, eval.good);
       const obs::BandwidthMeter::PlayerScope io_player(p);
       const StepOutcome step =
           stepper.on_probe_result(p, slice, *eval.object, eval.value,
                                   eval.cost, eval.locally_good,
                                   streams.player(p));
       if (step.post.has_value()) {
-        slice_posts.push_back(Post{p, slice, step.post->object,
-                                   step.post->reported_value,
-                                   step.post->positive});
+        sink.posts.push_back(Post{p, slice, step.post->object,
+                                  step.post->reported_value,
+                                  step.post->positive});
       }
-      if (step.halt) accounting.record_satisfied(p, slice);
+      if (step.halt) {
+        accounting.stage_satisfied(p, slice);
+        ++sink.satisfied;
+      }
       return step.halt;
     };
 
-    policy.run_slice(roster, streams.scheduler, evaluate, apply);
+    // Phase 3 — the order-dependent tail, folded on the kernel thread in
+    // canonical order: shared totals and the honest post sequence
+    // (appended after the adversary's posts, preserving the historical
+    // commit order).
+    const auto fold = [&](const StageSink& sink) {
+      probes_this_slice += sink.probes;
+      accounting.fold_satisfied(sink.satisfied);
+      slice_posts.insert(slice_posts.end(), sink.posts.begin(),
+                         sink.posts.end());
+    };
 
-    billboard.commit_round(slice, std::move(slice_posts));
-    slice_posts = {};
+    policy.run_slice(roster, streams.scheduler, evaluate, stage, fold);
+
+    // Commit from the staging buffer and keep its capacity: `slice_posts`
+    // is cleared (not replaced) at the top of the loop, so no engine
+    // reallocates a post vector per slice.
+    billboard.commit_round_from(slice, slice_posts);
 
     if (stepper.wants_halt_all(slice)) {
       for (PlayerId p : roster.active()) accounting.record_satisfied(p, slice);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "acp/billboard/billboard.hpp"
 #include "acp/rng/rng.hpp"
@@ -54,6 +55,20 @@ class Protocol {
 
   virtual void on_round_begin(Round round, const Billboard& billboard) = 0;
 
+  /// Synchronous-roster reveal: the all-active schedule policies call this
+  /// once per round, after on_round_begin and before any choose_probe,
+  /// with the round's active players (admission order) and the engine's
+  /// scheduler stream (unused by those policies otherwise, so consuming it
+  /// here is deterministic at any thread count). Protocols that would
+  /// otherwise coordinate through shared state inside choose_probe — the
+  /// full-coop oracle's shared urn cursor — can pre-partition here so the
+  /// per-player hooks satisfy parallel_choose_safe(). Never called by the
+  /// asynchronous/lockstep substrate (one player per slice). Default:
+  /// ignore.
+  virtual void on_active_roster(Round /*round*/,
+                                std::span<const PlayerId> /*active*/,
+                                Rng& /*rng*/) {}
+
   [[nodiscard]] virtual std::optional<ObjectId> choose_probe(PlayerId player,
                                                              Round round,
                                                              Rng& rng) = 0;
@@ -71,14 +86,19 @@ class Protocol {
   }
 
   /// Opt-in concurrency contract for the parallel round kernel: return
-  /// true iff choose_probe (i) mutates nothing but the passed Rng, and
-  /// (ii) reads only state that is constant between on_round_begin calls —
-  /// i.e. never state mutated by the same round's on_probe_result of
-  /// *another* player. When true, the engine may evaluate choose_probe
-  /// for distinct players concurrently (each on its own RNG stream);
-  /// results are bit-identical to the sequential order either way. The
-  /// conservative default keeps stateful pickers (e.g. the full-coop
-  /// oracle's shared cursor) on the sequential path.
+  /// true iff *both* per-player hooks, choose_probe and on_probe_result,
+  /// (i) mutate nothing but the passed Rng and state indexed by the
+  /// stepped player (its trust row, its vote tally — never a shared
+  /// cursor or a shared discovery flag read by same-round hooks), and
+  /// (ii) read only state that is constant between on_round_begin /
+  /// on_active_roster calls — i.e. never state mutated by the same
+  /// round's hooks of *another* player. When true, the engine may run the
+  /// whole evaluate + staged-apply step for distinct players concurrently
+  /// (each on its own RNG stream, accounting in per-player slots, posts
+  /// staged per shard and merged in roster order); results are
+  /// bit-identical to the sequential order either way. The conservative
+  /// default keeps protocols with cross-player step coupling on the
+  /// sequential path.
   [[nodiscard]] virtual bool parallel_choose_safe() const { return false; }
 };
 

@@ -23,15 +23,23 @@ RunAccounting::RunAccounting(const Population& population,
 }
 
 void RunAccounting::record_probe(PlayerId p, double cost, bool probed_good) {
+  stage_probe(p, cost, probed_good);
+}
+
+void RunAccounting::record_satisfied(PlayerId p, Round stamp) {
+  stage_satisfied(p, stamp);
+  fold_satisfied(1);
+}
+
+void RunAccounting::stage_probe(PlayerId p, double cost, bool probed_good) {
   PlayerStats& stats = result_.players[p.value()];
   ++stats.probes;
   stats.cost_paid += cost;
   if (probed_good) stats.probed_good = true;
 }
 
-void RunAccounting::record_satisfied(PlayerId p, Round stamp) {
+void RunAccounting::stage_satisfied(PlayerId p, Round stamp) {
   result_.players[p.value()].satisfied_round = stamp;
-  ++satisfied_honest_;
 }
 
 void RunAccounting::end_slice(Round stamp, const Billboard& billboard,

@@ -22,6 +22,10 @@ class AsyncStepper {
   }
   void on_departure(PlayerId p) { protocol_->on_departure(p); }
   void begin_slice(Round /*slice*/, const Billboard& /*billboard*/) {}
+  // Never called: OneScheduledPolicy is not an all-active policy. Present
+  // to keep the Stepper concept uniform.
+  void on_active_roster(Round /*slice*/, std::span<const PlayerId> /*active*/,
+                        Rng& /*rng*/) {}
   [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId p,
                                                      Round /*slice*/,
                                                      const Billboard& billboard,

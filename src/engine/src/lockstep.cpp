@@ -111,8 +111,10 @@ void LockstepAdapter::close_round_if_done() {
     // for an arrival), the inner protocol still sees on_round_begin so its
     // billboard-driven schedule matches a native synchronous run.
     if (!round_open_) inner_->on_round_begin(vround_, *virtual_bb_);
-    virtual_bb_->commit_round(vround_, std::move(staged_));
-    staged_ = {};
+    // Commit from the staging buffer and keep its capacity for the next
+    // virtual round (clear() does not release it).
+    virtual_bb_->commit_round_from(vround_, staged_);
+    staged_.clear();
     if (!halt_all_ && inner_->wants_halt_all(vround_)) {
       // The synchronous engine would halt every remaining active player
       // after this round's commit; mark them satisfied here so observer

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "acp/concurrency/round_gang.hpp"
 #include "acp/concurrency/thread_pool.hpp"
 #include "acp/engine/kernel.hpp"
 
@@ -23,6 +24,10 @@ class SyncStepper {
   void on_departure(PlayerId /*p*/) {}
   void begin_slice(Round slice, const Billboard& billboard) {
     protocol_->on_round_begin(slice, billboard);
+  }
+  void on_active_roster(Round slice, std::span<const PlayerId> active,
+                        Rng& rng) {
+    protocol_->on_active_roster(slice, active, rng);
   }
   [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId p, Round slice,
                                                      const Billboard&,
@@ -61,9 +66,12 @@ RunResult SyncEngine::run(const World& world, const Population& population,
   const std::size_t threads = ThreadPool::resolve(config.engine_threads);
   if (threads > 1 && protocol.parallel_choose_safe()) {
     spec.engine_threads = threads;
-    ThreadPool pool(threads);
+    // The kernel thread is gang lane 0, so `threads` lanes total. Workers
+    // persist across rounds, parked on the gang's round barrier — no
+    // per-round task allocation or queue handoff.
+    RoundGang gang(threads - 1);
     return run_kernel(world, population, adversary, SyncStepper(protocol),
-                      ParallelAllActivePolicy(pool), spec);
+                      ParallelAllActivePolicy(gang), spec);
   }
   return run_kernel(world, population, adversary, SyncStepper(protocol),
                     AllActivePolicy{}, spec);

@@ -3,10 +3,12 @@
 //
 // The metrics registry answers "how much, how many" (counters, aggregate
 // timers). The profiler answers "where does the time GO when a round is
-// sharded over a pool": per-shard evaluate spans, ThreadPool task
-// wake/handoff latency (submit -> task start), the kernel thread's
-// barrier wait, the sequential apply span, and a per-round
-// shard-imbalance histogram (slowest/fastest shard span ratio).
+// sharded over a gang": per-shard evaluate and staged-apply spans,
+// wake/handoff latency (round release -> first shard start; also
+// ThreadPool submit -> task start for pool users like the trial driver),
+// the kernel thread's barrier wait and canonical-order merge, the
+// sequential policies' apply span, and a per-round shard-imbalance
+// histogram (slowest/fastest shard span ratio).
 //
 // Collection is off by default behind its own process-global atomic flag
 // (independent of MetricsRegistry so either can be enabled alone): a
@@ -32,18 +34,22 @@
 
 namespace acp::obs {
 
-/// One shard's share of a parallel round's evaluate phase, recorded by
-/// the worker that ran it (single writer) and read by the kernel thread
-/// after the round barrier.
+/// One shard's share of a parallel round, recorded by the lane that ran
+/// it (single writer — shards are claimed atomically, each by exactly one
+/// lane) and read by the kernel thread after the round barrier.
 struct ShardSpan {
-  std::uint64_t evaluate_ns = 0;  ///< task start -> task end
-  std::uint64_t wake_ns = 0;      ///< submit -> task start (handoff latency)
+  std::uint64_t evaluate_ns = 0;  ///< choose_probe + world probe half
+  std::uint64_t stage_ns = 0;     ///< staged-apply half (on_probe_result,
+                                  ///< post drafts, halt decisions)
+  std::uint64_t wake_ns = 0;      ///< round release -> shard start, recorded
+                                  ///< on the first shard a lane claims
 };
 
 /// Lifetime totals for one shard index, merged in shard order.
 struct PhaseShardTotals {
   std::uint64_t rounds = 0;
   std::uint64_t evaluate_ns = 0;
+  std::uint64_t stage_ns = 0;
   std::uint64_t wake_ns = 0;
 };
 
@@ -53,10 +59,13 @@ struct PhaseProfileSnapshot {
   std::uint64_t parallel_rounds = 0;
   std::uint64_t sequential_rounds = 0;
   std::uint64_t evaluate_ns = 0;  ///< sum of shard spans + sequential evals
-  std::uint64_t apply_ns = 0;     ///< kernel-thread apply loop
-  std::uint64_t barrier_ns = 0;   ///< kernel-thread wait for the slowest shard
+  std::uint64_t stage_ns = 0;     ///< staged-apply half, summed over shards
+  std::uint64_t apply_ns = 0;     ///< sequential policies' apply loop
+  std::uint64_t merge_ns = 0;     ///< kernel-thread canonical-order fold
+  std::uint64_t barrier_ns = 0;   ///< leader wait for the last worker lane
   /// Imbalance: per parallel round, the slowest and fastest shard spans
-  /// are accumulated separately; their per-round ratio feeds `imbalance`.
+  /// (evaluate + stage) are accumulated separately; their per-round ratio
+  /// feeds `imbalance`.
   std::uint64_t slowest_shard_ns = 0;
   std::uint64_t fastest_shard_ns = 0;
   std::vector<PhaseShardTotals> shards;  ///< indexed by shard id
@@ -90,10 +99,10 @@ class PhaseProfiler {
 
   /// One parallel kernel round: per-shard spans in canonical shard order
   /// (shard i of this round accumulates into lifetime shard i), plus the
-  /// kernel thread's barrier wait and sequential apply span. Called once
-  /// per round from the kernel thread.
+  /// kernel thread's barrier wait and canonical-order merge span. Called
+  /// once per round from the kernel thread.
   void record_parallel_round(std::span<const ShardSpan> shards,
-                             std::uint64_t barrier_ns, std::uint64_t apply_ns);
+                             std::uint64_t barrier_ns, std::uint64_t merge_ns);
 
   /// One sequential kernel round (AllActivePolicy with profiling on):
   /// a single implicit shard, no wake, no barrier.
@@ -126,7 +135,9 @@ class PhaseProfiler {
   std::uint64_t parallel_rounds_ = 0;
   std::uint64_t sequential_rounds_ = 0;
   std::uint64_t evaluate_ns_ = 0;
+  std::uint64_t stage_ns_ = 0;
   std::uint64_t apply_ns_ = 0;
+  std::uint64_t merge_ns_ = 0;
   std::uint64_t barrier_ns_ = 0;
   std::uint64_t slowest_shard_ns_ = 0;
   std::uint64_t fastest_shard_ns_ = 0;

@@ -13,23 +13,29 @@ PhaseProfiler& PhaseProfiler::global() {
 
 void PhaseProfiler::record_parallel_round(std::span<const ShardSpan> shards,
                                           std::uint64_t barrier_ns,
-                                          std::uint64_t apply_ns) {
+                                          std::uint64_t merge_ns) {
   if (shards.empty()) {
     return;
   }
+  // Imbalance compares each shard's full working span (evaluate + staged
+  // apply) — the quantity the barrier actually waits on.
   std::uint64_t slowest = 0;
-  std::uint64_t fastest = shards[0].evaluate_ns;
+  std::uint64_t fastest = shards[0].evaluate_ns + shards[0].stage_ns;
   std::uint64_t evaluate_total = 0;
+  std::uint64_t stage_total = 0;
   for (const ShardSpan& span : shards) {
+    const std::uint64_t working = span.evaluate_ns + span.stage_ns;
     evaluate_total += span.evaluate_ns;
-    slowest = std::max(slowest, span.evaluate_ns);
-    fastest = std::min(fastest, span.evaluate_ns);
+    stage_total += span.stage_ns;
+    slowest = std::max(slowest, working);
+    fastest = std::min(fastest, working);
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   parallel_rounds_ += 1;
   evaluate_ns_ += evaluate_total;
-  apply_ns_ += apply_ns;
+  stage_ns_ += stage_total;
+  merge_ns_ += merge_ns;
   barrier_ns_ += barrier_ns;
   slowest_shard_ns_ += slowest;
   fastest_shard_ns_ += fastest;
@@ -39,6 +45,7 @@ void PhaseProfiler::record_parallel_round(std::span<const ShardSpan> shards,
   for (std::size_t s = 0; s < shards.size(); ++s) {
     shards_[s].rounds += 1;
     shards_[s].evaluate_ns += shards[s].evaluate_ns;
+    shards_[s].stage_ns += shards[s].stage_ns;
     shards_[s].wake_ns += shards[s].wake_ns;
   }
   if (shards.size() >= 2 && fastest > 0) {
@@ -61,7 +68,9 @@ PhaseProfileSnapshot PhaseProfiler::snapshot() const {
     out.parallel_rounds = parallel_rounds_;
     out.sequential_rounds = sequential_rounds_;
     out.evaluate_ns = evaluate_ns_;
+    out.stage_ns = stage_ns_;
     out.apply_ns = apply_ns_;
+    out.merge_ns = merge_ns_;
     out.barrier_ns = barrier_ns_;
     out.slowest_shard_ns = slowest_shard_ns_;
     out.fastest_shard_ns = fastest_shard_ns_;
@@ -80,7 +89,9 @@ void PhaseProfiler::reset() {
   parallel_rounds_ = 0;
   sequential_rounds_ = 0;
   evaluate_ns_ = 0;
+  stage_ns_ = 0;
   apply_ns_ = 0;
+  merge_ns_ = 0;
   barrier_ns_ = 0;
   slowest_shard_ns_ = 0;
   fastest_shard_ns_ = 0;

@@ -118,14 +118,23 @@ void RunReport::write_json(std::ostream& os) const {
       json.member("shard", s)
           .member("rounds", p.shards[s].rounds)
           .member("evaluate_ns", p.shards[s].evaluate_ns)
+          .member("stage_ns", p.shards[s].stage_ns)
           .member("wake_ns", p.shards[s].wake_ns);
       json.end_object();
     }
     json.end_array();
     json.end_object();
 
+    json.key("engine.kernel.stage").begin_object();
+    json.member("total_ns", p.stage_ns);
+    json.end_object();
+
     json.key("engine.kernel.apply").begin_object();
     json.member("total_ns", p.apply_ns);
+    json.end_object();
+
+    json.key("engine.kernel.merge").begin_object();
+    json.member("total_ns", p.merge_ns);
     json.end_object();
 
     json.key("engine.kernel.barrier").begin_object();

@@ -392,12 +392,14 @@ TEST(RunReport, GoldenJsonWithProfileSections) {
   obs::PhaseProfileSnapshot phases;
   phases.parallel_rounds = 2;
   phases.evaluate_ns = 30;
+  phases.stage_ns = 12;
   phases.apply_ns = 10;
+  phases.merge_ns = 6;
   phases.barrier_ns = 5;
   phases.slowest_shard_ns = 20;
   phases.fastest_shard_ns = 10;
-  phases.shards.push_back(obs::PhaseShardTotals{2, 20, 3});
-  phases.shards.push_back(obs::PhaseShardTotals{2, 10, 4});
+  phases.shards.push_back(obs::PhaseShardTotals{2, 20, 8, 3});
+  phases.shards.push_back(obs::PhaseShardTotals{2, 10, 4, 4});
   phases.imbalance = Histogram(1.0, 3.0, 2);
   phases.imbalance.add(2.0);
   phases.pool_tasks = 4;
@@ -427,9 +429,13 @@ TEST(RunReport, GoldenJsonWithProfileSections) {
       "\"phases\":{"
       "\"rounds\":{\"parallel\":2,\"sequential\":0},"
       "\"engine.kernel.evaluate\":{\"total_ns\":30,\"shards\":["
-      "{\"shard\":0,\"rounds\":2,\"evaluate_ns\":20,\"wake_ns\":3},"
-      "{\"shard\":1,\"rounds\":2,\"evaluate_ns\":10,\"wake_ns\":4}]},"
+      "{\"shard\":0,\"rounds\":2,\"evaluate_ns\":20,\"stage_ns\":8,"
+      "\"wake_ns\":3},"
+      "{\"shard\":1,\"rounds\":2,\"evaluate_ns\":10,\"stage_ns\":4,"
+      "\"wake_ns\":4}]},"
+      "\"engine.kernel.stage\":{\"total_ns\":12},"
       "\"engine.kernel.apply\":{\"total_ns\":10},"
+      "\"engine.kernel.merge\":{\"total_ns\":6},"
       "\"engine.kernel.barrier\":{\"total_ns\":5},"
       "\"imbalance\":{\"slowest_shard_ns\":20,\"fastest_shard_ns\":10,"
       "\"ratio_histogram\":{\"lo\":1,\"hi\":3,\"buckets\":[0,1],"

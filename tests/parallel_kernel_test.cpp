@@ -1,17 +1,19 @@
 // The parallel round kernel's determinism contract: RunResult is
 // bit-identical to the sequential schedule policy at any engine_threads
-// value (kernel.hpp's two-phase argument). Pinned through the scenario
-// layer — so the spec/JSON/--set wiring of engine_threads is covered end
-// to end — for the sync and lockstep engines, under churn, adversaries,
-// and a prime-sized roster (shard boundaries land mid-player), plus the
-// engine-level fallback for protocols without parallel_choose_safe.
+// value (kernel.hpp's three-phase evaluate / stage / canonical-order
+// merge argument). Pinned through the scenario layer — so the
+// spec/JSON/--set wiring of engine_threads is covered end to end — for
+// the sync and lockstep engines, under churn, adversaries, a prime-sized
+// roster (shard boundaries land mid-player), a wants_halt_all horizon,
+// the roster-dealt full-coop oracle, plus the engine-level fallback for
+// protocols without parallel_choose_safe.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 
 #include "acp/adversary/split_vote.hpp"
 #include "acp/adversary/strategies.hpp"
-#include "acp/baseline/full_coop_oracle.hpp"
 #include "acp/core/distill.hpp"
 #include "acp/engine/sync_engine.hpp"
 #include "acp/scenario/build.hpp"
@@ -109,15 +111,74 @@ TEST(ParallelKernel, LockstepChurnAdversaryAcceptsThreads) {
   expect_bit_identical(t1, run_at(spec, 8));
 }
 
+TEST(ParallelKernel, SyncFullCoopOracleBitIdentical) {
+  // The roster-dealt full-coop oracle stages discoveries per player and
+  // promotes them at the next roster reveal, so it now satisfies
+  // parallel_choose_safe() and rides the parallel kernel. Its shared urn
+  // deal must survive sharding: same probes, same "+1 round" stop, at
+  // any thread count.
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "full-coop";
+  spec.adversary = "eager";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 2));
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+TEST(ParallelKernel, SyncNoLtHaltAllHorizonBitIdentical) {
+  // no-lt (search without local testing) halts every remaining player
+  // through wants_halt_all once its horizon fires; the staged kernel must
+  // deliver the same horizon round and final accounting at any thread
+  // count.
+  scenario::ScenarioSpec spec = churny_spec();
+  spec.protocol = "no-lt";
+  spec.adversary = "slander";
+  const RunResult t1 = run_at(spec, 1);
+  expect_bit_identical(t1, run_at(spec, 2));
+  expect_bit_identical(t1, run_at(spec, 8));
+}
+
+/// Deliberately parallel-UNSAFE protocol: choose_probe advances a cursor
+/// shared by all players, so its result depends on the exact player
+/// interleaving. Keeps the conservative parallel_choose_safe() default.
+class SharedCursorProtocol final : public Protocol {
+ public:
+  void initialize(const WorldView& world, std::size_t /*num_players*/) override {
+    num_objects_ = world.num_objects();
+    cursor_ = 0;
+    found_.reset();
+  }
+  void on_round_begin(Round /*round*/, const Billboard& /*bb*/) override {}
+  [[nodiscard]] std::optional<ObjectId> choose_probe(PlayerId /*player*/,
+                                                     Round /*round*/,
+                                                     Rng& /*rng*/) override {
+    if (found_.has_value()) return *found_;
+    return ObjectId{cursor_++ % num_objects_};  // the shared mutation
+  }
+  StepOutcome on_probe_result(PlayerId /*player*/, Round /*round*/,
+                              ObjectId object, double value,
+                              double /*cost*/, bool locally_good,
+                              Rng& /*rng*/) override {
+    if (locally_good && !found_.has_value()) found_ = object;
+    return StepOutcome{ProbeReport{object, value, locally_good},
+                       locally_good};
+  }
+
+ private:
+  std::size_t num_objects_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::optional<ObjectId> found_;
+};
+
 TEST(ParallelKernel, UnsafeProtocolFallsBackToSequential) {
-  // The full-coop oracle's choose_probe mutates a shared cursor, so it
-  // reports parallel_choose_safe() == false and any engine_threads value
-  // must take the sequential policy — identical results, no crash.
-  ASSERT_FALSE(FullCoopOracle().parallel_choose_safe());
+  // A protocol that keeps the conservative parallel_choose_safe() default
+  // must take the sequential policy at any engine_threads value —
+  // identical results, no crash, no torn cursor.
+  ASSERT_FALSE(SharedCursorProtocol().parallel_choose_safe());
   const Scenario scenario = Scenario::make(97, 70, 50, 2, /*seed=*/5);
   RunResult results[2];
   for (std::size_t i = 0; i < 2; ++i) {
-    FullCoopOracle protocol;
+    SharedCursorProtocol protocol;
     EagerVoteAdversary adversary;
     SyncRunConfig config;
     config.seed = 17;

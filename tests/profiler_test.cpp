@@ -50,8 +50,9 @@ TEST(PhaseProfilerUnit, ParallelRoundsAccumulateInShardOrder) {
   ProfilingScope scope;
   obs::PhaseProfiler& profiler = obs::PhaseProfiler::global();
 
-  const std::vector<obs::ShardSpan> round1 = {{100, 10}, {50, 20}};
-  const std::vector<obs::ShardSpan> round2 = {{200, 1}, {100, 2}};
+  // ShardSpan fields: {evaluate_ns, stage_ns, wake_ns}.
+  const std::vector<obs::ShardSpan> round1 = {{100, 40, 10}, {50, 30, 20}};
+  const std::vector<obs::ShardSpan> round2 = {{200, 0, 1}, {100, 50, 2}};
   profiler.record_parallel_round(round1, 7, 30);
   profiler.record_parallel_round(round2, 8, 40);
 
@@ -59,17 +60,22 @@ TEST(PhaseProfilerUnit, ParallelRoundsAccumulateInShardOrder) {
   EXPECT_EQ(snapshot.parallel_rounds, 2u);
   EXPECT_EQ(snapshot.sequential_rounds, 0u);
   EXPECT_EQ(snapshot.evaluate_ns, 450u);
-  EXPECT_EQ(snapshot.apply_ns, 70u);
+  EXPECT_EQ(snapshot.stage_ns, 120u);
+  EXPECT_EQ(snapshot.apply_ns, 0u);  // parallel rounds never apply in place
+  EXPECT_EQ(snapshot.merge_ns, 70u);
   EXPECT_EQ(snapshot.barrier_ns, 15u);
-  EXPECT_EQ(snapshot.slowest_shard_ns, 300u);  // 100 + 200
-  EXPECT_EQ(snapshot.fastest_shard_ns, 150u);  // 50 + 100
+  // Imbalance is over the full worker span (evaluate + stage).
+  EXPECT_EQ(snapshot.slowest_shard_ns, 340u);  // 140 + 200
+  EXPECT_EQ(snapshot.fastest_shard_ns, 230u);  // 80 + 150
   ASSERT_EQ(snapshot.shards.size(), 2u);
   EXPECT_EQ(snapshot.shards[0].rounds, 2u);
   EXPECT_EQ(snapshot.shards[0].evaluate_ns, 300u);
+  EXPECT_EQ(snapshot.shards[0].stage_ns, 40u);
   EXPECT_EQ(snapshot.shards[0].wake_ns, 11u);
   EXPECT_EQ(snapshot.shards[1].evaluate_ns, 150u);
+  EXPECT_EQ(snapshot.shards[1].stage_ns, 80u);
   EXPECT_EQ(snapshot.shards[1].wake_ns, 22u);
-  // Both rounds had ratio 2.0: two samples in the imbalance histogram.
+  // Ratios 1.75 and ~1.33: two samples in the imbalance histogram.
   EXPECT_EQ(snapshot.imbalance.total(), 2u);
 }
 
@@ -197,16 +203,22 @@ TEST(ParallelKernelProfile, ProfiledRunIsBitIdenticalToUnprofiled) {
   const RunResult profiled = scenario::run_scenario_trial(small_spec(2), 41);
   expect_bit_identical(plain, profiled);
 
-  // And the profiler actually saw the run: parallel rounds with two
-  // shards, pool wake records, a sequential-apply span.
+  // And the profiler actually saw the run: two gang lanes expose
+  // kShardsPerLane * 2 = 8 claimable shards while the roster is wide,
+  // every staged nanosecond lands in stage_ns, and the canonical-order
+  // fold shows up as merge time — never as an in-place apply span.
   const obs::PhaseProfileSnapshot phases =
       obs::PhaseProfiler::global().snapshot();
   EXPECT_GT(phases.parallel_rounds, 0u);
-  ASSERT_EQ(phases.shards.size(), 2u);
+  ASSERT_EQ(phases.shards.size(), 8u);
   EXPECT_EQ(phases.shards[0].rounds, phases.parallel_rounds);
   EXPECT_GT(phases.evaluate_ns, 0u);
-  EXPECT_GT(phases.apply_ns, 0u);
-  EXPECT_EQ(phases.pool_tasks, 2 * phases.parallel_rounds);
+  EXPECT_GT(phases.stage_ns, 0u);
+  EXPECT_EQ(phases.apply_ns, 0u);
+  EXPECT_GT(phases.merge_ns, 0u);
+  // The round gang parks its workers on a barrier instead of queueing
+  // pool tasks; lane wake latency lands in ShardSpan::wake_ns.
+  EXPECT_EQ(phases.pool_tasks, 0u);
 }
 
 TEST(ParallelKernelProfile, SequentialEngineRecordsSequentialRounds) {
