@@ -31,6 +31,14 @@ smoke test against gross regressions, not a profiler):
      --min-wire-reduction (default 10.0). Like the speedups, this is a
      same-process ratio under a deterministic wire-size model, so it is
      machine-independent and gets a hard floor.
+  5. billboard service: the service{} record (bbload workload against an
+     in-process BillboardServer on a Unix socket) must report zero
+     errors and posts_per_sec >= --min-service-posts-per-sec (default
+     50000 — a deliberately low floor; even a single-core machine
+     sustains >10x that). With --baseline, query_p99_ns must not exceed
+     the baseline's by more than --max-service-p99-ratio (default 5.0;
+     tail latencies are the noisiest number here, hence the widest
+     multiplier).
 
 Exit code 0 = pass, 1 = regression/invalid input. Stdlib only.
 """
@@ -145,6 +153,36 @@ def check_wire_reduction(doc, min_wire_reduction):
     return reduction >= min_wire_reduction
 
 
+def check_service(doc, baseline, min_posts_per_sec, max_p99_ratio):
+    service = doc.get("service")
+    if not isinstance(service, dict):
+        print("check_perf: service{} record missing", file=sys.stderr)
+        return False
+    name = service.get("name", "<unnamed>")
+    ok = True
+    errors = service.get("errors", -1)
+    if errors != 0:
+        print(f"  service {name}: {errors} errors (want 0) FAIL")
+        ok = False
+    rate = service.get("posts_per_sec", 0.0)
+    status = "ok" if rate >= min_posts_per_sec else "FAIL"
+    print(f"  service {name}: {rate / 1e3:.0f} k posts/s "
+          f"(floor {min_posts_per_sec / 1e3:.0f}k) {status}")
+    if rate < min_posts_per_sec:
+        ok = False
+    base = (baseline or {}).get("service")
+    if isinstance(base, dict) and base.get("query_p99_ns", 0) > 0:
+        p99 = service.get("query_p99_ns", 0)
+        ratio = p99 / base["query_p99_ns"]
+        status = "ok" if ratio <= max_p99_ratio else "FAIL"
+        print(f"  service {name}: query p99 {p99 / 1e3:.0f} us vs baseline "
+              f"{base['query_p99_ns'] / 1e3:.0f} us "
+              f"({ratio:.2f}x, limit {max_p99_ratio}x) {status}")
+        if ratio > max_p99_ratio:
+            ok = False
+    return ok
+
+
 def check_against_baseline(doc, baseline, max_ratio):
     current = {b["name"]: b for b in doc.get("benches", [])}
     ok = True
@@ -176,17 +214,22 @@ def main():
     parser.add_argument("--min-parallel-speedup", type=float, default=2.0)
     parser.add_argument("--min-parallel-speedup-t8", type=float, default=3.0)
     parser.add_argument("--min-wire-reduction", type=float, default=10.0)
+    parser.add_argument("--min-service-posts-per-sec", type=float,
+                        default=50000.0)
+    parser.add_argument("--max-service-p99-ratio", type=float, default=5.0)
     args = parser.parse_args()
 
     doc = load(args.perf_json)
+    baseline = load(args.baseline) if args.baseline else None
     ok = validate_schema(doc, args.perf_json)
     if ok:
         ok = check_speedups(doc, args.min_speedup)
         ok = check_parallel_scaling(doc, args.min_parallel_speedup,
                                     args.min_parallel_speedup_t8) and ok
         ok = check_wire_reduction(doc, args.min_wire_reduction) and ok
-        if args.baseline:
-            baseline = load(args.baseline)
+        ok = check_service(doc, baseline, args.min_service_posts_per_sec,
+                           args.max_service_p99_ratio) and ok
+        if baseline is not None:
             ok = check_against_baseline(doc, baseline, args.max_ratio) and ok
     print("check_perf: PASS" if ok else "check_perf: FAIL")
     return 0 if ok else 1

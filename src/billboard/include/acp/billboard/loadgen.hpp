@@ -1,0 +1,58 @@
+// bbload's engine: a single-threaded, poll-driven client swarm against a
+// billboard server. Opens `clients` concurrent connections that join one
+// shared replica board, then drives two measured phases:
+//
+//   posts  — every client commits `batches` batches of `batch_posts`
+//            posts (one in-flight request per connection); the phase
+//            clock starts after every connection is open, so the
+//            reported posts/sec is steady-state ingest, not connect
+//            cost.
+//   query  — every client issues `queries` single-object window queries,
+//            each individually timed for the p50/p99 tail.
+//
+// Lives in acp_billboard (not tools/) so the perf bench can run the same
+// workload in-process against a BillboardServer and record comparable
+// numbers into BENCH_PERF.json.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "acp/net/socket.hpp"
+
+namespace acp {
+
+struct LoadgenOptions {
+  net::Endpoint endpoint;
+  std::size_t clients = 10'000;
+  std::size_t batches = 5;      ///< commits per client
+  std::size_t batch_posts = 10; ///< posts per commit
+  std::size_t queries = 5;      ///< timed window queries per client
+  /// Shared-board dimensions. Every client posts as author
+  /// (client index mod players).
+  std::size_t players = 10'000;
+  std::size_t objects = 256;
+  std::string board = "bbload";
+  std::uint64_t seed = 1;
+};
+
+struct LoadgenReport {
+  std::size_t clients_connected = 0;
+  std::uint64_t posts = 0;
+  double post_seconds = 0.0;
+  double posts_per_sec = 0.0;
+  std::uint64_t queries = 0;
+  double query_seconds = 0.0;
+  std::uint64_t query_p50_ns = 0;
+  std::uint64_t query_p99_ns = 0;
+  /// kError replies + connections lost mid-run.
+  std::uint64_t errors = 0;
+};
+
+/// Run the workload to completion. Throws net::SocketError if the server
+/// cannot be reached at all; individual connection failures mid-run are
+/// counted in `errors` instead.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+}  // namespace acp

@@ -1,0 +1,90 @@
+// RemoteBillboard — a BillboardService backed by acp_billboardd.
+//
+// One blocking bbwire connection per service instance. Commits are a
+// round-trip: encode the batch, send, wait for the server's kCommitOk —
+// only then is the same batch applied to the local mirror, so the mirror
+// never runs ahead of the authoritative server log and a server-side
+// rejection (kError) surfaces as an exception *before* any local state
+// changed. Reads (the protocols' hot path) never touch the socket: they
+// go through the mirror, which is exactly why remote runs are
+// bit-identical to in-process runs.
+//
+// Shared boards: a non-empty board name joins a server-side board shared
+// with other connections. When the commit reply shows other connections
+// advanced the board (reply size > mirror size + batch size), the client
+// pulls the missing tail and folds it into the mirror — which therefore
+// must be a replica-mode board (arbitrary authors/stamps per batch).
+// Private per-connection boards (the engine configuration) never pull.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acp/billboard/service.hpp"
+#include "acp/billboard/wire.hpp"
+#include "acp/net/frame.hpp"
+#include "acp/net/socket.hpp"
+#include "acp/obs/bandwidth.hpp"
+
+namespace acp::obs {
+class TimerStat;
+}
+
+namespace acp {
+
+class RemoteBillboard final : public BillboardService {
+ public:
+  /// Connect to `endpoint` and open a board: private to this connection
+  /// when `board` is empty, shared under that name otherwise.
+  RemoteBillboard(const net::Endpoint& endpoint, std::size_t num_players,
+                  std::size_t num_objects,
+                  Billboard::Mode mode = Billboard::Mode::kAuthoritative,
+                  std::string board = {});
+
+  /// Adopt an already-connected stream socket (socketpair in tests).
+  RemoteBillboard(net::FdHandle fd, std::size_t num_players,
+                  std::size_t num_objects,
+                  Billboard::Mode mode = Billboard::Mode::kAuthoritative,
+                  std::string board = {});
+
+  void commit_round(Round round, std::vector<Post> posts) override;
+  void commit_round_from(Round round, std::span<const Post> posts) override;
+  void reserve(std::size_t expected_posts) override;
+  [[nodiscard]] const Billboard& board() const noexcept override {
+    return mirror_;
+  }
+  [[nodiscard]] Count votes_in_window(ObjectId object, Round begin,
+                                      Round end) override;
+  void votes_in_window_batch(std::span<const ObjectId> objects, Round begin,
+                             Round end, std::vector<Count>& out) override;
+  [[nodiscard]] std::vector<Post> snapshot() override;
+  [[nodiscard]] std::string backend_name() const override;
+
+  /// Server-reported board state (kStat round-trip).
+  [[nodiscard]] bbwire::BoardStateMsg stat();
+
+ private:
+  void open_board(Billboard::Mode mode);
+  /// Send `out_` and return the next reply frame, unwrapping kError into
+  /// an exception. The returned payload aliases assembler storage: decode
+  /// before the next transact/read.
+  [[nodiscard]] net::Frame transact(obs::IoChannel channel);
+  [[nodiscard]] net::Frame read_frame(obs::IoChannel channel);
+  [[noreturn]] void unexpected_reply(net::Frame reply, const char* wanted);
+  /// Fold the server tail [mirror.size, server_size) into the mirror.
+  void pull_tail(std::uint64_t server_size, Round server_last_round);
+
+  net::FdHandle fd_;
+  std::string board_name_;
+  std::string peer_;  ///< endpoint string for backend_name/errors
+  Billboard mirror_;
+  net::FrameAssembler assembler_;
+  std::vector<std::uint8_t> out_;        ///< encode buffer, reused
+  std::vector<std::uint8_t> recv_buf_;   ///< socket read chunk, reused
+  std::vector<Post> pull_scratch_;       ///< pulled-tail staging, reused
+  obs::TimerStat* commit_timer_;
+  obs::TimerStat* query_timer_;
+};
+
+}  // namespace acp

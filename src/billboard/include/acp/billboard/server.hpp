@@ -1,0 +1,92 @@
+// BillboardServer — the event loop around BillboardServerCore.
+//
+// One thread, readiness-driven (epoll on Linux, poll elsewhere), every
+// socket nonblocking: the design point is *many mostly-idle connections*
+// (the bbload acceptance bar is 10^4+ concurrent clients), which rules
+// out thread-per-connection. All protocol work happens in the core; this
+// class only moves bytes, tracks per-connection write backlogs, and owns
+// the listener.
+//
+// serve() runs the loop on the calling thread until stop(); start() runs
+// it on an internal thread (how acp_billboardd, the parity tests and the
+// bench embed it). stats() is safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "acp/billboard/server_core.hpp"
+#include "acp/net/socket.hpp"
+
+namespace acp {
+
+class BillboardServer {
+ public:
+  /// Binds and listens immediately (throws net::SocketError on failure).
+  /// For "tcp:<host>:0" the chosen port is visible via endpoint().
+  explicit BillboardServer(const net::Endpoint& endpoint);
+  ~BillboardServer();
+  BillboardServer(const BillboardServer&) = delete;
+  BillboardServer& operator=(const BillboardServer&) = delete;
+
+  [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
+    return listener_.endpoint();
+  }
+
+  /// Serve on the calling thread until stop() is called from another.
+  void serve();
+
+  /// Serve on a background thread; returns once the loop is running.
+  void start();
+
+  /// Stop the loop (idempotent) and join the background thread if any.
+  void stop();
+
+  [[nodiscard]] BillboardServerCore::Stats stats() const;
+
+ private:
+  struct Conn {
+    net::FdHandle fd;
+    std::uint64_t session = 0;
+    std::vector<std::uint8_t> outbuf;  ///< unsent reply bytes
+    std::size_t out_off = 0;           ///< sent prefix of outbuf
+    bool closing = false;              ///< close once outbuf drains
+  };
+
+  void accept_ready();
+  /// Drain readable bytes into the core. Returns false when the
+  /// connection is finished (EOF, error, or core said close + drained).
+  bool conn_readable(Conn& conn);
+  /// Flush pending writes. Returns false when the connection is finished.
+  bool conn_writable(Conn& conn);
+  void close_conn(int fd);
+  /// True when the connection should wait for writability.
+  [[nodiscard]] static bool wants_write(const Conn& conn) noexcept {
+    return conn.out_off < conn.outbuf.size();
+  }
+
+  void serve_epoll();
+  void serve_poll();
+  void update_interest(int fd, bool want_write);
+
+  net::Listener listener_;
+  net::FdHandle wake_read_;
+  net::FdHandle wake_write_;
+  std::unordered_map<int, Conn> conns_;
+  std::vector<std::uint8_t> recv_buf_;
+  int epoll_fd_ = -1;  ///< valid only inside serve_epoll
+
+  mutable std::mutex core_mutex_;  ///< guards core_ (stats vs loop thread)
+  BillboardServerCore core_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace acp

@@ -1,0 +1,110 @@
+// BillboardServerCore — the transport-free half of acp_billboardd.
+//
+// The core speaks bytes-in/bytes-out: the event loop (server.hpp) or a
+// test hands it whatever arrived on a connection, and it appends whatever
+// should be written back. That split keeps every protocol rule — framing,
+// validation, board semantics, error replies — testable without sockets,
+// and lets the codec-hardening tests feed it arbitrary garbage.
+//
+// Boards: a session that opens with an empty name gets a private board
+// (dropped with the session); a non-empty name joins a server-wide shared
+// board, created on first open, with dimension/mode agreement enforced.
+// Authoritative boards take commits under the exact Billboard contract
+// (stamps equal the commit round, one post per author, rounds strictly
+// increasing). Replica/shared boards accept each batch at arrival round
+// max(declared, last+1) — the PR 3 out-of-order ingest path — so many
+// connections can feed one board without coordinating round numbers.
+//
+// Error policy: a malformed *payload* (bad range, bad round, unknown
+// message) gets a kError reply and the connection lives on; a broken
+// *stream* (bad magic, corrupt length — the framing itself is gone) gets
+// a final kError and the connection is closed, since nothing after a
+// desync can be trusted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "acp/billboard/billboard.hpp"
+#include "acp/billboard/vote_ledger.hpp"
+#include "acp/billboard/wire.hpp"
+#include "acp/net/frame.hpp"
+
+namespace acp {
+
+class BillboardServerCore {
+ public:
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_active = 0;
+    std::uint64_t boards = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t posts = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t pulls = 0;
+    std::uint64_t errors = 0;
+  };
+
+  /// Register a new connection; returns its session id.
+  [[nodiscard]] std::uint64_t open_session();
+
+  /// Drop a connection's session state (its private board with it).
+  void close_session(std::uint64_t session);
+
+  /// Feed bytes received from `session`; complete requests append their
+  /// replies to `out`. Returns false when the stream is unrecoverable and
+  /// the caller should close the connection after flushing `out`.
+  [[nodiscard]] bool on_bytes(std::uint64_t session,
+                              std::span<const std::uint8_t> data,
+                              std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
+
+ private:
+  /// One board plus its read-side ledger (the §4 one-vote rule lives on
+  /// the server so window queries are a single RPC, not a post transfer).
+  struct BoardState {
+    BoardState(std::size_t num_players, std::size_t num_objects,
+               Billboard::Mode mode)
+        : board(num_players, num_objects, mode),
+          ledger(VotePolicy::kFirstPositive, num_players, num_objects) {}
+
+    Billboard board;
+    VoteLedger ledger;
+    std::vector<ObjectId> object_scratch;
+    std::vector<Count> count_scratch;
+    // Generation-stamped duplicate-author check for authoritative commits.
+    std::vector<std::uint64_t> author_seen;
+    std::uint64_t commit_epoch = 0;
+  };
+
+  struct Session {
+    net::FrameAssembler assembler;
+    std::shared_ptr<BoardState> board;  ///< null until kOpen
+  };
+
+  /// Returns false when the connection must close.
+  bool handle_frame(Session& session, net::Frame frame,
+                    std::vector<std::uint8_t>& out);
+  void handle_open(Session& session, std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out);
+  void handle_commit(BoardState& board, std::span<const std::uint8_t> payload,
+                     std::vector<std::uint8_t>& out);
+  void handle_pull(BoardState& board, std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out);
+  void send_error(std::vector<std::uint8_t>& out, const std::string& message);
+
+  std::uint64_t next_session_ = 1;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  /// Shared boards by name. Kept for the server's lifetime so a board
+  /// outlives the connections that fed it (bbload opens, loads, leaves).
+  std::map<std::string, std::shared_ptr<BoardState>> shared_boards_;
+  Stats stats_;
+};
+
+}  // namespace acp

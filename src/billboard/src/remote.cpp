@@ -1,0 +1,258 @@
+#include "acp/billboard/remote.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "acp/obs/metrics.hpp"
+#include "acp/obs/timer.hpp"
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+
+using bbwire::MsgType;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+/// Posts per kPull request when snapshotting; ~1.4 MiB of frame, well
+/// under the payload ceiling.
+constexpr std::uint64_t kPullChunk = 100'000;
+
+[[nodiscard]] MsgType frame_type(const net::Frame& frame) {
+  return static_cast<MsgType>(frame.type);
+}
+
+}  // namespace
+
+RemoteBillboard::RemoteBillboard(const net::Endpoint& endpoint,
+                                 std::size_t num_players,
+                                 std::size_t num_objects, Billboard::Mode mode,
+                                 std::string board)
+    : fd_(net::connect_endpoint(endpoint)),
+      board_name_(std::move(board)),
+      peer_(endpoint.to_string()),
+      mirror_(num_players, num_objects, mode),
+      commit_timer_(&obs::MetricsRegistry::global().timer(
+          "billboard.rpc.commit")),
+      query_timer_(&obs::MetricsRegistry::global().timer(
+          "billboard.rpc.query")) {
+  recv_buf_.resize(kRecvChunk);
+  open_board(mode);
+}
+
+RemoteBillboard::RemoteBillboard(net::FdHandle fd, std::size_t num_players,
+                                 std::size_t num_objects, Billboard::Mode mode,
+                                 std::string board)
+    : fd_(std::move(fd)),
+      board_name_(std::move(board)),
+      peer_("fd"),
+      mirror_(num_players, num_objects, mode),
+      commit_timer_(&obs::MetricsRegistry::global().timer(
+          "billboard.rpc.commit")),
+      query_timer_(&obs::MetricsRegistry::global().timer(
+          "billboard.rpc.query")) {
+  ACP_EXPECTS(fd_.valid());
+  recv_buf_.resize(kRecvChunk);
+  open_board(mode);
+}
+
+std::string RemoteBillboard::backend_name() const {
+  if (board_name_.empty()) return peer_;
+  return peer_ + "#" + board_name_;
+}
+
+void RemoteBillboard::open_board(Billboard::Mode mode) {
+  bbwire::OpenMsg open;
+  open.mode = mode == Billboard::Mode::kAuthoritative ? 0 : 1;
+  open.num_players = mirror_.num_players();
+  open.num_objects = mirror_.num_objects();
+  open.board = board_name_;
+  out_.clear();
+  bbwire::encode_open(out_, open);
+  const net::Frame reply = transact(obs::IoChannel::kBillboardRpcSnapshot);
+  if (frame_type(reply) != MsgType::kOpenOk) {
+    unexpected_reply(reply, "open_ok");
+  }
+  const bbwire::BoardStateMsg state =
+      bbwire::decode_board_state(reply.payload, MsgType::kOpenOk);
+  if (state.size > 0) {
+    // Joined a shared board that already has history: fold it in before
+    // the caller sees the mirror.
+    pull_tail(state.size, state.last_round);
+  }
+}
+
+void RemoteBillboard::commit_round(Round round, std::vector<Post> posts) {
+  commit_round_from(round, posts);
+}
+
+void RemoteBillboard::commit_round_from(Round round,
+                                        std::span<const Post> posts) {
+  const obs::ScopedTimer timer(*commit_timer_);
+  out_.clear();
+  bbwire::encode_commit(out_, round, posts);
+  const net::Frame reply = transact(obs::IoChannel::kBillboardRpcPost);
+  if (frame_type(reply) != MsgType::kCommitOk) {
+    unexpected_reply(reply, "commit_ok");
+  }
+  const bbwire::BoardStateMsg state =
+      bbwire::decode_board_state(reply.payload, MsgType::kCommitOk);
+  if (state.size == mirror_.size() + posts.size()) {
+    // The common (and only private-board) case: the server log is exactly
+    // the mirror plus this batch, so echo-applying the batch keeps the
+    // mirror bit-identical to an in-process board.
+    mirror_.commit_round_from(round, posts);
+  } else {
+    // A shared board advanced under us; fetch the authoritative tail
+    // (which embeds this batch in server order).
+    pull_tail(state.size, state.last_round);
+  }
+}
+
+void RemoteBillboard::reserve(std::size_t expected_posts) {
+  // Fire-and-forget: the stream is ordered, so the server sizes its log
+  // before any later commit lands. No reply keeps the hint free.
+  out_.clear();
+  bbwire::encode_reserve(out_, expected_posts);
+  obs::BandwidthMeter::add_write(obs::IoChannel::kBillboardRpcSnapshot,
+                                 out_.size() * 8);
+  net::send_all(fd_.get(), out_);
+  mirror_.reserve(expected_posts);
+}
+
+Count RemoteBillboard::votes_in_window(ObjectId object, Round begin,
+                                       Round end) {
+  const obs::ScopedTimer timer(*query_timer_);
+  bbwire::WindowQueryMsg query;
+  query.object = object.value();
+  query.begin = begin;
+  query.end = end;
+  out_.clear();
+  bbwire::encode_window_query(out_, query);
+  const net::Frame reply = transact(obs::IoChannel::kBillboardRpcQuery);
+  if (frame_type(reply) != MsgType::kWindowCount) {
+    unexpected_reply(reply, "window_count");
+  }
+  return bbwire::decode_window_count(reply.payload).count;
+}
+
+void RemoteBillboard::votes_in_window_batch(std::span<const ObjectId> objects,
+                                            Round begin, Round end,
+                                            std::vector<Count>& out) {
+  const obs::ScopedTimer timer(*query_timer_);
+  out_.clear();
+  bbwire::encode_window_batch(out_, begin, end, objects);
+  const net::Frame reply = transact(obs::IoChannel::kBillboardRpcQuery);
+  if (frame_type(reply) != MsgType::kWindowCounts) {
+    unexpected_reply(reply, "window_counts");
+  }
+  bbwire::WindowCountsMsg counts = bbwire::decode_window_counts(reply.payload);
+  if (counts.counts.size() != objects.size()) {
+    throw std::runtime_error(
+        "billboard server " + peer_ + " answered a window batch of " +
+        std::to_string(objects.size()) + " objects with " +
+        std::to_string(counts.counts.size()) + " counts");
+  }
+  out = std::move(counts.counts);
+}
+
+std::vector<Post> RemoteBillboard::snapshot() {
+  const bbwire::BoardStateMsg state = stat();
+  std::vector<Post> posts;
+  posts.reserve(static_cast<std::size_t>(state.size));
+  while (posts.size() < state.size) {
+    bbwire::PullMsg pull;
+    pull.begin = posts.size();
+    pull.end = std::min<std::uint64_t>(state.size, pull.begin + kPullChunk);
+    out_.clear();
+    bbwire::encode_pull(out_, pull);
+    const net::Frame reply = transact(obs::IoChannel::kBillboardRpcSnapshot);
+    if (frame_type(reply) != MsgType::kPosts) {
+      unexpected_reply(reply, "posts");
+    }
+    bbwire::PostsMsg batch = bbwire::decode_posts(
+        reply.payload, mirror_.num_players(), mirror_.num_objects());
+    if (batch.posts.empty()) {
+      throw std::runtime_error("billboard server " + peer_ +
+                               " returned an empty pull mid-snapshot");
+    }
+    posts.insert(posts.end(), batch.posts.begin(), batch.posts.end());
+  }
+  return posts;
+}
+
+bbwire::BoardStateMsg RemoteBillboard::stat() {
+  out_.clear();
+  bbwire::encode_stat(out_);
+  const net::Frame reply = transact(obs::IoChannel::kBillboardRpcSnapshot);
+  if (frame_type(reply) != MsgType::kStatOk) {
+    unexpected_reply(reply, "stat_ok");
+  }
+  return bbwire::decode_board_state(reply.payload, MsgType::kStatOk);
+}
+
+void RemoteBillboard::pull_tail(std::uint64_t server_size,
+                                Round server_last_round) {
+  ACP_EXPECTS(mirror_.mode() == Billboard::Mode::kReplica);
+  while (mirror_.size() < server_size) {
+    bbwire::PullMsg pull;
+    pull.begin = mirror_.size();
+    pull.end = std::min<std::uint64_t>(server_size, pull.begin + kPullChunk);
+    out_.clear();
+    bbwire::encode_pull(out_, pull);
+    const net::Frame reply = transact(obs::IoChannel::kBillboardRpcSnapshot);
+    if (frame_type(reply) != MsgType::kPosts) {
+      unexpected_reply(reply, "posts");
+    }
+    bbwire::PostsMsg batch = bbwire::decode_posts(
+        reply.payload, mirror_.num_players(), mirror_.num_objects());
+    if (batch.posts.empty()) {
+      throw std::runtime_error("billboard server " + peer_ +
+                               " returned an empty pull mid-catch-up");
+    }
+    pull_scratch_ = std::move(batch.posts);
+    // Commit the tail at an arrival round that is (a) monotone for the
+    // mirror and (b) >= every stamp in the batch (stamps never exceed the
+    // server's last committed round).
+    const Round arrival =
+        std::max(server_last_round, mirror_.last_committed_round() + 1);
+    mirror_.commit_round_from(arrival, pull_scratch_);
+  }
+}
+
+net::Frame RemoteBillboard::transact(obs::IoChannel channel) {
+  obs::BandwidthMeter::add_write(channel, out_.size() * 8);
+  net::send_all(fd_.get(), out_);
+  return read_frame(channel);
+}
+
+net::Frame RemoteBillboard::read_frame(obs::IoChannel channel) {
+  for (;;) {
+    if (std::optional<net::Frame> frame = assembler_.next()) {
+      obs::BandwidthMeter::add_read(
+          channel, (net::kFrameHeaderSize + frame->payload.size()) * 8);
+      if (frame_type(*frame) == MsgType::kError) {
+        const bbwire::ErrorMsg error = bbwire::decode_error(frame->payload);
+        throw std::runtime_error("billboard server " + peer_ +
+                                 " rejected the request: " + error.message);
+      }
+      return *frame;
+    }
+    const std::size_t got = net::recv_some(fd_.get(), recv_buf_);
+    if (got == 0) {
+      throw net::SocketError("billboard server " + peer_ +
+                             " closed the connection mid-reply");
+    }
+    assembler_.append(std::span<const std::uint8_t>(recv_buf_.data(), got));
+  }
+}
+
+void RemoteBillboard::unexpected_reply(net::Frame reply, const char* wanted) {
+  throw std::runtime_error(
+      "billboard server " + peer_ + " sent " +
+      bbwire::msg_type_name(frame_type(reply)) + " where " + wanted +
+      " was expected");
+}
+
+}  // namespace acp

@@ -1,0 +1,313 @@
+#include "acp/billboard/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+BillboardServer::BillboardServer(const net::Endpoint& endpoint)
+    : listener_(endpoint) {
+  net::set_nonblocking(listener_.fd(), true);
+  auto [read_end, write_end] = net::stream_pair();
+  wake_read_ = std::move(read_end);
+  wake_write_ = std::move(write_end);
+  net::set_nonblocking(wake_read_.get(), true);
+  recv_buf_.resize(kRecvChunk);
+}
+
+BillboardServer::~BillboardServer() { stop(); }
+
+void BillboardServer::start() {
+  ACP_EXPECTS(!thread_.joinable());
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { serve(); });
+  while (!running_.load(std::memory_order_acquire) &&
+         !stop_requested_.load()) {
+    // Bind already happened in the constructor, so a connect() racing
+    // this spin would be queued by the listen backlog anyway.
+    std::this_thread::yield();
+  }
+}
+
+void BillboardServer::stop() {
+  stop_requested_.store(true);
+  const std::uint8_t byte = 0;
+  ::send(wake_write_.get(), &byte, 1, MSG_NOSIGNAL);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+BillboardServerCore::Stats BillboardServer::stats() const {
+  const std::lock_guard<std::mutex> lock(core_mutex_);
+  return core_.stats();
+}
+
+void BillboardServer::serve() {
+  running_.store(true, std::memory_order_release);
+#ifdef __linux__
+  serve_epoll();
+#else
+  serve_poll();
+#endif
+  // Close whatever is still connected so a restart starts clean.
+  for (auto& [fd, conn] : conns_) {
+    const std::lock_guard<std::mutex> lock(core_mutex_);
+    core_.close_session(conn.session);
+  }
+  conns_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void BillboardServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return;
+      }
+      // EMFILE & friends: drop this readiness edge, keep serving the
+      // connections we have.
+      return;
+    }
+    net::set_nonblocking(fd, true);
+    if (listener_.endpoint().kind == net::Endpoint::Kind::kTcp) {
+      net::set_nodelay(fd);
+    }
+    Conn conn;
+    conn.fd = net::FdHandle(fd);
+    {
+      const std::lock_guard<std::mutex> lock(core_mutex_);
+      conn.session = core_.open_session();
+    }
+    conns_.emplace(fd, std::move(conn));
+    update_interest(fd, false);
+  }
+}
+
+bool BillboardServer::conn_readable(Conn& conn) {
+  for (;;) {
+    const ssize_t n =
+        ::recv(conn.fd.get(), recv_buf_.data(), recv_buf_.size(), 0);
+    if (n > 0) {
+      bool keep = true;
+      {
+        const std::lock_guard<std::mutex> lock(core_mutex_);
+        keep = core_.on_bytes(
+            conn.session,
+            std::span<const std::uint8_t>(recv_buf_.data(),
+                                          static_cast<std::size_t>(n)),
+            conn.outbuf);
+      }
+      if (!keep) {
+        conn.closing = true;
+        // Flush the final error frame if the peer still reads.
+        return conn_writable(conn) && wants_write(conn);
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // orderly EOF
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return conn_writable(conn);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // ECONNRESET etc.
+  }
+}
+
+bool BillboardServer::conn_writable(Conn& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // wait for the next writable edge
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // peer is gone
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  return !conn.closing;
+}
+
+void BillboardServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(core_mutex_);
+    core_.close_session(it->second.session);
+  }
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  conns_.erase(it);  // FdHandle closes the socket
+}
+
+void BillboardServer::update_interest(int fd, [[maybe_unused]] bool want_write) {
+#ifdef __linux__
+  if (epoll_fd_ < 0) {
+    return;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0 &&
+      errno == ENOENT) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+  }
+#endif
+  // poll backend rebuilds its fd set every iteration; nothing to update.
+}
+
+#ifdef __linux__
+void BillboardServer::serve_epoll() {
+  net::FdHandle epoll_holder(::epoll_create1(0));
+  if (!epoll_holder.valid()) {
+    throw net::SocketError("epoll_create1 failed");
+  }
+  epoll_fd_ = epoll_holder.get();
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listener_.fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &event);
+  event.data.fd = wake_read_.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_.get(), &event);
+
+  std::vector<epoll_event> events(1024);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (fd == wake_read_.get()) {
+        std::uint8_t sink[64];
+        while (::recv(wake_read_.get(), sink, sizeof(sink), 0) > 0) {
+        }
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) {
+        continue;
+      }
+      Conn& conn = it->second;
+      bool alive = true;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0 && (mask & EPOLLIN) == 0) {
+        alive = false;
+      }
+      if (alive && (mask & EPOLLIN) != 0) {
+        alive = conn_readable(conn);
+      }
+      if (alive && (mask & EPOLLOUT) != 0) {
+        alive = conn_writable(conn);
+      }
+      if (!alive) {
+        close_conn(fd);
+      } else {
+        update_interest(fd, wants_write(conn));
+      }
+    }
+    if (n == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+  }
+  epoll_fd_ = -1;
+}
+#else
+void BillboardServer::serve_epoll() { serve_poll(); }
+#endif
+
+void BillboardServer::serve_poll() {
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back(pollfd{listener_.fd(), static_cast<short>(POLLIN), 0});
+    fds.push_back(pollfd{wake_read_.get(), static_cast<short>(POLLIN), 0});
+    for (const auto& [fd, conn] : conns_) {
+      fds.push_back(pollfd{
+          fd, static_cast<short>(POLLIN | (wants_write(conn) ? POLLOUT : 0)),
+          0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      std::uint8_t sink[64];
+      while (::recv(wake_read_.get(), sink, sizeof(sink), 0) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      accept_ready();
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) {
+        continue;
+      }
+      const auto it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) {
+        continue;
+      }
+      Conn& conn = it->second;
+      bool alive = true;
+      if ((fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0 &&
+          (fds[i].revents & POLLIN) == 0) {
+        alive = false;
+      }
+      if (alive && (fds[i].revents & POLLIN) != 0) {
+        alive = conn_readable(conn);
+      }
+      if (alive && (fds[i].revents & POLLOUT) != 0) {
+        alive = conn_writable(conn);
+      }
+      if (!alive) {
+        close_conn(fds[i].fd);
+      }
+    }
+  }
+}
+
+}  // namespace acp

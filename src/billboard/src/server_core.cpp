@@ -1,0 +1,277 @@
+#include "acp/billboard/server_core.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "acp/util/contracts.hpp"
+
+namespace acp {
+
+namespace {
+
+using bbwire::MsgType;
+
+}  // namespace
+
+std::uint64_t BillboardServerCore::open_session() {
+  const std::uint64_t id = next_session_++;
+  sessions_.emplace(id, Session{});
+  ++stats_.sessions_opened;
+  ++stats_.sessions_active;
+  return id;
+}
+
+void BillboardServerCore::close_session(std::uint64_t session) {
+  if (sessions_.erase(session) > 0) {
+    --stats_.sessions_active;
+  }
+}
+
+bool BillboardServerCore::on_bytes(std::uint64_t session,
+                                   std::span<const std::uint8_t> data,
+                                   std::vector<std::uint8_t>& out) {
+  const auto it = sessions_.find(session);
+  ACP_EXPECTS(it != sessions_.end());
+  Session& state = it->second;
+  state.assembler.append(data);
+  for (;;) {
+    std::optional<net::Frame> frame;
+    try {
+      frame = state.assembler.next();
+    } catch (const net::WireFormatError& error) {
+      // The byte stream itself is corrupt; nothing after this point can
+      // be framed. Tell the peer why, then hang up.
+      send_error(out, error.what());
+      return false;
+    }
+    if (!frame) {
+      return true;
+    }
+    if (!handle_frame(state, *frame, out)) {
+      return false;
+    }
+  }
+}
+
+bool BillboardServerCore::handle_frame(Session& session, net::Frame frame,
+                                       std::vector<std::uint8_t>& out) {
+  const MsgType type = static_cast<MsgType>(frame.type);
+  try {
+    if (type == MsgType::kOpen) {
+      handle_open(session, frame.payload, out);
+      return true;
+    }
+    if (session.board == nullptr) {
+      send_error(out, std::string("received ") + bbwire::msg_type_name(type) +
+                          " before open — every session must open a board "
+                          "first");
+      return true;
+    }
+    BoardState& board = *session.board;
+    switch (type) {
+      case MsgType::kCommit:
+        handle_commit(board, frame.payload, out);
+        return true;
+      case MsgType::kPull:
+        handle_pull(board, frame.payload, out);
+        return true;
+      case MsgType::kWindowQuery: {
+        const bbwire::WindowQueryMsg query = bbwire::decode_window_query(
+            frame.payload, board.board.num_objects());
+        board.ledger.ingest(board.board);
+        const Count count = board.ledger.votes_in_window(
+            ObjectId(static_cast<std::size_t>(query.object)), query.begin,
+            query.end);
+        bbwire::encode_window_count(out, count);
+        ++stats_.queries;
+        return true;
+      }
+      case MsgType::kWindowBatch: {
+        const bbwire::WindowBatchMsg query = bbwire::decode_window_batch(
+            frame.payload, board.board.num_objects());
+        board.object_scratch.clear();
+        board.object_scratch.reserve(query.objects.size());
+        for (const std::uint64_t object : query.objects) {
+          board.object_scratch.push_back(
+              ObjectId(static_cast<std::size_t>(object)));
+        }
+        board.ledger.ingest(board.board);
+        board.ledger.votes_in_window_batch(board.object_scratch, query.begin,
+                                           query.end, board.count_scratch);
+        bbwire::encode_window_counts(out, board.count_scratch);
+        ++stats_.queries;
+        return true;
+      }
+      case MsgType::kReserve: {
+        const bbwire::ReserveMsg msg = bbwire::decode_reserve(frame.payload);
+        // Clamp: a hostile hint must not become an allocation bomb.
+        constexpr std::uint64_t kMaxReserve = 1u << 24;
+        board.board.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(msg.expected_posts, kMaxReserve)));
+        return true;  // fire-and-forget, no reply
+      }
+      case MsgType::kStat: {
+        bbwire::BoardStateMsg state;
+        state.size = board.board.size();
+        state.last_round = board.board.last_committed_round();
+        bbwire::encode_board_state(out, MsgType::kStatOk, state);
+        return true;
+      }
+      default:
+        send_error(out,
+                   std::string("unexpected message type ") +
+                       bbwire::msg_type_name(type) +
+                       " (clients send open/commit/pull/window_query/"
+                       "window_batch/reserve/stat)");
+        return true;
+    }
+  } catch (const net::WireFormatError& error) {
+    // Malformed payload inside an intact frame: report, keep serving.
+    send_error(out, error.what());
+    return true;
+  } catch (const ContractViolation& error) {
+    // Backstop — the explicit pre-validation above should answer first.
+    send_error(out, std::string("billboard contract violation: ") +
+                        error.what());
+    return true;
+  }
+}
+
+void BillboardServerCore::handle_open(Session& session,
+                                      std::span<const std::uint8_t> payload,
+                                      std::vector<std::uint8_t>& out) {
+  const bbwire::OpenMsg msg = bbwire::decode_open(payload);
+  if (session.board != nullptr) {
+    send_error(out, "session already opened a board");
+    return;
+  }
+  std::shared_ptr<BoardState> board;
+  if (msg.board.empty()) {
+    board = std::make_shared<BoardState>(
+        static_cast<std::size_t>(msg.num_players),
+        static_cast<std::size_t>(msg.num_objects), msg.billboard_mode());
+    ++stats_.boards;
+  } else {
+    const auto it = shared_boards_.find(msg.board);
+    if (it != shared_boards_.end()) {
+      board = it->second;
+      if (board->board.num_players() != msg.num_players ||
+          board->board.num_objects() != msg.num_objects ||
+          board->board.mode() != msg.billboard_mode()) {
+        send_error(out,
+                   "shared board \"" + msg.board + "\" already exists with " +
+                       std::to_string(board->board.num_players()) +
+                       " players, " +
+                       std::to_string(board->board.num_objects()) +
+                       " objects, mode " +
+                       (board->board.mode() == Billboard::Mode::kAuthoritative
+                            ? "authoritative"
+                            : "replica") +
+                       " — dimensions and mode must match to join");
+        return;
+      }
+    } else {
+      board = std::make_shared<BoardState>(
+          static_cast<std::size_t>(msg.num_players),
+          static_cast<std::size_t>(msg.num_objects), msg.billboard_mode());
+      shared_boards_.emplace(msg.board, board);
+      ++stats_.boards;
+    }
+  }
+  session.board = std::move(board);
+  bbwire::BoardStateMsg state;
+  state.size = session.board->board.size();
+  state.last_round = session.board->board.last_committed_round();
+  bbwire::encode_board_state(out, MsgType::kOpenOk, state);
+}
+
+void BillboardServerCore::handle_commit(BoardState& board,
+                                        std::span<const std::uint8_t> payload,
+                                        std::vector<std::uint8_t>& out) {
+  // decode_commit already validated author/object ranges and flags.
+  bbwire::CommitMsg msg = bbwire::decode_commit(
+      payload, board.board.num_players(), board.board.num_objects());
+  Round commit_round = msg.round;
+  if (board.board.mode() == Billboard::Mode::kAuthoritative) {
+    if (commit_round <= board.board.last_committed_round()) {
+      send_error(out, "commit round " + std::to_string(commit_round) +
+                          " is not after the last committed round " +
+                          std::to_string(
+                              board.board.last_committed_round()));
+      return;
+    }
+    if (board.author_seen.size() != board.board.num_players()) {
+      board.author_seen.assign(board.board.num_players(), 0);
+    }
+    const std::uint64_t epoch = ++board.commit_epoch;
+    for (const Post& post : msg.posts) {
+      if (post.round != commit_round) {
+        send_error(out, "authoritative post stamped round " +
+                            std::to_string(post.round) +
+                            " does not match commit round " +
+                            std::to_string(commit_round));
+        return;
+      }
+      if (post.reported_value < 0.0) {
+        send_error(out, "post reported_value must be non-negative");
+        return;
+      }
+      if (board.author_seen[post.author.value()] == epoch) {
+        send_error(out, "player " + std::to_string(post.author.value()) +
+                            " posted twice in round " +
+                            std::to_string(commit_round) +
+                            " (one post per author per round)");
+        return;
+      }
+      board.author_seen[post.author.value()] = epoch;
+    }
+  } else {
+    // Replica/shared feed: arrival order is the server's to assign, so
+    // many writers need no round coordination (PR 3 out-of-order ingest).
+    commit_round =
+        std::max(commit_round, board.board.last_committed_round() + 1);
+    for (const Post& post : msg.posts) {
+      if (post.round > commit_round) {
+        send_error(out, "replica post stamped round " +
+                            std::to_string(post.round) +
+                            " is newer than its arrival round " +
+                            std::to_string(commit_round) +
+                            " (posts cannot come from the future)");
+        return;
+      }
+      if (post.reported_value < 0.0) {
+        send_error(out, "post reported_value must be non-negative");
+        return;
+      }
+    }
+  }
+  board.board.commit_round_from(commit_round, msg.posts);
+  ++stats_.commits;
+  stats_.posts += msg.posts.size();
+  bbwire::BoardStateMsg state;
+  state.size = board.board.size();
+  state.last_round = board.board.last_committed_round();
+  bbwire::encode_board_state(out, MsgType::kCommitOk, state);
+}
+
+void BillboardServerCore::handle_pull(BoardState& board,
+                                      std::span<const std::uint8_t> payload,
+                                      std::vector<std::uint8_t>& out) {
+  const bbwire::PullMsg msg = bbwire::decode_pull(payload);
+  const std::uint64_t size = board.board.size();
+  const std::uint64_t begin = std::min(msg.begin, size);
+  const std::uint64_t end = std::min(msg.end, size);
+  const std::span<const Post> posts(
+      board.board.posts().data() + begin,
+      static_cast<std::size_t>(end - begin));
+  bbwire::encode_posts(out, posts);
+  ++stats_.pulls;
+}
+
+void BillboardServerCore::send_error(std::vector<std::uint8_t>& out,
+                                     const std::string& message) {
+  bbwire::encode_error(out, message);
+  ++stats_.errors;
+}
+
+}  // namespace acp

@@ -31,6 +31,8 @@
 
 namespace acp {
 
+class BillboardService;
+
 /// Honest-player algorithm in the asynchronous model: one decision per
 /// scheduled step, full billboard visible (all previously committed steps).
 class AsyncProtocol {
@@ -85,6 +87,11 @@ struct AsyncRunConfig {
   /// "round" is one basic step: on_round_end fires per step with the step
   /// stamp, so the same observers work on every engine.
   RunObserver* observer = nullptr;
+  /// Billboard backend for the run; not owned. Null (the default) means
+  /// the kernel owns a fresh in-process billboard. A non-null service must
+  /// be freshly opened with dimensions matching the run; in-process and
+  /// remote backends produce bit-identical results (see kernel.hpp).
+  BillboardService* billboard = nullptr;
 };
 
 class AsyncEngine {

@@ -76,11 +76,13 @@
 #include <cstdint>
 #include <exception>
 #include <new>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "acp/billboard/billboard.hpp"
+#include "acp/billboard/service.hpp"
 #include "acp/concurrency/round_gang.hpp"
 #include "acp/obs/bandwidth.hpp"
 #include "acp/obs/profiler.hpp"
@@ -116,6 +118,13 @@ struct KernelSpec {
   /// and reports record what really ran — NOT part of RunResult, which
   /// stays bit-identical across thread counts.
   std::size_t engine_threads = 1;
+  /// Billboard backend for the run. Null (the default) means the kernel
+  /// owns a fresh InProcessBillboard — the historical zero-overhead
+  /// configuration. A non-null service must be freshly opened (empty
+  /// board) with dimensions matching the run; the kernel commits through
+  /// it and reads its board() view, so in-process and remote backends
+  /// produce bit-identical results.
+  BillboardService* billboard = nullptr;
 };
 
 /// The read-only half of one player step: the chosen probe (if any) and
@@ -430,7 +439,22 @@ RunResult run_kernel(const World& world, const Population& population,
   ACP_EXPECTS(spec.max_slices > 0);
 
   const std::size_t n = population.num_players();
-  Billboard billboard(n, world.num_objects());
+  // The slice loop reads the board through a stable local view and
+  // commits through the service, so a remote backend slots in without
+  // touching any per-slice code (see BillboardService's visibility
+  // contract).
+  std::optional<InProcessBillboard> local_board;
+  BillboardService* const board_service = [&]() -> BillboardService* {
+    if (spec.billboard != nullptr) return spec.billboard;
+    local_board.emplace(n, world.num_objects());
+    return &*local_board;
+  }();
+  ACP_EXPECTS(board_service->num_players() == n);
+  ACP_EXPECTS(board_service->num_objects() == world.num_objects());
+  // A reused board would leak posts from another run into this one's
+  // visibility window.
+  ACP_EXPECTS(board_service->size() == 0);
+  const Billboard& billboard = board_service->board();
   const WorldView world_view(world);
 
   stepper.initialize(world_view, n);
@@ -558,7 +582,7 @@ RunResult run_kernel(const World& world, const Population& population,
     // Commit from the staging buffer and keep its capacity: `slice_posts`
     // is cleared (not replaced) at the top of the loop, so no engine
     // reallocates a post vector per slice.
-    billboard.commit_round_from(slice, slice_posts);
+    board_service->commit_round_from(slice, slice_posts);
 
     if (stepper.wants_halt_all(slice)) {
       for (PlayerId p : roster.active()) accounting.record_satisfied(p, slice);

@@ -167,6 +167,11 @@ struct LockstepRunConfig {
   /// here: the asynchronous substrate steps exactly one player per slice,
   /// so there is nothing to shard. Results are identical at any value.
   std::size_t engine_threads = 1;
+  /// Billboard backend for the run; not owned. Null (the default) means
+  /// the kernel owns a fresh in-process billboard (forwarded to the
+  /// underlying AsyncRunConfig). The *real* billboard lives behind the
+  /// service; the adapter's virtual billboard stays local either way.
+  BillboardService* billboard = nullptr;
 };
 
 class LockstepEngine {

@@ -30,6 +30,8 @@
 
 namespace acp {
 
+class BillboardService;
+
 struct SyncRunConfig {
   /// Hard stop: the run fails (all_honest_satisfied == false) if honest
   /// players remain active after this many rounds.
@@ -54,6 +56,11 @@ struct SyncRunConfig {
   /// Composes multiplicatively with the trial driver's `threads` knob —
   /// total workers ~= trial threads x engine threads.
   std::size_t engine_threads = 1;
+  /// Billboard backend for the run; not owned. Null (the default) means
+  /// the kernel owns a fresh in-process billboard. A non-null service must
+  /// be freshly opened with dimensions matching the run; in-process and
+  /// remote backends produce bit-identical results (see kernel.hpp).
+  BillboardService* billboard = nullptr;
 };
 
 class SyncEngine {

@@ -61,6 +61,7 @@ RunResult AsyncEngine::run(const World& world, const Population& population,
   spec.slice_timer = "engine.async.step";
   spec.slices_counter = "engine.async.steps";
   spec.probes_counter = "engine.async.probes";
+  spec.billboard = config.billboard;
   return run_kernel(world, population, adversary, AsyncStepper(protocol),
                     OneScheduledPolicy(scheduler), spec);
 }

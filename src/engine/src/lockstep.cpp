@@ -249,6 +249,7 @@ RunResult LockstepEngine::run(const World& world, const Population& population,
   async_config.seed = config.seed;
   async_config.arrivals = config.arrivals;
   async_config.departures = config.departures;
+  async_config.billboard = config.billboard;
   // The async engine gets no observer of its own: the attached observer
   // sees the simulated synchronous run (virtual rounds), not raw steps.
   RunResult result = AsyncEngine::run(world, population, adapter, adversary,

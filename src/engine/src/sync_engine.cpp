@@ -62,6 +62,7 @@ RunResult SyncEngine::run(const World& world, const Population& population,
   spec.slice_timer = "engine.sync.round";
   spec.slices_counter = "engine.sync.rounds";
   spec.probes_counter = "engine.sync.probes";
+  spec.billboard = config.billboard;
 
   const std::size_t threads = ThreadPool::resolve(config.engine_threads);
   if (threads > 1 && protocol.parallel_choose_safe()) {

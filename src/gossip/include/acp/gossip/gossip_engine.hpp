@@ -55,6 +55,8 @@
 
 namespace acp {
 
+class BillboardService;
+
 enum class GossipTopology {
   /// Push targets drawn uniformly from all nodes each round (the classic
   /// epidemic model; O(log n) dissemination w.h.p.).
@@ -126,6 +128,13 @@ struct GossipConfig {
   /// replica. This is how the substrate-equivalence tests compare digest
   /// vs exchange final state without widening RunResult.
   std::function<void(PlayerId, const Billboard&)> on_final_replica = nullptr;
+  /// Backend for the adversary's omniscient union log; not owned. Null
+  /// (the default) keeps it in-process. A non-null service must be a
+  /// freshly opened *replica-mode* board matching the run's dimensions —
+  /// the union log stamps posts with their origin rounds but honest
+  /// replicas stay local either way (they model per-node state, not the
+  /// shared service).
+  BillboardService* billboard = nullptr;
 };
 
 /// Builds one protocol instance per honest node (no shared state).

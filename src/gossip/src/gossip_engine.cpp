@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "acp/billboard/billboard.hpp"
 #include "acp/billboard/seq_tracker.hpp"
+#include "acp/billboard/service.hpp"
 #include "acp/engine/accounting.hpp"
 #include "acp/engine/roster.hpp"
 #include "acp/engine/streams.hpp"
@@ -115,9 +117,22 @@ RunResult GossipEngine::run(const World& world, const Population& population,
         config.arrivals.empty() || config.arrivals[p] <= 0;
   }
 
-  // The adversary's omniscient union log (also the run's post count).
-  Billboard global(n, world.num_objects(), Billboard::Mode::kReplica);
-  global.reserve(n);  // roughly one vote post per player in DISTILL runs
+  // The adversary's omniscient union log (also the run's post count),
+  // behind the service seam when a backend is configured. Reads go
+  // through the service's local board() view, so the loop below is
+  // identical — and bit-identical in results — for both backends.
+  std::optional<InProcessBillboard> local_global;
+  BillboardService* const global_service = [&]() -> BillboardService* {
+    if (config.billboard != nullptr) return config.billboard;
+    local_global.emplace(n, world.num_objects(), Billboard::Mode::kReplica);
+    return &*local_global;
+  }();
+  ACP_EXPECTS(global_service->num_players() == n);
+  ACP_EXPECTS(global_service->num_objects() == world.num_objects());
+  ACP_EXPECTS(global_service->size() == 0);
+  ACP_EXPECTS(global_service->board().mode() == Billboard::Mode::kReplica);
+  global_service->reserve(n);  // ~one vote post per player in DISTILL runs
+  const Billboard& global = global_service->board();
 
   // Per-run post arena: every post (honest or fabricated) lives here
   // once; all queues reference it by index.
@@ -152,6 +167,18 @@ RunResult GossipEngine::run(const World& world, const Population& population,
     commit_scratch.reserve(indices.size());
     for (const PostIdx idx : indices) commit_scratch.push_back(arena[idx]);
     billboard.commit_round_from(round, commit_scratch);
+    indices.clear();
+  };
+
+  // The union log's variant of commit_indices, routed through the service
+  // (for a remote backend this is the RPC; in-process it is the same
+  // direct commit as before).
+  const auto commit_global = [&](Round round, std::vector<PostIdx>& indices) {
+    if (indices.empty()) return;
+    commit_scratch.clear();
+    commit_scratch.reserve(indices.size());
+    for (const PostIdx idx : indices) commit_scratch.push_back(arena[idx]);
+    global_service->commit_round_from(round, commit_scratch);
     indices.clear();
   };
 
@@ -596,7 +623,7 @@ RunResult GossipEngine::run(const World& world, const Population& population,
           node.next_fresh.clear();
         }
       }
-      commit_indices(global, round, global_inbox);
+      commit_global(round, global_inbox);
     }
 
     accounting.end_slice(round, global, roster.active().size(),

@@ -1,0 +1,294 @@
+// Length-prefixed binary framing for the billboard wire protocol
+// ("acp.bbwire.v1", see acp/billboard/wire.hpp and docs/architecture.md).
+//
+// This module is transport- and message-agnostic: it knows how to carry an
+// opaque (type, payload) frame over a byte stream and how to encode the
+// primitive scalars the payloads are built from. One frame is
+//
+//   magic   u16 LE  0xB1BD  ("billboard")
+//   version u8      1
+//   type    u8      message discriminator (opaque here)
+//   length  u32 LE  payload byte count, <= kMaxFramePayload
+//   payload length bytes
+//
+// Payload scalars use LEB128 varints (unsigned) and zigzag varints
+// (signed, for Round values that may be -1); 64-bit doubles travel as
+// their IEEE-754 bit pattern in 8 little-endian bytes.
+//
+// Everything that reads untrusted bytes throws WireFormatError with an
+// actionable message (what was being decoded, at which offset, what was
+// wrong) — the server turns these into ERROR frames, clients surface them
+// to the caller.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace acp::net {
+
+inline constexpr std::uint16_t kFrameMagic = 0xB1BD;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Hard payload ceiling: a frame larger than this is a corrupt length
+/// field, not a real message (the biggest legitimate payload — a bulk
+/// post transfer — batches well below it).
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// Malformed bytes on the wire (truncation, bad magic, corrupt length,
+/// out-of-range values). The message names the decode site and offset.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& message)
+      : std::runtime_error("bbwire: " + message) {}
+};
+
+// -- Varint primitives ------------------------------------------------------
+
+/// Append an LEB128 varint (1..10 bytes).
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+[[nodiscard]] inline std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] inline std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+inline void put_varint_signed(std::vector<std::uint8_t>& out,
+                              std::int64_t value) {
+  put_varint(out, zigzag_encode(value));
+}
+
+inline void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+inline void put_double(std::vector<std::uint8_t>& out, double value) {
+  put_u64_le(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Bounded cursor over one frame payload. Every accessor throws
+/// WireFormatError naming `context` and the byte offset on truncation or
+/// malformed input, so a corrupt frame produces a message like
+/// "bbwire: commit: truncated varint at payload offset 12".
+class PayloadReader {
+ public:
+  PayloadReader(std::span<const std::uint8_t> payload, const char* context)
+      : data_(payload), context_(context) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (pos_ >= data_.size()) fail("truncated byte");
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) fail("truncated varint");
+      const std::uint8_t byte = data_[pos_++];
+      value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) {
+        if (shift == 63 && (byte & 0x7Eu) != 0) fail("varint overflows u64");
+        return value;
+      }
+    }
+    fail("varint longer than 10 bytes");
+  }
+
+  [[nodiscard]] std::int64_t varint_signed() {
+    return zigzag_decode(varint());
+  }
+
+  [[nodiscard]] std::uint64_t u64_le() {
+    if (remaining() < 8) fail("truncated u64");
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                          i)])
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64_le()); }
+
+  [[nodiscard]] std::string string(std::size_t max_len) {
+    const std::uint64_t len = varint();
+    if (len > max_len) {
+      fail("string length " + std::to_string(len) + " exceeds limit " +
+           std::to_string(max_len));
+    }
+    if (remaining() < len) fail("truncated string");
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                    static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  /// The decoder consumed the whole payload; trailing garbage is a
+  /// framing bug, not padding.
+  void expect_done() {
+    if (!done()) {
+      fail(std::to_string(remaining()) + " trailing bytes after message");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw WireFormatError(std::string(context_) + ": " + what +
+                          " at payload offset " + std::to_string(pos_));
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  const char* context_;
+};
+
+/// Append strings with the same shape PayloadReader::string expects.
+inline void put_string(std::vector<std::uint8_t>& out, std::string_view text) {
+  put_varint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+// -- Frame assembly ---------------------------------------------------------
+
+/// One complete frame as carved out of the stream. The payload view
+/// aliases the assembler's buffer: valid until the next append()/next().
+struct Frame {
+  std::uint8_t type = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Open a frame of `type` in `out`, returning the offset end_frame needs.
+/// The caller appends the payload bytes, then calls end_frame to patch
+/// the length field.
+[[nodiscard]] inline std::size_t begin_frame(std::vector<std::uint8_t>& out,
+                                             std::uint8_t type) {
+  const std::size_t header_at = out.size();
+  out.push_back(static_cast<std::uint8_t>(kFrameMagic & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>(kFrameMagic >> 8));
+  out.push_back(kFrameVersion);
+  out.push_back(type);
+  out.insert(out.end(), 4, 0);  // length, patched by end_frame
+  return header_at;
+}
+
+inline void end_frame(std::vector<std::uint8_t>& out, std::size_t header_at) {
+  const std::size_t payload_len = out.size() - header_at - kFrameHeaderSize;
+  if (payload_len > kMaxFramePayload) {
+    throw WireFormatError("encode: payload of " + std::to_string(payload_len) +
+                          " bytes exceeds the " +
+                          std::to_string(kMaxFramePayload) + "-byte limit");
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[header_at + 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  }
+}
+
+/// Incremental stream -> frame splitter. Feed arbitrary byte chunks with
+/// append(); next() yields complete frames in order, throwing
+/// WireFormatError the moment the header is provably corrupt (wrong
+/// magic, wrong version, oversized length) — a byte-stream desync is not
+/// recoverable, so callers should surface the error and close.
+class FrameAssembler {
+ public:
+  FrameAssembler() = default;
+  explicit FrameAssembler(std::size_t max_payload)
+      : max_payload_(max_payload) {}
+
+  void append(std::span<const std::uint8_t> data) {
+    compact();
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  /// Total bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+  [[nodiscard]] std::optional<Frame> next() {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < kFrameHeaderSize) return std::nullopt;
+    const std::uint8_t* head = buffer_.data() + consumed_;
+    const std::uint16_t magic = static_cast<std::uint16_t>(
+        head[0] | static_cast<std::uint16_t>(head[1]) << 8);
+    if (magic != kFrameMagic) {
+      throw WireFormatError(
+          "frame: bad magic 0x" + hex16(magic) + " (want 0x" +
+          hex16(kFrameMagic) + ") — not an acp.bbwire.v1 stream");
+    }
+    if (head[2] != kFrameVersion) {
+      throw WireFormatError("frame: unsupported version " +
+                            std::to_string(head[2]) + " (this peer speaks " +
+                            std::to_string(kFrameVersion) + ")");
+    }
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(head[4 + i]) << (8 * i);
+    }
+    if (length > max_payload_) {
+      throw WireFormatError("frame: length " + std::to_string(length) +
+                            " exceeds the " + std::to_string(max_payload_) +
+                            "-byte payload limit (corrupt length field?)");
+    }
+    if (available < kFrameHeaderSize + length) return std::nullopt;
+    Frame frame;
+    frame.type = head[3];
+    frame.payload = std::span<const std::uint8_t>(head + kFrameHeaderSize,
+                                                  length);
+    consumed_ += kFrameHeaderSize + length;
+    return frame;
+  }
+
+ private:
+  void compact() {
+    if (consumed_ == buffer_.size()) {
+      buffer_.clear();
+      consumed_ = 0;
+    } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+      consumed_ = 0;
+    }
+  }
+
+  static std::string hex16(std::uint16_t value) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(4, '0');
+    for (int i = 3; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = kDigits[value & 0xFu];
+      value >>= 4;
+    }
+    return out;
+  }
+
+  std::size_t max_payload_ = kMaxFramePayload;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace acp::net

@@ -1,0 +1,128 @@
+// Minimal stream-socket transport for the billboard service: endpoint
+// parsing ("socket:<path>" Unix-domain, "tcp:<host>:<port>"), RAII fds,
+// a listener, and the blocking send/recv helpers the client uses. The
+// server's readiness loop (epoll/poll) lives with the server
+// (acp/billboard/server.hpp); this header only owns what both ends share.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace acp::net {
+
+/// Transport-level failure (connect refused, peer closed mid-message,
+/// bind errors). Distinct from WireFormatError: the bytes never arrived,
+/// rather than arriving malformed.
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& message)
+      : std::runtime_error("net: " + message) {}
+};
+
+/// Where a billboard server lives. Parsed from the scenario/CLI backend
+/// string minus the "inproc" case (see acp::BillboardBackendSpec).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path of the socket
+  std::string host;  ///< kTcp
+  std::uint16_t port = 0;
+
+  /// Parse "socket:<path>" or "tcp:<host>:<port>". Throws
+  /// std::invalid_argument with the accepted forms on anything else.
+  [[nodiscard]] static Endpoint parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Move-only owner of a file descriptor.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle();
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking connect to `endpoint`. Throws SocketError with the endpoint
+/// and errno text on failure.
+[[nodiscard]] FdHandle connect_endpoint(const Endpoint& endpoint);
+
+/// A connected pair of stream sockets (socketpair) — the in-process
+/// transport the parity tests drive the server core over.
+[[nodiscard]] std::pair<FdHandle, FdHandle> stream_pair();
+
+/// Bound + listening server socket. Unix endpoints unlink a stale socket
+/// file before binding and remove it again on destruction. For
+/// "tcp:<host>:0" the kernel-assigned port is reflected into endpoint().
+class Listener {
+ public:
+  explicit Listener(const Endpoint& endpoint, int backlog = 512);
+  ~Listener();
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+  /// Accept one connection (blocking). Throws SocketError on failure.
+  [[nodiscard]] FdHandle accept_blocking();
+
+ private:
+  FdHandle fd_;
+  Endpoint endpoint_;
+  bool unlink_on_close_ = false;
+};
+
+/// Write the whole buffer, retrying short writes and EINTR. Throws
+/// SocketError if the peer goes away.
+void send_all(int fd, std::span<const std::uint8_t> data);
+
+/// Read up to data.size() bytes once (blocking). Returns 0 on orderly
+/// EOF; throws SocketError on failure.
+[[nodiscard]] std::size_t recv_some(int fd, std::span<std::uint8_t> data);
+
+/// O_NONBLOCK on/off. Throws SocketError on failure.
+void set_nonblocking(int fd, bool on);
+
+/// TCP_NODELAY for request/response latency; a no-op on Unix sockets.
+void set_nodelay(int fd);
+
+/// Raise RLIMIT_NOFILE toward `want` (capped at the hard limit). Returns
+/// the limit actually in effect — callers opening 10^4+ sockets check
+/// this instead of dying on EMFILE mid-run.
+[[nodiscard]] std::size_t raise_nofile_limit(std::size_t want);
+
+}  // namespace acp::net

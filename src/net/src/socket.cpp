@@ -1,0 +1,242 @@
+#include "acp/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace acp::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path too long (" +
+                      std::to_string(path.size()) + " bytes, limit " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = (host == "localhost") ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("cannot parse tcp host \"" + host +
+                      "\" (IPv4 dotted-quad or \"localhost\" expected)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view text) {
+  constexpr std::string_view kUnixPrefix = "socket:";
+  constexpr std::string_view kTcpPrefix = "tcp:";
+  if (text.starts_with(kUnixPrefix)) {
+    Endpoint ep;
+    ep.kind = Kind::kUnix;
+    ep.path = std::string(text.substr(kUnixPrefix.size()));
+    if (ep.path.empty()) {
+      throw std::invalid_argument(
+          "billboard endpoint \"socket:\" is missing a path (want "
+          "socket:<path>)");
+    }
+    return ep;
+  }
+  if (text.starts_with(kTcpPrefix)) {
+    const std::string_view rest = text.substr(kTcpPrefix.size());
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw std::invalid_argument("billboard endpoint \"" + std::string(text) +
+                                  "\" is malformed (want tcp:<host>:<port>)");
+    }
+    Endpoint ep;
+    ep.kind = Kind::kTcp;
+    ep.host = std::string(rest.substr(0, colon));
+    const std::string_view port_text = rest.substr(colon + 1);
+    unsigned port_value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port_value);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port_value > 65535) {
+      throw std::invalid_argument("billboard endpoint \"" + std::string(text) +
+                                  "\" has an invalid port \"" +
+                                  std::string(port_text) +
+                                  "\" (want an integer in [0, 65535])");
+    }
+    ep.port = static_cast<std::uint16_t>(port_value);
+    return ep;
+  }
+  throw std::invalid_argument(
+      "billboard endpoint \"" + std::string(text) +
+      "\" is not recognized (want socket:<path> or tcp:<host>:<port>)");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "socket:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+FdHandle::~FdHandle() { reset(); }
+
+void FdHandle::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FdHandle connect_endpoint(const Endpoint& endpoint) {
+  const int family = endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  FdHandle fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket() for " + endpoint.to_string());
+  int rc = 0;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_address(endpoint.path);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) throw_errno("connect to " + endpoint.to_string());
+  if (endpoint.kind == Endpoint::Kind::kTcp) set_nodelay(fd.get());
+  return fd;
+}
+
+std::pair<FdHandle, FdHandle> stream_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {FdHandle(fds[0]), FdHandle(fds[1])};
+}
+
+Listener::Listener(const Endpoint& endpoint, int backlog)
+    : endpoint_(endpoint) {
+  const int family = endpoint.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  fd_ = FdHandle(::socket(family, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket() for " + endpoint.to_string());
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    // A stale socket file from a crashed server would make bind fail with
+    // EADDRINUSE even though nobody is listening.
+    ::unlink(endpoint_.path.c_str());
+    const sockaddr_un addr = unix_address(endpoint_.path);
+    if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + endpoint_.to_string());
+    }
+    unlink_on_close_ = true;
+  } else {
+    const int one = 1;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = tcp_address(endpoint_.host, endpoint_.port);
+    if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + endpoint_.to_string());
+    }
+    if (endpoint_.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&bound),
+                        &len) == 0) {
+        endpoint_.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(fd_.get(), backlog) != 0) {
+    throw_errno("listen on " + endpoint_.to_string());
+  }
+}
+
+Listener::~Listener() {
+  if (unlink_on_close_ && fd_.valid()) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+FdHandle Listener::accept_blocking() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return FdHandle(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept on " + endpoint_.to_string());
+  }
+}
+
+void send_all(int fd, std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send of " + std::to_string(data.size() - sent) + " bytes");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t recv_some(int fd, std::span<std::uint8_t> data) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, data.data(), data.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::size_t raise_nofile_limit(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    throw_errno("getrlimit(RLIMIT_NOFILE)");
+  }
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = (lim.rlim_max == RLIM_INFINITY ||
+                       lim.rlim_max >= static_cast<rlim_t>(want))
+                          ? static_cast<rlim_t>(want)
+                          : lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+      lim = raised;
+    }
+  }
+  if (lim.rlim_cur == RLIM_INFINITY) return want;
+  return static_cast<std::size_t>(lim.rlim_cur);
+}
+
+}  // namespace acp::net

@@ -66,7 +66,10 @@ enum class IoChannel : std::size_t {
   kGossipExchange = 3,   ///< posts pushed/pulled by the legacy exchange path
   kGossipDigest = 4,     ///< anti-entropy summaries, digests and want-lists
   kGossipDelta = 5,      ///< missing-post ranges transferred by anti-entropy
-  kCount = 6,
+  kBillboardRpcPost = 6,      ///< bbwire commit frames to a remote billboard
+  kBillboardRpcQuery = 7,     ///< bbwire window-query/reply frames
+  kBillboardRpcSnapshot = 8,  ///< bbwire open/pull/stat frames
+  kCount = 9,
 };
 
 [[nodiscard]] const char* io_channel_name(IoChannel channel) noexcept;

@@ -27,6 +27,12 @@ const char* io_channel_name(IoChannel channel) noexcept {
       return "gossip.digest";
     case IoChannel::kGossipDelta:
       return "gossip.delta";
+    case IoChannel::kBillboardRpcPost:
+      return "billboard.rpc.post";
+    case IoChannel::kBillboardRpcQuery:
+      return "billboard.rpc.query";
+    case IoChannel::kBillboardRpcSnapshot:
+      return "billboard.rpc.snapshot";
     case IoChannel::kCount:
       break;
   }

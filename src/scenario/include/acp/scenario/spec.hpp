@@ -65,6 +65,11 @@ struct ScenarioSpec {
   /// back to sequential when the protocol is not parallel_choose_safe.
   /// Composes multiplicatively with the trial-driver `threads` knob.
   std::size_t engine_threads = 1;
+  /// Billboard backend: "inproc" (default, kernel-owned in-process board)
+  /// | "socket:<path>" | "tcp:<host>:<port>" (a running acp_billboardd;
+  /// each trial opens its own private board). In-process and remote runs
+  /// produce bit-identical results (see acp/billboard/service.hpp).
+  std::string billboard = "inproc";
 
   // -- Churn ---------------------------------------------------------------
   /// Stagger honest arrivals over [0, W) on the engine's churn clock; the
@@ -105,8 +110,8 @@ struct ScenarioSpec {
 /// engine_threads,
 /// arrival_window, depart_frac, depart_round, trials, seed, threads,
 /// cost_classes, cheapest_good_class,
-/// name) plus dotted parameter paths: protocol.<param> and
-/// adversary.<param>. Throws std::invalid_argument on unknown keys or
+/// name) plus dotted parameter paths: protocol.<param>, adversary.<param>
+/// and billboard.backend. Throws std::invalid_argument on unknown keys or
 /// unparsable values.
 void apply_override(ScenarioSpec& spec, std::string_view assignment);
 

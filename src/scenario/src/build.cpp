@@ -6,6 +6,7 @@
 
 #include "acp/baseline/collab_baseline.hpp"
 #include "acp/baseline/trivial_random.hpp"
+#include "acp/billboard/service.hpp"
 #include "acp/engine/async_engine.hpp"
 #include "acp/engine/lockstep.hpp"
 #include "acp/engine/scheduler.hpp"
@@ -27,6 +28,18 @@ std::unique_ptr<Scheduler> build_scheduler(const ScenarioSpec& spec) {
   if (spec.scheduler == "random") return std::make_unique<RandomScheduler>();
   throw std::invalid_argument("unknown scheduler '" + spec.scheduler +
                               "' (known: rr, random)");
+}
+
+/// Per-trial billboard backend. Returns null for "inproc" — the engines'
+/// kernel-owned default, which skips the service seam entirely — and a
+/// fresh private remote board otherwise. Dimensions come from the built
+/// world (under cost-classes the object count is derived, not spec.m).
+std::unique_ptr<BillboardService> build_billboard(const ScenarioSpec& spec,
+                                                  const World& world,
+                                                  Billboard::Mode mode) {
+  const auto backend = BillboardBackendSpec::parse(spec.billboard);
+  if (backend.in_process) return nullptr;
+  return make_billboard_service(backend, spec.n, world.num_objects(), mode);
 }
 
 }  // namespace
@@ -130,6 +143,11 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.seed = engine_seed;
     config.arrivals = arrivals;
     config.departures = departures;
+    // The union log is replica-mode (posts arrive stamped with their
+    // origin rounds), so a remote backend opens a replica board.
+    const auto billboard =
+        build_billboard(spec, world, Billboard::Mode::kReplica);
+    config.billboard = billboard.get();
     return GossipEngine::run(
         world, population,
         [&] { return reg.protocols.make(spec.protocol, protocol_ctx); },
@@ -147,6 +165,9 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.departures = departures;
     config.observer = observer;
     config.engine_threads = spec.engine_threads;
+    const auto billboard =
+        build_billboard(spec, world, Billboard::Mode::kAuthoritative);
+    config.billboard = billboard.get();
     return SyncEngine::run(world, population, *protocol, *adversary, config);
   }
 
@@ -162,6 +183,9 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.departures = departures;
     config.observer = observer;
     config.engine_threads = spec.engine_threads;
+    const auto billboard =
+        build_billboard(spec, world, Billboard::Mode::kAuthoritative);
+    config.billboard = billboard.get();
     return LockstepEngine::run(world, population, *protocol, *adversary,
                                *scheduler, config);
   }
@@ -189,6 +213,9 @@ RunResult run_scenario_trial(const ScenarioSpec& spec, std::uint64_t seed,
     config.arrivals = arrivals;
     config.departures = departures;
     config.observer = observer;
+    const auto billboard =
+        build_billboard(spec, world, Billboard::Mode::kAuthoritative);
+    config.billboard = billboard.get();
     return AsyncEngine::run(world, population, *protocol, *adversary,
                             *scheduler, config);
   }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "acp/billboard/service.hpp"
 #include "acp/obs/json.hpp"
 #include "acp/obs/json_value.hpp"
 
@@ -168,6 +169,11 @@ void ScenarioSpec::validate() const {
   }
   if (max_rounds < 1) field_error("engine.max_rounds", "must be >= 1");
   if (max_steps < 1) field_error("engine.max_steps", "must be >= 1");
+  try {
+    (void)BillboardBackendSpec::parse(billboard);
+  } catch (const std::invalid_argument& e) {
+    field_error("billboard.backend", e.what());
+  }
   if (depart_frac < 0.0 || depart_frac > 1.0) {
     field_error("churn.depart_frac",
                 "must be in [0, 1], got " + std::to_string(depart_frac));
@@ -190,7 +196,7 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
   }
   require_members(doc, "<top>",
                   {"schema", "name", "description", "world", "protocol",
-                   "adversary", "engine", "churn", "trials"});
+                   "adversary", "engine", "billboard", "churn", "trials"});
 
   if (const JsonValue* schema = doc.find("schema")) {
     const std::string& value =
@@ -262,6 +268,12 @@ ScenarioSpec ScenarioSpec::from_json(std::string_view text) {
         *e, "engine", "max_steps", static_cast<std::uint64_t>(spec.max_steps)));
     spec.engine_threads =
         get_u64(*e, "engine", "threads", spec.engine_threads);
+  }
+
+  if (const JsonValue* b = doc.find("billboard")) {
+    at(std::string("billboard"), [&] { return &b->as_object(); });
+    require_members(*b, "billboard", {"backend"});
+    spec.billboard = get_string(*b, "billboard", "backend", spec.billboard);
   }
 
   if (const JsonValue* c = doc.find("churn")) {
@@ -349,6 +361,10 @@ void ScenarioSpec::to_json(std::ostream& os) const {
   json.member("threads", static_cast<std::uint64_t>(engine_threads));
   json.end_object();
 
+  json.key("billboard").begin_object();
+  json.member("backend", billboard);
+  json.end_object();
+
   json.key("churn").begin_object();
   json.member("arrival_window", static_cast<std::uint64_t>(arrival_window));
   json.member("depart_frac", depart_frac);
@@ -416,7 +432,12 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
   const std::string_view key = assignment.substr(0, eq);
   const std::string_view value = assignment.substr(eq + 1);
 
-  // Dotted paths address the open parameter maps.
+  // Dotted paths address the open parameter maps (and the billboard
+  // backend, whose value is a string, not a number).
+  if (key == "billboard.backend") {
+    spec.billboard = std::string(value);
+    return;
+  }
   if (key.substr(0, 9) == "protocol." && key.size() > 9) {
     spec.protocol_params.set(std::string(key.substr(9)),
                              parse_double_value(key, value));
@@ -494,7 +515,7 @@ void apply_override(ScenarioSpec& spec, std::string_view assignment) {
         "fanout, substrate, pull, loss_prob, max_rounds, max_steps, "
         "engine_threads, arrival_window, "
         "depart_frac, depart_round, trials, seed, threads, name, "
-        "protocol.<param>, adversary.<param>)");
+        "protocol.<param>, adversary.<param>, billboard.backend)");
   }
 }
 

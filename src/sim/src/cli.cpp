@@ -69,6 +69,10 @@ substrate:
   --gossip         alias for --engine gossip
   --fanout F       gossip push fanout (default 2)
   --scheduler S    rr | random — async/lockstep schedule (default rr)
+  --billboard B    billboard backend: inproc (default, in-process board) |
+                   socket:<path> | tcp:<host>:<port> — a running
+                   acp_billboardd; results are bit-identical across
+                   backends (each trial opens a private board)
 
 churn:
   --arrival-window W   stagger honest arrivals over [0, W) on the engine's
@@ -192,6 +196,9 @@ CliConfig parse_args(const std::vector<std::string>& args) {
       ++i;
     } else if (arg == "--scheduler") {
       spec.scheduler = need_value(i);
+      ++i;
+    } else if (arg == "--billboard") {
+      spec.billboard = need_value(i);
       ++i;
     } else if (arg == "--world") {
       spec.world = need_value(i);
@@ -531,6 +538,7 @@ int run(const CliConfig& config, std::ostream& out) {
     report.set_config("trust_advice",
                       spec.protocol_params.get_bool("trust", false));
     report.set_config("engine", spec.engine);
+    report.set_config("billboard", spec.billboard);
     report.set_config("threads", spec.threads);
     // Requested vs hardware-resolved round-kernel threads. The count a
     // specific run actually used (1 under the sequential fallback) is in

@@ -1,0 +1,119 @@
+// Backend-parity pin: a scenario run against a live acp_billboardd-style
+// server (RemoteBillboard over a real socket) produces a bit-identical
+// RunResult to the in-process default — under churn, an active adversary,
+// and at both 1 and 8 round-kernel threads.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "acp/billboard/server.hpp"
+#include "acp/scenario/build.hpp"
+#include "acp/scenario/spec.hpp"
+
+namespace acp {
+namespace {
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.all_honest_satisfied, b.all_honest_satisfied);
+  EXPECT_EQ(a.total_posts, b.total_posts);
+  ASSERT_EQ(a.players.size(), b.players.size());
+  for (std::size_t p = 0; p < a.players.size(); ++p) {
+    const PlayerStats& pa = a.players[p];
+    const PlayerStats& pb = b.players[p];
+    EXPECT_EQ(pa.honest, pb.honest) << "player " << p;
+    EXPECT_EQ(pa.probes, pb.probes) << "player " << p;
+    EXPECT_EQ(pa.cost_paid, pb.cost_paid) << "player " << p;
+    EXPECT_EQ(pa.satisfied_round, pb.satisfied_round) << "player " << p;
+    EXPECT_EQ(pa.probed_good, pb.probed_good) << "player " << p;
+  }
+}
+
+class BillboardParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<BillboardServer>(
+        net::Endpoint::parse("tcp:127.0.0.1:0"));
+    server_->start();
+  }
+  void TearDown() override { server_->stop(); }
+
+  [[nodiscard]] std::string backend() const {
+    return server_->endpoint().to_string();
+  }
+
+  /// Run the same spec on both backends and require bit-identical results.
+  void check_parity(scenario::ScenarioSpec spec) {
+    spec.validate();
+    for (const std::uint64_t seed : {1u, 77u}) {
+      spec.billboard = "inproc";
+      const RunResult inproc =
+          scenario::run_scenario_trial(spec, seed, nullptr);
+      spec.billboard = backend();
+      const RunResult remote =
+          scenario::run_scenario_trial(spec, seed, nullptr);
+      expect_identical(inproc, remote);
+    }
+  }
+
+  std::unique_ptr<BillboardServer> server_;
+};
+
+TEST_F(BillboardParity, SyncUnderChurnAndAdversary) {
+  scenario::ScenarioSpec spec;
+  spec.n = 48;
+  spec.m = 48;
+  spec.alpha = 0.5;
+  spec.adversary = "slander";
+  spec.arrival_window = 4;
+  spec.depart_frac = 0.2;
+  spec.depart_round = 6;
+  spec.max_rounds = 5000;
+  check_parity(spec);
+}
+
+TEST_F(BillboardParity, SyncAtEightEngineThreads) {
+  scenario::ScenarioSpec spec;
+  spec.n = 48;
+  spec.m = 48;
+  spec.alpha = 0.5;
+  spec.adversary = "eager";
+  spec.engine_threads = 8;
+  spec.max_rounds = 5000;
+  check_parity(spec);
+}
+
+TEST_F(BillboardParity, LockstepUnderAdversary) {
+  scenario::ScenarioSpec spec;
+  spec.n = 32;
+  spec.m = 32;
+  spec.engine = "lockstep";
+  spec.adversary = "slander";
+  spec.max_steps = 2000000;
+  check_parity(spec);
+}
+
+TEST_F(BillboardParity, AsyncCollab) {
+  scenario::ScenarioSpec spec;
+  spec.n = 32;
+  spec.m = 32;
+  spec.engine = "async";
+  spec.protocol = "collab";
+  spec.max_steps = 2000000;
+  check_parity(spec);
+}
+
+TEST_F(BillboardParity, GossipUnionLogThroughService) {
+  scenario::ScenarioSpec spec;
+  spec.n = 32;
+  spec.m = 32;
+  spec.engine = "gossip";
+  spec.fanout = 2;
+  spec.adversary = "slander";
+  spec.max_rounds = 5000;
+  check_parity(spec);
+}
+
+}  // namespace
+}  // namespace acp

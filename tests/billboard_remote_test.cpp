@@ -1,0 +1,250 @@
+// RemoteBillboard against a live BillboardServer, plus direct
+// BillboardServerCore hardening: commits, queries, pulls, shared boards,
+// error replies, stream-desync close semantics.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acp/billboard/remote.hpp"
+#include "acp/billboard/server.hpp"
+#include "acp/billboard/server_core.hpp"
+#include "acp/billboard/service.hpp"
+#include "acp/billboard/vote_ledger.hpp"
+
+namespace acp {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+Post make_post(std::size_t author, Round round, std::size_t object,
+               bool positive = true) {
+  Post post;
+  post.author = PlayerId{author};
+  post.round = round;
+  post.object = ObjectId{object};
+  post.reported_value = 1.0;
+  post.positive = positive;
+  return post;
+}
+
+/// A server on an ephemeral TCP port for the test's lifetime (TCP rather
+/// than a Unix path so parallel test shards never collide on a filename).
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<BillboardServer>(
+        net::Endpoint::parse("tcp:127.0.0.1:0"));
+    server_->start();
+  }
+  void TearDown() override { server_->stop(); }
+
+  [[nodiscard]] const net::Endpoint& endpoint() const {
+    return server_->endpoint();
+  }
+
+  std::unique_ptr<BillboardServer> server_;
+};
+
+using BillboardRemote = ServerFixture;
+
+TEST_F(BillboardRemote, CommitReadAndQueryMatchInProcess) {
+  InProcessBillboard local(8, 4);
+  RemoteBillboard remote(endpoint(), 8, 4);
+  EXPECT_EQ(remote.backend_name(), endpoint().to_string());
+
+  for (Round round = 0; round < 5; ++round) {
+    std::vector<Post> posts;
+    for (std::size_t author = 0; author < 3; ++author) {
+      posts.push_back(make_post(author + static_cast<std::size_t>(round) % 2,
+                                round, (author + static_cast<std::size_t>(
+                                                     round)) %
+                                           4));
+    }
+    local.commit_round(round, posts);
+    remote.commit_round(round, posts);
+  }
+
+  // The mirror is bit-identical to the in-process board.
+  ASSERT_EQ(remote.size(), local.size());
+  EXPECT_EQ(remote.board().posts(), local.board().posts());
+  EXPECT_EQ(remote.last_committed_round(), local.last_committed_round());
+
+  // Window queries answered by the server agree with the local ledger.
+  for (std::size_t object = 0; object < 4; ++object) {
+    EXPECT_EQ(remote.votes_in_window(ObjectId{object}, 0, 5),
+              local.votes_in_window(ObjectId{object}, 0, 5));
+  }
+  std::vector<Count> remote_counts;
+  std::vector<Count> local_counts;
+  const std::vector<ObjectId> objects = {ObjectId{0}, ObjectId{1},
+                                         ObjectId{2}, ObjectId{3}};
+  remote.votes_in_window_batch(objects, 1, 4, remote_counts);
+  local.votes_in_window_batch(objects, 1, 4, local_counts);
+  EXPECT_EQ(remote_counts, local_counts);
+
+  // snapshot() bypasses the mirror — it pins mirror == server log.
+  EXPECT_EQ(remote.snapshot(), local.board().posts());
+
+  const bbwire::BoardStateMsg stat = remote.stat();
+  EXPECT_EQ(stat.size, local.size());
+  EXPECT_EQ(stat.last_round, local.last_committed_round());
+}
+
+TEST_F(BillboardRemote, ServerRejectionLeavesMirrorAndConnectionIntact) {
+  RemoteBillboard remote(endpoint(), 4, 4);
+  remote.commit_round(3, {make_post(0, 3, 1)});
+
+  // Round must be strictly increasing on an authoritative board.
+  try {
+    remote.commit_round(3, {make_post(1, 3, 1)});
+    FAIL() << "non-increasing round accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_TRUE(contains(e.what(), "rejected the request"));
+    EXPECT_TRUE(contains(e.what(), "round"));
+  }
+  // The mirror did not apply the rejected batch...
+  EXPECT_EQ(remote.size(), 1u);
+  // ...and the connection still works.
+  remote.commit_round(4, {make_post(1, 4, 2)});
+  EXPECT_EQ(remote.size(), 2u);
+  EXPECT_EQ(remote.snapshot().size(), 2u);
+
+  // A duplicate author inside one round is the other authoritative rule.
+  try {
+    remote.commit_round(5, {make_post(2, 5, 1), make_post(2, 5, 2)});
+    FAIL() << "duplicate author accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_TRUE(contains(e.what(), "rejected the request"));
+  }
+  EXPECT_EQ(remote.size(), 2u);
+}
+
+TEST_F(BillboardRemote, SharedBoardConvergesAcrossConnections) {
+  RemoteBillboard writer_a(endpoint(), 8, 4, Billboard::Mode::kReplica,
+                           "shared");
+  RemoteBillboard writer_b(endpoint(), 8, 4, Billboard::Mode::kReplica,
+                           "shared");
+
+  writer_a.commit_round(0, {make_post(0, 0, 1)});
+  writer_b.commit_round(0, {make_post(1, 0, 2)});
+  writer_a.commit_round(1, {make_post(2, 1, 3)});
+
+  // Each commit reply reports the shared size; the client pulls what the
+  // other connection added. After one more commit from b, both mirrors
+  // hold all four posts in server commit order.
+  writer_b.commit_round(1, {make_post(3, 1, 0)});
+  EXPECT_EQ(writer_b.size(), 4u);
+  EXPECT_EQ(writer_b.snapshot(), writer_b.board().posts());
+
+  // a is behind until its next interaction; stat + snapshot see 4.
+  EXPECT_EQ(writer_a.stat().size, 4u);
+  const std::vector<Post> log = writer_a.snapshot();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].author, PlayerId{0});
+  EXPECT_EQ(log[1].author, PlayerId{1});
+
+  // A late joiner starts from the full shared history.
+  RemoteBillboard reader(endpoint(), 8, 4, Billboard::Mode::kReplica,
+                         "shared");
+  EXPECT_EQ(reader.size(), 4u);
+  EXPECT_EQ(reader.board().posts(), writer_b.board().posts());
+  EXPECT_EQ(reader.votes_in_window(ObjectId{1}, 0, 2), 1);
+}
+
+TEST_F(BillboardRemote, SharedBoardDimensionMismatchIsRejected) {
+  RemoteBillboard first(endpoint(), 8, 4, Billboard::Mode::kReplica,
+                        "dims");
+  try {
+    RemoteBillboard second(endpoint(), 8, 5, Billboard::Mode::kReplica,
+                           "dims");
+    FAIL() << "dimension mismatch accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_TRUE(contains(e.what(), "dims"));
+  }
+}
+
+TEST_F(BillboardRemote, ReserveIsFireAndForget) {
+  RemoteBillboard remote(endpoint(), 4, 4);
+  remote.reserve(1000);
+  // The next request on the same stream works — the server consumed the
+  // reserve without replying.
+  remote.commit_round(0, {make_post(0, 0, 0)});
+  EXPECT_EQ(remote.size(), 1u);
+}
+
+TEST(BillboardServerCore, MalformedPayloadKeepsConnection) {
+  BillboardServerCore core;
+  const std::uint64_t session = core.open_session();
+  std::vector<std::uint8_t> out;
+
+  std::vector<std::uint8_t> open;
+  bbwire::encode_open(open, {0, 4, 4, ""});
+  ASSERT_TRUE(core.on_bytes(session, open, out));
+  out.clear();
+
+  // Commit for round -1: validation error -> kError reply, stream lives.
+  std::vector<std::uint8_t> bad_commit;
+  const Post post = make_post(0, -1, 0);
+  bbwire::encode_commit(bad_commit, -1, std::span<const Post>(&post, 1));
+  ASSERT_TRUE(core.on_bytes(session, bad_commit, out));
+  net::FrameAssembler assembler;
+  assembler.append(out);
+  const auto reply = assembler.next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<std::uint8_t>(bbwire::MsgType::kError));
+  const bbwire::ErrorMsg error = bbwire::decode_error(reply->payload);
+  EXPECT_TRUE(contains(error.message, "round"));
+  EXPECT_EQ(core.stats().errors, 1u);
+
+  // The same session still accepts a good commit.
+  out.clear();
+  std::vector<std::uint8_t> good_commit;
+  const Post ok = make_post(0, 0, 0);
+  bbwire::encode_commit(good_commit, 0, std::span<const Post>(&ok, 1));
+  ASSERT_TRUE(core.on_bytes(session, good_commit, out));
+  EXPECT_EQ(core.stats().commits, 1u);
+  core.close_session(session);
+}
+
+TEST(BillboardServerCore, StreamDesyncClosesConnection) {
+  BillboardServerCore core;
+  const std::uint64_t session = core.open_session();
+  std::vector<std::uint8_t> out;
+  const std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF,
+                                             0x00, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(core.on_bytes(session, garbage, out));
+  // The final kError names the framing problem.
+  net::FrameAssembler assembler;
+  assembler.append(out);
+  const auto reply = assembler.next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<std::uint8_t>(bbwire::MsgType::kError));
+  EXPECT_TRUE(contains(bbwire::decode_error(reply->payload).message,
+                       "not an acp.bbwire.v1 stream"));
+  core.close_session(session);
+}
+
+TEST(BillboardServerCore, RequestBeforeOpenIsAnError) {
+  BillboardServerCore core;
+  const std::uint64_t session = core.open_session();
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> stat;
+  bbwire::encode_stat(stat);
+  ASSERT_TRUE(core.on_bytes(session, stat, out));
+  net::FrameAssembler assembler;
+  assembler.append(out);
+  const auto reply = assembler.next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<std::uint8_t>(bbwire::MsgType::kError));
+  EXPECT_TRUE(
+      contains(bbwire::decode_error(reply->payload).message, "open"));
+  core.close_session(session);
+}
+
+}  // namespace
+}  // namespace acp

@@ -455,6 +455,12 @@ TEST(RunReport, GoldenJsonWithProfileSections) {
       "\"gossip.digest\":{\"read_ops\":0,\"read_bits\":0,"
       "\"write_ops\":0,\"write_bits\":0},"
       "\"gossip.delta\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"billboard.rpc.post\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"billboard.rpc.query\":{\"read_ops\":0,\"read_bits\":0,"
+      "\"write_ops\":0,\"write_bits\":0},"
+      "\"billboard.rpc.snapshot\":{\"read_ops\":0,\"read_bits\":0,"
       "\"write_ops\":0,\"write_bits\":0}},"
       "\"per_player\":{\"players\":2,\"read_bits_mean\":0,"
       "\"read_bits_max\":0,\"write_bits_mean\":161,"

@@ -1,0 +1,97 @@
+// acp_billboardd — the out-of-process billboard service.
+//
+// Wraps the authoritative Billboard + VoteLedger behind the acp.bbwire.v1
+// frame protocol (see docs/architecture.md, "Billboard service") on a Unix
+// or TCP socket. Engines connect with --billboard socket:<path> or
+// tcp:<host>:<port>; each connection opens a private board unless it names
+// a shared one.
+//
+//   acp_billboardd --listen socket:/tmp/acp-bb.sock
+//   acp_billboardd --listen tcp:127.0.0.1:7117
+//
+// Runs until SIGINT/SIGTERM, then prints final stats to stderr and exits 0.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "acp/billboard/server.hpp"
+#include "acp/net/socket.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "acp_billboardd — billboard service daemon (acp.bbwire.v1)\n"
+        "\n"
+        "usage: acp_billboardd --listen ENDPOINT [--quiet]\n"
+        "\n"
+        "  --listen E   socket:<path> (Unix) or tcp:<host>:<port>; tcp port\n"
+        "               0 picks a free port and prints the bound endpoint\n"
+        "  --quiet      suppress the startup/shutdown lines on stderr\n"
+        "  --help       this text\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--listen") {
+      if (i + 1 >= argc) {
+        std::cerr << "acp_billboardd: missing value after --listen\n";
+        return 2;
+      }
+      listen = argv[++i];
+    } else {
+      std::cerr << "acp_billboardd: unknown option " << arg
+                << " (try --help)\n";
+      return 2;
+    }
+  }
+  if (listen.empty()) {
+    return usage(std::cerr, 2);
+  }
+
+  try {
+    // Block the shutdown signals before the server thread starts so they
+    // are only ever delivered to this thread's sigwait.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    acp::BillboardServer server(acp::net::Endpoint::parse(listen));
+    server.start();
+    if (!quiet) {
+      std::cerr << "acp_billboardd: listening on "
+                << server.endpoint().to_string() << "\n";
+    }
+
+    int signal_number = 0;
+    while (sigwait(&signals, &signal_number) != 0) {
+    }
+    server.stop();
+
+    const auto stats = server.stats();
+    if (!quiet) {
+      std::cerr << "acp_billboardd: " << strsignal(signal_number)
+                << " — shutting down (sessions=" << stats.sessions_opened
+                << " boards=" << stats.boards << " commits=" << stats.commits
+                << " posts=" << stats.posts << " queries=" << stats.queries
+                << " pulls=" << stats.pulls << " errors=" << stats.errors
+                << ")\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "acp_billboardd: " << e.what() << "\n";
+    return 1;
+  }
+}
