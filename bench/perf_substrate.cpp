@@ -304,11 +304,15 @@ struct WireRecord {
 };
 
 /// Billboard service over a real Unix socket: the bbload workload run
-/// in-process against a BillboardServer (median-of-reps). Gated by
-/// scripts/check_perf.py: posts_per_sec floor, errors == 0, and a p99
-/// regression ratio against the checked-in baseline.
+/// in-process against a BillboardServer (median-of-reps), one record per
+/// server geometry (t1/t2/t4 IO threads, plus a pipelined t1 run). Gated
+/// by scripts/check_perf.py: posts_per_sec floor, errors == 0, a t1->t4
+/// scaling floor (when the machine has the cores), and a p99 regression
+/// ratio against the checked-in baseline.
 struct ServiceRecord {
   std::string name = "billboard_service_unix";
+  std::size_t io_threads = 1;
+  std::size_t pipeline = 1;
   std::size_t clients = 0;
   std::uint64_t posts = 0;
   double posts_per_sec = 0.0;
@@ -318,9 +322,24 @@ struct ServiceRecord {
   std::uint64_t errors = 0;
 };
 
+/// Commit pipelining on the identical 512-client workload: 16 in-flight
+/// commits per connection vs one. Same process, same machine, same
+/// workload — a machine-independent ratio with a hard floor (default 3x)
+/// in scripts/check_perf.py, because pipelining collapses per-commit
+/// round trips regardless of the hardware underneath.
+struct PipelineRecord {
+  std::string name = "billboard_service_pipeline16_vs_single";
+  std::size_t clients = 0;
+  double single_posts_per_sec = 0.0;
+  double pipelined_posts_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
 void write_perf_json(const std::vector<BenchResult>& results,
                      const std::vector<SpeedupRecord>& speedups,
-                     const WireRecord& wire, const ServiceRecord& service) {
+                     const WireRecord& wire,
+                     const std::vector<ServiceRecord>& services,
+                     const PipelineRecord& pipelining) {
   const char* dir = std::getenv("ACP_BENCH_JSON");
   if (dir == nullptr || *dir == '\0') return;
   const std::string path = std::string(dir) + "/BENCH_PERF.json";
@@ -368,15 +387,28 @@ void write_perf_json(const std::vector<BenchResult>& results,
   json.member("exchange_bits_per_round", wire.exchange_bits_per_round);
   json.member("reduction", wire.reduction);
   json.end_object();
-  json.key("service").begin_object();
-  json.member("name", service.name);
-  json.member("clients", static_cast<std::uint64_t>(service.clients));
-  json.member("posts", service.posts);
-  json.member("posts_per_sec", service.posts_per_sec);
-  json.member("queries", service.queries);
-  json.member("query_p50_ns", service.query_p50_ns);
-  json.member("query_p99_ns", service.query_p99_ns);
-  json.member("errors", service.errors);
+  json.key("services").begin_array();
+  for (const ServiceRecord& service : services) {
+    json.begin_object();
+    json.member("name", service.name);
+    json.member("io_threads", static_cast<std::uint64_t>(service.io_threads));
+    json.member("pipeline", static_cast<std::uint64_t>(service.pipeline));
+    json.member("clients", static_cast<std::uint64_t>(service.clients));
+    json.member("posts", service.posts);
+    json.member("posts_per_sec", service.posts_per_sec);
+    json.member("queries", service.queries);
+    json.member("query_p50_ns", service.query_p50_ns);
+    json.member("query_p99_ns", service.query_p99_ns);
+    json.member("errors", service.errors);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("service_pipelining").begin_object();
+  json.member("name", pipelining.name);
+  json.member("clients", static_cast<std::uint64_t>(pipelining.clients));
+  json.member("single_posts_per_sec", pipelining.single_posts_per_sec);
+  json.member("pipelined_posts_per_sec", pipelining.pipelined_posts_per_sec);
+  json.member("speedup", pipelining.speedup);
   json.end_object();
   json.end_object();
   file << "\n";
@@ -745,36 +777,59 @@ int main() {
 
   // --- Billboard service over a Unix socket: the bbload client swarm
   // (tools/bbload shares run_loadgen) against an in-process
-  // BillboardServer. 512 concurrent connections on one shared replica
-  // board; the posts phase measures steady-state ingest (one in-flight
-  // commit per connection), the query phase times every window query for
-  // the p50/p99 tail. Server thread and client loop share whatever cores
-  // the machine has — this row is a same-machine regression pin for the
-  // RPC + framing + epoll path, not a capacity claim (tools/bbload at
+  // BillboardServer. 512 concurrent connections spread over 8 shared
+  // replica boards; the posts phase measures steady-state ingest, the
+  // query phase times every window query for the p50/p99 tail. The same
+  // workload runs against three server geometries (1/2/4 IO threads,
+  // boards sharded across them) for the service-scaling gate in
+  // scripts/check_perf.py, then once more at t1 with 16 in-flight
+  // commits per connection for the service_pipelining ratio (hard >= 3x
+  // floor: pipelining collapses per-commit round trips, so the ratio is
+  // machine-independent). Server and clients share whatever cores the
+  // machine has — these rows are same-machine regression pins for the
+  // RPC + framing + epoll path, not capacity claims (tools/bbload at
   // 10k+ clients is the capacity run; see the billboard-service CI job).
-  ServiceRecord service;
-  {
-    const std::string path =
-        "/tmp/acp-perf-bb-" + std::to_string(::getpid()) + ".sock";
-    BillboardServer server(net::Endpoint::parse("socket:" + path));
+  std::vector<ServiceRecord> services;
+  const auto run_service = [&](std::string name, std::size_t io_threads,
+                               std::size_t pipeline) {
+    const std::string path = "/tmp/acp-perf-bb-" +
+                             std::to_string(::getpid()) + "-" + name +
+                             ".sock";
+    BillboardServer::Options server_options;
+    server_options.io_threads = io_threads;
+    server_options.shards = 8;  // stable board placement across t1/t2/t4
+    BillboardServer server(net::Endpoint::parse("socket:" + path),
+                           server_options);
     server.start();
     LoadgenOptions options;
     options.endpoint = server.endpoint();
     options.clients = 512;
-    options.batches = 4;
+    // Enough commits per connection for a 16-deep pipeline window to
+    // actually fill (at 4 batches the window never exceeded 4).
+    options.batches = 16;
     options.batch_posts = 8;
     options.queries = 4;
     options.players = 512;
     options.objects = 256;
+    options.pipeline = pipeline;
     std::vector<LoadgenReport> reports;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      options.board = "perf-" + std::to_string(rep);  // fresh board per rep
+      // Fresh boards per rep, spread across every shard.
+      options.board_list.clear();
+      for (std::size_t b = 0; b < 8; ++b) {
+        options.board_list.push_back(name + "-" + std::to_string(rep) + "." +
+                                     std::to_string(b));
+      }
       options.seed = rep + 1;
       reports.push_back(run_loadgen(options));
     }
     server.stop();
     // Median posts/sec and median p99 across repetitions (independently:
     // the two phases are timed separately and jitter independently).
+    ServiceRecord service;
+    service.name = std::move(name);
+    service.io_threads = io_threads;
+    service.pipeline = pipeline;
     std::vector<double> rates;
     std::vector<std::uint64_t> p99s;
     for (const LoadgenReport& r : reports) {
@@ -795,7 +850,27 @@ int main() {
               << " k posts/s, query p99 "
               << static_cast<double>(service.query_p99_ns) / 1e3 << " us, "
               << service.errors << " errors\n";
-  }
+    services.push_back(service);
+    return service;
+  };
+  const ServiceRecord service_t1 =
+      run_service("billboard_service_unix_t1", 1, 1);
+  run_service("billboard_service_unix_t2", 2, 1);
+  run_service("billboard_service_unix_t4", 4, 1);
+  const ServiceRecord service_piped =
+      run_service("billboard_service_unix_t1_pipe16", 1, 16);
+  PipelineRecord pipelining;
+  pipelining.clients = service_t1.clients;
+  pipelining.single_posts_per_sec = service_t1.posts_per_sec;
+  pipelining.pipelined_posts_per_sec = service_piped.posts_per_sec;
+  pipelining.speedup =
+      service_t1.posts_per_sec > 0.0
+          ? service_piped.posts_per_sec / service_t1.posts_per_sec
+          : 0.0;
+  std::cout << "  " << pipelining.name << ": "
+            << pipelining.pipelined_posts_per_sec / 1e3 << " k vs "
+            << pipelining.single_posts_per_sec / 1e3 << " k posts/s -> "
+            << pipelining.speedup << "x\n";
 
   // --- Results table + speedups.
   Table table({"bench", "reps", "items", "ns/op", "items/s", "total ms"});
@@ -830,6 +905,6 @@ int main() {
   }
   speedup_table.print(std::cout);
 
-  write_perf_json(results, speedups, wire, service);
+  write_perf_json(results, speedups, wire, services, pipelining);
   return 0;
 }

@@ -31,14 +31,26 @@ smoke test against gross regressions, not a profiler):
      --min-wire-reduction (default 10.0). Like the speedups, this is a
      same-process ratio under a deterministic wire-size model, so it is
      machine-independent and gets a hard floor.
-  5. billboard service: the service{} record (bbload workload against an
-     in-process BillboardServer on a Unix socket) must report zero
-     errors and posts_per_sec >= --min-service-posts-per-sec (default
-     50000 — a deliberately low floor; even a single-core machine
-     sustains >10x that). With --baseline, query_p99_ns must not exceed
-     the baseline's by more than --max-service-p99-ratio (default 5.0;
-     tail latencies are the noisiest number here, hence the widest
-     multiplier).
+  5. billboard service: every services[] record (bbload workload against
+     an in-process BillboardServer on a Unix socket, one record per
+     server geometry) must report zero errors and posts_per_sec >=
+     --min-service-posts-per-sec (default 50000 — a deliberately low
+     floor; even a single-core machine sustains >10x that). With
+     --baseline, each record's query_p99_ns must not exceed its
+     baseline counterpart's by more than --max-service-p99-ratio
+     (default 5.0; tail latencies are the noisiest number here, hence
+     the widest multiplier).
+  6. service scaling: billboard_service_unix_t4 / _t1 posts_per_sec must
+     stay >= --min-service-scaling (default 2.0) — but only when the
+     producing machine recorded hw_threads >= 4; below that the row
+     prints SKIP (a machine without the cores cannot demonstrate the
+     sharded server's scaling).
+  7. commit pipelining: service_pipelining.speedup (the identical
+     512-client workload with 16 in-flight commits per connection vs
+     one) must stay >= --min-pipeline-speedup (default 3.0). Like the
+     other speedups this is a same-process, same-machine ratio —
+     pipelining collapses per-commit round trips, so it holds on any
+     hardware and gets a hard floor.
 
 Exit code 0 = pass, 1 = regression/invalid input. Stdlib only.
 """
@@ -153,34 +165,84 @@ def check_wire_reduction(doc, min_wire_reduction):
     return reduction >= min_wire_reduction
 
 
-def check_service(doc, baseline, min_posts_per_sec, max_p99_ratio):
-    service = doc.get("service")
-    if not isinstance(service, dict):
-        print("check_perf: service{} record missing", file=sys.stderr)
+def check_services(doc, baseline, min_posts_per_sec, max_p99_ratio):
+    services = doc.get("services")
+    if not isinstance(services, list) or not services:
+        print("check_perf: services[] missing or empty", file=sys.stderr)
         return False
-    name = service.get("name", "<unnamed>")
+    base_by_name = {s.get("name"): s
+                    for s in (baseline or {}).get("services", [])
+                    if isinstance(s, dict)}
     ok = True
-    errors = service.get("errors", -1)
-    if errors != 0:
-        print(f"  service {name}: {errors} errors (want 0) FAIL")
-        ok = False
-    rate = service.get("posts_per_sec", 0.0)
-    status = "ok" if rate >= min_posts_per_sec else "FAIL"
-    print(f"  service {name}: {rate / 1e3:.0f} k posts/s "
-          f"(floor {min_posts_per_sec / 1e3:.0f}k) {status}")
-    if rate < min_posts_per_sec:
-        ok = False
-    base = (baseline or {}).get("service")
-    if isinstance(base, dict) and base.get("query_p99_ns", 0) > 0:
-        p99 = service.get("query_p99_ns", 0)
-        ratio = p99 / base["query_p99_ns"]
-        status = "ok" if ratio <= max_p99_ratio else "FAIL"
-        print(f"  service {name}: query p99 {p99 / 1e3:.0f} us vs baseline "
-              f"{base['query_p99_ns'] / 1e3:.0f} us "
-              f"({ratio:.2f}x, limit {max_p99_ratio}x) {status}")
-        if ratio > max_p99_ratio:
+    for service in services:
+        name = service.get("name", "<unnamed>")
+        errors = service.get("errors", -1)
+        if errors != 0:
+            print(f"  service {name}: {errors} errors (want 0) FAIL")
             ok = False
+        rate = service.get("posts_per_sec", 0.0)
+        status = "ok" if rate >= min_posts_per_sec else "FAIL"
+        print(f"  service {name}: {rate / 1e3:.0f} k posts/s "
+              f"(floor {min_posts_per_sec / 1e3:.0f}k) {status}")
+        if rate < min_posts_per_sec:
+            ok = False
+        base = base_by_name.get(name)
+        if isinstance(base, dict) and base.get("query_p99_ns", 0) > 0:
+            p99 = service.get("query_p99_ns", 0)
+            ratio = p99 / base["query_p99_ns"]
+            status = "ok" if ratio <= max_p99_ratio else "FAIL"
+            print(f"  service {name}: query p99 {p99 / 1e3:.0f} us vs "
+                  f"baseline {base['query_p99_ns'] / 1e3:.0f} us "
+                  f"({ratio:.2f}x, limit {max_p99_ratio}x) {status}")
+            if ratio > max_p99_ratio:
+                ok = False
     return ok
+
+
+def check_service_scaling(doc, min_service_scaling):
+    services = {s.get("name"): s for s in doc.get("services", [])
+                if isinstance(s, dict)}
+    t1 = services.get("billboard_service_unix_t1")
+    t4 = services.get("billboard_service_unix_t4")
+    if t1 is None or t4 is None:
+        print("check_perf: service scaling rows "
+              "billboard_service_unix_t{1,4} missing", file=sys.stderr)
+        return False
+    hw = doc.get("hw_threads", 0)
+    if not isinstance(hw, int):
+        hw = 0
+    ratio = t4.get("posts_per_sec", 0.0) / t1["posts_per_sec"] \
+        if t1.get("posts_per_sec", 0.0) > 0 else 0.0
+    if hw < 4:
+        print(f"  service scaling t1->t4: {ratio:.2f}x "
+              f"SKIP (hw_threads={hw} < 4, cannot demonstrate 4-way "
+              f"scaling)")
+        return True
+    status = "ok" if ratio >= min_service_scaling else "FAIL"
+    print(f"  service scaling t1->t4: {ratio:.2f}x "
+          f"(floor {min_service_scaling}x, hw_threads={hw}) {status}")
+    return ratio >= min_service_scaling
+
+
+def check_pipelining(doc, min_pipeline_speedup):
+    record = doc.get("service_pipelining")
+    if not isinstance(record, dict):
+        print("check_perf: service_pipelining{} record missing",
+              file=sys.stderr)
+        return False
+    name = record.get("name", "<unnamed>")
+    single = record.get("single_posts_per_sec", 0.0)
+    piped = record.get("pipelined_posts_per_sec", 0.0)
+    speedup = record.get("speedup", 0.0)
+    if single <= 0 or piped <= 0:
+        print(f"check_perf: pipelining {name}: non-positive posts/sec",
+              file=sys.stderr)
+        return False
+    status = "ok" if speedup >= min_pipeline_speedup else "FAIL"
+    print(f"  pipelining {name}: {piped / 1e3:.0f} k vs {single / 1e3:.0f} k "
+          f"posts/s -> {speedup:.1f}x (floor {min_pipeline_speedup}x) "
+          f"{status}")
+    return speedup >= min_pipeline_speedup
 
 
 def check_against_baseline(doc, baseline, max_ratio):
@@ -217,6 +279,8 @@ def main():
     parser.add_argument("--min-service-posts-per-sec", type=float,
                         default=50000.0)
     parser.add_argument("--max-service-p99-ratio", type=float, default=5.0)
+    parser.add_argument("--min-service-scaling", type=float, default=2.0)
+    parser.add_argument("--min-pipeline-speedup", type=float, default=3.0)
     args = parser.parse_args()
 
     doc = load(args.perf_json)
@@ -227,8 +291,10 @@ def main():
         ok = check_parallel_scaling(doc, args.min_parallel_speedup,
                                     args.min_parallel_speedup_t8) and ok
         ok = check_wire_reduction(doc, args.min_wire_reduction) and ok
-        ok = check_service(doc, baseline, args.min_service_posts_per_sec,
-                           args.max_service_p99_ratio) and ok
+        ok = check_services(doc, baseline, args.min_service_posts_per_sec,
+                            args.max_service_p99_ratio) and ok
+        ok = check_service_scaling(doc, args.min_service_scaling) and ok
+        ok = check_pipelining(doc, args.min_pipeline_speedup) and ok
         if baseline is not None:
             ok = check_against_baseline(doc, baseline, args.max_ratio) and ok
     print("check_perf: PASS" if ok else "check_perf: FAIL")

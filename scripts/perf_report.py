@@ -291,6 +291,43 @@ def render_bench(bench, baseline, out):
                    f"exchange "
                    f"{fmt_bits(int(wire['exchange_bits_per_round']))}/round "
                    f"— {wire.get('reduction', 0.0):.1f}x less traffic.\n")
+    services = bench.get("services") or []
+    if services:
+        base_services = {}
+        if baseline is not None:
+            base_services = {s.get("name"): s
+                             for s in baseline.get("services", [])
+                             if isinstance(s, dict)}
+        out.append("### Billboard service\n")
+        out.append("bbload workload (512 clients over a Unix socket) per "
+                   "server geometry; p99 delta is vs the checked-in "
+                   "baseline.\n")
+        out.append("| service | io threads | pipeline | posts/s | "
+                   "query p99 | p99 delta |")
+        out.append("|---|---:|---:|---:|---:|---:|")
+        for s in services:
+            base = base_services.get(s.get("name"))
+            if base and base.get("query_p99_ns"):
+                delta = 100.0 * (s["query_p99_ns"] / base["query_p99_ns"]
+                                 - 1.0)
+                delta_cell = f"{delta:+.1f}%"
+            else:
+                delta_cell = "—"
+            out.append(f"| {s['name']} | {s.get('io_threads', 1)} | "
+                       f"{s.get('pipeline', 1)} | "
+                       f"{s['posts_per_sec'] / 1e3:.0f}k | "
+                       f"{fmt_ns(s['query_p99_ns'])} | {delta_cell} |")
+        out.append("")
+    pipelining = bench.get("service_pipelining")
+    if isinstance(pipelining, dict) and \
+            pipelining.get("single_posts_per_sec"):
+        out.append(f"Commit pipelining "
+                   f"({pipelining.get('name', 'pipelining')}): "
+                   f"{pipelining['pipelined_posts_per_sec'] / 1e3:.0f}k vs "
+                   f"{pipelining['single_posts_per_sec'] / 1e3:.0f}k posts/s "
+                   f"on the identical workload — "
+                   f"{pipelining.get('speedup', 0.0):.1f}x from keeping "
+                   f"16 commits in flight per connection.\n")
 
 
 def main():

@@ -3,12 +3,19 @@
 // shared replica board, then drives two measured phases:
 //
 //   posts  — every client commits `batches` batches of `batch_posts`
-//            posts (one in-flight request per connection); the phase
-//            clock starts after every connection is open, so the
+//            posts, keeping up to `pipeline` commits in flight per
+//            connection (replies are FIFO, so acks match by order); the
+//            phase clock starts after every connection is open, so the
 //            reported posts/sec is steady-state ingest, not connect
 //            cost.
 //   query  — every client issues `queries` single-object window queries,
-//            each individually timed for the p50/p99 tail.
+//            one in flight and individually timed for the p50/p99 tail.
+//
+// `threads` splits the swarm across driver threads (each with its own
+// poll loop over its slice of connections); clients keep their *global*
+// index for seeding and authorship, so an N-thread run generates the
+// same workload as a 1-thread run. Merged stats: counts summed,
+// posts/sec summed across threads, p50/p99 over the merged samples.
 //
 // Lives in acp_billboard (not tools/) so the perf bench can run the same
 // workload in-process against a BillboardServer and record comparable
@@ -18,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "acp/net/socket.hpp"
 
@@ -34,7 +42,13 @@ struct LoadgenOptions {
   std::size_t players = 10'000;
   std::size_t objects = 256;
   std::string board = "bbload";
+  /// When non-empty, overrides `board`: client i joins
+  /// board_list[i % board_list.size()]. The sharded-server bench uses
+  /// this to spread load across boards owned by different IO workers.
+  std::vector<std::string> board_list;
   std::uint64_t seed = 1;
+  std::size_t pipeline = 1;  ///< in-flight commits per connection
+  std::size_t threads = 1;   ///< driver threads (clients split across)
 };
 
 struct LoadgenReport {

@@ -1,13 +1,27 @@
 // RemoteBillboard — a BillboardService backed by acp_billboardd.
 //
-// One blocking bbwire connection per service instance. Commits are a
-// round-trip: encode the batch, send, wait for the server's kCommitOk —
-// only then is the same batch applied to the local mirror, so the mirror
-// never runs ahead of the authoritative server log and a server-side
-// rejection (kError) surfaces as an exception *before* any local state
-// changed. Reads (the protocols' hot path) never touch the socket: they
-// go through the mirror, which is exactly why remote runs are
-// bit-identical to in-process runs.
+// One blocking bbwire connection per service instance. With the default
+// pipeline depth of 1, commits are a round-trip: encode the batch, send,
+// wait for the server's kCommitOk — only then is the same batch applied
+// to the local mirror, so the mirror never runs ahead of the
+// authoritative server log and a server-side rejection (kError) surfaces
+// as an exception *before* any local state changed. Reads (the
+// protocols' hot path) never touch the socket: they go through the
+// mirror, which is exactly why remote runs are bit-identical to
+// in-process runs.
+//
+// Pipelining (pipeline > 1, private boards only): up to K commits ride
+// the wire before the first ack is read — the protocol is
+// length-prefixed and replies are FIFO per connection, so acks match
+// in-flight commits by order. The batch is applied to the mirror
+// optimistically at send time (on a private board the server accepts
+// exactly what a local Billboard accepts, so the mirror still equals
+// the server log at every read point of a correct run), each ack is
+// verified against the expected log size, and every in-flight ack is
+// drained before any read RPC touches the socket. The trade: a
+// rejection now surfaces on a *later* call, after the mirror advanced.
+// Shared named boards stay at depth 1 — their ack-size bookkeeping
+// drives the pull-tail catch-up and cannot tolerate mirror lead.
 //
 // Shared boards: a non-empty board name joins a server-side board shared
 // with other connections. When the commit reply shows other connections
@@ -18,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -36,17 +51,21 @@ namespace acp {
 class RemoteBillboard final : public BillboardService {
  public:
   /// Connect to `endpoint` and open a board: private to this connection
-  /// when `board` is empty, shared under that name otherwise.
+  /// when `board` is empty, shared under that name otherwise. `pipeline`
+  /// is the commit in-flight window (clamped to 1 on shared boards).
   RemoteBillboard(const net::Endpoint& endpoint, std::size_t num_players,
                   std::size_t num_objects,
                   Billboard::Mode mode = Billboard::Mode::kAuthoritative,
-                  std::string board = {});
+                  std::string board = {}, std::size_t pipeline = 1);
 
   /// Adopt an already-connected stream socket (socketpair in tests).
   RemoteBillboard(net::FdHandle fd, std::size_t num_players,
                   std::size_t num_objects,
                   Billboard::Mode mode = Billboard::Mode::kAuthoritative,
-                  std::string board = {});
+                  std::string board = {}, std::size_t pipeline = 1);
+
+  /// Effective commit window (1 unless constructed pipelined).
+  [[nodiscard]] std::size_t pipeline() const noexcept { return pipeline_; }
 
   void commit_round(Round round, std::vector<Post> posts) override;
   void commit_round_from(Round round, std::span<const Post> posts) override;
@@ -74,6 +93,10 @@ class RemoteBillboard final : public BillboardService {
   [[noreturn]] void unexpected_reply(net::Frame reply, const char* wanted);
   /// Fold the server tail [mirror.size, server_size) into the mirror.
   void pull_tail(std::uint64_t server_size, Round server_last_round);
+  /// Read one pending commit ack and verify its reported log size.
+  void drain_one_ack();
+  /// Read every in-flight commit ack (before any read RPC).
+  void drain_acks();
 
   net::FdHandle fd_;
   std::string board_name_;
@@ -83,6 +106,9 @@ class RemoteBillboard final : public BillboardService {
   std::vector<std::uint8_t> out_;        ///< encode buffer, reused
   std::vector<std::uint8_t> recv_buf_;   ///< socket read chunk, reused
   std::vector<Post> pull_scratch_;       ///< pulled-tail staging, reused
+  std::size_t pipeline_ = 1;
+  /// Expected server log size per unacked in-flight commit (FIFO).
+  std::deque<std::uint64_t> pending_acks_;
   obs::TimerStat* commit_timer_;
   obs::TimerStat* query_timer_;
 };

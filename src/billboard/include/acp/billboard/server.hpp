@@ -1,15 +1,35 @@
-// BillboardServer — the event loop around BillboardServerCore.
+// BillboardServer — the event loop(s) around BillboardServerCore.
 //
-// One thread, readiness-driven (epoll on Linux, poll elsewhere), every
-// socket nonblocking: the design point is *many mostly-idle connections*
-// (the bbload acceptance bar is 10^4+ concurrent clients), which rules
-// out thread-per-connection. All protocol work happens in the core; this
-// class only moves bytes, tracks per-connection write backlogs, and owns
-// the listener.
+// N IO workers (Options::io_threads), each a readiness-driven loop
+// (epoll on Linux, poll elsewhere) over its own accepted connections,
+// every socket nonblocking: the design point is *many mostly-idle
+// connections* (the bbload acceptance bar is 10^4+ concurrent clients),
+// which rules out thread-per-connection. All protocol work happens in
+// the per-worker core; this class only moves bytes, routes frames to
+// board owners, and tracks per-connection write backlogs.
 //
-// serve() runs the loop on the calling thread until stop(); start() runs
-// it on an internal thread (how acp_billboardd, the parity tests and the
-// bench embed it). stats() is safe from any thread.
+// Scaling shape:
+//  - Worker 0 owns the listener and hands accepted fds round-robin to
+//    all workers (kAccept envelope) — portable where SO_REUSEPORT load
+//    balancing is not (Unix sockets, poll fallback).
+//  - Named shared boards are owned by worker owner_shard(name, shards)
+//    % io_threads. A session that opens a board another worker owns is
+//    pinned to that owner: every subsequent frame travels over a
+//    mailbox (kRequest) and its reply bytes travel back (kReply), so
+//    each Billboard stays single-writer and replies stay FIFO per
+//    connection. Private boards never leave their home worker.
+//  - Mailboxes are mutex+swap vectors with a wake-pipe kick on the
+//    empty→nonempty edge; envelope payloads are copied (frames are
+//    small; the copy is the price of zero shared board state).
+//  - Writes are coalesced: replies accumulate in a per-connection
+//    egress buffer and each loop iteration flushes every connection it
+//    touched exactly once — many frames per send() syscall instead of
+//    one syscall per frame.
+//
+// serve() runs worker 0 on the calling thread (spawning workers 1..N-1)
+// until stop(); start() runs it on an internal thread (how
+// acp_billboardd, the parity tests and the bench embed it). stats() is
+// safe from any thread and sums across workers.
 #pragma once
 
 #include <atomic>
@@ -27,9 +47,20 @@ namespace acp {
 
 class BillboardServer {
  public:
+  struct Options {
+    /// IO workers, each with its own poll loop and core. 1 keeps the
+    /// PR 9 single-threaded shape exactly.
+    std::size_t io_threads = 1;
+    /// Hash buckets for named-board placement (bucket b → worker
+    /// b % io_threads). 0 means io_threads. Oversharding (e.g. 4x the
+    /// thread count) keeps placement stable as io_threads varies.
+    std::size_t shards = 0;
+  };
+
   /// Binds and listens immediately (throws net::SocketError on failure).
   /// For "tcp:<host>:0" the chosen port is visible via endpoint().
   explicit BillboardServer(const net::Endpoint& endpoint);
+  BillboardServer(const net::Endpoint& endpoint, Options options);
   ~BillboardServer();
   BillboardServer(const BillboardServer&) = delete;
   BillboardServer& operator=(const BillboardServer&) = delete;
@@ -37,6 +68,10 @@ class BillboardServer {
   [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
     return listener_.endpoint();
   }
+  [[nodiscard]] std::size_t io_threads() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
 
   /// Serve on the calling thread until stop() is called from another.
   void serve();
@@ -47,6 +82,7 @@ class BillboardServer {
   /// Stop the loop (idempotent) and join the background thread if any.
   void stop();
 
+  /// Summed across workers.
   [[nodiscard]] BillboardServerCore::Stats stats() const;
 
  private:
@@ -56,33 +92,76 @@ class BillboardServer {
     std::vector<std::uint8_t> outbuf;  ///< unsent reply bytes
     std::size_t out_off = 0;           ///< sent prefix of outbuf
     bool closing = false;              ///< close once outbuf drains
+    bool dirty = false;                ///< queued for this iteration's flush
+    bool reg_write = false;            ///< EPOLLOUT currently registered
   };
 
-  void accept_ready();
-  /// Drain readable bytes into the core. Returns false when the
-  /// connection is finished (EOF, error, or core said close + drained).
-  bool conn_readable(Conn& conn);
+  /// Cross-worker message. kAccept hands a fresh connection to its
+  /// worker; kRequest/kReply carry one forwarded frame and its reply
+  /// bytes; kClose tells a board owner the remote session hung up.
+  struct Envelope {
+    enum class Kind : std::uint8_t { kAccept, kRequest, kReply, kClose };
+    Kind kind = Kind::kRequest;
+    net::FdHandle fd;          ///< kAccept only
+    std::uint64_t token = 0;   ///< (home worker << 48) | home session id
+    std::uint8_t type = 0;     ///< kRequest: wire frame type
+    std::vector<std::uint8_t> payload;  ///< kRequest: frame payload;
+                                        ///< kReply: raw reply bytes
+  };
+
+  struct Worker {
+    Worker(std::size_t worker_index, std::size_t workers, std::size_t shards)
+        : index(worker_index), core(worker_index, workers, shards) {}
+
+    const std::size_t index;
+    net::FdHandle wake_read;
+    net::FdHandle wake_write;
+    std::unordered_map<int, Conn> conns;
+    std::unordered_map<std::uint64_t, int> session_fd;  ///< reply routing
+    std::vector<std::uint8_t> recv_buf;
+    std::vector<int> dirty;       ///< connections to flush this iteration
+    std::vector<Envelope> drain;  ///< inbox swap target (reused)
+    std::vector<std::uint8_t> reply_buf;  ///< apply_forwarded scratch
+    int epoll_fd = -1;            ///< valid only inside the epoll loop
+
+    std::mutex inbox_mutex;
+    std::vector<Envelope> inbox;
+
+    mutable std::mutex core_mutex;  ///< guards core (stats vs loop thread)
+    BillboardServerCore core;
+
+    std::thread thread;  ///< workers 1..N-1 (0 runs on the serve() thread)
+  };
+
+  void post(std::size_t target, Envelope envelope);
+  void worker_loop(Worker& worker);
+  void worker_epoll(Worker& worker);
+  void worker_poll(Worker& worker);
+  /// Process every queued envelope (called after a wake-pipe kick).
+  void drain_inbox(Worker& worker);
+  /// Worker 0 only: accept and deal connections round-robin.
+  void accept_ready(Worker& worker);
+  /// Take ownership of an accepted connection on this worker.
+  void adopt_conn(Worker& worker, net::FdHandle fd);
+  /// Drain readable bytes into the core; replies coalesce in outbuf.
+  /// Returns false when the connection is finished (EOF or error).
+  bool conn_readable(Worker& worker, Conn& conn);
   /// Flush pending writes. Returns false when the connection is finished.
   bool conn_writable(Conn& conn);
-  void close_conn(int fd);
+  void mark_dirty(Worker& worker, int fd, Conn& conn);
+  /// One send() per touched connection, then interest bookkeeping.
+  void flush_dirty(Worker& worker);
+  void close_conn(Worker& worker, int fd);
+  void update_interest(Worker& worker, int fd, Conn& conn);
   /// True when the connection should wait for writability.
   [[nodiscard]] static bool wants_write(const Conn& conn) noexcept {
     return conn.out_off < conn.outbuf.size();
   }
 
-  void serve_epoll();
-  void serve_poll();
-  void update_interest(int fd, bool want_write);
-
   net::Listener listener_;
-  net::FdHandle wake_read_;
-  net::FdHandle wake_write_;
-  std::unordered_map<int, Conn> conns_;
-  std::vector<std::uint8_t> recv_buf_;
-  int epoll_fd_ = -1;  ///< valid only inside serve_epoll
-
-  mutable std::mutex core_mutex_;  ///< guards core_ (stats vs loop thread)
-  BillboardServerCore core_;
+  std::size_t shards_ = 1;
+  std::size_t next_accept_ = 0;  ///< round-robin cursor (worker 0 only)
+  std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};

@@ -52,11 +52,13 @@ struct Client {
   net::FrameAssembler assembler;
   std::vector<std::uint8_t> outbuf;
   std::size_t out_off = 0;
-  std::size_t batches_done = 0;
+  std::size_t batches_queued = 0;  ///< commits sent (acked or in flight)
+  std::size_t batches_done = 0;    ///< commits acked
+  std::size_t inflight = 0;        ///< unacked in-flight commits
   std::size_t queries_done = 0;
   std::uint64_t rng = 0;
   Clock::time_point query_start{};
-  std::size_t index = 0;
+  std::size_t index = 0;  ///< global across driver threads
 
   [[nodiscard]] bool wants_write() const noexcept {
     return state == State::kConnecting || out_off < outbuf.size();
@@ -69,30 +71,34 @@ struct Client {
 
 class Loadgen {
  public:
-  explicit Loadgen(const LoadgenOptions& options) : opt_(options) {
+  /// Drives `options.clients` connections whose global indices start at
+  /// `first_client` — the seeding input, so a slice of a larger swarm
+  /// generates exactly the posts it would in a single-threaded run.
+  Loadgen(const LoadgenOptions& options, std::size_t first_client)
+      : opt_(options) {
     ACP_EXPECTS(opt_.clients >= 1);
     ACP_EXPECTS(opt_.players >= 1);
     ACP_EXPECTS(opt_.objects >= 1);
-    ACP_EXPECTS(!opt_.board.empty());
+    ACP_EXPECTS(!opt_.board.empty() || !opt_.board_list.empty());
+    ACP_EXPECTS(opt_.pipeline >= 1);
+    clients_.resize(opt_.clients);
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i].index = first_client + i;
+      clients_[i].rng =
+          opt_.seed * 0x9E3779B97F4A7C15ull + clients_[i].index;
+    }
   }
 
   LoadgenReport run() {
-    const std::size_t limit = net::raise_nofile_limit(opt_.clients + 64);
-    if (limit < opt_.clients + 64) {
-      throw net::SocketError(
-          "cannot open " + std::to_string(opt_.clients) +
-          " connections: RLIMIT_NOFILE is " + std::to_string(limit) +
-          " (raise the hard limit or lower --clients)");
-    }
-    clients_.resize(opt_.clients);
-    for (std::size_t i = 0; i < clients_.size(); ++i) {
-      clients_[i].index = i;
-      clients_[i].rng = opt_.seed * 0x9E3779B97F4A7C15ull + i;
-    }
     latencies_.reserve(opt_.clients * opt_.queries);
     loop();
     finish_report();
     return report_;
+  }
+
+  /// Raw per-query samples (for cross-thread percentile merging).
+  [[nodiscard]] std::vector<std::uint64_t> take_latencies() {
+    return std::move(latencies_);
   }
 
  private:
@@ -110,7 +116,8 @@ class Loadgen {
       }
       fds.clear();
       fd_owner.clear();
-      for (Client& client : clients_) {
+      for (std::size_t c = 0; c < clients_.size(); ++c) {
+        const Client& client = clients_[c];
         if (!client.alive()) {
           continue;
         }
@@ -119,7 +126,9 @@ class Loadgen {
           events = static_cast<short>(events | POLLOUT);
         }
         fds.push_back(pollfd{client.fd.get(), events, 0});
-        fd_owner.push_back(client.index);
+        // Slot in clients_, NOT client.index — indices are global across
+        // driver threads, this vector is one thread's slice.
+        fd_owner.push_back(c);
       }
       if (fds.empty()) {
         if (finished_ < clients_.size()) {
@@ -178,6 +187,11 @@ class Loadgen {
         return;
       }
       net::set_nonblocking(client.fd.get(), true);
+      if (opt_.endpoint.kind == net::Endpoint::Kind::kTcp) {
+        // Commits are small frames on a request/response path; without
+        // this, Nagle serializes the pipelined window to one frame/RTT.
+        net::set_nodelay(client.fd.get());
+      }
     }
     // Reuse the blocking helper's address formatting by connecting
     // through a short-lived blocking attempt only for TCP? No — keep one
@@ -185,6 +199,7 @@ class Loadgen {
     if (try_connect(client)) {
       client.state = State::kOpening;
       queue_open(client);
+      flush(client);
     }
   }
 
@@ -274,6 +289,15 @@ class Loadgen {
   }
 
   void on_readable(Client& client) {
+    read_frames(client);
+    // Everything the acks queued (pipeline top-ups, next queries) goes
+    // out in one send — coalescing on the client side too.
+    if (client.alive()) {
+      flush(client);
+    }
+  }
+
+  void read_frames(Client& client) {
     std::uint8_t chunk[kRecvChunk];
     for (;;) {
       const ssize_t n = ::recv(client.fd.get(), chunk, sizeof(chunk), 0);
@@ -339,13 +363,14 @@ class Loadgen {
             return false;
           }
           (void)bbwire::decode_board_state(frame.payload, MsgType::kCommitOk);
+          --client.inflight;
           report_.posts += opt_.batch_posts;
           ++client.batches_done;
-          if (client.batches_done < opt_.batches) {
-            queue_commit(client);
-          } else {
+          if (client.batches_done >= opt_.batches) {
             client.state = State::kPosted;
             ++posted_;
+          } else {
+            queue_commits(client);  // top up the window; caller flushes
           }
           return true;
         case State::kQuerying: {
@@ -378,33 +403,45 @@ class Loadgen {
     }
   }
 
+  [[nodiscard]] const std::string& board_for(const Client& client) const {
+    if (opt_.board_list.empty()) {
+      return opt_.board;
+    }
+    return opt_.board_list[client.index % opt_.board_list.size()];
+  }
+
   void queue_open(Client& client) {
     bbwire::OpenMsg open;
     open.mode = 1;  // replica: many writers, server-assigned arrival order
     open.num_players = opt_.players;
     open.num_objects = opt_.objects;
-    open.board = opt_.board;
+    open.board = board_for(client);
     bbwire::encode_open(client.outbuf, open);
-    flush(client);
   }
 
-  void queue_commit(Client& client) {
-    post_scratch_.clear();
-    const Round round = static_cast<Round>(client.batches_done);
-    for (std::size_t i = 0; i < opt_.batch_posts; ++i) {
-      Post post;
-      post.author = PlayerId(client.index % opt_.players);
-      post.round = round;
-      post.object = ObjectId(static_cast<std::size_t>(
-          splitmix64(client.rng) % opt_.objects));
-      post.reported_value =
-          static_cast<double>(splitmix64(client.rng) % 1000) / 1000.0;
-      post.positive = true;
-      post_scratch_.push_back(post);
+  /// Encode commits until the in-flight window is full (or the batch
+  /// budget spent). Appends only; the caller flushes once.
+  void queue_commits(Client& client) {
+    while (client.batches_queued < opt_.batches &&
+           client.inflight < opt_.pipeline) {
+      post_scratch_.clear();
+      const Round round = static_cast<Round>(client.batches_queued);
+      for (std::size_t i = 0; i < opt_.batch_posts; ++i) {
+        Post post;
+        post.author = PlayerId(client.index % opt_.players);
+        post.round = round;
+        post.object = ObjectId(static_cast<std::size_t>(
+            splitmix64(client.rng) % opt_.objects));
+        post.reported_value =
+            static_cast<double>(splitmix64(client.rng) % 1000) / 1000.0;
+        post.positive = true;
+        post_scratch_.push_back(post);
+      }
+      bbwire::encode_commit(client.outbuf, round, post_scratch_);
+      ++client.batches_queued;
+      ++client.inflight;
     }
-    bbwire::encode_commit(client.outbuf, round, post_scratch_);
     client.state = State::kPosting;
-    flush(client);
   }
 
   void queue_query(Client& client) {
@@ -415,7 +452,6 @@ class Loadgen {
     client.query_start = Clock::now();
     bbwire::encode_window_query(client.outbuf, query);
     client.state = State::kQuerying;
-    flush(client);
   }
 
   void kill(Client& client) {
@@ -450,7 +486,8 @@ class Loadgen {
       } else {
         for (Client& client : clients_) {
           if (client.state == State::kIdle) {
-            queue_commit(client);
+            queue_commits(client);
+            flush(client);
           }
         }
       }
@@ -470,6 +507,7 @@ class Loadgen {
           ++finished_;
         } else {
           queue_query(client);
+          flush(client);
         }
       }
     }
@@ -510,7 +548,76 @@ class Loadgen {
 }  // namespace
 
 LoadgenReport run_loadgen(const LoadgenOptions& options) {
-  return Loadgen(options).run();
+  const std::size_t limit = net::raise_nofile_limit(options.clients + 64);
+  if (limit < options.clients + 64) {
+    throw net::SocketError(
+        "cannot open " + std::to_string(options.clients) +
+        " connections: RLIMIT_NOFILE is " + std::to_string(limit) +
+        " (raise the hard limit or lower --clients)");
+  }
+  const std::size_t threads = std::max<std::size_t>(
+      1, std::min(options.threads, std::max<std::size_t>(1, options.clients)));
+  if (threads == 1) {
+    return Loadgen(options, 0).run();
+  }
+
+  struct Slice {
+    LoadgenReport report;
+    std::vector<std::uint64_t> latencies;
+    std::string error;
+  };
+  std::vector<Slice> slices(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::size_t base = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t count =
+        options.clients / threads + (t < options.clients % threads ? 1 : 0);
+    LoadgenOptions slice_options = options;
+    slice_options.clients = count;
+    Slice& slice = slices[t];
+    pool.emplace_back([slice_options, base, &slice] {
+      try {
+        Loadgen generator(slice_options, base);
+        slice.report = generator.run();
+        slice.latencies = generator.take_latencies();
+      } catch (const std::exception& error) {
+        slice.error = error.what();
+      }
+    });
+    base += count;
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+
+  LoadgenReport merged;
+  std::vector<std::uint64_t> latencies;
+  for (Slice& slice : slices) {
+    if (!slice.error.empty()) {
+      throw net::SocketError("bbload driver thread failed: " + slice.error);
+    }
+    merged.clients_connected += slice.report.clients_connected;
+    merged.posts += slice.report.posts;
+    merged.queries += slice.report.queries;
+    merged.errors += slice.report.errors;
+    // The slices overlap in time, so the aggregate rate is the sum of
+    // per-thread steady-state rates; seconds report the slowest slice.
+    merged.posts_per_sec += slice.report.posts_per_sec;
+    merged.post_seconds =
+        std::max(merged.post_seconds, slice.report.post_seconds);
+    merged.query_seconds =
+        std::max(merged.query_seconds, slice.report.query_seconds);
+    latencies.insert(latencies.end(), slice.latencies.begin(),
+                     slice.latencies.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    merged.query_p50_ns = latencies[latencies.size() / 2];
+    merged.query_p99_ns = latencies[std::min(
+        latencies.size() - 1, latencies.size() * 99 / 100)];
+  }
+  return merged;
 }
 
 }  // namespace acp

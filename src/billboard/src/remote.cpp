@@ -28,7 +28,7 @@ constexpr std::uint64_t kPullChunk = 100'000;
 RemoteBillboard::RemoteBillboard(const net::Endpoint& endpoint,
                                  std::size_t num_players,
                                  std::size_t num_objects, Billboard::Mode mode,
-                                 std::string board)
+                                 std::string board, std::size_t pipeline)
     : fd_(net::connect_endpoint(endpoint)),
       board_name_(std::move(board)),
       peer_(endpoint.to_string()),
@@ -37,13 +37,14 @@ RemoteBillboard::RemoteBillboard(const net::Endpoint& endpoint,
           "billboard.rpc.commit")),
       query_timer_(&obs::MetricsRegistry::global().timer(
           "billboard.rpc.query")) {
+  pipeline_ = board_name_.empty() ? std::max<std::size_t>(1, pipeline) : 1;
   recv_buf_.resize(kRecvChunk);
   open_board(mode);
 }
 
 RemoteBillboard::RemoteBillboard(net::FdHandle fd, std::size_t num_players,
                                  std::size_t num_objects, Billboard::Mode mode,
-                                 std::string board)
+                                 std::string board, std::size_t pipeline)
     : fd_(std::move(fd)),
       board_name_(std::move(board)),
       peer_("fd"),
@@ -53,6 +54,7 @@ RemoteBillboard::RemoteBillboard(net::FdHandle fd, std::size_t num_players,
       query_timer_(&obs::MetricsRegistry::global().timer(
           "billboard.rpc.query")) {
   ACP_EXPECTS(fd_.valid());
+  pipeline_ = board_name_.empty() ? std::max<std::size_t>(1, pipeline) : 1;
   recv_buf_.resize(kRecvChunk);
   open_board(mode);
 }
@@ -90,6 +92,24 @@ void RemoteBillboard::commit_round(Round round, std::vector<Post> posts) {
 void RemoteBillboard::commit_round_from(Round round,
                                         std::span<const Post> posts) {
   const obs::ScopedTimer timer(*commit_timer_);
+  if (pipeline_ > 1) {
+    // Private board, pipelined: apply optimistically, queue the expected
+    // ack, and only block once the window is full. The server checks the
+    // same contract the mirror just enforced, so an ack mismatch (or a
+    // kError surfacing in a later drain) means a genuinely divergent
+    // server — an exception, not a recovery path.
+    out_.clear();
+    bbwire::encode_commit(out_, round, posts);
+    obs::BandwidthMeter::add_write(obs::IoChannel::kBillboardRpcPost,
+                                   out_.size() * 8);
+    net::send_all(fd_.get(), out_);
+    mirror_.commit_round_from(round, posts);
+    pending_acks_.push_back(mirror_.size());
+    while (pending_acks_.size() >= pipeline_) {
+      drain_one_ack();
+    }
+    return;
+  }
   out_.clear();
   bbwire::encode_commit(out_, round, posts);
   const net::Frame reply = transact(obs::IoChannel::kBillboardRpcPost);
@@ -101,8 +121,15 @@ void RemoteBillboard::commit_round_from(Round round,
   if (state.size == mirror_.size() + posts.size()) {
     // The common (and only private-board) case: the server log is exactly
     // the mirror plus this batch, so echo-applying the batch keeps the
-    // mirror bit-identical to an in-process board.
-    mirror_.commit_round_from(round, posts);
+    // mirror bit-identical to an in-process board. Replica boards must
+    // echo the server's arrival-round assignment: after a catch-up pull
+    // the mirror's last round can be ahead of this writer's declared
+    // round, and the server bumped to max(declared, last + 1) too.
+    const Round arrival = mirror_.mode() == Billboard::Mode::kReplica
+                              ? std::max(round,
+                                         mirror_.last_committed_round() + 1)
+                              : round;
+    mirror_.commit_round_from(arrival, posts);
   } else {
     // A shared board advanced under us; fetch the authoritative tail
     // (which embeds this batch in server order).
@@ -121,9 +148,34 @@ void RemoteBillboard::reserve(std::size_t expected_posts) {
   mirror_.reserve(expected_posts);
 }
 
+void RemoteBillboard::drain_one_ack() {
+  const std::uint64_t expected = pending_acks_.front();
+  pending_acks_.pop_front();
+  const net::Frame reply = read_frame(obs::IoChannel::kBillboardRpcPost);
+  if (frame_type(reply) != MsgType::kCommitOk) {
+    unexpected_reply(reply, "commit_ok");
+  }
+  const bbwire::BoardStateMsg state =
+      bbwire::decode_board_state(reply.payload, MsgType::kCommitOk);
+  if (state.size != expected) {
+    throw std::runtime_error(
+        "billboard server " + peer_ + " acked a pipelined commit at log size " +
+        std::to_string(state.size) + " where the mirror expected " +
+        std::to_string(expected) +
+        " (another writer on a private board, or a lost frame)");
+  }
+}
+
+void RemoteBillboard::drain_acks() {
+  while (!pending_acks_.empty()) {
+    drain_one_ack();
+  }
+}
+
 Count RemoteBillboard::votes_in_window(ObjectId object, Round begin,
                                        Round end) {
   const obs::ScopedTimer timer(*query_timer_);
+  drain_acks();
   bbwire::WindowQueryMsg query;
   query.object = object.value();
   query.begin = begin;
@@ -141,6 +193,7 @@ void RemoteBillboard::votes_in_window_batch(std::span<const ObjectId> objects,
                                             Round begin, Round end,
                                             std::vector<Count>& out) {
   const obs::ScopedTimer timer(*query_timer_);
+  drain_acks();
   out_.clear();
   bbwire::encode_window_batch(out_, begin, end, objects);
   const net::Frame reply = transact(obs::IoChannel::kBillboardRpcQuery);
@@ -183,6 +236,7 @@ std::vector<Post> RemoteBillboard::snapshot() {
 }
 
 bbwire::BoardStateMsg RemoteBillboard::stat() {
+  drain_acks();
   out_.clear();
   bbwire::encode_stat(out_);
   const net::Frame reply = transact(obs::IoChannel::kBillboardRpcSnapshot);

@@ -120,6 +120,12 @@ void set_nonblocking(int fd, bool on);
 /// TCP_NODELAY for request/response latency; a no-op on Unix sockets.
 void set_nodelay(int fd);
 
+/// SIG_IGN for SIGPIPE, once per process (idempotent, thread-safe). A
+/// peer that vanishes between poll() and send() must surface as EPIPE,
+/// not kill the daemon — MSG_NOSIGNAL covers send() but not every path
+/// (e.g. writev), so servers call this belt-and-braces at startup.
+void ignore_sigpipe();
+
 /// Raise RLIMIT_NOFILE toward `want` (capped at the hard limit). Returns
 /// the limit actually in effect — callers opening 10^4+ sockets check
 /// this instead of dying on EMFILE mid-run.

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <signal.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -12,6 +13,7 @@
 #include <cerrno>
 #include <charconv>
 #include <cstring>
+#include <mutex>
 
 namespace acp::net {
 
@@ -218,6 +220,19 @@ void set_nonblocking(int fd, bool on) {
 void set_nodelay(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void ignore_sigpipe() {
+  // call_once so concurrent server startups don't race the handler
+  // installation (sigaction itself is async-signal-safe but the flag
+  // pattern would not be).
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action{};
+    action.sa_handler = SIG_IGN;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGPIPE, &action, nullptr);
+  });
 }
 
 std::size_t raise_nofile_limit(std::size_t want) {

@@ -1,7 +1,10 @@
 // Backend-parity pin: a scenario run against a live acp_billboardd-style
 // server (RemoteBillboard over a real socket) produces a bit-identical
 // RunResult to the in-process default — under churn, an active adversary,
-// and at both 1 and 8 round-kernel threads.
+// and at both 1 and 8 round-kernel threads. The server runs with two IO
+// threads (accepted connections dealt round-robin across workers), so
+// parity holds against the sharded multi-threaded data path, not just
+// the single-loop one.
 #include <memory>
 #include <string>
 
@@ -33,8 +36,11 @@ void expect_identical(const RunResult& a, const RunResult& b) {
 class BillboardParity : public ::testing::Test {
  protected:
   void SetUp() override {
+    BillboardServer::Options options;
+    options.io_threads = 2;
+    options.shards = 8;
     server_ = std::make_unique<BillboardServer>(
-        net::Endpoint::parse("tcp:127.0.0.1:0"));
+        net::Endpoint::parse("tcp:127.0.0.1:0"), options);
     server_->start();
   }
   void TearDown() override { server_->stop(); }

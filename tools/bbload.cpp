@@ -32,6 +32,13 @@ int usage(std::ostream& os, int code) {
         "  --players N      shared-board player dimension (default 10000)\n"
         "  --objects M      shared-board object dimension (default 256)\n"
         "  --board NAME     shared board name (default bbload)\n"
+        "  --boards K       spread clients over K boards NAME.0..NAME.K-1\n"
+        "                   (default 1: everyone joins NAME) — use with a\n"
+        "                   sharded server so boards land on different\n"
+        "                   IO threads\n"
+        "  --pipeline K     in-flight commits per connection (default 1)\n"
+        "  --threads N      driver threads; clients split across them,\n"
+        "                   stats merged (default 1)\n"
         "  --seed S         workload seed (default 1)\n"
         "  --json           machine-readable acp.bbload.v1 report on stdout\n"
         "  --help           this text\n";
@@ -53,6 +60,7 @@ std::size_t parse_size(const std::string& flag, const std::string& text) {
 int main(int argc, char** argv) {
   acp::LoadgenOptions options;
   std::string connect;
+  std::size_t boards = 1;
   bool json = false;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -82,6 +90,21 @@ int main(int argc, char** argv) {
         options.objects = parse_size(arg, value());
       } else if (arg == "--board") {
         options.board = value();
+      } else if (arg == "--boards") {
+        boards = parse_size(arg, value());
+        if (boards == 0) {
+          throw std::invalid_argument("--boards must be >= 1");
+        }
+      } else if (arg == "--pipeline") {
+        options.pipeline = parse_size(arg, value());
+        if (options.pipeline == 0) {
+          throw std::invalid_argument("--pipeline must be >= 1");
+        }
+      } else if (arg == "--threads") {
+        options.threads = parse_size(arg, value());
+        if (options.threads == 0) {
+          throw std::invalid_argument("--threads must be >= 1");
+        }
       } else if (arg == "--seed") {
         options.seed = parse_size(arg, value());
       } else {
@@ -91,12 +114,20 @@ int main(int argc, char** argv) {
     }
     if (connect.empty()) return usage(std::cerr, 2);
     options.endpoint = acp::net::Endpoint::parse(connect);
+    if (boards > 1) {
+      options.board_list.reserve(boards);
+      for (std::size_t b = 0; b < boards; ++b) {
+        options.board_list.push_back(options.board + "." + std::to_string(b));
+      }
+    }
 
     const acp::LoadgenReport report = acp::run_loadgen(options);
 
     if (json) {
       std::cout << "{\"schema\":\"acp.bbload.v1\",\"endpoint\":\""
-                << options.endpoint.to_string() << "\",\"clients\":"
+                << options.endpoint.to_string() << "\",\"pipeline\":"
+                << options.pipeline << ",\"threads\":" << options.threads
+                << ",\"boards\":" << boards << ",\"clients\":"
                 << report.clients_connected << ",\"posts\":" << report.posts
                 << ",\"post_seconds\":" << report.post_seconds
                 << ",\"posts_per_sec\":" << report.posts_per_sec
